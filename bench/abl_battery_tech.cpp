@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Ablation: battery technology (Section 7). Li-ion strings have a much
+ * flatter load/runtime curve (Peukert exponent ~1.05 vs ~1.29) and a
+ * different cost structure (cheap power, expensive energy). Both shift
+ * the paper's trade-offs: the DG-free coverage window shrinks, and
+ * energy-frugal save-state techniques gain on throttling.
+ */
+
+#include <cstdio>
+
+#include "core/analyzer.hh"
+#include "power/battery.hh"
+#include "sim/logging.hh"
+
+using namespace bpsim;
+
+namespace
+{
+
+double
+dgCrossoverMin(const CostModel &m)
+{
+    for (double t = 1.0; t < 180.0; t += 0.25) {
+        if (m.upsCostPerYr(1.0, t * 60.0) >= m.dgCostPerYr(1.0))
+            return t;
+    }
+    return 180.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuietLogging(true);
+    std::printf("=== Ablation: lead-acid vs Li-ion batteries ===\n\n");
+
+    const CostModel pb{leadAcidCostParams()};
+    const CostModel li{liIonCostParams()};
+
+    std::printf("Cost structure ($/year, per kW / per kWh):\n");
+    std::printf("  lead-acid: power %.0f, energy %.0f, free runtime "
+                "%.0f min\n",
+                pb.params().upsPowerCostPerKwYr,
+                pb.params().upsEnergyCostPerKwhYr,
+                pb.params().freeRunTimeSec / 60.0);
+    std::printf("  li-ion:    power %.0f, energy %.0f, free runtime "
+                "%.0f min\n\n",
+                li.params().upsPowerCostPerKwYr,
+                li.params().upsEnergyCostPerKwhYr,
+                li.params().freeRunTimeSec / 60.0);
+
+    std::printf("Runtime stretch at partial load (rated 10 min):\n");
+    std::printf("%-10s %12s %12s\n", "load", "lead-acid", "li-ion");
+    for (double f : {1.0, 0.5, 0.25, 0.1}) {
+        PeukertBattery::Params p;
+        p.ratedPowerW = 1000.0;
+        p.runtimeAtRatedSec = 600.0;
+        PeukertBattery lead(p);
+        p.peukertExponent = kLiIonPeukertExponent;
+        PeukertBattery lith(p);
+        std::printf("%8.0f%% %9.1f min %9.1f min\n", f * 100.0,
+                    toMinutes(lead.runtimeAtLoad(1000.0 * f)),
+                    toMinutes(lith.runtimeAtLoad(1000.0 * f)));
+    }
+
+    std::printf("\nDG-free coverage window (UPS energy cheaper than "
+                "DG):\n");
+    std::printf("  lead-acid: %.0f min   li-ion: %.0f min\n",
+                dgCrossoverMin(pb), dgCrossoverMin(li));
+
+    std::printf("\nTechnique economics, Specjbb, 30-minute outage "
+                "(sized UPS-only backup):\n");
+    std::printf("%-22s %14s %14s\n", "technique", "lead-acid $/yr",
+                "li-ion $/yr");
+    struct Cand
+    {
+        const char *name;
+        TechniqueSpec spec;
+    };
+    const Cand cands[] = {
+        {"Throttling(p6)", {TechniqueKind::Throttle, 6, 0, 0, false}},
+        {"Sleep-L", {TechniqueKind::Sleep, 0, 0, 0, true}},
+        {"ProactiveHibernate",
+         {TechniqueKind::ProactiveHibernate, 0, 0, 0, false}},
+        {"Throttle+Sleep-L(50%)",
+         {TechniqueKind::ThrottleSleep, 5, 0, 15 * kMinute, true}},
+    };
+    Analyzer pb_an{pb}, li_an{li};
+    for (const auto &c : cands) {
+        Scenario sc;
+        sc.profile = specJbbProfile();
+        sc.nServers = 8;
+        sc.outageDuration = fromMinutes(30.0);
+        sc.technique = c.spec;
+        const auto pb_ev = pb_an.sizeUpsOnly(sc);
+        sc.upsPeukertExponent = kLiIonPeukertExponent;
+        const auto li_ev = li_an.sizeUpsOnly(sc);
+        std::printf("%-22s %14.0f %14.0f\n", c.name, pb_ev.costPerYr,
+                    li_ev.costPerYr);
+    }
+
+    std::printf("\nReading: under Li-ion economics the gap between "
+                "energy-hungry sustain\n"
+                "techniques and energy-frugal save-state techniques "
+                "widens, as Section 7\n"
+                "predicts; and the '40 minutes without a DG' headline "
+                "tightens.\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation: sensitivity to the FreeRunTime base battery capacity (the
+ * paper's technical report studies this). The base runtime that comes
+ * free with the UPS power rating determines how much of Table 3's
+ * savings survive at other points on the Ragone curve, and how cheap
+ * the "-L" save-state techniques can get.
+ */
+
+#include <cstdio>
+
+#include "core/analyzer.hh"
+#include "sim/logging.hh"
+
+using namespace bpsim;
+
+int
+main()
+{
+    setQuietLogging(true);
+    std::printf("=== Ablation: FreeRunTime (base battery capacity) "
+                "===\n\n");
+
+    std::printf("Normalized Table 3 costs as the free base runtime "
+                "varies:\n");
+    std::printf("%-20s", "configuration");
+    const double free_minutes[] = {0.5, 1.0, 2.0, 4.0};
+    for (double f : free_minutes)
+        std::printf(" %8.1fm", f);
+    std::printf("\n");
+    for (const auto &spec : table3Configs()) {
+        std::printf("%-20s", spec.name.c_str());
+        for (double f : free_minutes) {
+            CostParams p;
+            p.freeRunTimeSec = f * 60.0;
+            const CostModel m{p};
+            const auto cap = capacityOf(spec, 1e6);
+            std::printf(" %9.2f", m.normalizedCost(cap, 1000.0));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nSized cost of Sleep-L (Specjbb, 1-hour outage) vs "
+                "free runtime:\n");
+    for (double f : free_minutes) {
+        CostParams p;
+        p.freeRunTimeSec = f * 60.0;
+        Analyzer a{CostModel{p}};
+        Scenario sc;
+        sc.profile = specJbbProfile();
+        sc.nServers = 8;
+        sc.outageDuration = fromHours(1.0);
+        sc.technique = {TechniqueKind::Sleep, 0, 0, 0, true};
+        const auto ev = a.sizeUpsOnly(sc);
+        std::printf("  free %.1f min -> cost %.3f of MaxPerf "
+                    "(runtime %.1f min)\n",
+                    f, ev.normalizedCost,
+                    ev.capacity.upsRuntimeSec / 60.0);
+    }
+
+    std::printf("\nReading: LargeEUPS-style configurations are nearly "
+                "insensitive (their\n"
+                "energy is bought anyway), while the short-runtime "
+                "configurations ride\n"
+                "entirely on the free base — exactly the Ragone-plot "
+                "argument of Section 3.\n");
+    return 0;
+}

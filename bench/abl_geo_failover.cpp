@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: geo-failover vs local backup for long outages (Section 7
+ * and the paper's closing discussion). For outages beyond the UPS's
+ * economic range, redirecting load to a geo-replica turns the backup
+ * problem into a bridging problem: the battery only carries the drain
+ * window.
+ */
+
+#include <cstdio>
+
+#include "core/analyzer.hh"
+#include "sim/logging.hh"
+
+using namespace bpsim;
+
+int
+main()
+{
+    setQuietLogging(true);
+    std::printf("=== Ablation: geo-failover vs local backup (Specjbb) "
+                "===\n\n");
+
+    Analyzer analyzer;
+    std::printf("%-12s %-26s %8s %8s %12s\n", "outage", "strategy",
+                "cost", "perf", "downtime");
+    for (double hours : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+        Scenario sc;
+        sc.profile = specJbbProfile();
+        sc.nServers = 8;
+        sc.outageDuration = fromHours(hours);
+        sc.settleAfter = fromHours(2.0);
+
+        struct Cand
+        {
+            const char *name;
+            TechniqueSpec spec;
+        };
+        const int p_half = pstateForPowerFraction(ServerModel{}, 0.5);
+        const Cand cands[] = {
+            {"Throttle+Sleep-L(10m)",
+             {TechniqueKind::ThrottleSleep, p_half, 0, 10 * kMinute,
+              true}},
+            {"Migration(th. hosts)",
+             {TechniqueKind::Migration, p_half, 0, 0, false, p_half}},
+            {"GeoFailover(0.7)",
+             {TechniqueKind::GeoFailover, p_half, 0, 0, false, 0, 0.7}},
+        };
+        for (const auto &c : cands) {
+            Scenario s = sc;
+            s.technique = c.spec;
+            const auto ev = analyzer.sizeUpsOnly(s);
+            std::printf("%9.1f h  %-26s %8.3f %8.2f %9.1f min %s\n",
+                        hours, c.name, ev.normalizedCost,
+                        ev.result.perfDuringOutage,
+                        ev.result.downtimeSec / 60.0,
+                        ev.feasible ? "" : "(infeasible)");
+        }
+        std::printf("\n");
+    }
+
+    std::printf("Reading: past the point where batteries stop being "
+                "economic (~1-2 h),\n"
+                "geo-failover offers the best performance per backup "
+                "dollar — the paper's\n"
+                "recommendation for >4 h outages — provided the "
+                "organization has a replica\n"
+                "with spare capacity.\n");
+    return 0;
+}

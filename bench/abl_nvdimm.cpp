@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: NVDIMM (Section 7). With super-capacitor-backed DIMMs the
+ * volatile state persists through an abrupt power cut with *zero*
+ * external backup power — so a MinCost datacenter keeps only the
+ * outage itself (plus a fast flash restore) as downtime. This bench
+ * quantifies how much backup infrastructure NVDIMM displaces.
+ */
+
+#include <cstdio>
+
+#include "core/analyzer.hh"
+#include "sim/logging.hh"
+
+using namespace bpsim;
+
+int
+main()
+{
+    setQuietLogging(true);
+    std::printf("=== Ablation: NVDIMM vs conventional DRAM ===\n\n");
+
+    Analyzer analyzer;
+    std::printf("%-12s %-14s %-22s %8s %12s\n", "workload", "outage",
+                "configuration", "cost", "downtime");
+    for (const auto &profile :
+         {specJbbProfile(), webSearchProfile(), memcachedProfile()}) {
+        for (double minutes : {0.5, 5.0, 30.0, 120.0}) {
+            Scenario sc;
+            sc.profile = profile;
+            sc.nServers = 8;
+            sc.outageDuration = fromMinutes(minutes);
+
+            // Conventional DRAM, MinCost: crash and recover.
+            const auto plain =
+                analyzer.evaluateConfig(sc, minCostConfig());
+            // NVDIMM, MinCost: persist through the loss for free.
+            Scenario nv = sc;
+            nv.serverParams.nvdimm = true;
+            const auto nvdimm =
+                analyzer.evaluateConfig(nv, minCostConfig());
+            // Conventional + the cheapest save-state defense.
+            Scenario sl = sc;
+            sl.technique = {TechniqueKind::Sleep, 0, 0, 0, true};
+            const auto sleep_l = analyzer.sizeUpsOnly(sl);
+
+            std::printf("%-12s %10.1f min %-22s %8.2f %9.1f min\n",
+                        profile.name.c_str(), minutes,
+                        "MinCost (DRAM)", plain.normalizedCost,
+                        plain.result.downtimeSec / 60.0);
+            std::printf("%-12s %10.1f min %-22s %8.2f %9.1f min\n",
+                        profile.name.c_str(), minutes,
+                        "MinCost (NVDIMM)", nvdimm.normalizedCost,
+                        nvdimm.result.downtimeSec / 60.0);
+            std::printf("%-12s %10.1f min %-22s %8.2f %9.1f min\n",
+                        profile.name.c_str(), minutes,
+                        "Sleep-L (sized UPS)", sleep_l.normalizedCost,
+                        sleep_l.result.downtimeSec / 60.0);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("Reading: NVDIMM turns the zero-cost configuration "
+                "into (almost) the Sleep-L\n"
+                "availability profile — the flash restore replaces "
+                "both the UPS energy and the\n"
+                "cold recovery, which is exactly the displacement "
+                "argument of Section 7.\n");
+    return 0;
+}

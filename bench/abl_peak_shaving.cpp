@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Ablation: dual-use batteries — peak shaving vs outage readiness.
+ *
+ * Section 2 contrasts backup under-provisioning with *normal* power
+ * under-provisioning, where batteries shave daily peaks (Govindan'12,
+ * Kontorinis'12) and are therefore called on constantly. This bench
+ * quantifies the conflict: a string that spends its day shaving the
+ * diurnal peak may meet an outage partially drained.
+ */
+
+#include <cstdio>
+
+#include "power/utility.hh"
+#include "sim/logging.hh"
+#include "technique/catalog.hh"
+#include "workload/load_profile.hh"
+
+using namespace bpsim;
+
+namespace
+{
+
+struct DayResult
+{
+    double shavedKwh;      // energy the battery supplied for shaving
+    double socAtPeakHour;  // state of charge at 14:00
+    bool outageSurvived;   // 10-minute outage at peak hour
+    double lifePerYearPct; // cycle life consumed, extrapolated to a year
+};
+
+DayResult
+runDay(double shave_threshold_frac, double runtime_min,
+       bool outage_at_peak)
+{
+    Simulator sim;
+    Utility utility(sim);
+    PowerHierarchy::Config cfg;
+    cfg.hasDg = false;
+    cfg.hasUps = true;
+    cfg.ups.powerCapacityW = 8 * 250.0;
+    cfg.ups.runtimeAtRatedSec = runtime_min * 60.0;
+    if (shave_threshold_frac > 0.0)
+        cfg.peakShaveThresholdW = shave_threshold_frac * 8 * 250.0;
+    PowerHierarchy hierarchy(sim, utility, cfg);
+    Cluster cluster(sim, hierarchy, ServerModel{}, memcachedProfile(), 8);
+    auto technique =
+        makeTechnique({TechniqueKind::Throttle, 5, 0, 0, false});
+    technique->attach(sim, cluster, hierarchy);
+    cluster.primeSteadyState();
+
+    DiurnalLoadDriver::Params lp;
+    lp.minUtil = 0.35;
+    lp.maxUtil = 1.0;
+    DiurnalLoadDriver diurnal(sim, cluster, lp);
+    diurnal.start();
+
+    if (outage_at_peak)
+        utility.scheduleOutage(14 * kHour, 10 * kMinute);
+
+    sim.runUntil(13 * kHour + 59 * kMinute);
+    DayResult r;
+    r.socAtPeakHour = hierarchy.ups()->battery().soc();
+    sim.runUntil(24 * kHour);
+    r.shavedKwh = joulesToKwh(hierarchy.meter().batteryEnergyJ(
+                      0, 14 * kHour)); // shaving only, pre-outage
+    r.outageSurvived = hierarchy.powerLossCount() == 0;
+    r.lifePerYearPct =
+        hierarchy.ups()->battery().lifeFractionUsed() * 365.0 * 100.0;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuietLogging(true);
+    std::printf("=== Ablation: peak shaving vs outage readiness ===\n");
+    std::printf("(8 x memcached, diurnal load 35-100%%, shaving "
+                "threshold as a fraction of peak;\n outage: 10 minutes "
+                "at the 14:00 load peak, defended by Throttle(p5))\n\n");
+
+    std::printf("%-12s %-12s %14s %12s %10s %14s\n", "threshold",
+                "battery", "shaved (kWh)", "SoC @14:00", "outage",
+                "wear %/year");
+    for (double runtime_min : {10.0, 30.0}) {
+        for (double frac : {0.0, 0.95, 0.9, 0.8}) {
+            const auto r = runDay(frac, runtime_min, true);
+            // Wear is extrapolated from an *outage-free* day: outages
+            // are rare (Figure 1), daily shaving is not.
+            const auto quiet = runDay(frac, runtime_min, false);
+            std::printf("%11.0f%% %9.0f min %14.2f %11.0f%% %10s %13.1f%%\n",
+                        frac * 100.0, runtime_min, r.shavedKwh,
+                        r.socAtPeakHour * 100.0,
+                        r.outageSurvived ? "survived" : "CRASHED",
+                        quiet.lifePerYearPct);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("Reading: the deeper the shaving (lower threshold), "
+                "the more distribution\n"
+                "capacity the operator saves during normal operation — "
+                "and the emptier the\n"
+                "string when the outage lands at peak hour. Backup "
+                "under-provisioning and\n"
+                "normal under-provisioning compete for the same "
+                "energy, exactly the tension\n"
+                "the paper's Section 2 identifies; a larger string "
+                "(right column) buys both.\n");
+    return 0;
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Ablation: UPS placement granularity — rack-level (pooled battery,
+ * the paper's default, as at Facebook/Microsoft) vs server-level
+ * (one string per machine, as in Google's on-board design; the
+ * paper's technical report studies this axis).
+ *
+ * For uniform techniques (everyone throttles or sleeps identically)
+ * the two are electrically equivalent, so the interesting divergence
+ * is *asymmetric* load: consolidation doubles the host's draw while
+ * the source's battery sits stranded. Server-level strings then pay
+ * the Peukert penalty on the hosts and waste the sources' energy.
+ *
+ * Uniform cases are simulated (N independent single-server plants vs
+ * one pooled plant); the consolidation case is computed from the
+ * battery model directly.
+ */
+
+#include <cstdio>
+
+#include "power/battery.hh"
+#include "power/utility.hh"
+#include "sim/logging.hh"
+#include "technique/catalog.hh"
+
+using namespace bpsim;
+
+namespace
+{
+
+/** Outage survival time for one pooled rack plant. */
+double
+pooledSurvivalMin(const TechniqueSpec &spec, int n)
+{
+    Simulator sim;
+    Utility utility(sim);
+    PowerHierarchy::Config cfg;
+    cfg.hasDg = false;
+    cfg.hasUps = true;
+    cfg.ups.powerCapacityW = n * 250.0;
+    cfg.ups.runtimeAtRatedSec = 600.0;
+    PowerHierarchy hierarchy(sim, utility, cfg);
+    Cluster cluster(sim, hierarchy, ServerModel{}, specJbbProfile(), n);
+    auto technique = makeTechnique(spec);
+    technique->attach(sim, cluster, hierarchy);
+    cluster.primeSteadyState();
+    Time lost = kTimeNever;
+    struct L : PowerHierarchy::Listener
+    {
+        Time *at;
+        void powerLost(Time t) override { *at = t; }
+    } listener;
+    listener.at = &lost;
+    hierarchy.addListener(&listener);
+    utility.scheduleOutage(kMinute, 12 * kHour);
+    sim.runUntil(13 * kHour);
+    return lost == kTimeNever ? -1.0 : toMinutes(lost - kMinute);
+}
+
+/** Same, for one server with its own 1/n-sized string. */
+double
+perServerSurvivalMin(const TechniqueSpec &spec)
+{
+    Simulator sim;
+    Utility utility(sim);
+    PowerHierarchy::Config cfg;
+    cfg.hasDg = false;
+    cfg.hasUps = true;
+    cfg.ups.powerCapacityW = 250.0;
+    cfg.ups.runtimeAtRatedSec = 600.0;
+    PowerHierarchy hierarchy(sim, utility, cfg);
+    Cluster cluster(sim, hierarchy, ServerModel{}, specJbbProfile(), 1);
+    auto technique = makeTechnique(spec);
+    technique->attach(sim, cluster, hierarchy);
+    cluster.primeSteadyState();
+    Time lost = kTimeNever;
+    struct L : PowerHierarchy::Listener
+    {
+        Time *at;
+        void powerLost(Time t) override { *at = t; }
+    } listener;
+    listener.at = &lost;
+    hierarchy.addListener(&listener);
+    utility.scheduleOutage(kMinute, 12 * kHour);
+    sim.runUntil(13 * kHour);
+    return lost == kTimeNever ? -1.0 : toMinutes(lost - kMinute);
+}
+
+std::string
+fmtMin(double m)
+{
+    if (m < 0.0)
+        return ">720";
+    return formatString("%.1f", m);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuietLogging(true);
+    std::printf("=== Ablation: rack-level vs server-level UPS "
+                "placement ===\n");
+    std::printf("(same total battery: 10 minutes at rated power, "
+                "Specjbb)\n\n");
+
+    std::printf("Uniform techniques: survival time on battery\n");
+    std::printf("%-22s %14s %14s\n", "technique", "rack pool",
+                "per-server");
+    struct Cand
+    {
+        const char *name;
+        TechniqueSpec spec;
+    };
+    const Cand cands[] = {
+        {"full speed", {TechniqueKind::None}},
+        {"Throttle(p6)", {TechniqueKind::Throttle, 6, 0, 0, false}},
+        {"Sleep-L", {TechniqueKind::Sleep, 0, 0, 0, true}},
+    };
+    for (const auto &c : cands) {
+        std::printf("%-22s %11s min %11s min\n", c.name,
+                    fmtMin(pooledSurvivalMin(c.spec, 8)).c_str(),
+                    fmtMin(perServerSurvivalMin(c.spec)).c_str());
+    }
+    std::printf("  -> symmetric load: placement is electrically "
+                "neutral, as expected.\n\n");
+
+    // Consolidation: the host carries 2x its own load; under
+    // server-level strings only its own battery backs that, while the
+    // source's string is stranded.
+    std::printf("Consolidation (hosts carry two guests each):\n");
+    PeukertBattery::Params bp;
+    bp.ratedPowerW = 250.0;
+    bp.runtimeAtRatedSec = 600.0;
+    const PeukertBattery server_string(bp);
+    // Per-server string: host draws its rated power (the guest adds
+    // utilization, not watts beyond peak), so its runtime is the rated
+    // 10 minutes and the source's 10 minutes of energy are stranded.
+    const double per_server_min =
+        toMinutes(server_string.runtimeAtLoad(250.0));
+    // Rack pool: the same total energy backs half the draw: the pool
+    // sees load fraction 0.5 and stretches Peukert-style.
+    PeukertBattery::Params rack;
+    rack.ratedPowerW = 2000.0;
+    rack.runtimeAtRatedSec = 600.0;
+    const PeukertBattery pool(rack);
+    const double pooled_min = toMinutes(pool.runtimeAtLoad(1000.0));
+    std::printf("  per-server strings: hosts last %.1f min (sources' "
+                "energy stranded)\n",
+                per_server_min);
+    std::printf("  rack pool:          cluster lasts %.1f min "
+                "(Peukert stretch at half load)\n",
+                pooled_min);
+    std::printf("  -> pooling buys %.1fx the consolidated runtime "
+                "from the same batteries.\n\n",
+                pooled_min / per_server_min);
+
+    std::printf("Reading: rack-level (pooled) placement — the paper's "
+                "baseline — is strictly\n"
+                "better for asymmetric defenses like consolidation; "
+                "server-level strings\n"
+                "strand the energy of every machine the technique "
+                "turns off.\n");
+    return 0;
+}

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure reproduction benches: the
+ * technique rows the paper plots (with (min,max) bands for the
+ * parameterized ones), evaluation against minimally-sized UPS-only
+ * backups (Figures 6-9 methodology), and column formatting.
+ */
+
+#ifndef BPSIM_BENCH_COMMON_HH
+#define BPSIM_BENCH_COMMON_HH
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/selector.hh"
+#include "sim/logging.hh"
+
+namespace bpsim::bench
+{
+
+/** A plotted technique: one label, one or more parameterizations. */
+struct TechRow
+{
+    std::string name;
+    std::vector<TechniqueSpec> variants;
+};
+
+/** Min/max band of one metric across a row's variants. */
+struct Band
+{
+    double min = 0.0;
+    double max = 0.0;
+
+    std::string
+    str(const char *fmt = "%.2f") const
+    {
+        if (std::abs(max - min) < 1e-6)
+            return formatString(fmt, min);
+        return formatString((std::string(fmt) + " / " + fmt).c_str(), min,
+                            max);
+    }
+};
+
+/** Evaluated row: bands over feasible variants. */
+struct RowResult
+{
+    std::string name;
+    Band cost;
+    Band perf;
+    Band downtimeMin;
+    bool anyFeasible = false;
+};
+
+/**
+ * The technique rows of Figures 6-9: the basic mechanisms plus the
+ * hybrid grid, with throttling and the hybrids carrying (min,max)
+ * bands across their P-state / serve-window parameterizations.
+ */
+inline std::vector<TechRow>
+figureTechniqueRows(const ServerModel &model, Time duration)
+{
+    std::vector<TechRow> rows;
+    const int p_half = pstateForPowerFraction(model, 0.5);
+    const int p_min = model.params().pStates - 1;
+
+    TechRow throttle{"Throttling", {}};
+    for (int p = 0; p < model.params().pStates; ++p)
+        throttle.variants.push_back({TechniqueKind::Throttle, p, 0, 0,
+                                     false});
+    throttle.variants.push_back(
+        {TechniqueKind::Throttle, p_min, model.params().tStates - 1, 0,
+         false});
+    rows.push_back(throttle);
+
+    rows.push_back({"Sleep", {{TechniqueKind::Sleep, 0, 0, 0, false}}});
+    rows.push_back({"Sleep-L", {{TechniqueKind::Sleep, 0, 0, 0, true}}});
+    rows.push_back(
+        {"Hibernate", {{TechniqueKind::Hibernate, 0, 0, 0, false}}});
+    rows.push_back(
+        {"Hibernate-L", {{TechniqueKind::Hibernate, 0, 0, 0, true}}});
+    rows.push_back({"ProactiveHibernate",
+                    {{TechniqueKind::ProactiveHibernate, 0, 0, 0, false}}});
+    rows.push_back(
+        {"Migration", {{TechniqueKind::Migration, 0, 0, 0, false},
+                       {TechniqueKind::Migration, p_half, 0, 0, false}}});
+    rows.push_back({"ProactiveMigration",
+                    {{TechniqueKind::ProactiveMigration, 0, 0, 0, false},
+                     {TechniqueKind::ProactiveMigration, p_half, 0, 0,
+                      false}}});
+    rows.push_back({"Migration+Sleep-L",
+                    {{TechniqueKind::MigrationSleep, 0, 0, 0, false}}});
+
+    TechRow hyb_sleep{"Throttle+Sleep-L", {}};
+    TechRow hyb_hib{"Throttle+Hibernate", {}};
+    for (int p : {p_half, p_min}) {
+        for (double frac : {0.25, 0.5, 0.75, 0.95}) {
+            const Time serve =
+                static_cast<Time>(static_cast<double>(duration) * frac);
+            hyb_sleep.variants.push_back(
+                {TechniqueKind::ThrottleSleep, p, 0, serve, true});
+            hyb_hib.variants.push_back(
+                {TechniqueKind::ThrottleHibernate, p, 0, serve, true});
+        }
+    }
+    rows.push_back(hyb_sleep);
+    rows.push_back(hyb_hib);
+    return rows;
+}
+
+/** Evaluate one row with minimally-sized UPS-only backups. */
+inline RowResult
+evaluateRow(const Analyzer &analyzer, const Scenario &base,
+            const TechRow &row)
+{
+    RowResult out;
+    out.name = row.name;
+    bool first = true;
+    for (const auto &spec : row.variants) {
+        Scenario sc = base;
+        sc.technique = spec;
+        const Evaluation ev = analyzer.sizeUpsOnly(sc);
+        if (!ev.feasible)
+            continue;
+        out.anyFeasible = true;
+        const double cost = ev.normalizedCost;
+        const double perf = ev.result.perfDuringOutage;
+        const double down = ev.result.downtimeSec / 60.0;
+        if (first) {
+            out.cost = {cost, cost};
+            out.perf = {perf, perf};
+            out.downtimeMin = {down, down};
+            first = false;
+        } else {
+            out.cost.min = std::min(out.cost.min, cost);
+            out.cost.max = std::max(out.cost.max, cost);
+            out.perf.min = std::min(out.perf.min, perf);
+            out.perf.max = std::max(out.perf.max, perf);
+            out.downtimeMin.min = std::min(out.downtimeMin.min, down);
+            out.downtimeMin.max = std::max(out.downtimeMin.max, down);
+        }
+    }
+    return out;
+}
+
+/** Evaluate a fixed configuration (MaxPerf / MinCost baselines). */
+inline RowResult
+evaluateBaseline(const Analyzer &analyzer, const Scenario &base,
+                 const BackupConfigSpec &config, const char *name)
+{
+    Scenario sc = base;
+    sc.technique = {};
+    const Evaluation ev = analyzer.evaluateConfig(sc, config);
+    RowResult out;
+    out.name = name;
+    out.anyFeasible = ev.feasible;
+    out.cost = {ev.normalizedCost, ev.normalizedCost};
+    out.perf = {ev.result.perfDuringOutage, ev.result.perfDuringOutage};
+    out.downtimeMin = {ev.result.downtimeSec / 60.0,
+                       ev.result.downtimeSec / 60.0};
+    // Baselines are always reportable.
+    out.anyFeasible = true;
+    return out;
+}
+
+/** Print one figure panel (all rows for one outage duration). */
+inline void
+printPanel(const Analyzer &analyzer, const WorkloadProfile &profile,
+           int n_servers, Time duration)
+{
+    Scenario base;
+    base.profile = profile;
+    base.nServers = n_servers;
+    base.outageDuration = duration;
+
+    std::printf("--- outage duration: %.1f min ---\n",
+                toMinutes(duration));
+    std::printf("%-22s %13s %13s %17s\n", "technique", "cost",
+                "perf", "downtime (min)");
+
+    const ServerModel model{base.serverParams};
+    auto print_row = [](const RowResult &r) {
+        if (!r.anyFeasible) {
+            std::printf("%-22s %13s %13s %17s\n", r.name.c_str(),
+                        "infeasible", "-", "-");
+            return;
+        }
+        std::printf("%-22s %13s %13s %17s\n", r.name.c_str(),
+                    r.cost.str().c_str(), r.perf.str().c_str(),
+                    r.downtimeMin.str("%.1f").c_str());
+    };
+
+    print_row(evaluateBaseline(analyzer, base, maxPerfConfig(),
+                               "MaxPerf"));
+    print_row(evaluateBaseline(analyzer, base, minCostConfig(),
+                               "MinCost"));
+    for (const auto &row : figureTechniqueRows(model, duration))
+        print_row(evaluateRow(analyzer, base, row));
+    std::printf("\n");
+}
+
+} // namespace bpsim::bench
+
+#endif // BPSIM_BENCH_COMMON_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figure 7 reproduction: technique trade-offs for Memcached at short
+ * (30 s), medium (30 min) and long (2 h) outages.
+ */
+
+#include "common.hh"
+
+#include "power/utility.hh"
+#include "technique/migration.hh"
+
+using namespace bpsim;
+using namespace bpsim::bench;
+
+int
+main()
+{
+    setQuietLogging(true);
+    std::printf("=== Figure 7: Tradeoffs for Memcached ===\n\n");
+    Analyzer analyzer;
+    const auto profile = memcachedProfile();
+    printPanel(analyzer, profile, 8, 30 * kSecond);
+    printPanel(analyzer, profile, 8, 30 * kMinute);
+    printPanel(analyzer, profile, 8, 2 * kHour);
+
+    std::printf("Shape checks vs the paper (Section 6.2):\n");
+    Analyzer a;
+    Scenario sc;
+    sc.profile = profile;
+    sc.nServers = 8;
+    sc.outageDuration = 30 * kSecond;
+
+    sc.technique = {TechniqueKind::Hibernate, 0, 0, 0, false};
+    const auto hib = a.sizeUpsOnly(sc);
+    Scenario crash_sc;
+    crash_sc.profile = profile;
+    crash_sc.nServers = 8;
+    crash_sc.outageDuration = 30 * kSecond;
+    const auto min_cost = a.evaluateConfig(crash_sc, minCostConfig());
+    std::printf("  hibernation downtime (%.0f s) exceeds state-loss "
+                "reload (%.0f s) -> %s\n",
+                hib.result.downtimeSec, min_cost.result.downtimeSec,
+                hib.result.downtimeSec > min_cost.result.downtimeSec
+                    ? "OK"
+                    : "MISS");
+
+    sc.outageDuration = 30 * kMinute;
+    sc.technique = {TechniqueKind::Throttle, 6, 0, 0, false};
+    const auto thr = a.sizeUpsOnly(sc);
+    std::printf("  deep throttling keeps %.2f of throughput "
+                "(paper: much better than Specjbb's ~0.55) -> %s\n",
+                thr.result.perfDuringOutage,
+                thr.result.perfDuringOutage > 0.75 ? "OK" : "MISS");
+
+    // Proactive migration's advantage for a read-mostly workload:
+    // almost nothing is left to move after the failure. The copy
+    // shrinks from ~20 GB / several minutes to a sub-second residual
+    // (the paper measures "20 % more cost savings"; with our
+    // power-dominated lead-acid sizing the saving shows up as battery
+    // energy during the double-occupancy copy phase).
+    sc.technique = {TechniqueKind::ProactiveMigration, 0, 0, 0, false};
+    const auto pm = a.sizeUpsOnly(sc);
+    sc.technique = {TechniqueKind::Migration, 0, 0, 0, false};
+    const auto mig = a.sizeUpsOnly(sc);
+    std::printf("  proactive migration needs less battery energy "
+                "(%.2f vs %.2f kWh) -> %s\n",
+                pm.capacity.upsEnergyKwh(), mig.capacity.upsEnergyKwh(),
+                pm.capacity.upsEnergyKwh() <
+                        mig.capacity.upsEnergyKwh() - 1e-6
+                    ? "OK"
+                    : "MISS");
+    {
+        MigrationTechnique full{MigrationTechnique::Options{}};
+        MigrationTechnique::Options o;
+        o.proactive = true;
+        MigrationTechnique pro{o};
+        Simulator s;
+        Utility u(s);
+        PowerHierarchy::Config cfg;
+        cfg.hasDg = false;
+        cfg.ups.powerCapacityW = 8 * 250.0 * 1.01;
+        cfg.ups.runtimeAtRatedSec = 3600.0;
+        PowerHierarchy h(s, u, cfg);
+        Cluster cl(s, h, ServerModel{}, profile, 8);
+        const auto plan_full = full.migrationPlan(cl);
+        const auto plan_pro = pro.migrationPlan(cl);
+        std::printf("  ...because the copy shrinks %.1f GB -> %.2f GB "
+                    "(%.0f s -> %.1f s) -> %s\n",
+                    plan_full.bytesMoved / 1e9, plan_pro.bytesMoved / 1e9,
+                    toSeconds(plan_full.precopy + plan_full.blackout),
+                    toSeconds(plan_pro.precopy + plan_pro.blackout),
+                    plan_pro.bytesMoved < 0.2 * plan_full.bytesMoved
+                        ? "OK"
+                        : "MISS");
+    }
+    return 0;
+}

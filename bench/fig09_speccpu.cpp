@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 9 reproduction: technique trade-offs for SpecCPU (mcf x 8) at
+ * short (30 s), medium (30 min) and long (2 h) outages. MinCost's
+ * downtime is reported as a (min,max) band over the recompute penalty,
+ * which depends on where in the batch run the outage lands.
+ */
+
+#include "common.hh"
+
+using namespace bpsim;
+using namespace bpsim::bench;
+
+int
+main()
+{
+    setQuietLogging(true);
+    std::printf("=== Figure 9: Tradeoffs for SpecCPU (mcf*8) ===\n\n");
+    Analyzer analyzer;
+    const auto profile = specCpuMcfProfile();
+    printPanel(analyzer, profile, 8, 30 * kSecond);
+    printPanel(analyzer, profile, 8, 30 * kMinute);
+    printPanel(analyzer, profile, 8, 2 * kHour);
+
+    std::printf("MinCost downtime band over the recompute penalty "
+                "(30 s outage):\n");
+    Scenario sc;
+    sc.profile = profile;
+    sc.nServers = 8;
+    sc.outageDuration = 30 * kSecond;
+    double lo = 0.0, hi = 0.0;
+    for (double frac : {0.0, 1.0}) {
+        Scenario s = sc;
+        s.recomputeFraction = frac;
+        const auto ev = analyzer.evaluateConfig(s, minCostConfig());
+        (frac == 0.0 ? lo : hi) = ev.result.downtimeSec / 60.0;
+    }
+    std::printf("  MinCost downtime: %.1f .. %.1f min (paper: a wide "
+                "band) -> %s\n",
+                lo, hi, (hi > 3.0 * lo) ? "OK" : "MISS");
+
+    std::printf("\nShape checks vs the paper:\n");
+    sc.outageDuration = 30 * kMinute;
+    sc.technique = {TechniqueKind::Sleep, 0, 0, 0, true};
+    const auto slp = analyzer.sizeUpsOnly(sc);
+    std::printf("  save-state avoids any recompute (downtime %.1f min "
+                "~= outage + resume) -> %s\n",
+                slp.result.downtimeSec / 60.0,
+                std::abs(slp.result.downtimeSec - (30.0 * 60.0 + 8.0)) <
+                        30.0
+                    ? "OK"
+                    : "MISS");
+
+    // The paper's parenthetical ("one can alleviate the performance
+    // impact by checkpointing partial results"): sweep the checkpoint
+    // interval for the crash-recovery (MinCost) case.
+    std::printf("\nCheckpoint-interval sweep (MinCost, worst-case "
+                "outage timing, 30 s outage):\n");
+    for (double interval_min : {0.0, 60.0, 15.0, 5.0}) {
+        Scenario s;
+        s.profile = specCpuMcfProfile();
+        s.profile.checkpointIntervalSec = interval_min * 60.0;
+        s.nServers = 8;
+        s.outageDuration = 30 * kSecond;
+        s.recomputeFraction = 1.0;
+        const auto ev = analyzer.evaluateConfig(s, minCostConfig());
+        std::printf("  checkpoint every %5.0f min -> downtime %6.1f "
+                    "min\n",
+                    interval_min == 0.0 ? 999.0 : interval_min,
+                    ev.result.downtimeSec / 60.0);
+    }
+    std::printf("  (999 = no checkpointing: the whole run since start "
+                "is lost)\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table 8 reproduction: time to save and resume Specjbb memory state
+ * under the save-state techniques, with the save-phase peak power
+ * (normalized to server peak).
+ */
+
+#include <cstdio>
+
+#include "power/utility.hh"
+#include "sim/logging.hh"
+#include "technique/hibernate.hh"
+#include "technique/sleep.hh"
+
+using namespace bpsim;
+
+int
+main()
+{
+    setQuietLogging(true);
+
+    Simulator sim;
+    Utility utility(sim);
+    PowerHierarchy::Config cfg;
+    cfg.hasDg = false;
+    cfg.ups.powerCapacityW = 250.0 * 1.01;
+    cfg.ups.runtimeAtRatedSec = 24 * 3600.0;
+    PowerHierarchy hierarchy(sim, utility, cfg);
+    const ServerModel model;
+    Cluster cluster(sim, hierarchy, model, specJbbProfile(), 1);
+
+    const int p_half = pstateForPowerFraction(model, 0.5);
+    const double half_power =
+        model.activePowerW(p_half, 0, 1.0) / model.params().peakPowerW;
+
+    std::printf("=== Table 8: Time to save and resume Specjbb memory "
+                "state ===\n\n");
+    std::printf("%-22s %-12s %-14s %-10s\n", "technique", "save time",
+                "resume time", "peak power");
+
+    auto print = [](const char *name, double save_s, double resume_s,
+                    double power) {
+        std::printf("%-22s %7.0f secs %9.0f secs %10.2f\n", name, save_s,
+                    resume_s, power);
+    };
+
+    {
+        SleepTechnique t(false);
+        print("Sleep", toSeconds(t.saveTime(cluster)),
+              toSeconds(t.resumeTime(cluster)), 1.0);
+    }
+    {
+        HibernationTechnique t(false, false);
+        print("Hibernate", toSeconds(t.saveTime(cluster)),
+              toSeconds(t.resumeTime(cluster)), 1.0);
+    }
+    {
+        HibernationTechnique t(false, true);
+        print("Proactive Hibernate", toSeconds(t.saveTime(cluster)),
+              toSeconds(t.resumeTime(cluster)), 1.0);
+    }
+    {
+        SleepTechnique t(true);
+        print("Sleep-L", toSeconds(t.saveTime(cluster)),
+              toSeconds(t.resumeTime(cluster)), half_power);
+    }
+    {
+        HibernationTechnique t(true, false);
+        print("Hibernate-L", toSeconds(t.saveTime(cluster)),
+              toSeconds(t.resumeTime(cluster)), half_power);
+    }
+
+    std::printf("\n(paper: Sleep 6/8 @1.0, Hibernate 230/157 @1.0, "
+                "Proactive Hibernate 179/157 @1.0,\n Sleep-L 8/8 @0.5, "
+                "Hibernate-L 385/175 @0.5)\n");
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Online adaptive outage handling (the Section 7 challenge: "how do we
+ * deal with unknown outage duration?").
+ *
+ * The library's AdaptiveTechnique polls the battery during an outage
+ * and uses the Markov-chain duration predictor to pick, at every step,
+ * the highest-performance operating level whose remaining battery
+ * runway will — with bounded risk — cover the rest of the outage plus
+ * a state-save reserve; when nothing is safe it suspends the cluster.
+ * This example sweeps outages of different (undisclosed) durations and
+ * contrasts two risk settings, plus a static strategy for reference.
+ */
+
+#include <cstdio>
+
+#include "power/utility.hh"
+#include "sim/logging.hh"
+#include "technique/adaptive.hh"
+#include "technique/catalog.hh"
+
+using namespace bpsim;
+
+namespace
+{
+
+struct Outcome
+{
+    double perf;    // mean normalized perf during the outage
+    double downMin; // downtime minutes (outage start .. +2 h settle)
+    bool crashed;
+    bool suspended;
+};
+
+Outcome
+runPolicy(Time duration, std::unique_ptr<Technique> technique)
+{
+    Simulator sim;
+    Utility utility(sim);
+    PowerHierarchy::Config cfg;
+    cfg.hasDg = false;
+    cfg.hasUps = true;
+    cfg.ups.powerCapacityW = 8 * 250.0;
+    cfg.ups.runtimeAtRatedSec = 10.0 * 60.0; // 10-minute battery
+    PowerHierarchy hierarchy(sim, utility, cfg);
+    Cluster cluster(sim, hierarchy, ServerModel{}, specJbbProfile(), 8);
+    auto *adaptive = dynamic_cast<AdaptiveTechnique *>(technique.get());
+    technique->attach(sim, cluster, hierarchy);
+    cluster.primeSteadyState();
+
+    const Time start = fromMinutes(2.0);
+    utility.scheduleOutage(start, duration);
+    const Time horizon = start + duration + fromHours(2.0);
+    sim.runUntil(horizon);
+
+    Outcome out;
+    out.perf = cluster.perfTimeline().average(start, start + duration);
+    out.downMin =
+        (1.0 - cluster.availabilityTimeline().average(start, horizon)) *
+        toMinutes(horizon - start);
+    out.crashed = hierarchy.powerLossCount() > 0;
+    out.suspended = adaptive != nullptr && adaptive->suspended();
+    return out;
+}
+
+std::unique_ptr<Technique>
+adaptive(double risk)
+{
+    return std::make_unique<AdaptiveTechnique>(
+        OutagePredictor(OutageDurationDistribution::figure1()), risk);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuietLogging(true);
+    std::printf("Adaptive outage controller on an 8-server Specjbb "
+                "rack\n");
+    std::printf("(UPS: full power, 10-minute battery; the controller "
+                "never knows the duration)\n\n");
+
+    std::printf("%-12s | %-22s | %-22s | %-22s\n", "", "adaptive, risk 0.4",
+                "adaptive, risk 0.1", "static full speed");
+    std::printf("%-12s | %6s %8s %5s | %6s %8s %5s | %6s %8s %5s\n",
+                "outage", "perf", "down(m)", "susp", "perf", "down(m)",
+                "susp", "perf", "down(m)", "CRASH");
+    for (double minutes : {0.5, 2.0, 5.0, 10.0, 20.0, 45.0, 120.0}) {
+        const Time d = fromMinutes(minutes);
+        const auto bold = runPolicy(d, adaptive(0.4));
+        const auto shy = runPolicy(d, adaptive(0.1));
+        const auto naive =
+            runPolicy(d, makeTechnique({TechniqueKind::None}));
+        std::printf("%9.1f min | %6.2f %8.1f %5s | %6.2f %8.1f %5s | "
+                    "%6.2f %8.1f %5s\n",
+                    minutes, bold.perf, bold.downMin,
+                    bold.suspended ? "yes" : "no", shy.perf, shy.downMin,
+                    shy.suspended ? "yes" : "no", naive.perf,
+                    naive.downMin, naive.crashed ? "YES" : "no");
+    }
+
+    std::printf("\nReading: the bold controller (risk 0.4) serves short "
+                "outages at full speed\n"
+                "and suspends only when the predictor says the outage "
+                "will likely outlast the\n"
+                "battery; the conservative one surrenders performance "
+                "early. Both always\n"
+                "protect the save reserve, so neither ever loses state "
+                "— unlike the static\n"
+                "full-speed strategy, which crashes on every outage "
+                "longer than its battery.\n");
+    return 0;
+}

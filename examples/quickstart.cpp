@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Quickstart: simulate one rack of Specjbb servers through a 5-minute
+ * utility outage under a few backup configurations and techniques, and
+ * print the cost / performance / downtime each one achieves.
+ *
+ * Build and run:
+ *     cmake -B build -G Ninja && cmake --build build
+ *     ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/analyzer.hh"
+#include "core/selector.hh"
+#include "sim/logging.hh"
+
+using namespace bpsim;
+
+int
+main()
+{
+    setQuietLogging(true);
+
+    Scenario sc;
+    sc.profile = specJbbProfile();
+    sc.nServers = 8;
+    sc.outageDuration = fromMinutes(5);
+
+    Analyzer analyzer;
+
+    std::printf("Quickstart: 8-server Specjbb rack, 5-minute outage\n");
+    std::printf("(cost normalized to today's MaxPerf provisioning)\n\n");
+    std::printf("%-22s %-26s %8s %8s %10s %6s\n", "configuration",
+                "technique", "cost", "perf", "downtime", "ok");
+
+    // A few Table 3 configurations, each with the technique a datacenter
+    // operator would pick for it.
+    struct Row
+    {
+        BackupConfigSpec config;
+        TechniqueSpec technique;
+    };
+    const ServerModel model{ServerModel::Params{}};
+    const int p_deep = model.params().pStates - 1;
+    const Row rows[] = {
+        {maxPerfConfig(), {TechniqueKind::None}},
+        {minCostConfig(), {TechniqueKind::None}},
+        {noDgConfig(), {TechniqueKind::Throttle, p_deep, 0, 0, false}},
+        {largeEUpsConfig(), {TechniqueKind::None}},
+        {smallPLargeEUpsConfig(),
+         {TechniqueKind::Throttle, pstateForPowerFraction(model, 0.5), 0, 0,
+          false}},
+        {noDgConfig(), {TechniqueKind::Sleep, 0, 0, 0, true}},
+    };
+
+    for (const auto &row : rows) {
+        Scenario s = sc;
+        s.technique = row.technique;
+        const Evaluation ev = analyzer.evaluateConfig(s, row.config);
+        std::printf("%-22s %-26s %8.2f %8.2f %9.1fs %6s\n",
+                    row.config.name.c_str(),
+                    row.technique.label().c_str(), ev.normalizedCost,
+                    ev.result.perfDuringOutage, ev.result.downtimeSec,
+                    ev.feasible ? "yes" : "NO");
+    }
+
+    // Let the selector do the choosing for one configuration.
+    std::printf("\nSelector: best technique for NoDG across candidates\n");
+    TechniqueSelector selector(analyzer);
+    const auto best = selector.bestForConfig(
+        sc, noDgConfig(), allCandidates(model, sc.outageDuration));
+    std::printf("  -> %s: perf %.2f, downtime %.1fs, feasible=%s\n",
+                best.spec.label().c_str(),
+                best.eval.result.perfDuringOutage,
+                best.eval.result.downtimeSec,
+                best.eval.feasible ? "yes" : "no");
+
+    // And trace the cost/performance Pareto frontier for this outage:
+    // the whole spectrum of sensible operating points.
+    std::printf("\nCost/perf frontier (minimally sized UPS-only "
+                "backups):\n");
+    const auto frontier = selector.costPerfFrontier(
+        sc, allCandidates(model, sc.outageDuration));
+    for (const auto &pt : frontier) {
+        std::printf("  cost %.2f  perf %.2f  %s\n",
+                    pt.eval.normalizedCost,
+                    pt.eval.result.perfDuringOutage,
+                    pt.spec.label().c_str());
+    }
+    return 0;
+}

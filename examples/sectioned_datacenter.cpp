@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Sectioned datacenter: assign each workload class to a section whose
+ * backup matches its needs (the Section 7 operating model), then watch
+ * one utility outage hit all sections simultaneously and play out
+ * differently in each.
+ */
+
+#include <cstdio>
+
+#include "core/datacenter.hh"
+#include "sim/logging.hh"
+
+using namespace bpsim;
+
+int
+main()
+{
+    setQuietLogging(true);
+
+    // Three sections, three philosophies:
+    //  - interactive: 30-minute battery, throttle through outages;
+    //  - batch: small cheap UPS, suspend immediately (state is all
+    //    that matters, recompute is the enemy);
+    //  - scavenger cache: no backup at all, it just reloads.
+    SectionSpec interactive;
+    interactive.name = "interactive (specjbb)";
+    interactive.profiles.assign(8, specJbbProfile());
+    interactive.backup = largeEUpsConfig();
+    interactive.technique = {TechniqueKind::Throttle, 4, 0, 0, false};
+
+    SectionSpec batch;
+    batch.name = "batch (mcf x8)";
+    batch.profiles.assign(8, specCpuMcfProfile());
+    batch.backup = smallPUpsConfig();
+    batch.technique = {TechniqueKind::Sleep, 0, 0, 0, true};
+
+    SectionSpec scavenger;
+    scavenger.name = "scavenger (memcached)";
+    scavenger.profiles.assign(4, memcachedProfile());
+    scavenger.backup = minCostConfig();
+    scavenger.technique = {TechniqueKind::None};
+
+    const std::vector<SectionSpec> specs{interactive, batch, scavenger};
+
+    const CostModel cost;
+    std::printf("Sectioned datacenter (20 servers):\n");
+    std::printf("%-24s %8s %10s %-26s\n", "section", "servers",
+                "backup", "defense");
+    for (const auto &s : specs) {
+        std::printf("%-24s %8zu %10s %-26s\n", s.name.c_str(),
+                    s.profiles.size(), s.backup.name.c_str(),
+                    s.technique.label().c_str());
+    }
+
+    std::printf("\nOutage sweep (blended cost normalized to MaxPerf "
+                "for the whole floor):\n");
+    std::printf("%-10s | %-24s %8s %12s %7s\n", "outage", "section",
+                "perf", "downtime", "losses");
+    for (double minutes : {2.0, 15.0, 45.0, 120.0}) {
+        const auto r = runSectioned(specs, fromMinutes(5.0),
+                                    fromMinutes(minutes));
+        bool first = true;
+        for (const auto &s : r.sections) {
+            std::printf("%-10s | %-24s %8.2f %9.1f min %7d\n",
+                        first ? formatString("%.0f min", minutes).c_str()
+                              : "",
+                        s.name.c_str(), s.perfDuringOutage,
+                        s.downtimeSec / 60.0, s.losses);
+            first = false;
+        }
+        std::printf("%-10s | %-24s %8.2f %9.1f min %7d   (cost %.2f)\n",
+                    "", "== blended ==", r.perfDuringOutage,
+                    r.downtimeSec / 60.0, r.losses, r.normalizedCost);
+    }
+
+    std::printf("\nReading: one utility event, three outcomes — the "
+                "interactive section throttles\n"
+                "through, the batch section hibernates its state for "
+                "pennies, and the scavenger\n"
+                "cache simply reloads afterwards. The blended backup "
+                "bill is a fraction of\n"
+                "provisioning MaxPerf for everyone.\n");
+    return 0;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Reproduce the full study: build, run the test suite, regenerate every
+# table/figure into results/, and print the headline-claims verdict.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for b in build/bench/*; do
+    name="$(basename "$b")"
+    echo "== $name"
+    "$b" | tee "results/$name.txt" >/dev/null
+done
+
+echo
+echo "Headline claims:"
+tail -n 2 results/claims_headline.txt
+echo "Outputs in results/"

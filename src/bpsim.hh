@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Umbrella header: pulls in the whole bpsim public API.
+ *
+ * Downstream users who prefer granular includes should use the
+ * per-module headers directly; this exists for quick experiments and
+ * examples:
+ *
+ *     #include "bpsim.hh"
+ *     using namespace bpsim;
+ */
+
+#ifndef BPSIM_BPSIM_HH
+#define BPSIM_BPSIM_HH
+
+// Simulation kernel.
+#include "sim/csv.hh"
+#include "sim/event.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "sim/timeline.hh"
+#include "sim/types.hh"
+
+// Power substrate.
+#include "power/ats.hh"
+#include "power/battery.hh"
+#include "power/diesel_generator.hh"
+#include "power/meter.hh"
+#include "power/power_hierarchy.hh"
+#include "power/ups.hh"
+#include "power/utility.hh"
+
+// Servers and workloads.
+#include "server/dirty_pages.hh"
+#include "server/server.hh"
+#include "server/server_model.hh"
+#include "workload/application.hh"
+#include "workload/cluster.hh"
+#include "workload/load_profile.hh"
+#include "workload/profile.hh"
+
+// Outage statistics and prediction.
+#include "outage/distribution.hh"
+#include "outage/predictor.hh"
+#include "outage/trace.hh"
+
+// Techniques.
+#include "technique/adaptive.hh"
+#include "technique/catalog.hh"
+#include "technique/geo_failover.hh"
+#include "technique/hibernate.hh"
+#include "technique/hybrid.hh"
+#include "technique/migration.hh"
+#include "technique/sleep.hh"
+#include "technique/technique.hh"
+#include "technique/throttling.hh"
+
+// Analysis.
+#include "core/analyzer.hh"
+#include "core/annual.hh"
+#include "core/backup_config.hh"
+#include "core/cost_model.hh"
+#include "core/datacenter.hh"
+#include "core/selector.hh"
+#include "core/tco.hh"
+
+#endif // BPSIM_BPSIM_HH

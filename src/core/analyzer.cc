@@ -1,0 +1,177 @@
+#include "core/analyzer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "power/battery.hh"
+#include "power/utility.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+#include "workload/cluster.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+/**
+ * Peukert charge integral of a battery-draw timeline: the runtime (at
+ * rated power @p rated_w) consumed by the trace, in seconds. For a
+ * constant draw P over t seconds this is t * (P / rated)^k, matching
+ * the runtime-chart discharge model.
+ */
+double
+peukertRuntimeSec(const Timeline &battery_draw, Watts rated_w, double k,
+                  Time end)
+{
+    if (rated_w <= 0.0)
+        return 0.0;
+    double total = 0.0;
+    Time cursor = 0;
+    double value = 0.0; // battery timelines start at zero draw
+    auto account = [&](Time upto) {
+        if (value > 0.0 && upto > cursor) {
+            total += toSeconds(upto - cursor) *
+                     std::pow(value / rated_w, k);
+        }
+    };
+    for (const auto &s : battery_draw.samples()) {
+        if (s.at >= end)
+            break;
+        account(s.at);
+        cursor = s.at;
+        value = s.value;
+    }
+    account(end);
+    return total;
+}
+
+} // namespace
+
+Watts
+Analyzer::nominalPeakW(const Scenario &sc) const
+{
+    return sc.serverParams.peakPowerW *
+           static_cast<double>(sc.servers());
+}
+
+RunResult
+Analyzer::run(const Scenario &sc, const PowerHierarchy::Config &config) const
+{
+    BPSIM_ASSERT(sc.servers() >= 1, "scenario needs servers");
+    BPSIM_ASSERT(sc.outageDuration > 0, "scenario needs an outage");
+
+    Simulator sim;
+    Utility utility(sim);
+    PowerHierarchy hierarchy(sim, utility, config);
+    ServerModel model(sc.serverParams);
+    Cluster cluster =
+        sc.mixedProfiles.empty()
+            ? Cluster(sim, hierarchy, model, sc.profile, sc.nServers)
+            : Cluster(sim, hierarchy, model, sc.mixedProfiles);
+    auto technique = makeTechnique(sc.technique);
+    technique->attach(sim, cluster, hierarchy);
+    for (int i = 0; i < cluster.size(); ++i)
+        cluster.app(i).setRecomputeFraction(sc.recomputeFraction);
+
+    cluster.primeSteadyState();
+    utility.scheduleOutage(sc.outageStart, sc.outageDuration);
+
+    const Time outage_end = sc.outageStart + sc.outageDuration;
+    const Time horizon = outage_end + sc.settleAfter;
+    sim.runUntil(horizon);
+
+    RunResult r;
+    r.losses = hierarchy.powerLossCount();
+    const auto &perf = cluster.perfTimeline();
+    const auto &avail = cluster.availabilityTimeline();
+    r.perfDuringOutage = perf.average(sc.outageStart, outage_end);
+    r.availabilityDuringOutage = avail.average(sc.outageStart, outage_end);
+    const double observed_sec = toSeconds(horizon - sc.outageStart);
+    r.downtimeSec =
+        (1.0 - avail.average(sc.outageStart, horizon)) * observed_sec +
+        cluster.extraDowntimeSec();
+    const auto &meter = hierarchy.meter();
+    r.peakBatteryDrawW = meter.fromBattery().maxOver(0, horizon);
+    r.peakBackupDrawW = std::max(r.peakBatteryDrawW,
+                                 meter.fromDg().maxOver(0, horizon));
+    r.batteryEnergyKwh = joulesToKwh(meter.batteryEnergyJ(0, horizon));
+    const double k = config.hasUps && config.ups.peukertExponent > 0.0
+                         ? config.ups.peukertExponent
+                         : figure3PeukertExponent();
+    r.peukertRuntimeSec = peukertRuntimeSec(meter.fromBattery(),
+                                            r.peakBatteryDrawW, k, horizon);
+    r.finalPerf = perf.valueAt(horizon);
+    r.recovered = r.finalPerf >= 0.99 && avail.valueAt(horizon) >= 0.999;
+    return r;
+}
+
+Evaluation
+Analyzer::evaluateConfig(const Scenario &sc,
+                         const BackupConfigSpec &spec) const
+{
+    const Watts peak = nominalPeakW(sc);
+    Evaluation ev;
+    PowerHierarchy::Config cfg = toHierarchyConfig(spec, peak);
+    if (cfg.hasUps)
+        cfg.ups.peukertExponent = sc.upsPeukertExponent;
+    ev.result = run(sc, cfg);
+    ev.capacity = capacityOf(spec, peak);
+    ev.costPerYr = cost.totalCostPerYr(ev.capacity);
+    ev.normalizedCost = cost.normalizedCost(ev.capacity, peak / 1000.0);
+    ev.feasible = ev.result.losses == 0;
+    return ev;
+}
+
+Evaluation
+Analyzer::sizeUpsOnly(const Scenario &sc) const
+{
+    const Watts peak = nominalPeakW(sc);
+
+    // Pass 1: generous battery, observe the demand the technique
+    // actually places on the backup.
+    PowerHierarchy::Config generous;
+    generous.hasDg = false;
+    generous.hasUps = true;
+    generous.ups.powerCapacityW = peak * 1.001;
+    generous.ups.runtimeAtRatedSec = 30.0 * 24.0 * 3600.0;
+    generous.ups.peukertExponent = sc.upsPeukertExponent;
+    const RunResult probe = run(sc, generous);
+
+    Evaluation ev;
+    if (probe.peakBatteryDrawW <= 0.0) {
+        // The technique never touched the battery (nothing to size).
+        ev.result = probe;
+        ev.capacity = BackupCapacity{};
+        ev.costPerYr = 0.0;
+        ev.normalizedCost = 0.0;
+        ev.feasible = probe.losses == 0;
+        return ev;
+    }
+
+    // Pass 2: size power to the observed peak and energy to the
+    // Peukert charge actually consumed (with a small engineering
+    // margin), floored at the free base runtime.
+    BackupCapacity cap;
+    cap.upsKw = probe.peakBatteryDrawW / 1000.0;
+    cap.upsRuntimeSec =
+        std::max(probe.peukertRuntimeSec * 1.02 + 1.0,
+                 cost.params().freeRunTimeSec);
+
+    PowerHierarchy::Config sized;
+    sized.hasDg = false;
+    sized.hasUps = true;
+    sized.ups.powerCapacityW = probe.peakBatteryDrawW * 1.001;
+    sized.ups.runtimeAtRatedSec = cap.upsRuntimeSec;
+    sized.ups.peukertExponent = sc.upsPeukertExponent;
+
+    ev.result = run(sc, sized);
+    ev.capacity = cap;
+    ev.costPerYr = cost.totalCostPerYr(cap);
+    ev.normalizedCost = cost.normalizedCost(cap, peak / 1000.0);
+    ev.feasible = ev.result.losses == 0;
+    return ev;
+}
+
+} // namespace bpsim

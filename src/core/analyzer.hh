@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The performability analyzer: runs one outage scenario through the
+ * full simulator and reduces it to the paper's three evaluation metrics
+ * (cost, performance during the outage, downtime), in two modes:
+ *
+ *  - evaluateConfig(): a *fixed* backup configuration (Table 3 rows,
+ *    for Figure 5);
+ *  - sizeUpsOnly(): find the *minimum-cost* UPS (power + energy) that
+ *    sustains a given technique for a given outage, mirroring the
+ *    paper's Figures 6-9 methodology ("for each system technique, we
+ *    use the lowest cost backup configuration at each operating
+ *    point"). Sizing accounts for the Peukert load/runtime curve and
+ *    the free base runtime.
+ */
+
+#ifndef BPSIM_CORE_ANALYZER_HH
+#define BPSIM_CORE_ANALYZER_HH
+
+#include "core/backup_config.hh"
+#include "core/cost_model.hh"
+#include "technique/catalog.hh"
+#include "workload/profile.hh"
+
+namespace bpsim
+{
+
+/** One outage experiment: workload, cluster, technique, outage shape. */
+struct Scenario
+{
+    /** The application profile (one instance per server). */
+    WorkloadProfile profile;
+    /**
+     * Heterogeneous rack: one server per entry (Section 7). When
+     * non-empty this overrides profile/nServers.
+     */
+    std::vector<WorkloadProfile> mixedProfiles;
+    /** Server SKU parameters (defaults to the paper's testbed). */
+    ServerModel::Params serverParams;
+    /** Cluster size (ignored when mixedProfiles is set). */
+    int nServers = 8;
+
+    /** Effective number of servers. */
+    int
+    servers() const
+    {
+        return mixedProfiles.empty()
+                   ? nServers
+                   : static_cast<int>(mixedProfiles.size());
+    }
+    /** Outage-handling technique. */
+    TechniqueSpec technique;
+    /** When the outage begins (steady state before it). */
+    Time outageStart = fromMinutes(5);
+    /** Outage length. */
+    Time outageDuration = fromMinutes(5);
+    /** Observation window after restoration (recovery accounting). */
+    Time settleAfter = fromHours(2);
+    /** Where batch recompute penalties land in [min, max]. */
+    double recomputeFraction = 0.5;
+    /**
+     * Battery-technology Peukert exponent; 0 selects the Figure 3
+     * lead-acid fit (use kLiIonPeukertExponent for Li-ion studies).
+     */
+    double upsPeukertExponent = 0.0;
+};
+
+/** Reduced metrics of one simulated scenario. */
+struct RunResult
+{
+    /** Abrupt power-loss events (0 = technique stayed within backup). */
+    int losses = 0;
+    /** Mean normalized performance over the outage window. */
+    double perfDuringOutage = 0.0;
+    /** Mean availability over the outage window. */
+    double availabilityDuringOutage = 0.0;
+    /**
+     * Total downtime (seconds): unavailable time per application from
+     * outage start through the settle window, plus batch recompute.
+     */
+    double downtimeSec = 0.0;
+    /** Peak draw on the backup path during the run (watts). */
+    Watts peakBackupDrawW = 0.0;
+    /** Peak battery draw during the run (watts). */
+    Watts peakBatteryDrawW = 0.0;
+    /** Energy delivered by the battery (kWh). */
+    double batteryEnergyKwh = 0.0;
+    /**
+     * Peukert charge integral: the battery runtime (at a rated power
+     * equal to the peak battery draw) that the run consumed (seconds).
+     */
+    double peukertRuntimeSec = 0.0;
+    /** Normalized performance at the end of the settle window. */
+    double finalPerf = 0.0;
+    /** True when everything is back to full service at the end. */
+    bool recovered = false;
+};
+
+/** A (configuration, result, cost) triple. */
+struct Evaluation
+{
+    RunResult result;
+    BackupCapacity capacity;
+    double costPerYr = 0.0;
+    double normalizedCost = 0.0;
+    /** No power-loss events: the backup covered the technique. */
+    bool feasible = false;
+};
+
+/** Scenario runner and backup sizer. */
+class Analyzer
+{
+  public:
+    Analyzer() : Analyzer(CostModel()) {}
+    explicit Analyzer(CostModel cost_model) : cost(cost_model) {}
+
+    /** The cost model in use. */
+    const CostModel &costModel() const { return cost; }
+
+    /** Nominal datacenter peak for the scenario's cluster (watts). */
+    Watts nominalPeakW(const Scenario &sc) const;
+
+    /** Simulate the scenario under an explicit electrical config. */
+    RunResult run(const Scenario &sc,
+                  const PowerHierarchy::Config &config) const;
+
+    /** Figure 5 mode: fixed Table 3-style configuration. */
+    Evaluation evaluateConfig(const Scenario &sc,
+                              const BackupConfigSpec &spec) const;
+
+    /**
+     * Figures 6-9 mode: size the cheapest UPS-only backup that covers
+     * this technique for this outage, then verify it by re-running
+     * with the sized configuration.
+     */
+    Evaluation sizeUpsOnly(const Scenario &sc) const;
+
+  private:
+    CostModel cost;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_CORE_ANALYZER_HH

@@ -1,0 +1,132 @@
+#include "core/annual.hh"
+
+#include "power/utility.hh"
+#include "sim/logging.hh"
+#include "workload/cluster.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+constexpr Time kYear = 365LL * 24 * kHour;
+
+} // namespace
+
+AnnualResult
+AnnualSimulator::runYear(const WorkloadProfile &profile, int n_servers,
+                         const TechniqueSpec &technique,
+                         const BackupConfigSpec &config,
+                         const std::vector<OutageEvent> &events) const
+{
+    Simulator sim;
+    Utility utility(sim);
+    const ServerModel model;
+    const Watts peak =
+        model.params().peakPowerW * static_cast<double>(n_servers);
+    PowerHierarchy hierarchy(sim, utility, toHierarchyConfig(config, peak));
+    Cluster cluster(sim, hierarchy, model, profile, n_servers);
+    auto tech = makeTechnique(technique);
+    tech->attach(sim, cluster, hierarchy);
+    cluster.primeSteadyState();
+
+    for (const auto &ev : events) {
+        BPSIM_ASSERT(ev.end() <= kYear, "outage beyond the year");
+        utility.scheduleOutage(ev.start, ev.duration);
+    }
+    sim.runUntil(kYear);
+
+    AnnualResult r;
+    r.outages = static_cast<int>(events.size());
+    r.losses = hierarchy.powerLossCount();
+    const auto &avail = cluster.availabilityTimeline();
+    r.downtimeMin = (1.0 - avail.average(0, kYear)) * toMinutes(kYear) +
+                    cluster.extraDowntimeSec() / 60.0;
+    r.meanPerf = cluster.perfTimeline().average(0, kYear);
+    r.batteryKwh =
+        joulesToKwh(hierarchy.meter().batteryEnergyJ(0, kYear));
+
+    // Longest fully-dark stretch.
+    Time worst = 0;
+    Time gap_start = -1;
+    double cur = avail.valueAt(0);
+    for (const auto &s : avail.samples()) {
+        if (cur > 0.0 && s.value == 0.0) {
+            gap_start = s.at;
+        } else if (cur == 0.0 && s.value > 0.0 && gap_start >= 0) {
+            worst = std::max(worst, s.at - gap_start);
+            gap_start = -1;
+        }
+        cur = s.value;
+    }
+    if (cur == 0.0 && gap_start >= 0)
+        worst = std::max(worst, kYear - gap_start);
+    r.worstGapMin = toMinutes(worst);
+    return r;
+}
+
+AnnualResult
+AnnualSimulator::runSectionedYear(
+    const std::vector<SectionSpec> &specs,
+    const std::vector<OutageEvent> &events) const
+{
+    Simulator sim;
+    Utility utility(sim);
+    Datacenter dc(sim, utility, ServerModel{}, specs);
+    for (const auto &ev : events) {
+        BPSIM_ASSERT(ev.end() <= kYear, "outage beyond the year");
+        utility.scheduleOutage(ev.start, ev.duration);
+    }
+    sim.runUntil(kYear);
+
+    AnnualResult r;
+    r.outages = static_cast<int>(events.size());
+    r.losses = dc.totalLosses();
+    const double total =
+        static_cast<double>(dc.totalServers());
+    for (int i = 0; i < dc.size(); ++i) {
+        const Section &s = dc.section(i);
+        const double weight =
+            static_cast<double>(s.servers()) / total;
+        const auto &avail = s.cluster().availabilityTimeline();
+        r.downtimeMin +=
+            weight * ((1.0 - avail.average(0, kYear)) *
+                          toMinutes(kYear) +
+                      s.cluster().extraDowntimeSec() / 60.0);
+        r.meanPerf +=
+            weight * s.cluster().perfTimeline().average(0, kYear);
+        r.batteryKwh += joulesToKwh(
+            s.hierarchy().meter().batteryEnergyJ(0, kYear));
+    }
+    return r;
+}
+
+AnnualSummary
+AnnualSimulator::runYears(const WorkloadProfile &profile, int n_servers,
+                          const TechniqueSpec &technique,
+                          const BackupConfigSpec &config, int years,
+                          std::uint64_t seed) const
+{
+    BPSIM_ASSERT(years >= 1, "need at least one year");
+    auto gen = OutageTraceGenerator::figure1();
+    Rng rng(seed);
+    AnnualSummary summary;
+    int loss_free = 0;
+    for (int y = 0; y < years; ++y) {
+        Rng year_rng = rng.fork(static_cast<std::uint64_t>(y));
+        const auto events = gen.generate(year_rng, kYear);
+        const auto r =
+            runYear(profile, n_servers, technique, config, events);
+        summary.downtimeMin.add(r.downtimeMin);
+        summary.lossesPerYear.add(static_cast<double>(r.losses));
+        summary.meanPerf.add(r.meanPerf);
+        if (r.losses == 0)
+            ++loss_free;
+    }
+    summary.lossFreeYears =
+        static_cast<double>(loss_free) / static_cast<double>(years);
+    return summary;
+}
+
+} // namespace bpsim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Annual availability simulation: a whole year of utility behaviour —
+ * many outages drawn from the Figure 1 statistics, with battery
+ * recharge between them — run against one backup configuration and one
+ * standing technique. This is the multi-outage complement to the
+ * per-outage Analyzer, and what a capacity planner ultimately buys:
+ * expected yearly downtime and its distribution.
+ */
+
+#ifndef BPSIM_CORE_ANNUAL_HH
+#define BPSIM_CORE_ANNUAL_HH
+
+#include <vector>
+
+#include "core/analyzer.hh"
+#include "core/datacenter.hh"
+#include "outage/trace.hh"
+#include "sim/stats.hh"
+
+namespace bpsim
+{
+
+/** Outcome of one simulated year. */
+struct AnnualResult
+{
+    /** Number of utility outages in the year. */
+    int outages = 0;
+    /** Abrupt power-loss events. */
+    int losses = 0;
+    /** Total application downtime over the year (minutes). */
+    double downtimeMin = 0.0;
+    /** Time-average normalized performance across the year. */
+    double meanPerf = 0.0;
+    /** Energy drawn from batteries across the year (kWh). */
+    double batteryKwh = 0.0;
+    /** Longest single stretch of (full) unavailability (minutes). */
+    double worstGapMin = 0.0;
+};
+
+/** Aggregate over many simulated years. */
+struct AnnualSummary
+{
+    SummaryStats downtimeMin;
+    SummaryStats lossesPerYear;
+    SummaryStats meanPerf;
+    /** Fraction of years with zero abrupt power-loss events. */
+    double lossFreeYears = 0.0;
+};
+
+/** Multi-outage, year-scale simulation driver. */
+class AnnualSimulator
+{
+  public:
+    AnnualSimulator() = default;
+
+    /**
+     * Simulate one year: the given outage events hit a cluster of
+     * @p n_servers running @p profile behind @p config, defended by
+     * @p technique.
+     */
+    AnnualResult runYear(const WorkloadProfile &profile, int n_servers,
+                         const TechniqueSpec &technique,
+                         const BackupConfigSpec &config,
+                         const std::vector<OutageEvent> &events) const;
+
+    /**
+     * Simulate @p years independent years with traces drawn from the
+     * Figure 1 statistics (seeded deterministically from @p seed).
+     */
+    AnnualSummary runYears(const WorkloadProfile &profile, int n_servers,
+                           const TechniqueSpec &technique,
+                           const BackupConfigSpec &config, int years,
+                           std::uint64_t seed) const;
+
+    /**
+     * One year against a *sectioned* datacenter (Section 7): every
+     * section rides the same outage trace behind its own backup.
+     * Returns server-weighted aggregates.
+     */
+    AnnualResult runSectionedYear(
+        const std::vector<SectionSpec> &specs,
+        const std::vector<OutageEvent> &events) const;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_CORE_ANNUAL_HH

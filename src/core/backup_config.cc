@@ -1,0 +1,117 @@
+#include "core/backup_config.hh"
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+BackupConfigSpec
+make(const char *name, bool has_dg, double dg_frac, bool has_ups,
+     double ups_frac, double runtime_sec)
+{
+    BackupConfigSpec s;
+    s.name = name;
+    s.hasDg = has_dg;
+    s.dgPowerFrac = dg_frac;
+    s.hasUps = has_ups;
+    s.upsPowerFrac = ups_frac;
+    s.upsRuntimeSec = runtime_sec;
+    return s;
+}
+
+} // namespace
+
+BackupConfigSpec
+maxPerfConfig()
+{
+    return make("MaxPerf", true, 1.0, true, 1.0, 120.0);
+}
+
+BackupConfigSpec
+minCostConfig()
+{
+    return make("MinCost", false, 0.0, false, 0.0, 0.0);
+}
+
+BackupConfigSpec
+noDgConfig()
+{
+    return make("NoDG", false, 0.0, true, 1.0, 120.0);
+}
+
+BackupConfigSpec
+noUpsConfig()
+{
+    return make("NoUPS", true, 1.0, false, 0.0, 0.0);
+}
+
+BackupConfigSpec
+dgSmallPUpsConfig()
+{
+    return make("DG-SmallPUPS", true, 1.0, true, 0.5, 120.0);
+}
+
+BackupConfigSpec
+smallDgSmallPUpsConfig()
+{
+    return make("SmallDG-SmallPUPS", true, 0.5, true, 0.5, 120.0);
+}
+
+BackupConfigSpec
+smallPUpsConfig()
+{
+    return make("SmallPUPS", false, 0.0, true, 0.5, 120.0);
+}
+
+BackupConfigSpec
+largeEUpsConfig()
+{
+    return make("LargeEUPS", false, 0.0, true, 1.0, 30.0 * 60.0);
+}
+
+BackupConfigSpec
+smallPLargeEUpsConfig()
+{
+    return make("SmallP-LargeEUPS", false, 0.0, true, 0.5, 62.0 * 60.0);
+}
+
+std::vector<BackupConfigSpec>
+table3Configs()
+{
+    return {maxPerfConfig(),          minCostConfig(),
+            noDgConfig(),             noUpsConfig(),
+            dgSmallPUpsConfig(),      smallDgSmallPUpsConfig(),
+            smallPUpsConfig(),        largeEUpsConfig(),
+            smallPLargeEUpsConfig()};
+}
+
+PowerHierarchy::Config
+toHierarchyConfig(const BackupConfigSpec &spec, Watts peak_w)
+{
+    BPSIM_ASSERT(peak_w > 0.0, "non-positive peak load %g", peak_w);
+    PowerHierarchy::Config cfg;
+    cfg.hasDg = spec.hasDg;
+    if (spec.hasDg)
+        cfg.dg.powerCapacityW = spec.dgPowerFrac * peak_w;
+    cfg.hasUps = spec.hasUps;
+    if (spec.hasUps) {
+        cfg.ups.powerCapacityW = spec.upsPowerFrac * peak_w;
+        cfg.ups.runtimeAtRatedSec = spec.upsRuntimeSec;
+    }
+    return cfg;
+}
+
+BackupCapacity
+capacityOf(const BackupConfigSpec &spec, Watts peak_w)
+{
+    BackupCapacity cap;
+    cap.dgKw = spec.hasDg ? spec.dgPowerFrac * peak_w / 1000.0 : 0.0;
+    cap.upsKw = spec.hasUps ? spec.upsPowerFrac * peak_w / 1000.0 : 0.0;
+    cap.upsRuntimeSec = spec.hasUps ? spec.upsRuntimeSec : 0.0;
+    return cap;
+}
+
+} // namespace bpsim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Named backup-infrastructure configurations (the paper's Table 3).
+ *
+ * A BackupConfigSpec scales DG and UPS capacities as fractions of the
+ * datacenter's peak power, plus an absolute battery runtime. Factory
+ * functions produce the nine configurations of Table 3, and converters
+ * turn a spec into (a) a PowerHierarchy::Config for simulation and
+ * (b) a BackupCapacity for costing.
+ */
+
+#ifndef BPSIM_CORE_BACKUP_CONFIG_HH
+#define BPSIM_CORE_BACKUP_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hh"
+#include "power/power_hierarchy.hh"
+
+namespace bpsim
+{
+
+/** Scalable description of one backup configuration. */
+struct BackupConfigSpec
+{
+    std::string name;
+    /** DG present? */
+    bool hasDg = false;
+    /** DG capacity as a fraction of datacenter peak. */
+    double dgPowerFrac = 0.0;
+    /** UPS present? */
+    bool hasUps = false;
+    /** UPS power capacity as a fraction of datacenter peak. */
+    double upsPowerFrac = 0.0;
+    /** UPS battery runtime at rated power (seconds). */
+    double upsRuntimeSec = 0.0;
+};
+
+/** @name Table 3 configurations */
+///@{
+BackupConfigSpec maxPerfConfig();
+BackupConfigSpec minCostConfig();
+BackupConfigSpec noDgConfig();
+BackupConfigSpec noUpsConfig();
+BackupConfigSpec dgSmallPUpsConfig();
+BackupConfigSpec smallDgSmallPUpsConfig();
+BackupConfigSpec smallPUpsConfig();
+BackupConfigSpec largeEUpsConfig();
+BackupConfigSpec smallPLargeEUpsConfig();
+/** All nine rows, in the paper's order. */
+std::vector<BackupConfigSpec> table3Configs();
+///@}
+
+/** Instantiate the electrical configuration for a given peak load. */
+PowerHierarchy::Config toHierarchyConfig(const BackupConfigSpec &spec,
+                                         Watts peak_w);
+
+/** The provisioned capacities (for costing) at a given peak load. */
+BackupCapacity capacityOf(const BackupConfigSpec &spec, Watts peak_w);
+
+} // namespace bpsim
+
+#endif // BPSIM_CORE_BACKUP_CONFIG_HH

@@ -1,0 +1,76 @@
+#include "core/cost_model.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+CostParams
+leadAcidCostParams()
+{
+    return CostParams{};
+}
+
+CostParams
+liIonCostParams()
+{
+    CostParams p;
+    p.upsPowerCostPerKwYr = 40.0;   // 10-year life amortizes cheaper
+    p.upsEnergyCostPerKwhYr = 125.0; // energy dearer than lead-acid
+    p.freeRunTimeSec = 60.0;         // high power density: small base
+    return p;
+}
+
+CostModel::CostModel(const CostParams &params) : p(params)
+{
+    BPSIM_ASSERT(p.dgPowerCostPerKwYr >= 0.0, "negative DG cost");
+    BPSIM_ASSERT(p.upsPowerCostPerKwYr >= 0.0, "negative UPS power cost");
+    BPSIM_ASSERT(p.upsEnergyCostPerKwhYr >= 0.0, "negative energy cost");
+    BPSIM_ASSERT(p.freeRunTimeSec >= 0.0, "negative free runtime");
+}
+
+double
+CostModel::dgCostPerYr(double dg_kw) const
+{
+    BPSIM_ASSERT(dg_kw >= 0.0, "negative DG capacity");
+    return p.dgPowerCostPerKwYr * dg_kw;
+}
+
+double
+CostModel::upsCostPerYr(double ups_kw, double runtime_sec) const
+{
+    BPSIM_ASSERT(ups_kw >= 0.0, "negative UPS capacity");
+    BPSIM_ASSERT(runtime_sec >= 0.0, "negative UPS runtime");
+    if (ups_kw == 0.0)
+        return 0.0;
+    const double energy_kwh = ups_kw * runtime_sec / 3600.0;
+    const double free_kwh = ups_kw * p.freeRunTimeSec / 3600.0;
+    const double extra_kwh = std::max(0.0, energy_kwh - free_kwh);
+    return p.upsPowerCostPerKwYr * ups_kw +
+           p.upsEnergyCostPerKwhYr * extra_kwh;
+}
+
+double
+CostModel::totalCostPerYr(const BackupCapacity &cap) const
+{
+    return dgCostPerYr(cap.dgKw) +
+           upsCostPerYr(cap.upsKw, cap.upsRuntimeSec);
+}
+
+double
+CostModel::maxPerfCostPerYr(double peak_kw) const
+{
+    return dgCostPerYr(peak_kw) + upsCostPerYr(peak_kw, p.freeRunTimeSec);
+}
+
+double
+CostModel::normalizedCost(const BackupCapacity &cap, double peak_kw) const
+{
+    const double base = maxPerfCostPerYr(peak_kw);
+    BPSIM_ASSERT(base > 0.0, "degenerate MaxPerf baseline cost");
+    return totalCostPerYr(cap) / base;
+}
+
+} // namespace bpsim

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Backup-infrastructure cost model (Section 3, Equations 1-2, Table 1).
+ *
+ * Amortized annual capital expenditure of the backup path. DG cost is
+ * linear in provisioned peak power. UPS cost has a power-capacity term
+ * plus an energy term for battery capacity *beyond* the base
+ * ("FreeRunTime") energy that comes for free with the power rating —
+ * the Ragone-plot effect the paper describes. All defaults are the
+ * paper's Table 1 values, already depreciated over component lifetimes
+ * (12-year DG and UPS electronics, 4-year lead-acid strings).
+ */
+
+#ifndef BPSIM_CORE_COST_MODEL_HH
+#define BPSIM_CORE_COST_MODEL_HH
+
+#include "sim/types.hh"
+
+namespace bpsim
+{
+
+/** Table 1 cost parameters (amortized $/year per unit). */
+struct CostParams
+{
+    /** DG capital cost per kW of peak capacity ($/kW/year). */
+    double dgPowerCostPerKwYr = 83.3;
+    /** UPS power-electronics cost per kW ($/kW/year). */
+    double upsPowerCostPerKwYr = 50.0;
+    /** Battery energy cost per kWh beyond the base ($/kWh/year). */
+    double upsEnergyCostPerKwhYr = 50.0;
+    /** Base battery runtime at rated power that comes free (seconds). */
+    double freeRunTimeSec = 120.0;
+};
+
+/** The paper's Table 1 (lead-acid strings, 4-year life). */
+CostParams leadAcidCostParams();
+
+/**
+ * Li-ion economics (Section 7): a longer cell lifetime amortizes the
+ * power-side electronics cheaper, but energy capacity is markedly
+ * more expensive per kWh than lead-acid — shifting the optimum toward
+ * energy-frugal techniques (proactive save-state over throttling).
+ * Values are illustrative, consistent with the paper's qualitative
+ * characterization.
+ */
+CostParams liIonCostParams();
+
+/** A provisioned backup configuration's electrical capacities. */
+struct BackupCapacity
+{
+    /** DG peak power (kW); 0 when no DG. */
+    double dgKw = 0.0;
+    /** UPS peak power (kW); 0 when no UPS. */
+    double upsKw = 0.0;
+    /** UPS battery runtime at rated power (seconds). */
+    double upsRuntimeSec = 0.0;
+
+    /** Nameplate battery energy, paper convention (kWh). */
+    double
+    upsEnergyKwh() const
+    {
+        return upsKw * upsRuntimeSec / 3600.0;
+    }
+};
+
+/** Annualized cap-ex calculator. */
+class CostModel
+{
+  public:
+    CostModel() : CostModel(CostParams{}) {}
+    explicit CostModel(const CostParams &params);
+
+    /** The parameters. */
+    const CostParams &params() const { return p; }
+
+    /** Equation 1: DG cost ($/year). */
+    double dgCostPerYr(double dg_kw) const;
+
+    /**
+     * Equation 2: UPS cost ($/year). Runtime below the free base
+     * incurs no energy cost (the base comes with the power rating).
+     */
+    double upsCostPerYr(double ups_kw, double runtime_sec) const;
+
+    /** Total backup cost ($/year). */
+    double totalCostPerYr(const BackupCapacity &cap) const;
+
+    /**
+     * Cost of the paper's baseline ("MaxPerf": full DG + full UPS with
+     * the base 2-minute bridge) for a datacenter of @p peak_kw.
+     */
+    double maxPerfCostPerYr(double peak_kw) const;
+
+    /** Cost of @p cap normalized to MaxPerf at @p peak_kw. */
+    double normalizedCost(const BackupCapacity &cap, double peak_kw) const;
+
+  private:
+    CostParams p;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_CORE_COST_MODEL_HH

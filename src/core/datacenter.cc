@@ -1,0 +1,148 @@
+#include "core/datacenter.hh"
+
+#include "power/utility.hh"
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+Section::Section(Simulator &sim, Utility &utility,
+                 const ServerModel &model, const SectionSpec &spec)
+    : spec_(spec)
+{
+    BPSIM_ASSERT(!spec.profiles.empty(), "section '%s' has no servers",
+                 spec.name.c_str());
+    const Watts peak =
+        model.params().peakPowerW *
+        static_cast<double>(spec.profiles.size());
+    hierarchy_ = std::make_unique<PowerHierarchy>(
+        sim, utility, toHierarchyConfig(spec.backup, peak));
+    cluster_ = std::make_unique<Cluster>(sim, *hierarchy_, model,
+                                         spec.profiles);
+    technique_ = makeTechnique(spec.technique);
+    technique_->attach(sim, *cluster_, *hierarchy_);
+    cluster_->primeSteadyState();
+}
+
+double
+Section::costPerYr(const CostModel &cost) const
+{
+    return cost.totalCostPerYr(capacityOf(spec_.backup, peakPowerW()));
+}
+
+Datacenter::Datacenter(Simulator &sim, Utility &utility,
+                       const ServerModel &model,
+                       const std::vector<SectionSpec> &specs)
+{
+    BPSIM_ASSERT(!specs.empty(), "datacenter needs at least one section");
+    sections_.reserve(specs.size());
+    for (const auto &spec : specs) {
+        sections_.push_back(
+            std::make_unique<Section>(sim, utility, model, spec));
+    }
+}
+
+int
+Datacenter::totalServers() const
+{
+    int total = 0;
+    for (const auto &s : sections_)
+        total += s->servers();
+    return total;
+}
+
+double
+Datacenter::aggregatePerf() const
+{
+    double weighted = 0.0;
+    for (const auto &s : sections_) {
+        weighted += s->cluster().aggregatePerf() *
+                    static_cast<double>(s->servers());
+    }
+    return weighted / static_cast<double>(totalServers());
+}
+
+double
+Datacenter::aggregateAvailability() const
+{
+    double weighted = 0.0;
+    for (const auto &s : sections_) {
+        weighted += s->cluster().availability() *
+                    static_cast<double>(s->servers());
+    }
+    return weighted / static_cast<double>(totalServers());
+}
+
+double
+Datacenter::totalCostPerYr(const CostModel &cost) const
+{
+    double total = 0.0;
+    for (const auto &s : sections_)
+        total += s->costPerYr(cost);
+    return total;
+}
+
+double
+Datacenter::normalizedCost(const CostModel &cost) const
+{
+    double peak_kw = 0.0;
+    for (const auto &s : sections_)
+        peak_kw += s->peakPowerW() / 1000.0;
+    return totalCostPerYr(cost) / cost.maxPerfCostPerYr(peak_kw);
+}
+
+int
+Datacenter::totalLosses() const
+{
+    int total = 0;
+    for (const auto &s : sections_)
+        total += s->hierarchy().powerLossCount();
+    return total;
+}
+
+DatacenterResult
+runSectioned(const std::vector<SectionSpec> &specs, Time outage_start,
+             Time outage_duration, Time settle_after,
+             const CostModel &cost)
+{
+    BPSIM_ASSERT(outage_duration > 0, "need an outage");
+    Simulator sim;
+    Utility utility(sim);
+    const ServerModel model;
+    Datacenter dc(sim, utility, model, specs);
+    utility.scheduleOutage(outage_start, outage_duration);
+    const Time outage_end = outage_start + outage_duration;
+    const Time horizon = outage_end + settle_after;
+    sim.runUntil(horizon);
+
+    DatacenterResult out;
+    double weighted_perf = 0.0, weighted_down = 0.0;
+    const double total_servers =
+        static_cast<double>(dc.totalServers());
+    for (int i = 0; i < dc.size(); ++i) {
+        const Section &s = dc.section(i);
+        SectionResult sr;
+        sr.name = s.spec().name;
+        sr.perfDuringOutage = s.cluster().perfTimeline().average(
+            outage_start, outage_end);
+        sr.downtimeSec =
+            (1.0 - s.cluster().availabilityTimeline().average(
+                       outage_start, horizon)) *
+                toSeconds(horizon - outage_start) +
+            s.cluster().extraDowntimeSec();
+        sr.losses = s.hierarchy().powerLossCount();
+        sr.costPerYr = s.costPerYr(cost);
+        weighted_perf +=
+            sr.perfDuringOutage * static_cast<double>(s.servers());
+        weighted_down +=
+            sr.downtimeSec * static_cast<double>(s.servers());
+        out.losses += sr.losses;
+        out.sections.push_back(std::move(sr));
+    }
+    out.perfDuringOutage = weighted_perf / total_servers;
+    out.downtimeSec = weighted_down / total_servers;
+    out.normalizedCost = dc.normalizedCost(cost);
+    return out;
+}
+
+} // namespace bpsim

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * A sectioned datacenter: several (backup configuration + cluster +
+ * technique) sections fed by one utility.
+ *
+ * Section 7 of the paper proposes exactly this structure for
+ * heterogeneous fleets: "multiple datacenters or sections in a
+ * datacenter could have different backup configurations, in the
+ * spectrum of cost-performability choices we outlined", with workloads
+ * assigned to the section whose backup matches their needs. Each
+ * section owns its own power hierarchy (UPS/DG sizing) and standing
+ * defense; a utility outage hits them all simultaneously, but their
+ * fates diverge with their provisioning.
+ */
+
+#ifndef BPSIM_CORE_DATACENTER_HH
+#define BPSIM_CORE_DATACENTER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hh"
+
+namespace bpsim
+{
+
+/** One section: workloads + backup sizing + standing defense. */
+struct SectionSpec
+{
+    /** Display name ("interactive", "batch", ...). */
+    std::string name;
+    /** One server per profile entry. */
+    std::vector<WorkloadProfile> profiles;
+    /** Backup provisioning for this section. */
+    BackupConfigSpec backup;
+    /** Standing outage defense. */
+    TechniqueSpec technique;
+};
+
+/** A living section inside a Datacenter. */
+class Section
+{
+  public:
+    Section(Simulator &sim, Utility &utility, const ServerModel &model,
+            const SectionSpec &spec);
+
+    /** The spec this section was built from. */
+    const SectionSpec &spec() const { return spec_; }
+
+    /** The section's power hierarchy. */
+    PowerHierarchy &hierarchy() { return *hierarchy_; }
+    const PowerHierarchy &hierarchy() const { return *hierarchy_; }
+
+    /** The section's cluster. */
+    Cluster &cluster() { return *cluster_; }
+    const Cluster &cluster() const { return *cluster_; }
+
+    /** Number of servers. */
+    int servers() const { return cluster_->size(); }
+
+    /** Nominal peak draw of the section (watts). */
+    Watts peakPowerW() const { return cluster_->peakPowerW(); }
+
+    /** Annualized backup cost of this section's provisioning. */
+    double costPerYr(const CostModel &cost) const;
+
+  private:
+    SectionSpec spec_;
+    std::unique_ptr<PowerHierarchy> hierarchy_;
+    std::unique_ptr<Cluster> cluster_;
+    std::unique_ptr<Technique> technique_;
+};
+
+/** Several sections behind one utility feed. */
+class Datacenter
+{
+  public:
+    /**
+     * Build every section and prime it to steady state. @p utility
+     * must outlive the datacenter.
+     */
+    Datacenter(Simulator &sim, Utility &utility, const ServerModel &model,
+               const std::vector<SectionSpec> &specs);
+
+    /** Number of sections. */
+    int size() const { return static_cast<int>(sections_.size()); }
+
+    /** Section @p i. */
+    Section &section(int i) { return *sections_.at(i); }
+    const Section &section(int i) const { return *sections_.at(i); }
+
+    /** Total servers across sections. */
+    int totalServers() const;
+
+    /** Server-weighted normalized performance right now. */
+    double aggregatePerf() const;
+
+    /** Server-weighted availability right now. */
+    double aggregateAvailability() const;
+
+    /** Sum of section backup costs ($/year). */
+    double totalCostPerYr(const CostModel &cost) const;
+
+    /**
+     * Total cost normalized to MaxPerf provisioning of the whole
+     * datacenter.
+     */
+    double normalizedCost(const CostModel &cost) const;
+
+    /** Abrupt power-loss events across all sections. */
+    int totalLosses() const;
+
+  private:
+    std::vector<std::unique_ptr<Section>> sections_;
+};
+
+/** Reduced per-section metrics of one sectioned-datacenter scenario. */
+struct SectionResult
+{
+    std::string name;
+    double perfDuringOutage = 0.0;
+    double downtimeSec = 0.0;
+    int losses = 0;
+    double costPerYr = 0.0;
+};
+
+/** Reduced metrics of a whole sectioned run. */
+struct DatacenterResult
+{
+    std::vector<SectionResult> sections;
+    /** Server-weighted mean performance over the outage. */
+    double perfDuringOutage = 0.0;
+    /** Server-weighted mean downtime (seconds). */
+    double downtimeSec = 0.0;
+    /** Cost normalized to whole-datacenter MaxPerf. */
+    double normalizedCost = 0.0;
+    int losses = 0;
+};
+
+/**
+ * Convenience driver: run one outage against a sectioned datacenter
+ * and reduce the outcome (the sectioned analogue of Analyzer::run).
+ */
+DatacenterResult runSectioned(const std::vector<SectionSpec> &specs,
+                              Time outage_start, Time outage_duration,
+                              Time settle_after = fromHours(2.0),
+                              const CostModel &cost = CostModel());
+
+} // namespace bpsim
+
+#endif // BPSIM_CORE_DATACENTER_HH

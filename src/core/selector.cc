@@ -1,0 +1,102 @@
+#include "core/selector.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+bool
+TechniqueSelector::better(const TechniqueChoice &a, const TechniqueChoice &b)
+{
+    if (a.eval.feasible != b.eval.feasible)
+        return a.eval.feasible;
+    const double perf_a = a.eval.result.perfDuringOutage;
+    const double perf_b = b.eval.result.perfDuringOutage;
+    if (std::abs(perf_a - perf_b) > 1e-6)
+        return perf_a > perf_b;
+    if (std::abs(a.eval.result.downtimeSec - b.eval.result.downtimeSec) >
+        1e-3) {
+        return a.eval.result.downtimeSec < b.eval.result.downtimeSec;
+    }
+    return a.eval.costPerYr < b.eval.costPerYr;
+}
+
+TechniqueChoice
+TechniqueSelector::bestForConfig(
+    const Scenario &base, const BackupConfigSpec &config,
+    const std::vector<TechniqueSpec> &candidates) const
+{
+    BPSIM_ASSERT(!candidates.empty(), "no candidate techniques");
+    std::optional<TechniqueChoice> best;
+    for (const auto &spec : candidates) {
+        Scenario sc = base;
+        sc.technique = spec;
+        TechniqueChoice choice{spec, analyzer_.evaluateConfig(sc, config)};
+        if (!best || better(choice, *best))
+            best = choice;
+    }
+    return *best;
+}
+
+std::vector<TechniqueChoice>
+TechniqueSelector::sizeAll(const Scenario &base,
+                           const std::vector<TechniqueSpec> &candidates) const
+{
+    std::vector<TechniqueChoice> out;
+    out.reserve(candidates.size());
+    for (const auto &spec : candidates) {
+        Scenario sc = base;
+        sc.technique = spec;
+        out.push_back({spec, analyzer_.sizeUpsOnly(sc)});
+    }
+    return out;
+}
+
+std::vector<TechniqueChoice>
+TechniqueSelector::costPerfFrontier(
+    const Scenario &base,
+    const std::vector<TechniqueSpec> &candidates) const
+{
+    std::vector<TechniqueChoice> feasible;
+    for (auto &choice : sizeAll(base, candidates)) {
+        if (choice.eval.feasible)
+            feasible.push_back(std::move(choice));
+    }
+    std::sort(feasible.begin(), feasible.end(),
+              [](const TechniqueChoice &a, const TechniqueChoice &b) {
+                  if (a.eval.costPerYr != b.eval.costPerYr)
+                      return a.eval.costPerYr < b.eval.costPerYr;
+                  return a.eval.result.perfDuringOutage >
+                         b.eval.result.perfDuringOutage;
+              });
+    std::vector<TechniqueChoice> frontier;
+    double best_perf = -1.0;
+    for (auto &choice : feasible) {
+        if (choice.eval.result.perfDuringOutage > best_perf + 1e-12) {
+            best_perf = choice.eval.result.perfDuringOutage;
+            frontier.push_back(std::move(choice));
+        }
+    }
+    return frontier;
+}
+
+std::optional<TechniqueChoice>
+TechniqueSelector::bestUnderBudget(
+    const Scenario &base, const std::vector<TechniqueSpec> &candidates,
+    double max_normalized_cost) const
+{
+    std::optional<TechniqueChoice> best;
+    for (auto &choice : sizeAll(base, candidates)) {
+        if (choice.eval.normalizedCost > max_normalized_cost)
+            continue;
+        if (!choice.eval.feasible)
+            continue;
+        if (!best || better(choice, *best))
+            best = choice;
+    }
+    return best;
+}
+
+} // namespace bpsim

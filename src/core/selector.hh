@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Technique selection: given a backup configuration (or a cost budget)
+ * and an outage, pick the best-performing feasible technique — the
+ * optimization the paper applies when reporting each configuration's
+ * performability ("we choose the system technique that offers the
+ * highest performance and lowest down time").
+ */
+
+#ifndef BPSIM_CORE_SELECTOR_HH
+#define BPSIM_CORE_SELECTOR_HH
+
+#include <optional>
+#include <vector>
+
+#include "core/analyzer.hh"
+
+namespace bpsim
+{
+
+/** A candidate technique together with its evaluated outcome. */
+struct TechniqueChoice
+{
+    TechniqueSpec spec;
+    Evaluation eval;
+};
+
+/** Ranks techniques for configurations / budgets. */
+class TechniqueSelector
+{
+  public:
+    TechniqueSelector() = default;
+    explicit TechniqueSelector(Analyzer analyzer)
+        : analyzer_(std::move(analyzer))
+    {}
+
+    /** The analyzer in use. */
+    const Analyzer &analyzer() const { return analyzer_; }
+
+    /**
+     * Rank two choices: feasibility first, then performance during the
+     * outage, then lower downtime, then lower cost.
+     */
+    static bool better(const TechniqueChoice &a, const TechniqueChoice &b);
+
+    /**
+     * Evaluate all @p candidates under the fixed configuration
+     * @p config and return the best (Figure 5 methodology).
+     */
+    TechniqueChoice bestForConfig(
+        const Scenario &base, const BackupConfigSpec &config,
+        const std::vector<TechniqueSpec> &candidates) const;
+
+    /**
+     * Size a minimal UPS-only backup for every candidate and return
+     * each evaluation (Figures 6-9 raw rows).
+     */
+    std::vector<TechniqueChoice> sizeAll(
+        const Scenario &base,
+        const std::vector<TechniqueSpec> &candidates) const;
+
+    /**
+     * Among minimally-sized candidates whose normalized cost fits
+     * @p max_normalized_cost, return the best; nullopt when nothing
+     * fits the budget.
+     */
+    std::optional<TechniqueChoice> bestUnderBudget(
+        const Scenario &base, const std::vector<TechniqueSpec> &candidates,
+        double max_normalized_cost) const;
+
+    /**
+     * The cost / performance Pareto frontier over minimally-sized
+     * feasible candidates: every returned choice is undominated (no
+     * other feasible candidate is both cheaper-or-equal and
+     * better-or-equal on performance, with at least one strict), and
+     * the list is sorted by ascending cost (hence ascending
+     * performance). This is the spectrum of operating points the
+     * paper's Figures 6-9 trace out.
+     */
+    std::vector<TechniqueChoice> costPerfFrontier(
+        const Scenario &base,
+        const std::vector<TechniqueSpec> &candidates) const;
+
+  private:
+    Analyzer analyzer_;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_CORE_SELECTOR_HH

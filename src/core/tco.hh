@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Organization-level TCO analysis of DG elimination (Section 7 and
+ * Figure 10).
+ *
+ * An outage without a DG costs revenue plus idle server depreciation,
+ * both proportional to unavailable kilowatt-minutes; skipping the DG
+ * saves its amortized capital cost. The crossover — yearly outage
+ * minutes below which under-provisioning is profitable — is the
+ * paper's ~5 hours/year for Google's 2011 financials.
+ */
+
+#ifndef BPSIM_CORE_TCO_HH
+#define BPSIM_CORE_TCO_HH
+
+namespace bpsim
+{
+
+/** Organization financial parameters (defaults: Google 2011, §7). */
+struct TcoParams
+{
+    /**
+     * Revenue per provisioned kW per minute of operation ($): $38 B
+     * revenue over 260 MW for a year gives ~$0.28.
+     */
+    double revenuePerKwMin = 0.28;
+    /**
+     * Idle capital depreciation per kW per minute ($): $2000 servers,
+     * 4-year life, ~250 W each.
+     */
+    double serverDepreciationPerKwMin = 0.003;
+    /** Amortized DG cost ($/kW/year), 12-year lifetime. */
+    double dgCostPerKwYr = 83.3;
+};
+
+/** Figure 10 calculator. */
+class TcoModel
+{
+  public:
+    TcoModel() : TcoModel(TcoParams{}) {}
+    explicit TcoModel(const TcoParams &params) : p(params) {}
+
+    /** The parameters. */
+    const TcoParams &params() const { return p; }
+
+    /** Combined loss rate per unavailable kW-minute ($). */
+    double lossPerKwMin() const
+    {
+        return p.revenuePerKwMin + p.serverDepreciationPerKwMin;
+    }
+
+    /** Outage cost ($/kW/year) for a yearly unavailability. */
+    double outageCostPerKwYr(double outage_min_per_yr) const
+    {
+        return lossPerKwMin() * outage_min_per_yr;
+    }
+
+    /** Savings from not provisioning the DG ($/kW/year). */
+    double dgSavingsPerKwYr() const { return p.dgCostPerKwYr; }
+
+    /**
+     * Yearly outage minutes at which outage losses equal DG savings
+     * (the Figure 10 crossover, ~294 min ~= 5 h for the defaults).
+     */
+    double crossoverMinutesPerYr() const
+    {
+        return p.dgCostPerKwYr / lossPerKwMin();
+    }
+
+    /** True when skipping the DG is profitable at this outage level. */
+    bool profitableWithoutDg(double outage_min_per_yr) const
+    {
+        return outageCostPerKwYr(outage_min_per_yr) < dgSavingsPerKwYr();
+    }
+
+  private:
+    TcoParams p;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_CORE_TCO_HH

@@ -1,0 +1,171 @@
+#include "outage/distribution.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+void
+checkBuckets(const std::vector<DistBucket> &bkts)
+{
+    BPSIM_ASSERT(!bkts.empty(), "empty bucket list");
+    double total = 0.0;
+    double prev_hi = -1e300;
+    for (const auto &b : bkts) {
+        BPSIM_ASSERT(b.hi > b.lo, "bucket [%g, %g) is empty", b.lo, b.hi);
+        BPSIM_ASSERT(b.prob >= 0.0, "negative probability %g", b.prob);
+        BPSIM_ASSERT(b.lo >= prev_hi, "buckets overlap at %g", b.lo);
+        prev_hi = b.hi;
+        total += b.prob;
+    }
+    BPSIM_ASSERT(std::abs(total - 1.0) < 1e-9,
+                 "bucket probabilities sum to %g, not 1", total);
+}
+
+} // namespace
+
+OutageDurationDistribution::OutageDurationDistribution(
+    std::vector<DistBucket> buckets)
+    : bkts(std::move(buckets))
+{
+    checkBuckets(bkts);
+}
+
+OutageDurationDistribution
+OutageDurationDistribution::figure1()
+{
+    // Figure 1(b): minutes. The open-ended ">240" bucket is closed at
+    // 8 hours, consistent with the paper treating multi-hour outages
+    // as the extreme tail handled by geo-failover.
+    return OutageDurationDistribution({
+        {0.0, 1.0, 0.31},
+        {1.0, 5.0, 0.27},
+        {5.0, 30.0, 0.14},
+        {30.0, 120.0, 0.17},
+        {120.0, 240.0, 0.06},
+        {240.0, 480.0, 0.05},
+    });
+}
+
+Time
+OutageDurationDistribution::sample(Rng &rng) const
+{
+    std::vector<double> weights;
+    weights.reserve(bkts.size());
+    for (const auto &b : bkts)
+        weights.push_back(b.prob);
+    const auto &b = bkts[rng.discrete(weights)];
+    return fromMinutes(rng.uniform(b.lo, b.hi));
+}
+
+double
+OutageDurationDistribution::survival(Time t) const
+{
+    const double m = toMinutes(t);
+    double surv = 0.0;
+    for (const auto &b : bkts) {
+        if (m <= b.lo) {
+            surv += b.prob;
+        } else if (m < b.hi) {
+            surv += b.prob * (b.hi - m) / (b.hi - b.lo);
+        }
+    }
+    return surv;
+}
+
+double
+OutageDurationDistribution::conditionalSurvival(Time elapsed,
+                                                Time until) const
+{
+    BPSIM_ASSERT(until >= elapsed, "conditional window inverted");
+    const double s_e = survival(elapsed);
+    if (s_e <= 0.0)
+        return 0.0;
+    return survival(until) / s_e;
+}
+
+Time
+OutageDurationDistribution::expectedRemaining(Time elapsed) const
+{
+    const double s_e = survival(elapsed);
+    if (s_e <= 0.0)
+        return 0;
+    // E[D - e | D > e] = (1/S(e)) * Int_e^inf S(t) dt; the survival
+    // function is piecewise linear, so integrate bucket by bucket.
+    const double e_min = toMinutes(elapsed);
+    double integral = 0.0; // in minutes
+    for (const auto &b : bkts) {
+        const double lo = std::max(b.lo, e_min);
+        if (lo >= b.hi)
+            continue;
+        // S(t) restricted to this bucket's contribution is linear in t;
+        // sum over buckets reconstructs the full S. Integrate the full
+        // S over [lo, hi) by trapezoid (S is piecewise linear).
+        const double s_lo = survival(fromMinutes(lo));
+        const double s_hi = survival(fromMinutes(b.hi));
+        integral += 0.5 * (s_lo + s_hi) * (b.hi - lo);
+    }
+    return fromMinutes(integral / s_e);
+}
+
+Time
+OutageDurationDistribution::mean() const
+{
+    double m = 0.0;
+    for (const auto &b : bkts)
+        m += b.prob * 0.5 * (b.lo + b.hi);
+    return fromMinutes(m);
+}
+
+OutageFrequencyDistribution::OutageFrequencyDistribution(
+    std::vector<DistBucket> buckets)
+    : bkts(std::move(buckets))
+{
+    checkBuckets(bkts);
+}
+
+OutageFrequencyDistribution
+OutageFrequencyDistribution::figure1()
+{
+    // Figure 1(a): outages per year. Buckets are [lo, hi) on integer
+    // counts; "7+" is closed at 12.
+    return OutageFrequencyDistribution({
+        {0.0, 1.0, 0.17},
+        {1.0, 3.0, 0.40},
+        {3.0, 7.0, 0.30},
+        {7.0, 13.0, 0.13},
+    });
+}
+
+int
+OutageFrequencyDistribution::sample(Rng &rng) const
+{
+    std::vector<double> weights;
+    weights.reserve(bkts.size());
+    for (const auto &b : bkts)
+        weights.push_back(b.prob);
+    const auto &b = bkts[rng.discrete(weights)];
+    const auto lo = static_cast<std::uint64_t>(b.lo);
+    const auto hi = static_cast<std::uint64_t>(b.hi);
+    return static_cast<int>(lo + rng.nextBounded(hi - lo));
+}
+
+double
+OutageFrequencyDistribution::mean() const
+{
+    // Mean of the discrete-uniform value within each bucket: buckets
+    // are [lo, hi) on integers, so the within-bucket mean is
+    // (lo + hi - 1) / 2.
+    double m = 0.0;
+    for (const auto &b : bkts)
+        m += b.prob * 0.5 * (b.lo + b.hi - 1.0);
+    return m;
+}
+
+} // namespace bpsim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Empirical power-outage statistics for US businesses (the paper's
+ * Figure 1, from the EPRI "Cost of Power Disturbances" study and the
+ * 2010 national datacenter-outage survey).
+ *
+ * Two marginal distributions are encoded: outages per year, and outage
+ * duration. Duration is represented as a piecewise-uniform density over
+ * the survey's buckets, from which samples, survival probabilities
+ * P(D > t) and conditional expectations are derived — the latter feed
+ * the online duration predictor of Section 7.
+ */
+
+#ifndef BPSIM_OUTAGE_DISTRIBUTION_HH
+#define BPSIM_OUTAGE_DISTRIBUTION_HH
+
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace bpsim
+{
+
+/** One bucket of a piecewise-uniform distribution. */
+struct DistBucket
+{
+    /** Inclusive lower edge. */
+    double lo;
+    /** Exclusive upper edge. */
+    double hi;
+    /** Probability mass of the bucket. */
+    double prob;
+};
+
+/** Piecewise-uniform outage-duration distribution (Figure 1(b)). */
+class OutageDurationDistribution
+{
+  public:
+    /** Construct from explicit buckets (probabilities must sum to 1). */
+    explicit OutageDurationDistribution(std::vector<DistBucket> buckets);
+
+    /** The paper's Figure 1(b) data. */
+    static OutageDurationDistribution figure1();
+
+    /** The buckets. */
+    const std::vector<DistBucket> &buckets() const { return bkts; }
+
+    /** Draw one outage duration. */
+    Time sample(Rng &rng) const;
+
+    /** Survival function P(duration > t). */
+    double survival(Time t) const;
+
+    /** Cumulative probability P(duration <= t). */
+    double cdf(Time t) const { return 1.0 - survival(t); }
+
+    /**
+     * P(duration > until | duration > elapsed): the chance an outage
+     * that has already lasted @p elapsed will still be going at
+     * @p until.
+     */
+    double conditionalSurvival(Time elapsed, Time until) const;
+
+    /** E[remaining duration | duration > elapsed]. */
+    Time expectedRemaining(Time elapsed) const;
+
+    /** Mean outage duration. */
+    Time mean() const;
+
+    /** Fraction of outages no longer than @p t (headline claims). */
+    double fractionWithin(Time t) const { return cdf(t); }
+
+  private:
+    std::vector<DistBucket> bkts;
+};
+
+/** Outages-per-year distribution (Figure 1(a)). */
+class OutageFrequencyDistribution
+{
+  public:
+    explicit OutageFrequencyDistribution(std::vector<DistBucket> buckets);
+
+    /** The paper's Figure 1(a) data. */
+    static OutageFrequencyDistribution figure1();
+
+    /** The buckets (counts per year). */
+    const std::vector<DistBucket> &buckets() const { return bkts; }
+
+    /** Draw a number of outages for one year. */
+    int sample(Rng &rng) const;
+
+    /** Mean outages per year. */
+    double mean() const;
+
+  private:
+    std::vector<DistBucket> bkts;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_OUTAGE_DISTRIBUTION_HH

@@ -1,0 +1,69 @@
+#include "outage/predictor.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+std::vector<std::vector<double>>
+OutagePredictor::transitionMatrix(const std::vector<Time> &edges) const
+{
+    BPSIM_ASSERT(!edges.empty(), "need at least one duration edge");
+    for (std::size_t i = 1; i < edges.size(); ++i) {
+        BPSIM_ASSERT(edges[i] > edges[i - 1],
+                     "duration edges must be increasing");
+    }
+    const std::size_t n = edges.size();
+    std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        const double s_i = dist.survival(edges[i]);
+        if (s_i <= 0.0) {
+            // Outages never last this long in the data: absorb.
+            m[i][n - 1] = 1.0;
+            continue;
+        }
+        for (std::size_t j = i; j < n; ++j) {
+            const double s_lo = dist.survival(edges[j]);
+            const double s_hi =
+                (j + 1 < n) ? dist.survival(edges[j + 1]) : 0.0;
+            m[i][j] = (s_lo - s_hi) / s_i;
+        }
+    }
+    return m;
+}
+
+AdaptiveEscalationPolicy::AdaptiveEscalationPolicy(OutagePredictor predictor,
+                                                   double risk_tolerance)
+    : pred(std::move(predictor)), risk(risk_tolerance)
+{
+    BPSIM_ASSERT(risk_tolerance >= 0.0 && risk_tolerance <= 1.0,
+                 "risk tolerance %g out of [0, 1]", risk_tolerance);
+}
+
+int
+AdaptiveEscalationPolicy::choose(Time elapsed,
+                                 const std::vector<Time> &sustainable_for,
+                                 const std::vector<double> &perf_at_level,
+                                 Time save_reserve) const
+{
+    BPSIM_ASSERT(sustainable_for.size() == perf_at_level.size(),
+                 "level vectors disagree: %zu vs %zu",
+                 sustainable_for.size(), perf_at_level.size());
+    int best = -1;
+    double best_perf = -1.0;
+    for (std::size_t i = 0; i < sustainable_for.size(); ++i) {
+        const Time runway = sustainable_for[i] - save_reserve;
+        if (runway <= 0)
+            continue;
+        const double p_outlast = pred.probOutlasts(elapsed, runway);
+        if (p_outlast <= risk && perf_at_level[i] > best_perf) {
+            best_perf = perf_at_level[i];
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+} // namespace bpsim

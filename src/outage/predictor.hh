@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Online outage-duration prediction (the Section 7 challenge: "how do
+ * we deal with unknown outage duration?").
+ *
+ * The predictor conditions the empirical duration distribution on the
+ * outage's elapsed time — exactly the Markov-chain-over-duration-states
+ * construction the paper sketches — and an escalation policy uses it to
+ * decide, at each check, whether the backup energy on hand justifies
+ * continuing to serve (and at what level) or whether state should be
+ * saved while there is still energy to do so.
+ */
+
+#ifndef BPSIM_OUTAGE_PREDICTOR_HH
+#define BPSIM_OUTAGE_PREDICTOR_HH
+
+#include <vector>
+
+#include "outage/distribution.hh"
+#include "sim/types.hh"
+
+namespace bpsim
+{
+
+/** Conditional-duration predictor built from historic outage data. */
+class OutagePredictor
+{
+  public:
+    explicit OutagePredictor(OutageDurationDistribution dist)
+        : dist(std::move(dist))
+    {}
+
+    /** The underlying distribution. */
+    const OutageDurationDistribution &distribution() const { return dist; }
+
+    /** P(outage still on at elapsed + horizon | on at elapsed). */
+    double probOutlasts(Time elapsed, Time horizon) const
+    {
+        return dist.conditionalSurvival(elapsed, elapsed + horizon);
+    }
+
+    /** Expected remaining outage time given it has lasted @p elapsed. */
+    Time expectedRemaining(Time elapsed) const
+    {
+        return dist.expectedRemaining(elapsed);
+    }
+
+    /**
+     * Markov transition matrix over duration states with the given
+     * edges: entry (i, j) is the probability that an outage which has
+     * survived past edges[i] ends within (edges[j], edges[j+1]]
+     * (j == edges.size()-1 aggregates everything beyond the last
+     * edge). Row i is the conditional distribution of the final state
+     * given state i — the paper's "online Markov chain based
+     * transition matrix of different duration".
+     */
+    std::vector<std::vector<double>>
+    transitionMatrix(const std::vector<Time> &edges) const;
+
+  private:
+    OutageDurationDistribution dist;
+};
+
+/**
+ * Risk-bounded escalation policy: among candidate operating levels
+ * (full speed, throttle depths, ...), pick the highest-performance one
+ * whose battery runway will, with sufficient confidence, cover the rest
+ * of the outage plus the reserve needed to save state afterwards.
+ */
+class AdaptiveEscalationPolicy
+{
+  public:
+    /**
+     * @param predictor       Duration predictor.
+     * @param risk_tolerance  Acceptable probability of the outage
+     *                        outlasting the chosen level's runway.
+     */
+    AdaptiveEscalationPolicy(OutagePredictor predictor,
+                             double risk_tolerance);
+
+    /**
+     * Choose an operating level.
+     *
+     * @param elapsed         Outage time so far.
+     * @param sustainable_for Battery runway from now at each level.
+     * @param perf_at_level   Normalized performance of each level.
+     * @param save_reserve    Time that must remain to save state.
+     * @return Index of the chosen level, or -1 if no level is safe
+     *         enough and state should be saved immediately.
+     */
+    int choose(Time elapsed, const std::vector<Time> &sustainable_for,
+               const std::vector<double> &perf_at_level,
+               Time save_reserve) const;
+
+    /** The predictor in use. */
+    const OutagePredictor &predictor() const { return pred; }
+
+  private:
+    OutagePredictor pred;
+    double risk;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_OUTAGE_PREDICTOR_HH

@@ -1,0 +1,59 @@
+#include "outage/trace.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+OutageTraceGenerator
+OutageTraceGenerator::figure1()
+{
+    return OutageTraceGenerator(OutageFrequencyDistribution::figure1(),
+                                OutageDurationDistribution::figure1());
+}
+
+std::vector<OutageEvent>
+OutageTraceGenerator::generate(Rng &rng, Time horizon, Time min_gap) const
+{
+    BPSIM_ASSERT(horizon > 0, "non-positive trace horizon");
+    constexpr Time year = 365LL * 24 * kHour;
+    const double scale = static_cast<double>(horizon) /
+                         static_cast<double>(year);
+    int count = static_cast<int>(
+        std::llround(static_cast<double>(freq.sample(rng)) * scale));
+    count = std::max(count, 0);
+
+    std::vector<OutageEvent> events;
+    events.reserve(count);
+    for (int i = 0; i < count; ++i)
+        events.push_back({0, dur.sample(rng)});
+
+    // Place the outages: draw candidate starts, sort, then push
+    // overlapping ones later until the schedule is feasible.
+    for (auto &ev : events) {
+        ev.start = static_cast<Time>(
+            rng.nextDouble() * static_cast<double>(horizon));
+    }
+    std::sort(events.begin(), events.end(),
+              [](const OutageEvent &a, const OutageEvent &b) {
+                  return a.start < b.start;
+              });
+    Time cursor = 0;
+    for (auto &ev : events) {
+        if (ev.start < cursor)
+            ev.start = cursor;
+        cursor = ev.end() + min_gap;
+    }
+    // Drop anything pushed past the horizon.
+    events.erase(std::remove_if(events.begin(), events.end(),
+                                [horizon](const OutageEvent &ev) {
+                                    return ev.end() > horizon;
+                                }),
+                 events.end());
+    return events;
+}
+
+} // namespace bpsim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Synthetic multi-outage traces: a year (or any horizon) of utility
+ * failures drawn from the Figure 1 distributions, for availability and
+ * capacity-planning studies across repeated outages.
+ */
+
+#ifndef BPSIM_OUTAGE_TRACE_HH
+#define BPSIM_OUTAGE_TRACE_HH
+
+#include <vector>
+
+#include "outage/distribution.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace bpsim
+{
+
+/** One utility outage. */
+struct OutageEvent
+{
+    /** Absolute start time within the trace horizon. */
+    Time start;
+    /** Outage length. */
+    Time duration;
+
+    Time end() const { return start + duration; }
+};
+
+/** Generator of non-overlapping outage schedules. */
+class OutageTraceGenerator
+{
+  public:
+    OutageTraceGenerator(OutageFrequencyDistribution freq,
+                         OutageDurationDistribution dur)
+        : freq(std::move(freq)), dur(std::move(dur))
+    {}
+
+    /** Generator using the paper's Figure 1 statistics. */
+    static OutageTraceGenerator figure1();
+
+    /**
+     * Generate outages over [0, horizon): the count is drawn from the
+     * frequency distribution (scaled by horizon / 1 year), durations
+     * from the duration distribution, starts uniform, with at least
+     * @p min_gap of utility power between consecutive outages (so
+     * batteries get some recharge).
+     */
+    std::vector<OutageEvent> generate(Rng &rng, Time horizon,
+                                      Time min_gap = kHour) const;
+
+  private:
+    OutageFrequencyDistribution freq;
+    OutageDurationDistribution dur;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_OUTAGE_TRACE_HH

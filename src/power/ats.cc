@@ -1,0 +1,27 @@
+#include "power/ats.hh"
+
+namespace bpsim
+{
+
+void
+Ats::utilityFailed()
+{
+    pendingStart = sim.schedule(
+        fromSeconds(p.detectionDelaySec),
+        [this] {
+            ++transfers_;
+            if (startFn)
+                startFn();
+        },
+        "ats-start-dg", EventPriority::Power);
+}
+
+void
+Ats::utilityRestored()
+{
+    pendingStart.cancel();
+    if (returnFn)
+        returnFn();
+}
+
+} // namespace bpsim

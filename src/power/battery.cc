@@ -1,0 +1,112 @@
+#include "power/battery.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+double
+figure3PeukertExponent()
+{
+    // Fit of runtime(f) = T * f^-k through the two Figure 3 anchors:
+    // 10 min at f = 1.0 and 60 min at f = 0.25 give 4^k = 6.
+    static const double k = std::log(6.0) / std::log(4.0);
+    return k;
+}
+
+PeukertBattery::PeukertBattery(const Params &params) : p(params)
+{
+    if (p.peukertExponent <= 0.0)
+        p.peukertExponent = figure3PeukertExponent();
+    BPSIM_ASSERT(p.ratedPowerW > 0.0, "non-positive rated power %g",
+                 p.ratedPowerW);
+    BPSIM_ASSERT(p.runtimeAtRatedSec > 0.0, "non-positive rated runtime %g",
+                 p.runtimeAtRatedSec);
+    BPSIM_ASSERT(p.rechargeTimeSec > 0.0, "non-positive recharge time %g",
+                 p.rechargeTimeSec);
+}
+
+Joules
+PeukertBattery::nominalEnergyJ() const
+{
+    return p.ratedPowerW * p.runtimeAtRatedSec;
+}
+
+Time
+PeukertBattery::runtimeAtLoad(Watts load) const
+{
+    if (load <= 0.0)
+        return kTimeNever;
+    BPSIM_ASSERT(load <= p.ratedPowerW * (1.0 + 1e-9),
+                 "load %g W exceeds rated power %g W", load, p.ratedPowerW);
+    const double f = std::min(load / p.ratedPowerW, 1.0);
+    const double t = p.runtimeAtRatedSec * std::pow(f, -p.peukertExponent);
+    return fromSeconds(t);
+}
+
+Time
+PeukertBattery::timeToEmpty(Watts load) const
+{
+    if (load <= 0.0)
+        return kTimeNever;
+    if (soc_ <= 0.0)
+        return 0;
+    const Time full = runtimeAtLoad(load);
+    if (full == kTimeNever)
+        return kTimeNever;
+    return static_cast<Time>(static_cast<double>(full) * soc_);
+}
+
+namespace
+{
+
+/** Exponent of the lead-acid cycle-life curve. */
+constexpr double kWearExponent = 1.45;
+/** Cycles to end-of-life at 100 % depth of discharge. */
+constexpr double kFullCycles = 180.0;
+
+} // namespace
+
+double
+leadAcidCycleLife(double depth_of_discharge)
+{
+    BPSIM_ASSERT(depth_of_discharge > 0.0 && depth_of_discharge <= 1.0,
+                 "depth of discharge %g out of (0, 1]",
+                 depth_of_discharge);
+    return kFullCycles * std::pow(depth_of_discharge, -kWearExponent);
+}
+
+void
+PeukertBattery::discharge(Watts load, Time dt)
+{
+    BPSIM_ASSERT(dt >= 0, "negative discharge interval");
+    if (load <= 0.0 || dt == 0)
+        return;
+    const Time full = runtimeAtLoad(load);
+    const double used = toSeconds(dt) / toSeconds(full);
+    BPSIM_ASSERT(soc_ - used >= -1e-6,
+                 "battery over-discharged: soc %.9f, draw %.9f", soc_, used);
+    // Miner's-rule wear: d(damage) = (k / C_full) * d^(k-1) dd, so a
+    // single discharge to depth D integrates to D^k / C_full = 1 /
+    // cycleLife(D), and partial cycles compose.
+    const double d0 = 1.0 - soc_;
+    soc_ = std::max(0.0, soc_ - used);
+    const double d1 = 1.0 - soc_;
+    lifeUsed += (std::pow(d1, kWearExponent) -
+                 std::pow(d0, kWearExponent)) /
+                kFullCycles;
+    deepestDod = std::max(deepestDod, d1);
+    delivered += energyOver(load, dt);
+}
+
+void
+PeukertBattery::recharge(Time dt)
+{
+    BPSIM_ASSERT(dt >= 0, "negative recharge interval");
+    soc_ = std::min(1.0, soc_ + toSeconds(dt) / p.rechargeTimeSec);
+}
+
+} // namespace bpsim

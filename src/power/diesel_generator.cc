@@ -1,0 +1,93 @@
+#include "power/diesel_generator.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+DieselGenerator::DieselGenerator(Simulator &sim, const Params &params)
+    : sim(sim), p(params)
+{
+    BPSIM_ASSERT(p.powerCapacityW > 0.0, "non-positive DG capacity");
+    BPSIM_ASSERT(p.startupDelaySec >= 0.0, "negative DG startup delay");
+    BPSIM_ASSERT(p.rampSteps >= 1, "DG needs at least one ramp step");
+    BPSIM_ASSERT(p.rampDurationSec >= 0.0, "negative DG ramp duration");
+    fuel = p.fuelCapacityJ > 0.0 ? p.fuelCapacityJ
+                                 : p.powerCapacityW * 24.0 * 3600.0;
+}
+
+void
+DieselGenerator::start()
+{
+    if (st != State::Off)
+        return;
+    if (fuelExhausted()) {
+        warn("DG start requested with an empty tank");
+        return;
+    }
+    st = State::Starting;
+    pendingEvent = sim.schedule(fromSeconds(p.startupDelaySec),
+                                [this] { becomeOnline(); }, "dg-online",
+                                EventPriority::Power);
+}
+
+void
+DieselGenerator::stop()
+{
+    pendingEvent.cancel();
+    st = State::Off;
+    fraction = 0.0;
+    stepsDone = 0;
+}
+
+void
+DieselGenerator::becomeOnline()
+{
+    BPSIM_ASSERT(st == State::Starting, "DG came online from state %d",
+                 static_cast<int>(st));
+    st = State::Online;
+    stepsDone = 0;
+    advanceRamp();
+}
+
+void
+DieselGenerator::advanceRamp()
+{
+    if (st != State::Online)
+        return;
+    ++stepsDone;
+    fraction = std::min(
+        1.0, static_cast<double>(stepsDone) /
+                 static_cast<double>(p.rampSteps));
+    if (rampFn)
+        rampFn();
+    if (stepsDone < p.rampSteps) {
+        const double step_sec =
+            p.rampDurationSec / static_cast<double>(p.rampSteps);
+        pendingEvent = sim.schedule(fromSeconds(step_sec),
+                                    [this] { advanceRamp(); }, "dg-ramp",
+                                    EventPriority::Power);
+    }
+}
+
+Watts
+DieselGenerator::availablePowerW(Watts load) const
+{
+    if (st != State::Online || fuelExhausted())
+        return 0.0;
+    return std::min(p.powerCapacityW, load * fraction);
+}
+
+void
+DieselGenerator::consume(Watts load, Time dt)
+{
+    BPSIM_ASSERT(dt >= 0, "negative DG consume interval");
+    if (load <= 0.0 || dt == 0)
+        return;
+    BPSIM_ASSERT(st == State::Online, "consuming from a DG that is not on");
+    fuel = std::max(0.0, fuel - energyOver(load, dt));
+}
+
+} // namespace bpsim

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The datacenter power-delivery path (Figure 2 of the paper):
+ *
+ *     utility substation -> ATS -> PDU -> racks
+ *                            |
+ *                     diesel generator
+ *     rack-level UPS (offline) bridging transfers
+ *
+ * PowerHierarchy arbitrates which source carries the IT load at every
+ * instant, integrates battery/fuel consumption analytically between
+ * events, and notifies listeners of the power events that drive the
+ * outage-handling techniques: outage start, abrupt power loss, DG
+ * takeover, backup depletion, and utility restoration.
+ */
+
+#ifndef BPSIM_POWER_POWER_HIERARCHY_HH
+#define BPSIM_POWER_POWER_HIERARCHY_HH
+
+#include <memory>
+#include <vector>
+
+#include "power/ats.hh"
+#include "power/diesel_generator.hh"
+#include "power/meter.hh"
+#include "power/ups.hh"
+#include "power/utility.hh"
+#include "sim/simulator.hh"
+#include "sim/types.hh"
+
+namespace bpsim
+{
+
+/** Arbiter of utility / UPS battery / diesel supply for the IT load. */
+class PowerHierarchy
+{
+  public:
+    /** Which source(s) carry the load right now. */
+    enum class Mode
+    {
+        /** Utility energized and carrying everything. */
+        OnUtility,
+        /** Utility just failed; PSU capacitance riding through. */
+        RideThrough,
+        /** UPS battery carrying the load (DG may be ramping). */
+        OnBattery,
+        /** DG fully carrying the load. */
+        OnDg,
+        /** No source can carry the load: servers are dark. */
+        Dead,
+    };
+
+    /** Physical composition of the backup infrastructure. */
+    struct Config
+    {
+        /** UPS present? (NoUPS / MinCost configurations omit it.) */
+        bool hasUps = true;
+        /** UPS electrical parameters. */
+        Ups::Params ups;
+        /** DG present? (NoDG-style configurations omit it.) */
+        bool hasDg = true;
+        /** DG parameters. */
+        DieselGenerator::Params dg;
+        /** ATS parameters. */
+        Ats::Params ats;
+        /** Server PSU capacitance ride-through (seconds, ~30 ms). */
+        double psuRideThroughSec = 0.030;
+        /**
+         * Peak-shaving threshold (watts; 0 disables): during *normal*
+         * operation, load above this is sourced from the UPS battery —
+         * the "normal under-provisioning" dual use the paper contrasts
+         * with backup under-provisioning (its Section 2: batteries used
+         * for peak suppression are called on far more often, and an
+         * outage can arrive with a partially drained string).
+         */
+        Watts peakShaveThresholdW = 0.0;
+    };
+
+    /** Observer of power-delivery events. */
+    class Listener
+    {
+      public:
+        virtual ~Listener() = default;
+        /** Utility lost; backup path (if any) engaging. */
+        virtual void outageStarted(Time) {}
+        /** The IT load abruptly lost power (volatile state gone). */
+        virtual void powerLost(Time) {}
+        /** The DG is now fully carrying the load. */
+        virtual void dgCarrying(Time) {}
+        /** UPS battery ran dry while it was needed. */
+        virtual void backupDepleted(Time) {}
+        /** Utility back; everything supplied normally again. */
+        virtual void utilityRestored(Time) {}
+    };
+
+    PowerHierarchy(Simulator &sim, Utility &utility, const Config &config);
+
+    /** Register an observer (not owned). */
+    void addListener(Listener *l) { listeners.push_back(l); }
+
+    /** Update the aggregate IT power demand (watts). */
+    void setLoad(Watts w);
+
+    /** Current aggregate IT power demand. */
+    Watts load() const { return load_; }
+
+    /** Current supply mode. */
+    Mode mode() const { return mode_; }
+
+    /** True while the IT load is actually being supplied. */
+    bool powered() const;
+
+    /** The UPS, or nullptr when not provisioned. */
+    Ups *ups() { return ups_.get(); }
+    const Ups *ups() const { return ups_.get(); }
+
+    /** The DG, or nullptr when not provisioned. */
+    DieselGenerator *dg() { return dg_.get(); }
+    const DieselGenerator *dg() const { return dg_.get(); }
+
+    /** Metered supply history. */
+    const PowerMeter &meter() const { return meter_; }
+
+    /** Remaining battery time at the present mix; kTimeNever if idle. */
+    Time timeToBatteryEmpty() const;
+
+    /** Number of abrupt power-loss events so far. */
+    int powerLossCount() const { return losses; }
+
+    /** Static configuration. */
+    const Config &config() const { return cfg; }
+
+  private:
+    void utilityFailed();
+    void utilityRestored();
+    void afterRideThrough();
+    void onBatteryEmpty();
+    void onDgRampChange();
+    void onFuelExhausted();
+
+    /** Integrate battery/fuel flows since the last sync at the old mix. */
+    void sync();
+
+    /** Recompute the source mix for the current state; reschedule. */
+    void recomputeMix();
+
+    /** Transition to Dead and tell everyone the load lost power. */
+    void losePower();
+
+    void notifyOutage();
+    void notifyRestored();
+
+    Simulator &sim;
+    Utility &utility;
+    Config cfg;
+    std::unique_ptr<Ups> ups_;
+    std::unique_ptr<DieselGenerator> dg_;
+    Ats ats;
+    PowerMeter meter_;
+    std::vector<Listener *> listeners;
+
+    Mode mode_ = Mode::OnUtility;
+    Watts load_ = 0.0;
+    Watts batteryShare = 0.0;
+    Watts dgShare = 0.0;
+    Time lastSync = 0;
+    int losses = 0;
+    EventHandle rideThroughEv;
+    EventHandle depletionEv;
+    EventHandle fuelEv;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_POWER_POWER_HIERARCHY_HH

@@ -1,0 +1,46 @@
+#include "power/ups.hh"
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+PeukertBattery::Params
+batteryParamsFor(const Ups::Params &p)
+{
+    PeukertBattery::Params bp;
+    bp.ratedPowerW = p.powerCapacityW;
+    bp.runtimeAtRatedSec = p.runtimeAtRatedSec;
+    bp.peukertExponent = p.peukertExponent;
+    bp.rechargeTimeSec = p.rechargeTimeSec;
+    return bp;
+}
+
+} // namespace
+
+Ups::Ups(const Params &params) : p(params), bat(batteryParamsFor(params))
+{
+    BPSIM_ASSERT(p.powerCapacityW > 0.0, "non-positive UPS capacity");
+    BPSIM_ASSERT(p.transferDelaySec >= 0.0, "negative transfer delay");
+    BPSIM_ASSERT(p.onlineEfficiency > 0.0 && p.onlineEfficiency <= 1.0,
+                 "online efficiency %g out of (0, 1]", p.onlineEfficiency);
+}
+
+Time
+Ups::transferDelay() const
+{
+    return p.placement == Placement::Online
+               ? 0
+               : fromSeconds(p.transferDelaySec);
+}
+
+bool
+Ups::canCarry(Watts load) const
+{
+    return load <= p.powerCapacityW * (1.0 + 1e-9);
+}
+
+} // namespace bpsim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * UPS unit: power electronics wrapping a battery string.
+ *
+ * Today's datacenters (Facebook/Microsoft rack-level designs cited by the
+ * paper) prefer *offline* UPS placement: the unit is bypassed in normal
+ * operation and switches the load onto its battery within ~10 ms of
+ * detecting a utility failure — comfortably inside the ~30 ms of PSU
+ * capacitance ride-through, so the switch is seamless. An *online*
+ * (double-conversion) configuration is also modelled for completeness;
+ * it transfers instantly but pays a conversion-efficiency tax during
+ * normal operation.
+ */
+
+#ifndef BPSIM_POWER_UPS_HH
+#define BPSIM_POWER_UPS_HH
+
+#include "power/battery.hh"
+#include "sim/types.hh"
+
+namespace bpsim
+{
+
+/** UPS unit: transfer behaviour plus a Peukert battery string. */
+class Ups
+{
+  public:
+    /** Electrical placement of the UPS relative to the load path. */
+    enum class Placement
+    {
+        /** In parallel; switches in on failure (preferred, ~10 ms). */
+        Offline,
+        /** In series (double conversion); zero-delay transfer. */
+        Online,
+    };
+
+    /** Static parameters of the UPS unit. */
+    struct Params
+    {
+        /** Peak deliverable power (watts). */
+        Watts powerCapacityW = 250e3;
+        /**
+         * Battery runtime at full rated load (seconds). The paper's
+         * FreeRunTime base capacity is 2 minutes; larger values model
+         * added battery modules (the LargeEUPS-style configurations).
+         */
+        double runtimeAtRatedSec = 120.0;
+        /** Peukert exponent; 0 selects the Figure 3 fit. */
+        double peukertExponent = 0.0;
+        /** Placement (offline by default, as in the paper). */
+        Placement placement = Placement::Offline;
+        /** Failure-detection + switch-in delay for offline units (s). */
+        double transferDelaySec = 0.010;
+        /** Double-conversion efficiency for online units. */
+        double onlineEfficiency = 0.94;
+        /** Battery recharge time from empty (seconds). */
+        double rechargeTimeSec = 4.0 * 3600.0;
+    };
+
+    explicit Ups(const Params &params);
+
+    /** Static parameters. */
+    const Params &params() const { return p; }
+
+    /** The battery string. */
+    PeukertBattery &battery() { return bat; }
+    const PeukertBattery &battery() const { return bat; }
+
+    /** Delay between utility failure and the UPS carrying the load. */
+    Time transferDelay() const;
+
+    /** True if @p load is within the unit's power rating. */
+    bool canCarry(Watts load) const;
+
+    /** Remaining battery runtime sustaining @p load. */
+    Time timeToEmpty(Watts load) const { return bat.timeToEmpty(load); }
+
+    /** Source @p load from the battery for @p dt. */
+    void discharge(Watts load, Time dt) { bat.discharge(load, dt); }
+
+    /** Recharge the battery for @p dt (utility active). */
+    void recharge(Time dt) { bat.recharge(dt); }
+
+    /** Nameplate battery energy (paper convention), kWh. */
+    double energyCapacityKwh() const { return bat.nominalEnergyKwh(); }
+
+  private:
+    Params p;
+    PeukertBattery bat;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_POWER_UPS_HH

@@ -1,0 +1,42 @@
+#include "power/utility.hh"
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+void
+Utility::scheduleOutage(Time start, Time duration)
+{
+    BPSIM_ASSERT(duration > 0, "outage duration must be positive");
+    BPSIM_ASSERT(start >= sim.now(), "outage scheduled in the past");
+    BPSIM_ASSERT(start >= lastScheduledEnd,
+                 "outage at %lld overlaps one ending at %lld",
+                 static_cast<long long>(start),
+                 static_cast<long long>(lastScheduledEnd));
+    lastScheduledEnd = start + duration;
+    sim.at(start, [this] { fail(); }, "utility-fail", EventPriority::Power);
+    sim.at(start + duration, [this] { restore(); }, "utility-restore",
+           EventPriority::Power);
+}
+
+void
+Utility::fail()
+{
+    BPSIM_ASSERT(up, "utility failed while already down");
+    up = false;
+    ++outages;
+    for (auto &fn : failFns)
+        fn();
+}
+
+void
+Utility::restore()
+{
+    BPSIM_ASSERT(!up, "utility restored while already up");
+    up = true;
+    for (auto &fn : restoreFns)
+        fn();
+}
+
+} // namespace bpsim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The utility feed: a primary power source interrupted by scheduled
+ * outages.
+ *
+ * The paper assumes a single utility connection (its footnote 1), so the
+ * model is a boolean availability signal driven by an outage schedule.
+ * Consumers register callbacks that fire inside the simulation when the
+ * feed fails or returns.
+ */
+
+#ifndef BPSIM_POWER_UTILITY_HH
+#define BPSIM_POWER_UTILITY_HH
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sim/types.hh"
+
+namespace bpsim
+{
+
+/** Single-feed utility supply with a scheduled outage list. */
+class Utility
+{
+  public:
+    explicit Utility(Simulator &sim) : sim(sim) {}
+
+    /** True while the feed is energized. */
+    bool available() const { return up; }
+
+    /**
+     * Schedule an outage beginning at absolute time @p start lasting
+     * @p duration. Outages must not overlap; both callbacks fire inside
+     * the simulation. A zero duration is rejected.
+     */
+    void scheduleOutage(Time start, Time duration);
+
+    /** Register the failure callback (utility lost). */
+    void onFail(std::function<void()> fn) { failFns.push_back(fn); }
+
+    /** Register the restore callback (utility back). */
+    void onRestore(std::function<void()> fn) { restoreFns.push_back(fn); }
+
+    /** Number of outages that have begun so far. */
+    int outagesSeen() const { return outages; }
+
+  private:
+    void fail();
+    void restore();
+
+    Simulator &sim;
+    bool up = true;
+    Time lastScheduledEnd = 0;
+    int outages = 0;
+    std::vector<std::function<void()>> failFns;
+    std::vector<std::function<void()>> restoreFns;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_POWER_UTILITY_HH

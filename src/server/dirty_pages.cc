@@ -1,0 +1,67 @@
+#include "server/dirty_pages.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+DirtyPageModel::DirtyPageModel(const Params &params) : p(params)
+{
+    BPSIM_ASSERT(p.totalStateBytes >= 0.0, "negative state size");
+    BPSIM_ASSERT(p.hotSetBytes >= 0.0, "negative hot set");
+    BPSIM_ASSERT(p.hotSetBytes <= p.totalStateBytes + 1e-9,
+                 "hot set %g exceeds total state %g", p.hotSetBytes,
+                 p.totalStateBytes);
+    BPSIM_ASSERT(p.dirtyRateBytesPerSec >= 0.0, "negative dirty rate");
+}
+
+double
+DirtyPageModel::dirtyAfter(Time dt) const
+{
+    BPSIM_ASSERT(dt >= 0, "negative interval");
+    return std::min(p.hotSetBytes, p.dirtyRateBytesPerSec * toSeconds(dt));
+}
+
+DirtyPageModel::CopyPlan
+DirtyPageModel::iterativeCopy(double initial_bytes, double bw_bytes_per_sec,
+                              double stop_threshold_bytes,
+                              int max_rounds) const
+{
+    BPSIM_ASSERT(bw_bytes_per_sec > 0.0, "non-positive copy bandwidth");
+    BPSIM_ASSERT(max_rounds >= 1, "need at least one copy round");
+    CopyPlan plan;
+    double pending = std::max(0.0, initial_bytes);
+    for (int round = 0; round < max_rounds; ++round) {
+        const double round_sec = pending / bw_bytes_per_sec;
+        plan.totalTime += fromSeconds(round_sec);
+        plan.bytesMoved += pending;
+        plan.finalRoundBytes = pending;
+        ++plan.rounds;
+        // Pages dirtied while this round was in flight form the next.
+        const double next = dirtyAfter(fromSeconds(round_sec));
+        if (next <= stop_threshold_bytes || next >= pending) {
+            // Converged (or stopped converging): stop-and-copy `next`.
+            if (next > 0.0) {
+                plan.totalTime += fromSeconds(next / bw_bytes_per_sec);
+                plan.bytesMoved += next;
+                plan.finalRoundBytes = next;
+                ++plan.rounds;
+            }
+            plan.converged = next <= stop_threshold_bytes;
+            return plan;
+        }
+        pending = next;
+    }
+    plan.converged = false;
+    return plan;
+}
+
+double
+DirtyPageModel::residualAfterPeriodicFlush(Time period) const
+{
+    return dirtyAfter(period);
+}
+
+} // namespace bpsim

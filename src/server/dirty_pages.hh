@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Dirty-page dynamics for migration and proactive state-flushing.
+ *
+ * Live migration (Xen-style iterative pre-copy) and the proactive
+ * techniques (Remus-style periodic flushing) both hinge on how fast an
+ * application re-dirties its memory: each copy round transfers the pages
+ * dirtied during the previous round, so total migration time follows a
+ * geometric series governed by dirty-rate / link-bandwidth, and the
+ * steady-state residual after periodic flushing is bounded by the hot
+ * working set.
+ */
+
+#ifndef BPSIM_SERVER_DIRTY_PAGES_HH
+#define BPSIM_SERVER_DIRTY_PAGES_HH
+
+#include "sim/types.hh"
+
+namespace bpsim
+{
+
+/** Analytic dirty-page model of one application's memory image. */
+class DirtyPageModel
+{
+  public:
+    /** Static parameters. */
+    struct Params
+    {
+        /** Total volatile state that exists to be moved (bytes). */
+        double totalStateBytes = 18e9;
+        /**
+         * Hot working set: the pool of pages that gets re-dirtied
+         * (bytes). Read-mostly workloads have small hot sets.
+         */
+        double hotSetBytes = 2e9;
+        /** Rate at which hot pages are re-dirtied (bytes/second). */
+        double dirtyRateBytesPerSec = 50e6;
+    };
+
+    DirtyPageModel() : DirtyPageModel(Params{}) {}
+    explicit DirtyPageModel(const Params &params);
+
+    /** Static parameters. */
+    const Params &params() const { return p; }
+
+    /** Bytes dirtied @p dt after a full synchronization (saturating). */
+    double dirtyAfter(Time dt) const;
+
+    /**
+     * Result of an iterative pre-copy transfer.
+     */
+    struct CopyPlan
+    {
+        /** Wall-clock time for all rounds (simulated Time). */
+        Time totalTime = 0;
+        /** Total bytes moved across rounds. */
+        double bytesMoved = 0.0;
+        /** Bytes in the final stop-and-copy round. */
+        double finalRoundBytes = 0.0;
+        /** Number of copy rounds, including the final one. */
+        int rounds = 0;
+        /** True if the loop converged below the stop threshold. */
+        bool converged = false;
+    };
+
+    /**
+     * Plan an iterative pre-copy of @p initial_bytes over a link of
+     * @p bw_bytes_per_sec, stopping when a round falls below
+     * @p stop_threshold_bytes or after @p max_rounds rounds (then a
+     * stop-and-copy of whatever remains dirty).
+     */
+    CopyPlan iterativeCopy(double initial_bytes, double bw_bytes_per_sec,
+                           double stop_threshold_bytes = 256e6,
+                           int max_rounds = 10) const;
+
+    /**
+     * Steady-state residual dirty bytes when the image is re-flushed
+     * every @p period: the state that must still be moved after a
+     * failure under the proactive techniques.
+     */
+    double residualAfterPeriodicFlush(Time period) const;
+
+  private:
+    Params p;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_SERVER_DIRTY_PAGES_HH

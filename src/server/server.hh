@@ -1,0 +1,143 @@
+/**
+ * @file
+ * One server's power-state machine.
+ *
+ * The server owns its electrical state (P/T-state knobs, utilization,
+ * sleep/hibernate/boot transitions) and reports its instantaneous draw.
+ * Transition *durations* are supplied by the caller (they depend on how
+ * much application state must be saved and how throttled the machine
+ * is), which is exactly how the outage-handling techniques interact
+ * with the hardware in the paper. Abrupt power loss in any
+ * volatile-state-holding condition loses that state.
+ */
+
+#ifndef BPSIM_SERVER_SERVER_HH
+#define BPSIM_SERVER_SERVER_HH
+
+#include <functional>
+#include <string>
+
+#include "server/server_model.hh"
+#include "sim/simulator.hh"
+#include "sim/types.hh"
+
+namespace bpsim
+{
+
+/** Power/operational state of one server. */
+enum class ServerState
+{
+    /** Powered down, no volatile state. */
+    Off,
+    /** Firmware + OS boot in progress. */
+    Booting,
+    /** OS up; application runnable. */
+    Active,
+    /** Suspend-to-RAM transition in progress. */
+    EnteringSleep,
+    /** S3: DRAM in self-refresh, everything else off. */
+    Sleeping,
+    /** Resuming from S3. */
+    Waking,
+    /** Writing volatile state to local persistent storage. */
+    SavingToDisk,
+    /** State persisted; machine fully off. */
+    Hibernated,
+    /** Reading persisted state back from disk. */
+    ResumingFromDisk,
+    /** Lost power abruptly: off, volatile state gone. */
+    Crashed,
+};
+
+/** Human-readable state name (for traces and test failures). */
+const char *serverStateName(ServerState s);
+
+/** A single server: power knobs + state machine. */
+class Server
+{
+  public:
+    Server(Simulator &sim, const ServerModel &model, int id);
+
+    /** Stable identifier within the cluster. */
+    int id() const { return id_; }
+
+    /** The electrical model. */
+    const ServerModel &model() const { return model_; }
+
+    /** Current state. */
+    ServerState state() const { return st; }
+
+    /** Instantaneous electrical draw (watts). */
+    Watts powerW() const;
+
+    /** True in any state where DRAM contents survive. */
+    bool holdsVolatileState() const;
+
+    /** True if the last transition to Off was an abrupt crash. */
+    bool crashed() const { return st == ServerState::Crashed; }
+
+    /**
+     * Register the change hook; fired after every state or knob change
+     * so the cluster can re-aggregate power and performance.
+     */
+    void onChange(std::function<void()> fn) { changeFn = std::move(fn); }
+
+    /** @name Performance/power knobs (valid while Active) */
+    ///@{
+    /** Select DVFS state 0 (fastest) .. pStates-1. */
+    void setPState(int pstate);
+    /** Select throttle state 0 (full duty) .. tStates-1. */
+    void setTState(int tstate);
+    /** Offered utilization in [0, 1]. */
+    void setUtilization(double u);
+    int pstate() const { return pstate_; }
+    int tstate() const { return tstate_; }
+    double utilization() const { return util; }
+    ///@}
+
+    /** @name Transitions (durations supplied by the caller) */
+    ///@{
+    /**
+     * Jump straight to Active at full speed. Initialization-only
+     * helper for starting simulations in steady state.
+     */
+    void primeActive();
+    /** Off/Crashed -> Booting -> Active after @p boot_time. */
+    void boot(Time boot_time);
+    /** Graceful power-off from Active (consolidation shutdown). */
+    void shutdown();
+    /** Active -> EnteringSleep -> Sleeping after @p transition. */
+    void enterSleep(Time transition);
+    /** Sleeping -> Waking -> Active after @p resume. */
+    void wake(Time resume);
+    /** Active -> SavingToDisk -> Hibernated after @p save_time. */
+    void saveToDisk(Time save_time);
+    /** Hibernated -> ResumingFromDisk -> Active after @p resume_time. */
+    void resumeFromDisk(Time resume_time);
+    /**
+     * Abrupt power loss. Any in-DRAM state is gone; an interrupted
+     * save-to-disk loses the partially-written image. Hibernated and
+     * Off machines are unaffected.
+     */
+    void crash();
+    ///@}
+
+  private:
+    void completeTransition(ServerState target, std::uint64_t token);
+    void notify();
+
+    Simulator &sim;
+    ServerModel model_;
+    int id_;
+    ServerState st = ServerState::Off;
+    int pstate_ = 0;
+    int tstate_ = 0;
+    double util = 1.0;
+    EventHandle pending;
+    std::uint64_t transitionToken = 0;
+    std::function<void()> changeFn;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_SERVER_SERVER_HH

@@ -1,0 +1,68 @@
+#include "server/server_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+ServerModel::ServerModel(const Params &params) : p(params)
+{
+    BPSIM_ASSERT(p.peakPowerW > p.idlePowerW,
+                 "peak power %g must exceed idle power %g", p.peakPowerW,
+                 p.idlePowerW);
+    BPSIM_ASSERT(p.pStates >= 1 && p.tStates >= 1, "need >= 1 power state");
+    BPSIM_ASSERT(p.minFreqRatio > 0.0 && p.minFreqRatio <= 1.0,
+                 "min frequency ratio %g out of (0, 1]", p.minFreqRatio);
+    BPSIM_ASSERT(p.sleepPowerW >= 0.0 && p.sleepPowerW <= p.idlePowerW,
+                 "implausible sleep power %g", p.sleepPowerW);
+}
+
+double
+ServerModel::freqRatio(int pstate) const
+{
+    BPSIM_ASSERT(pstate >= 0 && pstate < p.pStates, "P-state %d out of range",
+                 pstate);
+    if (p.pStates == 1)
+        return 1.0;
+    const double step = (1.0 - p.minFreqRatio) /
+                        static_cast<double>(p.pStates - 1);
+    return 1.0 - step * static_cast<double>(pstate);
+}
+
+double
+ServerModel::dutyRatio(int tstate) const
+{
+    BPSIM_ASSERT(tstate >= 0 && tstate < p.tStates, "T-state %d out of range",
+                 tstate);
+    return static_cast<double>(p.tStates - tstate) /
+           static_cast<double>(p.tStates);
+}
+
+Watts
+ServerModel::activePowerW(int pstate, int tstate, double utilization) const
+{
+    BPSIM_ASSERT(utilization >= 0.0 && utilization <= 1.0,
+                 "utilization %g out of [0, 1]", utilization);
+    const double freq = freqRatio(pstate);
+    const double duty = dutyRatio(tstate);
+    const double dynamic_frac =
+        utilization * duty * std::pow(freq, p.dvfsPowerExponent);
+    return p.idlePowerW + (p.peakPowerW - p.idlePowerW) * dynamic_frac;
+}
+
+Watts
+ServerModel::minActivePowerW() const
+{
+    return activePowerW(p.pStates - 1, p.tStates - 1, 1.0);
+}
+
+double
+ServerModel::nicBytesPerSec() const
+{
+    return p.nicGbps * 1e9 / 8.0 * p.nicEfficiency;
+}
+
+} // namespace bpsim

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Static electrical and mechanical model of one datacenter server.
+ *
+ * Calibrated to the paper's testbed (Section 6): dual-socket 6-core
+ * 3.4 GHz parts, 64 GB DRAM, 1 Gbps Ethernet, ~80 W idle, ~250 W peak,
+ * 7 DVFS P-states and 8 clock-throttling T-states, S3 sleep around 5 W
+ * (2-4 W per DIMM of self-refresh plus standby logic).
+ */
+
+#ifndef BPSIM_SERVER_SERVER_MODEL_HH
+#define BPSIM_SERVER_SERVER_MODEL_HH
+
+#include "sim/types.hh"
+
+namespace bpsim
+{
+
+/** Immutable per-SKU server parameters and power curves. */
+class ServerModel
+{
+  public:
+    /** Static parameters. */
+    struct Params
+    {
+        /** Idle power with all components on (watts). */
+        Watts idlePowerW = 80.0;
+        /** Measured peak draw at full load (watts). */
+        Watts peakPowerW = 250.0;
+        /** Draw while booting (firmware + OS load), watts. */
+        Watts bootPowerW = 150.0;
+        /** S3 suspend-to-RAM draw (watts). */
+        Watts sleepPowerW = 5.0;
+        /** Number of DVFS P-states (index 0 = fastest). */
+        int pStates = 7;
+        /** Number of clock-throttling T-states (index 0 = full duty). */
+        int tStates = 8;
+        /** Slowest P-state frequency as a fraction of nominal. */
+        double minFreqRatio = 1.6 / 3.4;
+        /** Exponent relating frequency to dynamic power (v ~ f). */
+        double dvfsPowerExponent = 2.5;
+        /** Installed DRAM (gigabytes). */
+        double memoryGb = 64.0;
+        /** Core count across sockets. */
+        int cores = 12;
+        /** Cold boot to login (seconds). */
+        double bootTimeSec = 120.0;
+        /** Sequential disk write bandwidth (MB/s). */
+        double diskWriteMBps = 80.0;
+        /** Sequential disk read bandwidth (MB/s). */
+        double diskReadMBps = 115.0;
+        /** Network line rate (Gb/s). */
+        double nicGbps = 1.0;
+        /** Achievable fraction of NIC line rate for bulk transfer. */
+        double nicEfficiency = 0.85;
+        /**
+         * NVDIMM-equipped memory (Section 7): a super-capacitor
+         * flushes DRAM to on-DIMM flash *after* power is cut, so the
+         * machine needs no external backup power to preserve volatile
+         * state, and an abrupt power loss persists rather than
+         * destroys it.
+         */
+        bool nvdimm = false;
+        /** DRAM restore bandwidth from on-DIMM flash (MB/s). */
+        double nvdimmRestoreMBps = 1000.0;
+    };
+
+    ServerModel() : ServerModel(Params{}) {}
+    explicit ServerModel(const Params &params);
+
+    /** Static parameters. */
+    const Params &params() const { return p; }
+
+    /** Frequency of P-state @p pstate as a fraction of nominal. */
+    double freqRatio(int pstate) const;
+
+    /** Duty cycle of T-state @p tstate as a fraction of full speed. */
+    double dutyRatio(int tstate) const;
+
+    /**
+     * Electrical draw in an active state.
+     *
+     * @param pstate       DVFS state, 0 (fastest) .. pStates-1.
+     * @param tstate       Throttle state, 0 (full duty) .. tStates-1.
+     * @param utilization  Offered CPU load in [0, 1].
+     */
+    Watts activePowerW(int pstate, int tstate, double utilization) const;
+
+    /** Deepest-throttle active draw at full load (floor of DVFS+T). */
+    Watts minActivePowerW() const;
+
+    /** Effective bulk-transfer NIC bandwidth (bytes/second). */
+    double nicBytesPerSec() const;
+
+    /** Sequential write bandwidth (bytes/second). */
+    double diskWriteBytesPerSec() const { return p.diskWriteMBps * 1e6; }
+
+    /** Sequential read bandwidth (bytes/second). */
+    double diskReadBytesPerSec() const { return p.diskReadMBps * 1e6; }
+
+  private:
+    Params p;
+};
+
+/** Gigabytes to bytes. */
+constexpr double
+gbToBytes(double gb)
+{
+    return gb * 1e9;
+}
+
+} // namespace bpsim
+
+#endif // BPSIM_SERVER_SERVER_MODEL_HH

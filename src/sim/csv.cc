@@ -1,0 +1,75 @@
+#include "sim/csv.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+void
+writeHeader(std::ostream &os, const std::vector<CsvSeries> &series)
+{
+    os << "time_s";
+    for (const auto &s : series)
+        os << ',' << s.name;
+    os << '\n';
+}
+
+void
+writeRow(std::ostream &os, const std::vector<CsvSeries> &series, Time t)
+{
+    os << toSeconds(t);
+    for (const auto &s : series)
+        os << ',' << s.timeline->valueAt(t);
+    os << '\n';
+}
+
+void
+checkArgs(const std::vector<CsvSeries> &series, Time from, Time to)
+{
+    BPSIM_ASSERT(!series.empty(), "no series to export");
+    for (const auto &s : series)
+        BPSIM_ASSERT(s.timeline != nullptr, "null timeline for '%s'",
+                     s.name.c_str());
+    BPSIM_ASSERT(from <= to, "inverted export window");
+}
+
+} // namespace
+
+void
+writeTimelinesCsv(std::ostream &os, const std::vector<CsvSeries> &series,
+                  Time from, Time to)
+{
+    checkArgs(series, from, to);
+    std::set<Time> instants;
+    instants.insert(from);
+    for (const auto &s : series) {
+        for (const auto &sample : s.timeline->samples()) {
+            if (sample.at >= from && sample.at <= to)
+                instants.insert(sample.at);
+        }
+    }
+    instants.insert(to);
+    writeHeader(os, series);
+    for (Time t : instants)
+        writeRow(os, series, t);
+}
+
+void
+writeSampledCsv(std::ostream &os, const std::vector<CsvSeries> &series,
+                Time from, Time to, Time period)
+{
+    checkArgs(series, from, to);
+    BPSIM_ASSERT(period > 0, "non-positive sampling period");
+    writeHeader(os, series);
+    for (Time t = from; t < to; t += period)
+        writeRow(os, series, t);
+    writeRow(os, series, to);
+}
+
+} // namespace bpsim

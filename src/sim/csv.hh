@@ -1,0 +1,51 @@
+/**
+ * @file
+ * CSV export for piecewise-constant timelines.
+ *
+ * Turns a set of named Timelines (power trace, performance,
+ * availability, ...) into a step-aligned CSV for external plotting:
+ * one row per instant at which any signal changes, every signal
+ * column carrying its value from that instant on. An optional uniform
+ * resampling mode emits fixed-period rows instead, which some plotting
+ * tools prefer.
+ */
+
+#ifndef BPSIM_SIM_CSV_HH
+#define BPSIM_SIM_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/timeline.hh"
+
+namespace bpsim
+{
+
+/** One named signal column. */
+struct CsvSeries
+{
+    std::string name;
+    const Timeline *timeline;
+};
+
+/**
+ * Write a step-change CSV: header `time_s,<names...>`, one row per
+ * distinct change time across all series within [from, to], plus a
+ * closing row at @p to.
+ */
+void writeTimelinesCsv(std::ostream &os,
+                       const std::vector<CsvSeries> &series, Time from,
+                       Time to);
+
+/**
+ * Write a uniformly sampled CSV with rows every @p period within
+ * [from, to] (inclusive of both ends).
+ */
+void writeSampledCsv(std::ostream &os,
+                     const std::vector<CsvSeries> &series, Time from,
+                     Time to, Time period);
+
+} // namespace bpsim
+
+#endif // BPSIM_SIM_CSV_HH

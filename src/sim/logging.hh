@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers, patterned after gem5's
+ * logging conventions.
+ *
+ * panic()  - an internal invariant was violated; the simulator itself is
+ *            broken. Aborts so a core dump / debugger can be used.
+ * fatal()  - the simulation cannot continue because of a user error such
+ *            as an inconsistent configuration. Exits with status 1.
+ * warn()   - something is suspicious but the simulation can proceed.
+ * inform() - purely informational status output.
+ */
+
+#ifndef BPSIM_SIM_LOGGING_HH
+#define BPSIM_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace bpsim
+{
+
+/** Printf-style formatting into a std::string. */
+std::string formatString(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal simulator bug and abort. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Emit a non-fatal warning to stderr. */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Emit an informational message to stderr. */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() output (used by tests and benches). */
+void setQuietLogging(bool quiet);
+
+/**
+ * Assert a simulator invariant; calls panic() with location details on
+ * failure. Active in all build types, unlike the C assert macro, because
+ * model invariants guard result validity rather than debug-only checks.
+ */
+#define BPSIM_ASSERT(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::bpsim::panic("assertion '%s' failed at %s:%d: %s", #cond,     \
+                           __FILE__, __LINE__,                              \
+                           ::bpsim::formatString(__VA_ARGS__).c_str());     \
+        }                                                                   \
+    } while (0)
+
+} // namespace bpsim
+
+#endif // BPSIM_SIM_LOGGING_HH

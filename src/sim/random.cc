@@ -1,0 +1,134 @@
+#include "sim/random.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+SplitMix64::next()
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed)
+{
+    SplitMix64 sm(seed);
+    for (auto &word : s)
+        word = sm.next();
+}
+
+std::uint64_t
+Rng::nextU64()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high-quality mantissa bits -> [0, 1).
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    BPSIM_ASSERT(bound > 0, "bound must be positive");
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        std::uint64_t r = nextU64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    BPSIM_ASSERT(lo <= hi, "uniform bounds inverted: [%g, %g)", lo, hi);
+    return lo + (hi - lo) * nextDouble();
+}
+
+double
+Rng::exponential(double mean)
+{
+    BPSIM_ASSERT(mean > 0, "exponential mean must be positive, got %g", mean);
+    double u;
+    do {
+        u = nextDouble();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    BPSIM_ASSERT(stddev >= 0, "negative stddev %g", stddev);
+    double u1;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 0.0);
+    const double u2 = nextDouble();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+std::size_t
+Rng::discrete(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        BPSIM_ASSERT(w >= 0.0, "negative weight %g", w);
+        total += w;
+    }
+    BPSIM_ASSERT(total > 0.0, "discrete() needs a positive total weight");
+    double x = nextDouble() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (x < weights[i])
+            return i;
+        x -= weights[i];
+    }
+    // Floating-point accumulation may land exactly on the boundary; the
+    // last positively-weighted bucket owns it.
+    for (std::size_t i = weights.size(); i-- > 0;) {
+        if (weights[i] > 0.0)
+            return i;
+    }
+    panic("discrete(): unreachable");
+}
+
+Rng
+Rng::fork(std::uint64_t stream_id)
+{
+    // Mix the child id into a fresh seed drawn from this stream so that
+    // forked streams are decorrelated from the parent and each other.
+    SplitMix64 sm(nextU64() ^ (stream_id * 0x9e3779b97f4a7c15ull));
+    return Rng(sm.next());
+}
+
+} // namespace bpsim

@@ -1,0 +1,56 @@
+#include "sim/simulator.hh"
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+EventHandle
+Simulator::schedule(Time delay, std::function<void()> fn, std::string name,
+                    EventPriority prio)
+{
+    BPSIM_ASSERT(delay >= 0, "negative delay %lld for event '%s'",
+                 static_cast<long long>(delay), name.c_str());
+    return queue.push(now_ + delay, prio, std::move(fn), std::move(name));
+}
+
+EventHandle
+Simulator::at(Time when, std::function<void()> fn, std::string name,
+              EventPriority prio)
+{
+    BPSIM_ASSERT(when >= now_,
+                 "event '%s' scheduled in the past (%lld < %lld)",
+                 name.c_str(), static_cast<long long>(when),
+                 static_cast<long long>(now_));
+    return queue.push(when, prio, std::move(fn), std::move(name));
+}
+
+void
+Simulator::run()
+{
+    runUntil(kTimeNever);
+}
+
+void
+Simulator::runUntil(Time limit)
+{
+    BPSIM_ASSERT(!running, "re-entrant Simulator::run()");
+    running = true;
+    stopping = false;
+    while (!stopping && !queue.empty()) {
+        Time next = queue.nextTime();
+        if (next > limit)
+            break;
+        auto ev = queue.pop();
+        BPSIM_ASSERT(ev->when() >= now_, "time went backwards to %lld",
+                     static_cast<long long>(ev->when()));
+        now_ = ev->when();
+        ev->execute();
+        ++executed;
+    }
+    if (limit != kTimeNever && now_ < limit && !stopping)
+        now_ = limit;
+    running = false;
+}
+
+} // namespace bpsim

@@ -1,0 +1,118 @@
+#include "sim/timeline.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+void
+Timeline::record(Time at, double value)
+{
+    if (!steps.empty()) {
+        BPSIM_ASSERT(at >= steps.back().at,
+                     "timeline sample at %lld precedes last sample at %lld",
+                     static_cast<long long>(at),
+                     static_cast<long long>(steps.back().at));
+        if (at == steps.back().at) {
+            steps.back().value = value;
+            return;
+        }
+        if (steps.back().value == value)
+            return;
+    } else if (value == initial_) {
+        return;
+    }
+    steps.push_back({at, value});
+}
+
+double
+Timeline::valueAt(Time t) const
+{
+    // First step strictly after t; the value comes from its predecessor.
+    auto it = std::upper_bound(
+        steps.begin(), steps.end(), t,
+        [](Time lhs, const Sample &s) { return lhs < s.at; });
+    if (it == steps.begin())
+        return initial_;
+    return std::prev(it)->value;
+}
+
+double
+Timeline::lastValue() const
+{
+    return steps.empty() ? initial_ : steps.back().value;
+}
+
+template <typename Fn>
+void
+Timeline::forEachSegment(Time from, Time to, Fn &&fn) const
+{
+    BPSIM_ASSERT(from <= to, "inverted window [%lld, %lld)",
+                 static_cast<long long>(from), static_cast<long long>(to));
+    if (from == to)
+        return;
+    Time cursor = from;
+    double value = valueAt(from);
+    auto it = std::upper_bound(
+        steps.begin(), steps.end(), from,
+        [](Time lhs, const Sample &s) { return lhs < s.at; });
+    for (; it != steps.end() && it->at < to; ++it) {
+        if (it->at > cursor)
+            fn(cursor, it->at, value);
+        cursor = it->at;
+        value = it->value;
+    }
+    if (cursor < to)
+        fn(cursor, to, value);
+}
+
+double
+Timeline::integrate(Time from, Time to) const
+{
+    double total = 0.0;
+    forEachSegment(from, to, [&](Time a, Time b, double v) {
+        total += v * toSeconds(b - a);
+    });
+    return total;
+}
+
+double
+Timeline::average(Time from, Time to) const
+{
+    if (from == to)
+        return valueAt(from);
+    return integrate(from, to) / toSeconds(to - from);
+}
+
+double
+Timeline::minOver(Time from, Time to) const
+{
+    double best = valueAt(from);
+    forEachSegment(from, to,
+                   [&](Time, Time, double v) { best = std::min(best, v); });
+    return best;
+}
+
+double
+Timeline::maxOver(Time from, Time to) const
+{
+    double best = valueAt(from);
+    forEachSegment(from, to,
+                   [&](Time, Time, double v) { best = std::max(best, v); });
+    return best;
+}
+
+Time
+Timeline::timeBelow(Time from, Time to, double threshold) const
+{
+    Time below = 0;
+    forEachSegment(from, to, [&](Time a, Time b, double v) {
+        if (v < threshold)
+            below += b - a;
+    });
+    return below;
+}
+
+} // namespace bpsim

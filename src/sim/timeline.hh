@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Piecewise-constant time series.
+ *
+ * A Timeline records step changes of a scalar signal (power draw,
+ * normalized performance, ...) and answers integral / average / range
+ * queries over arbitrary windows. It is the common currency between the
+ * power substrate (load traces), the workload layer (performance traces)
+ * and the analyzers (energy, downtime and performance accounting).
+ */
+
+#ifndef BPSIM_SIM_TIMELINE_HH
+#define BPSIM_SIM_TIMELINE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace bpsim
+{
+
+/** Step-change record of a scalar signal over simulated time. */
+class Timeline
+{
+  public:
+    /** A single step: the signal holds @c value from @c at onwards. */
+    struct Sample
+    {
+        Time at;
+        double value;
+    };
+
+    /** @param initial Signal value before the first recorded sample. */
+    explicit Timeline(double initial = 0.0) : initial_(initial) {}
+
+    /**
+     * Record the signal taking a new value at @p at. Times must be
+     * non-decreasing; re-recording at the same timestamp overwrites.
+     * Recording the current value is a no-op (the series stays minimal).
+     */
+    void record(Time at, double value);
+
+    /** Signal value at time @p t (last step at or before t). */
+    double valueAt(Time t) const;
+
+    /** Most recently recorded value (or the initial value). */
+    double lastValue() const;
+
+    /** Integral of the signal over [from, to) in value * seconds. */
+    double integrate(Time from, Time to) const;
+
+    /** Time-average of the signal over [from, to). */
+    double average(Time from, Time to) const;
+
+    /** Minimum signal value attained within [from, to). */
+    double minOver(Time from, Time to) const;
+
+    /** Maximum signal value attained within [from, to). */
+    double maxOver(Time from, Time to) const;
+
+    /**
+     * Total time within [from, to) during which the signal is strictly
+     * below @p threshold. Used for downtime accounting ("time with
+     * normalized performance below x counts as down").
+     */
+    Time timeBelow(Time from, Time to, double threshold) const;
+
+    /** All recorded steps, in time order. */
+    const std::vector<Sample> &samples() const { return steps; }
+
+    /** Number of recorded steps. */
+    std::size_t size() const { return steps.size(); }
+
+  private:
+    /**
+     * Visit each constant segment overlapping [from, to) as
+     * fn(seg_from, seg_to, value).
+     */
+    template <typename Fn>
+    void forEachSegment(Time from, Time to, Fn &&fn) const;
+
+    double initial_;
+    std::vector<Sample> steps;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_SIM_TIMELINE_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fundamental simulation types and unit helpers.
+ *
+ * All simulated time is kept as a signed 64-bit count of microseconds so
+ * that simulations are exactly reproducible across platforms. Electrical
+ * quantities use doubles with explicit unit suffixes in names (watts,
+ * joules, kilowatt-hours) to keep the cost model, the power substrate and
+ * the analyzers consistent.
+ */
+
+#ifndef BPSIM_SIM_TYPES_HH
+#define BPSIM_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace bpsim
+{
+
+/** Simulated time in microseconds since the start of the simulation. */
+using Time = std::int64_t;
+
+/** Electrical power in watts. */
+using Watts = double;
+
+/** Electrical energy in joules (watt-seconds). */
+using Joules = double;
+
+/** Sentinel for "no scheduled time" / "never". */
+constexpr Time kTimeNever = std::numeric_limits<Time>::max();
+
+/** One microsecond expressed in Time units. */
+constexpr Time kMicrosecond = 1;
+/** One millisecond expressed in Time units. */
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+/** One second expressed in Time units. */
+constexpr Time kSecond = 1000 * kMillisecond;
+/** One minute expressed in Time units. */
+constexpr Time kMinute = 60 * kSecond;
+/** One hour expressed in Time units. */
+constexpr Time kHour = 60 * kMinute;
+
+/** Convert a floating-point second count to simulated Time. */
+constexpr Time
+fromSeconds(double s)
+{
+    return static_cast<Time>(s * static_cast<double>(kSecond));
+}
+
+/** Convert a floating-point minute count to simulated Time. */
+constexpr Time
+fromMinutes(double m)
+{
+    return fromSeconds(m * 60.0);
+}
+
+/** Convert a floating-point hour count to simulated Time. */
+constexpr Time
+fromHours(double h)
+{
+    return fromSeconds(h * 3600.0);
+}
+
+/** Convert simulated Time to floating-point seconds. */
+constexpr double
+toSeconds(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/** Convert simulated Time to floating-point minutes. */
+constexpr double
+toMinutes(Time t)
+{
+    return toSeconds(t) / 60.0;
+}
+
+/** Convert simulated Time to floating-point hours. */
+constexpr double
+toHours(Time t)
+{
+    return toSeconds(t) / 3600.0;
+}
+
+/** Convert joules to kilowatt-hours. */
+constexpr double
+joulesToKwh(Joules j)
+{
+    return j / 3.6e6;
+}
+
+/** Convert kilowatt-hours to joules. */
+constexpr Joules
+kwhToJoules(double kwh)
+{
+    return kwh * 3.6e6;
+}
+
+/** Energy (joules) of a constant power draw over a simulated interval. */
+constexpr Joules
+energyOver(Watts p, Time dt)
+{
+    return p * toSeconds(dt);
+}
+
+} // namespace bpsim
+
+#endif // BPSIM_SIM_TYPES_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Online adaptive outage handling (Section 7: "how do we deal with
+ * unknown outage duration?").
+ *
+ * Unlike the static techniques — which are configured for a known
+ * outage duration — this policy observes the outage as it evolves.
+ * Every poll it consults the Markov-chain duration predictor: given
+ * how long the outage has already lasted and how much battery runway
+ * each operating level (full speed / half-power / deepest DVFS) has
+ * left, it picks the highest-performance level whose runway will, with
+ * bounded risk, cover the remaining outage plus a state-save reserve.
+ * When no level is safe it suspends the cluster (Sleep-L) while there
+ * is still energy to do so.
+ */
+
+#ifndef BPSIM_TECHNIQUE_ADAPTIVE_HH
+#define BPSIM_TECHNIQUE_ADAPTIVE_HH
+
+#include <vector>
+
+#include "outage/predictor.hh"
+#include "technique/technique.hh"
+
+namespace bpsim
+{
+
+/** Predictor-driven dynamic escalation technique. */
+class AdaptiveTechnique : public Technique
+{
+  public:
+    /**
+     * @param predictor        Duration predictor (historic outage data).
+     * @param risk_tolerance   Acceptable probability that the outage
+     *                         outlasts the chosen level's runway.
+     * @param poll_period_sec  Re-evaluation period during an outage.
+     */
+    AdaptiveTechnique(OutagePredictor predictor, double risk_tolerance,
+                      double poll_period_sec = 30.0);
+
+    Time takeEffectTime(const Cluster &) const override
+    {
+        return 50 * kMicrosecond; // first decision is a throttle write
+    }
+
+    /** Number of times the policy moved to a deeper level. */
+    int escalations() const { return escalations_; }
+
+    /** True if the policy ended up suspending the cluster. */
+    bool suspended() const { return suspended_; }
+
+  protected:
+    void onOutage(Time now) override;
+    void onRestore(Time now) override;
+    void onDgCarrying(Time now) override;
+
+  private:
+    void evaluate();
+    void engageSleep();
+    void recoverAll();
+    Watts levelLoadW(int pstate) const;
+
+    OutagePredictor predictor;
+    double risk;
+    double pollSec;
+    std::vector<int> levels;
+    Time outageBegan = 0;
+    int currentLevel = 0;
+    int escalations_ = 0;
+    bool suspended_ = false;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TECHNIQUE_ADAPTIVE_HH

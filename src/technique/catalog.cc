@@ -1,0 +1,215 @@
+#include "technique/catalog.hh"
+
+#include "sim/logging.hh"
+#include "technique/adaptive.hh"
+#include "technique/geo_failover.hh"
+#include "technique/hibernate.hh"
+#include "technique/hybrid.hh"
+#include "technique/migration.hh"
+#include "technique/sleep.hh"
+#include "technique/throttling.hh"
+
+namespace bpsim
+{
+
+std::string
+TechniqueSpec::label() const
+{
+    switch (kind) {
+      case TechniqueKind::None:
+        return "none";
+      case TechniqueKind::Throttle:
+        return formatString("Throttling(p%d,t%d)", pstate, tstate);
+      case TechniqueKind::Sleep:
+        return lowPower ? "Sleep-L" : "Sleep";
+      case TechniqueKind::Hibernate:
+        return lowPower ? "Hibernate-L" : "Hibernate";
+      case TechniqueKind::ProactiveHibernate:
+        return lowPower ? "ProactiveHibernate-L" : "ProactiveHibernate";
+      case TechniqueKind::Migration:
+        return pstate > 0 || hostPState > 0
+                   ? formatString("Migration(p%d,h%d)", pstate,
+                                  hostPState)
+                   : "Migration";
+      case TechniqueKind::ProactiveMigration:
+        return pstate > 0 || hostPState > 0
+                   ? formatString("ProactiveMigration(p%d,h%d)", pstate,
+                                  hostPState)
+                   : "ProactiveMigration";
+      case TechniqueKind::MigrationSleep:
+        return "Migration+Sleep-L";
+      case TechniqueKind::ThrottleSleep:
+        return formatString("Throttle+Sleep-L(p%d,t%d,serve=%.1fmin)",
+                            pstate, tstate, toMinutes(serveFor));
+      case TechniqueKind::ThrottleHibernate:
+        return formatString("Throttle+Hibernate(p%d,t%d,serve=%.1fmin)",
+                            pstate, tstate, toMinutes(serveFor));
+      case TechniqueKind::GeoFailover:
+        return formatString("GeoFailover(remote=%.2f)", remotePerf);
+      case TechniqueKind::Adaptive:
+        return formatString("Adaptive(risk=%.2f)", risk);
+    }
+    return "?";
+}
+
+std::unique_ptr<Technique>
+makeTechnique(const TechniqueSpec &spec)
+{
+    switch (spec.kind) {
+      case TechniqueKind::None:
+        return std::make_unique<NoTechnique>();
+      case TechniqueKind::Throttle:
+        return std::make_unique<Throttling>(spec.pstate, spec.tstate);
+      case TechniqueKind::Sleep:
+        return std::make_unique<SleepTechnique>(spec.lowPower);
+      case TechniqueKind::Hibernate:
+        return std::make_unique<HibernationTechnique>(spec.lowPower,
+                                                      false);
+      case TechniqueKind::ProactiveHibernate:
+        return std::make_unique<HibernationTechnique>(spec.lowPower, true);
+      case TechniqueKind::Migration: {
+        MigrationTechnique::Options o;
+        o.duringPState = spec.pstate;
+        o.hostPState = spec.hostPState;
+        return std::make_unique<MigrationTechnique>(o);
+      }
+      case TechniqueKind::ProactiveMigration: {
+        MigrationTechnique::Options o;
+        o.proactive = true;
+        o.duringPState = spec.pstate;
+        o.hostPState = spec.hostPState;
+        return std::make_unique<MigrationTechnique>(o);
+      }
+      case TechniqueKind::MigrationSleep: {
+        MigrationTechnique::Options o;
+        o.sleepAfter = true;
+        o.duringPState = spec.pstate;
+        return std::make_unique<MigrationTechnique>(o);
+      }
+      case TechniqueKind::ThrottleSleep:
+        return std::make_unique<ThrottleThenSave>(
+            spec.pstate, spec.tstate, ThrottleThenSave::SaveMode::Sleep,
+            spec.serveFor);
+      case TechniqueKind::ThrottleHibernate:
+        return std::make_unique<ThrottleThenSave>(
+            spec.pstate, spec.tstate,
+            ThrottleThenSave::SaveMode::Hibernate, spec.serveFor);
+      case TechniqueKind::GeoFailover: {
+        GeoFailover::Params p;
+        p.remotePerf = spec.remotePerf;
+        p.drainPState = spec.pstate;
+        return std::make_unique<GeoFailover>(p);
+      }
+      case TechniqueKind::Adaptive:
+        return std::make_unique<AdaptiveTechnique>(
+            OutagePredictor(OutageDurationDistribution::figure1()),
+            spec.risk);
+    }
+    panic("unknown technique kind");
+}
+
+std::vector<TechniqueSpec>
+basicCandidates(const ServerModel &model)
+{
+    std::vector<TechniqueSpec> out;
+    // Throttling across the full DVFS range (Figures 6-9 bars), plus
+    // deep clock modulation at the slowest frequency.
+    for (int p = 0; p < model.params().pStates; ++p)
+        out.push_back({TechniqueKind::Throttle, p, 0, 0, false});
+    const int p_min = model.params().pStates - 1;
+    for (int t : {2, 4, model.params().tStates - 1})
+        out.push_back({TechniqueKind::Throttle, p_min, t, 0, false});
+
+    for (bool low : {false, true}) {
+        out.push_back({TechniqueKind::Sleep, 0, 0, 0, low});
+        out.push_back({TechniqueKind::Hibernate, 0, 0, 0, low});
+        out.push_back({TechniqueKind::ProactiveHibernate, 0, 0, 0, low});
+    }
+
+    const int p_half = pstateForPowerFraction(model, 0.5);
+    out.push_back({TechniqueKind::Migration, 0, 0, 0, false, 0});
+    out.push_back({TechniqueKind::Migration, p_half, 0, 0, false, 0});
+    // Consolidate-then-throttle: the energy-proportionality play the
+    // paper credits for migration's long-outage advantage.
+    out.push_back(
+        {TechniqueKind::Migration, p_half, 0, 0, false, p_half});
+    out.push_back({TechniqueKind::Migration, p_min, 0, 0, false, p_min});
+    out.push_back({TechniqueKind::ProactiveMigration, 0, 0, 0, false, 0});
+    out.push_back(
+        {TechniqueKind::ProactiveMigration, p_half, 0, 0, false, 0});
+    out.push_back(
+        {TechniqueKind::ProactiveMigration, p_half, 0, 0, false, p_half});
+    out.push_back({TechniqueKind::MigrationSleep, 0, 0, 0, false, 0});
+    out.push_back(
+        {TechniqueKind::MigrationSleep, p_half, 0, 0, false, 0});
+    return out;
+}
+
+std::vector<TechniqueSpec>
+hybridCandidates(const ServerModel &model, Time duration)
+{
+    std::vector<TechniqueSpec> out;
+    const int p_half = pstateForPowerFraction(model, 0.5);
+    const int p_min = model.params().pStates - 1;
+    for (int p : {p_half, p_min}) {
+        for (double frac : {0.25, 0.5, 0.75, 0.95}) {
+            const Time serve = static_cast<Time>(
+                static_cast<double>(duration) * frac);
+            out.push_back(
+                {TechniqueKind::ThrottleSleep, p, 0, serve, true});
+            out.push_back(
+                {TechniqueKind::ThrottleHibernate, p, 0, serve, true});
+        }
+    }
+    return out;
+}
+
+std::vector<TechniqueSpec>
+allCandidates(const ServerModel &model, Time duration)
+{
+    auto out = basicCandidates(model);
+    auto hybrids = hybridCandidates(model, duration);
+    out.insert(out.end(), hybrids.begin(), hybrids.end());
+    return out;
+}
+
+std::vector<Table5Row>
+table5(const Cluster &cluster)
+{
+    std::vector<Table5Row> rows;
+    {
+        Throttling t(cluster.serverModel().params().pStates - 1);
+        rows.push_back({"Throttling", t.takeEffectTime(cluster),
+                        "Throttled state"});
+    }
+    {
+        MigrationTechnique m({});
+        rows.push_back({"Migration", m.takeEffectTime(cluster),
+                        "Consolidated state"});
+    }
+    {
+        MigrationTechnique::Options o;
+        o.proactive = true;
+        MigrationTechnique m(o);
+        rows.push_back({"Proactive Migration", m.takeEffectTime(cluster),
+                        "Consolidated state"});
+    }
+    {
+        SleepTechnique s(false);
+        rows.push_back({"Sleep", s.takeEffectTime(cluster),
+                        "2-4W per DIMM"});
+    }
+    {
+        HibernationTechnique h(false, false);
+        rows.push_back({"Hibernation", h.takeEffectTime(cluster),
+                        "0 Watts"});
+    }
+    {
+        HibernationTechnique h(false, true);
+        rows.push_back({"Proactive Hibernation", h.takeEffectTime(cluster),
+                        "0 Watts"});
+    }
+    return rows;
+}
+
+} // namespace bpsim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Technique catalog: declarative specs, a factory, and candidate-set
+ * generators used by the analysis layer and the benchmark harnesses.
+ *
+ * A TechniqueSpec is a small value type describing a concrete
+ * parameterization of one of Section 5's mechanisms; makeTechnique()
+ * instantiates it. Candidate generators enumerate the operating points
+ * the paper sweeps: the throttling P-state range (the (min,max) bars of
+ * Figures 6-9), the save-state variants, the migration variants, and a
+ * grid of hybrid serve-window fractions for a given outage duration.
+ */
+
+#ifndef BPSIM_TECHNIQUE_CATALOG_HH
+#define BPSIM_TECHNIQUE_CATALOG_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "technique/technique.hh"
+
+namespace bpsim
+{
+
+/** Which mechanism a spec instantiates. */
+enum class TechniqueKind
+{
+    None,
+    Throttle,
+    Sleep,
+    Hibernate,
+    ProactiveHibernate,
+    Migration,
+    ProactiveMigration,
+    MigrationSleep,
+    ThrottleSleep,
+    ThrottleHibernate,
+    /** Request redirection to a geo-replica (Section 7). */
+    GeoFailover,
+    /** Predictor-driven online escalation (Section 7). */
+    Adaptive,
+};
+
+/** Declarative description of a parameterized technique. */
+struct TechniqueSpec
+{
+    TechniqueKind kind = TechniqueKind::None;
+    /** P-state for throttling / hybrids / migration spike control. */
+    int pstate = 0;
+    /** T-state for throttling / hybrids. */
+    int tstate = 0;
+    /** Hybrid serve window before saving. */
+    Time serveFor = 0;
+    /** Low-power ("-L") save variant. */
+    bool lowPower = false;
+    /** P-state of consolidated hosts after migration completes. */
+    int hostPState = 0;
+    /** Remote service level for GeoFailover. */
+    double remotePerf = 0.7;
+    /** Risk tolerance for the Adaptive technique. */
+    double risk = 0.3;
+
+    /** Stable display label. */
+    std::string label() const;
+};
+
+/** Instantiate the technique described by @p spec. */
+std::unique_ptr<Technique> makeTechnique(const TechniqueSpec &spec);
+
+/**
+ * The basic techniques of Table 4 (plus their "-L" variants), with
+ * throttling enumerated across every P-state of @p model.
+ */
+std::vector<TechniqueSpec> basicCandidates(const ServerModel &model);
+
+/**
+ * Hybrid serve-then-save candidates for an outage of @p duration:
+ * serve windows at {25, 50, 75, 95} % of the outage at both the
+ * half-power P-state and the deepest P-state.
+ */
+std::vector<TechniqueSpec> hybridCandidates(const ServerModel &model,
+                                            Time duration);
+
+/** Everything: basic + hybrid candidates for @p duration. */
+std::vector<TechniqueSpec> allCandidates(const ServerModel &model,
+                                         Time duration);
+
+/** One row of the paper's Table 5. */
+struct Table5Row
+{
+    std::string technique;
+    /** Time for the mechanism to take effect after the failure. */
+    Time timeToTakeEffect;
+    /** Qualitative post-activation power, as the paper phrases it. */
+    std::string powerAfterActivation;
+};
+
+/** Reproduce Table 5 for a given cluster (workload-dependent timings). */
+std::vector<Table5Row> table5(const Cluster &cluster);
+
+} // namespace bpsim
+
+#endif // BPSIM_TECHNIQUE_CATALOG_HH

@@ -1,0 +1,104 @@
+#include "technique/geo_failover.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+GeoFailover::GeoFailover(const Params &params)
+    : Technique(formatString("GeoFailover(remote=%.2f)",
+                             params.remotePerf),
+                TechniqueFamily::SustainExecution),
+      p(params)
+{
+    BPSIM_ASSERT(p.redirectDelaySec >= 0.0, "negative redirect delay");
+    BPSIM_ASSERT(p.remotePerf >= 0.0 && p.remotePerf <= 1.0,
+                 "remote perf %g out of [0, 1]", p.remotePerf);
+}
+
+void
+GeoFailover::onOutage(Time)
+{
+    // Throttle through the drain window; the battery only has to
+    // bridge redirectDelaySec.
+    for (int i = 0; i < cluster->size(); ++i) {
+        Server &srv = cluster->server(i);
+        if (srv.state() == ServerState::Active && p.drainPState > 0)
+            srv.setPState(p.drainPState);
+    }
+    const auto e = epoch;
+    sim->schedule(fromSeconds(p.redirectDelaySec),
+                  [this, e] {
+                      if (e != epoch)
+                          return;
+                      completeRedirect();
+                  },
+                  "geo-redirect-complete");
+}
+
+void
+GeoFailover::completeRedirect()
+{
+    redirected = true;
+    // Traffic now lands at the remote site; local machines power off
+    // gracefully (no state worth saving: the replica owns the truth).
+    for (int i = 0; i < cluster->size(); ++i)
+        cluster->app(i).setRemoteService(p.remotePerf);
+    for (int i = 0; i < cluster->size(); ++i) {
+        Server &srv = cluster->server(i);
+        if (srv.state() == ServerState::Active)
+            srv.shutdown();
+    }
+}
+
+void
+GeoFailover::onRestore(Time)
+{
+    const auto &model = cluster->serverModel();
+    for (int i = 0; i < cluster->size(); ++i) {
+        Server &srv = cluster->server(i);
+        if (srv.state() == ServerState::Active) {
+            srv.setPState(0);
+        } else if (srv.state() == ServerState::Off && redirected) {
+            srv.boot(fromSeconds(model.params().bootTimeSec));
+        }
+    }
+    if (!redirected)
+        return;
+    redirected = false;
+    // Traffic shifts home once the local fleet is warm again; the
+    // remote site keeps serving until then, so there is no gap.
+    const auto e = epoch;
+    double slowest = 0.0;
+    for (int i = 0; i < cluster->size(); ++i) {
+        const auto &prof = cluster->profileOf(i);
+        slowest = std::max(slowest, prof.processStartSec +
+                                        prof.statePreloadSec +
+                                        prof.warmupSec);
+    }
+    const double home_sec = model.params().bootTimeSec + slowest + 5.0;
+    sim->schedule(fromSeconds(home_sec),
+                  [this, e] {
+                      if (e != epoch)
+                          return;
+                      for (int i = 0; i < cluster->size(); ++i)
+                          cluster->app(i).setRemoteService(0.0);
+                  },
+                  "geo-traffic-home");
+}
+
+void
+GeoFailover::onPowerLost(Time)
+{
+    // Power loss during the drain window: the redirect still happens
+    // (the load balancer is remote), just without a graceful drain.
+    if (!redirected) {
+        redirected = true;
+        for (int i = 0; i < cluster->size(); ++i)
+            cluster->app(i).setRemoteService(p.remotePerf);
+    }
+}
+
+} // namespace bpsim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Geo-failover: redirect requests to a power-uncorrelated remote site
+ * (Section 7's recommendation for very long outages, and [32]'s
+ * dark-fiber-instead-of-diesel argument).
+ *
+ * On outage, the load balancer drains local traffic to a geo-replica
+ * over a short redirect window, the local servers shut down gracefully
+ * (the battery only needs to bridge the window), and service continues
+ * at a degraded level set by the remote site's spare capacity. On
+ * restoration the servers reboot and traffic shifts home.
+ */
+
+#ifndef BPSIM_TECHNIQUE_GEO_FAILOVER_HH
+#define BPSIM_TECHNIQUE_GEO_FAILOVER_HH
+
+#include "technique/technique.hh"
+
+namespace bpsim
+{
+
+/** Request redirection to a geo-replicated datacenter. */
+class GeoFailover : public Technique
+{
+  public:
+    /** Static parameters. */
+    struct Params
+    {
+        /** Time to drain/redirect traffic after the failure (s). */
+        double redirectDelaySec = 60.0;
+        /**
+         * Normalized service level offered by the remote site's
+         * spare capacity.
+         */
+        double remotePerf = 0.7;
+        /**
+         * P-state while draining (the battery carries the drain
+         * window; throttle to shrink its power draw).
+         */
+        int drainPState = 0;
+    };
+
+    explicit GeoFailover(const Params &params);
+
+    Time takeEffectTime(const Cluster &) const override
+    {
+        return fromSeconds(p.redirectDelaySec);
+    }
+
+    /** Static parameters. */
+    const Params &params() const { return p; }
+
+  protected:
+    void onOutage(Time now) override;
+    void onRestore(Time now) override;
+    void onPowerLost(Time now) override;
+
+  private:
+    void completeRedirect();
+
+    Params p;
+    bool redirected = false;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TECHNIQUE_GEO_FAILOVER_HH

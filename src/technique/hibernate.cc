@@ -1,0 +1,141 @@
+#include "technique/hibernate.hh"
+
+#include <algorithm>
+
+#include "server/dirty_pages.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+std::string
+hibernateName(bool low_power, bool proactive)
+{
+    std::string n = proactive ? "ProactiveHibernate" : "Hibernate";
+    if (low_power)
+        n += "-L";
+    return n;
+}
+
+} // namespace
+
+HibernationTechnique::HibernationTechnique(bool low_power, bool proactive)
+    : Technique(hibernateName(low_power, proactive),
+                TechniqueFamily::SaveState),
+      lowPower(low_power), proactive(proactive)
+{
+}
+
+double
+HibernationTechnique::saveBytesFor(const Cluster &cluster, int i) const
+{
+    const auto &prof = cluster.profileOf(i);
+    const double full = prof.hibernateImageBytes();
+    if (!proactive)
+        return full;
+    const DirtyPageModel dirty(prof.dirtyParams());
+    const double residual = dirty.residualAfterPeriodicFlush(
+        fromSeconds(kProactiveHibernateFlushSec));
+    // The pre-flushed portion of the image is already on disk; only
+    // pages dirtied since the last flush must be written now (and the
+    // image can never exceed what full hibernation would write).
+    return std::min(full, residual);
+}
+
+Time
+HibernationTechnique::saveTimeFor(const Cluster &cluster, int i) const
+{
+    const auto &model = cluster.serverModel();
+    const auto &prof = cluster.profileOf(i);
+    const double bw =
+        model.diskWriteBytesPerSec() * prof.hibernateWriteEff;
+    double save_sec = saveBytesFor(cluster, i) / bw;
+    if (lowPower) {
+        const int p = pstateForPowerFraction(model, 0.5);
+        save_sec *=
+            saveSlowdownAtThrottle(model, p, 0, kHibernateSaveCpuWeight);
+    }
+    return fromSeconds(save_sec);
+}
+
+Time
+HibernationTechnique::resumeTimeFor(const Cluster &cluster, int i) const
+{
+    Time t = cluster.profileOf(i).hibernateResumeTime(
+        cluster.serverModel());
+    if (lowPower) {
+        t = static_cast<Time>(static_cast<double>(t) *
+                              kLowPowerResumePenalty);
+    }
+    return t;
+}
+
+Time
+HibernationTechnique::takeEffectTime(const Cluster &cluster) const
+{
+    Time worst = 0;
+    for (int i = 0; i < cluster.size(); ++i)
+        worst = std::max(worst, saveTimeFor(cluster, i));
+    return worst;
+}
+
+void
+HibernationTechnique::onOutage(Time)
+{
+    for (int i = 0; i < cluster->size(); ++i) {
+        Server &srv = cluster->server(i);
+        if (srv.state() != ServerState::Active)
+            continue;
+        if (lowPower)
+            srv.setPState(pstateForPowerFraction(srv.model(), 0.5));
+        srv.saveToDisk(saveTimeFor(*cluster, i));
+    }
+}
+
+void
+HibernationTechnique::onRestore(Time)
+{
+    resumeAll();
+}
+
+void
+HibernationTechnique::onDgCarrying(Time)
+{
+    if (dgCoversFullLoad())
+        resumeAll();
+}
+
+void
+HibernationTechnique::resumeAll()
+{
+    for (int i = 0; i < cluster->size(); ++i) {
+        Server &srv = cluster->server(i);
+        const Time resume = resumeTimeFor(*cluster, i);
+        switch (srv.state()) {
+          case ServerState::Hibernated:
+            srv.resumeFromDisk(resume);
+            break;
+          case ServerState::SavingToDisk: {
+            // Power returned mid-save: the image write completes on
+            // utility power, then the machine resumes from disk.
+            const auto e = epoch;
+            Server *s = &srv;
+            sim->schedule(saveTimeFor(*cluster, i),
+                          [this, s, e, resume] {
+                              if (e != epoch)
+                                  return;
+                              if (s->state() == ServerState::Hibernated)
+                                  s->resumeFromDisk(resume);
+                          },
+                          "hibernate-finish-then-resume");
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace bpsim

@@ -1,0 +1,148 @@
+#include "technique/hybrid.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+ThrottleThenSave::ThrottleThenSave(int pstate, int tstate, SaveMode mode,
+                                   Time serve_for)
+    : Technique(formatString(
+                    "Throttle+%s(p%d,t%d,serve=%.1fmin)",
+                    mode == SaveMode::Sleep ? "Sleep-L" : "Hibernate",
+                    pstate, tstate, toMinutes(serve_for)),
+                TechniqueFamily::Hybrid),
+      pstate_(pstate), tstate_(tstate), mode(mode), serveFor(serve_for)
+{
+    BPSIM_ASSERT(serve_for >= 0, "negative serve window");
+}
+
+Time
+ThrottleThenSave::saveTimeFor(const Cluster &cluster, int i) const
+{
+    const auto &model = cluster.serverModel();
+    const auto &prof = cluster.profileOf(i);
+    if (mode == SaveMode::Sleep) {
+        const double slow = saveSlowdownAtThrottle(model, pstate_, tstate_,
+                                                   kSleepSaveCpuWeight);
+        return fromSeconds(prof.sleepSaveSec * slow);
+    }
+    const double bw = model.diskWriteBytesPerSec() * prof.hibernateWriteEff;
+    const double slow = saveSlowdownAtThrottle(model, pstate_, tstate_,
+                                               kHibernateSaveCpuWeight);
+    return fromSeconds(prof.hibernateImageBytes() / bw * slow);
+}
+
+void
+ThrottleThenSave::onOutage(Time)
+{
+    for (int i = 0; i < cluster->size(); ++i) {
+        Server &srv = cluster->server(i);
+        if (srv.state() == ServerState::Active) {
+            srv.setPState(pstate_);
+            srv.setTState(tstate_);
+        }
+    }
+    const auto e = epoch;
+    sim->schedule(serveFor,
+                  [this, e] {
+                      if (e != epoch)
+                          return;
+                      engageSave();
+                  },
+                  "hybrid-engage-save");
+}
+
+void
+ThrottleThenSave::engageSave()
+{
+    for (int i = 0; i < cluster->size(); ++i) {
+        Server &srv = cluster->server(i);
+        if (srv.state() != ServerState::Active)
+            continue;
+        const Time save = saveTimeFor(*cluster, i);
+        if (mode == SaveMode::Sleep)
+            srv.enterSleep(save);
+        else
+            srv.saveToDisk(save);
+    }
+}
+
+void
+ThrottleThenSave::onRestore(Time)
+{
+    recoverAll();
+}
+
+void
+ThrottleThenSave::onDgCarrying(Time)
+{
+    if (!dgCoversFullLoad()) {
+        // A partial DG: keep the throttle, but there is no longer a
+        // reason to give up serving — cancel the pending save.
+        ++epoch;
+        const int fit =
+            pstateToFit(hierarchy->dg()->params().powerCapacityW);
+        for (int i = 0; i < cluster->size(); ++i) {
+            Server &srv = cluster->server(i);
+            if (srv.state() == ServerState::Active)
+                srv.setPState(std::max(fit, pstate_));
+        }
+        return;
+    }
+    ++epoch; // cancels the pending engage-save
+    recoverAll();
+}
+
+void
+ThrottleThenSave::recoverAll()
+{
+    for (int i = 0; i < cluster->size(); ++i) {
+        const auto &prof = cluster->profileOf(i);
+        const Time wake = fromSeconds(prof.sleepResumeSec);
+        const Time disk_resume = prof.hibernateResumeTime(
+            cluster->serverModel());
+        const Time save = saveTimeFor(*cluster, i);
+        Server &srv = cluster->server(i);
+        Server *s = &srv;
+        const auto e = epoch;
+        switch (srv.state()) {
+          case ServerState::Active:
+            srv.setPState(0);
+            srv.setTState(0);
+            break;
+          case ServerState::Sleeping:
+            srv.wake(wake);
+            break;
+          case ServerState::Hibernated:
+            srv.resumeFromDisk(disk_resume);
+            break;
+          case ServerState::EnteringSleep:
+            sim->schedule(save,
+                          [this, s, e, wake] {
+                              if (e != epoch)
+                                  return;
+                              if (s->state() == ServerState::Sleeping)
+                                  s->wake(wake);
+                          },
+                          "hybrid-finish-then-wake");
+            break;
+          case ServerState::SavingToDisk:
+            sim->schedule(save,
+                          [this, s, e, disk_resume] {
+                              if (e != epoch)
+                                  return;
+                              if (s->state() == ServerState::Hibernated)
+                                  s->resumeFromDisk(disk_resume);
+                          },
+                          "hybrid-finish-then-resume");
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace bpsim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Hybrid sustain-then-save techniques (Table 6).
+ *
+ * Serve throttled for a configurable slice of the outage, then preserve
+ * state (sleep or hibernate, transitioning while still throttled).
+ * These traverse the whole cost-performability spectrum: the longer the
+ * serve window, the more performance is offered and the more battery
+ * energy is required; the sleep/hibernate tail costs almost nothing.
+ * The analysis layer sweeps the serve window to find operating points.
+ */
+
+#ifndef BPSIM_TECHNIQUE_HYBRID_HH
+#define BPSIM_TECHNIQUE_HYBRID_HH
+
+#include "technique/technique.hh"
+
+namespace bpsim
+{
+
+/** Serve throttled, then save state. */
+class ThrottleThenSave : public Technique
+{
+  public:
+    /** What to do when the serve window closes. */
+    enum class SaveMode
+    {
+        /** Suspend to RAM (Throttle+Sleep-L). */
+        Sleep,
+        /** Suspend to disk (Throttle+Hibernate). */
+        Hibernate,
+    };
+
+    /**
+     * @param pstate     DVFS state held while serving and saving.
+     * @param tstate     Throttle state held while serving and saving.
+     * @param mode       Sleep or hibernate after the serve window.
+     * @param serve_for  Length of the throttled-serving window; 0
+     *                   saves immediately (degenerates to Sleep-L /
+     *                   Hibernate-L at the chosen throttle).
+     */
+    ThrottleThenSave(int pstate, int tstate, SaveMode mode, Time serve_for);
+
+    Time takeEffectTime(const Cluster &) const override
+    {
+        return 50 * kMicrosecond; // the throttle is what takes effect
+    }
+
+    /** Save duration for server @p i at the configured throttle. */
+    Time saveTimeFor(const Cluster &cluster, int i) const;
+
+    /** Save duration for a homogeneous cluster. */
+    Time
+    saveTime(const Cluster &cluster) const
+    {
+        return saveTimeFor(cluster, 0);
+    }
+
+    /** The serve window length. */
+    Time serveWindow() const { return serveFor; }
+
+  protected:
+    void onOutage(Time now) override;
+    void onRestore(Time now) override;
+    void onDgCarrying(Time now) override;
+
+  private:
+    void engageSave();
+    /** Wake/resume/unthrottle everything (power is back). */
+    void recoverAll();
+
+    int pstate_;
+    int tstate_;
+    SaveMode mode;
+    Time serveFor;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TECHNIQUE_HYBRID_HH

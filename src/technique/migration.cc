@@ -1,0 +1,322 @@
+#include "technique/migration.hh"
+
+#include <algorithm>
+
+#include "server/dirty_pages.hh"
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+std::string
+migrationName(const MigrationTechnique::Options &o)
+{
+    std::string n = o.proactive ? "ProactiveMigration" : "Migration";
+    if (o.sleepAfter)
+        n += "+Sleep-L";
+    return n;
+}
+
+} // namespace
+
+MigrationTechnique::MigrationTechnique(const Options &options)
+    : Technique(migrationName(options), TechniqueFamily::SustainExecution),
+      opt(options)
+{
+}
+
+MigrationTechnique::Plan
+MigrationTechnique::migrationPlanFor(const Cluster &cluster, int i) const
+{
+    const auto &prof = cluster.profileOf(i);
+    const auto &model = cluster.serverModel();
+    const DirtyPageModel dirty(prof.dirtyParams());
+    const double bw = model.nicBytesPerSec();
+
+    double initial = gbToBytes(prof.memoryGb);
+    if (opt.proactive) {
+        initial = std::min(initial,
+                           dirty.residualAfterPeriodicFlush(fromSeconds(
+                               kProactiveMigrationFlushSec)));
+    }
+    const auto copy = dirty.iterativeCopy(initial, bw, kMaxStopCopyBytes);
+    Plan plan;
+    plan.bytesMoved = copy.bytesMoved;
+    // Whatever exceeds the forced-convergence residual is shipped with
+    // the guest still (slowly) running; only the residual is blackout.
+    const double blackout_bytes =
+        std::min(copy.finalRoundBytes, kMaxStopCopyBytes);
+    plan.blackout = fromSeconds(blackout_bytes / bw);
+    plan.precopy = copy.totalTime - plan.blackout;
+    BPSIM_ASSERT(plan.precopy >= 0, "negative pre-copy time");
+    return plan;
+}
+
+Time
+MigrationTechnique::takeEffectTime(const Cluster &cluster) const
+{
+    Time worst = 0;
+    for (int i = 1; i < cluster.size(); i += 2) {
+        const Plan plan = migrationPlanFor(cluster, i);
+        worst = std::max(worst, plan.precopy + plan.blackout);
+    }
+    if (worst == 0 && cluster.size() >= 1) {
+        const Plan plan = migrationPlanFor(cluster, 0);
+        worst = plan.precopy + plan.blackout;
+    }
+    return worst;
+}
+
+void
+MigrationTechnique::onOutage(Time)
+{
+    // A new outage may land while a migrate-back from the previous one
+    // is still copying: cancel those transfers and stay consolidated
+    // (the state never left the hosts), shutting the freshly rebooted
+    // sources down again.
+    ++epoch;
+    pendingMigrations = 0;
+    for (int i = 0; i < cluster->size(); ++i) {
+        Application &app = cluster->app(i);
+        if (app.migrating() && app.host() != app.home()) {
+            app.abortMigration();
+            Server &src = cluster->server(i);
+            if (src.state() == ServerState::Active &&
+                app.host() != &src) {
+                src.shutdown();
+                consolidatedSources.push_back(i);
+            }
+        }
+    }
+
+    if (opt.duringPState > 0) {
+        for (int i = 0; i < cluster->size(); ++i) {
+            Server &srv = cluster->server(i);
+            if (srv.state() == ServerState::Active)
+                srv.setPState(opt.duringPState);
+        }
+    }
+    const auto e = epoch;
+    for (int i = 1; i < cluster->size(); i += 2) {
+        Server &src = cluster->server(i);
+        Server &dst = cluster->server(i - 1);
+        if (src.state() != ServerState::Active ||
+            dst.state() != ServerState::Active) {
+            continue;
+        }
+        Application &app = cluster->app(i);
+        if (app.migrating() || app.host() != app.home())
+            continue; // already consolidated / in flight
+        const Plan plan = migrationPlanFor(*cluster, i);
+        app.beginMigration();
+        ++pendingMigrations;
+        const int src_id = i;
+        sim->schedule(plan.precopy,
+                      [this, e, src_id] {
+                          if (e != epoch)
+                              return;
+                          if (cluster->app(src_id).migrating())
+                              cluster->app(src_id).setMigrationBlackout(
+                                  true);
+                      },
+                      "migration-blackout");
+        sim->schedule(plan.precopy + plan.blackout,
+                      [this, e, src_id] {
+                          if (e != epoch)
+                              return;
+                          finishPair(src_id);
+                      },
+                      "migration-complete");
+    }
+    if (pendingMigrations == 0)
+        allConsolidated();
+}
+
+void
+MigrationTechnique::finishPair(int src)
+{
+    Server &source = cluster->server(src);
+    Server &host = cluster->server(src - 1);
+    Application &app = cluster->app(src);
+    if (source.state() != ServerState::Active ||
+        host.state() != ServerState::Active) {
+        // A crash raced the completion; nothing to finalize.
+        app.abortMigration();
+        --pendingMigrations;
+        return;
+    }
+    app.completeMigration(&host, 0.5);
+    cluster->app(src - 1).setShare(0.5);
+    source.shutdown();
+    consolidatedSources.push_back(src);
+    if (--pendingMigrations == 0)
+        allConsolidated();
+}
+
+void
+MigrationTechnique::allConsolidated()
+{
+    const auto &model = cluster->serverModel();
+    if (opt.sleepAfter) {
+        const int p_low = pstateForPowerFraction(model, 0.5);
+        const double slow =
+            saveSlowdownAtThrottle(model, p_low, 0, kSleepSaveCpuWeight);
+        for (int i = 0; i < cluster->size(); ++i) {
+            Server &srv = cluster->server(i);
+            if (srv.state() == ServerState::Active) {
+                srv.setPState(p_low);
+                srv.enterSleep(fromSeconds(
+                    cluster->profileOf(i).sleepSaveSec * slow));
+            }
+        }
+        return;
+    }
+    for (int i = 0; i < cluster->size(); ++i) {
+        Server &srv = cluster->server(i);
+        if (srv.state() == ServerState::Active)
+            srv.setPState(opt.hostPState);
+    }
+}
+
+void
+MigrationTechnique::onRestore(Time)
+{
+    const auto &model = cluster->serverModel();
+    // Cancel any in-flight consolidation copies: power is back, the
+    // guests simply stay where they are.
+    for (int i = 0; i < cluster->size(); ++i) {
+        Application &app = cluster->app(i);
+        if (app.migrating())
+            app.abortMigration();
+    }
+    pendingMigrations = 0;
+
+    bool any_asleep = false;
+    for (int i = 0; i < cluster->size(); ++i) {
+        Server &srv = cluster->server(i);
+        switch (srv.state()) {
+          case ServerState::Active:
+            srv.setPState(0);
+            srv.setTState(0);
+            break;
+          case ServerState::Sleeping:
+            srv.wake(fromSeconds(cluster->profileOf(i).sleepResumeSec));
+            any_asleep = true;
+            break;
+          case ServerState::EnteringSleep: {
+            const auto e = epoch;
+            Server *s = &srv;
+            const Time resume =
+                fromSeconds(cluster->profileOf(i).sleepResumeSec);
+            sim->schedule(
+                fromSeconds(cluster->profileOf(i).sleepSaveSec * 2),
+                [this, s, e, resume] {
+                    if (e != epoch)
+                        return;
+                    if (s->state() == ServerState::Sleeping)
+                        s->wake(resume);
+                },
+                "migration-sleep-finish-then-wake");
+            any_asleep = true;
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    // Bring the consolidation sources back and then migrate home.
+    bool any_off = false;
+    for (int src : consolidatedSources) {
+        Server &srv = cluster->server(src);
+        if (srv.state() == ServerState::Off) {
+            srv.boot(fromSeconds(model.params().bootTimeSec));
+            any_off = true;
+        }
+    }
+    if (consolidatedSources.empty())
+        return;
+    // Wait for boots (and any wake-ups) to complete before moving back.
+    double worst_resume = 0.0;
+    for (int i = 0; i < cluster->size(); ++i) {
+        worst_resume =
+            std::max(worst_resume, cluster->profileOf(i).sleepResumeSec);
+    }
+    const double wait_sec = (any_off ? model.params().bootTimeSec : 0.0) +
+                            (any_asleep ? worst_resume : 0.0) + 2.0;
+    const auto e = epoch;
+    sim->schedule(fromSeconds(wait_sec),
+                  [this, e] {
+                      if (e != epoch)
+                          return;
+                      migrateBack();
+                  },
+                  "migrate-back-start");
+}
+
+void
+MigrationTechnique::migrateBack()
+{
+    const auto e = epoch;
+    auto sources = consolidatedSources;
+    consolidatedSources.clear();
+    for (int src : sources) {
+        Server &home = cluster->server(src);
+        Application &app = cluster->app(src);
+        if (home.state() != ServerState::Active ||
+            app.host()->state() != ServerState::Active ||
+            app.host() == &home) {
+            continue;
+        }
+        const Plan plan = migrationPlanFor(*cluster, src);
+        app.beginMigration();
+        const int src_id = src;
+        sim->schedule(plan.precopy,
+                      [this, e, src_id] {
+                          if (e != epoch)
+                              return;
+                          if (cluster->app(src_id).migrating())
+                              cluster->app(src_id).setMigrationBlackout(
+                                  true);
+                      },
+                      "migrate-back-blackout");
+        sim->schedule(plan.precopy + plan.blackout,
+                      [this, e, src_id] {
+                          if (e != epoch)
+                              return;
+                          Application &a = cluster->app(src_id);
+                          Server &h = cluster->server(src_id);
+                          if (h.state() != ServerState::Active) {
+                              a.abortMigration();
+                              return;
+                          }
+                          a.completeMigration(&h, 1.0);
+                          cluster->app(src_id - 1).setShare(1.0);
+                      },
+                      "migrate-back-complete");
+    }
+}
+
+void
+MigrationTechnique::onPowerLost(Time)
+{
+    // Everything volatile is gone; re-home the guests so recovery
+    // happens on their own machines once those reboot.
+    for (int i = 0; i < cluster->size(); ++i) {
+        Application &app = cluster->app(i);
+        if (app.migrating())
+            app.abortMigration();
+        if (app.host() != app.home())
+            app.completeMigration(app.home(), 1.0);
+        else
+            app.setShare(1.0);
+    }
+    pendingMigrations = 0;
+    // consolidatedSources is kept: those machines are Off (gracefully
+    // shut down by us) and must be rebooted on restore.
+}
+
+} // namespace bpsim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Migration (consolidation and shutdown) techniques.
+ *
+ * On outage, every second server live-migrates its application onto a
+ * neighbour and powers off, halving the number of machines burning idle
+ * watts — more energy-proportional than throttling for today's servers
+ * (Section 5). Live migration is modelled as Xen-style iterative
+ * pre-copy driven by the workload's dirty-page behaviour, with a short
+ * stop-and-copy blackout at the end (the hypervisor forces convergence
+ * for aggressively-dirtying guests). The proactive variant (Remus-style)
+ * pre-flushes state to the remote host during normal operation so only
+ * the residual moves after the failure; Migration+Sleep-L additionally
+ * puts the consolidated hosts to sleep once migration completes
+ * (Table 6).
+ */
+
+#ifndef BPSIM_TECHNIQUE_MIGRATION_HH
+#define BPSIM_TECHNIQUE_MIGRATION_HH
+
+#include <vector>
+
+#include "technique/technique.hh"
+
+namespace bpsim
+{
+
+/** Period of the proactive dirty-state flush to remote memory (s). */
+constexpr double kProactiveMigrationFlushSec = 40.0;
+
+/** Stop-and-copy residual the hypervisor forces convergence to. */
+constexpr double kMaxStopCopyBytes = 2e9;
+
+/** Sustain-execution via consolidation onto half the servers. */
+class MigrationTechnique : public Technique
+{
+  public:
+    /** Variant selection. */
+    struct Options
+    {
+        /** Remus-style periodic pre-flush to the remote host. */
+        bool proactive = false;
+        /** Sleep the consolidated hosts once migration completes. */
+        bool sleepAfter = false;
+        /** P-state for all servers while migrating (spike control). */
+        int duringPState = 0;
+        /** P-state of consolidated hosts for the rest of the outage. */
+        int hostPState = 0;
+    };
+
+    explicit MigrationTechnique(const Options &options);
+
+    /** Timing decomposition of one live migration. */
+    struct Plan
+    {
+        /** Pre-copy phase: guest keeps serving (slightly degraded). */
+        Time precopy = 0;
+        /** Stop-and-copy blackout: guest paused. */
+        Time blackout = 0;
+        /** Total bytes moved. */
+        double bytesMoved = 0.0;
+    };
+
+    /** Migration plan for the application homed on server @p i. */
+    Plan migrationPlanFor(const Cluster &cluster, int i) const;
+
+    /** Plan for a homogeneous cluster's workload. */
+    Plan
+    migrationPlan(const Cluster &cluster) const
+    {
+        return migrationPlanFor(cluster, 0);
+    }
+
+    Time takeEffectTime(const Cluster &cluster) const override;
+
+    /** Variant options. */
+    const Options &options() const { return opt; }
+
+  protected:
+    void onOutage(Time now) override;
+    void onRestore(Time now) override;
+    void onPowerLost(Time now) override;
+
+  private:
+    void finishPair(int src);
+    void allConsolidated();
+    void migrateBack();
+
+    Options opt;
+    int pendingMigrations = 0;
+    std::vector<int> consolidatedSources;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TECHNIQUE_MIGRATION_HH

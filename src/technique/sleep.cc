@@ -1,0 +1,104 @@
+#include "technique/sleep.hh"
+
+#include <algorithm>
+
+namespace bpsim
+{
+
+SleepTechnique::SleepTechnique(bool low_power)
+    : Technique(low_power ? "Sleep-L" : "Sleep",
+                TechniqueFamily::SaveState),
+      lowPower(low_power)
+{
+}
+
+Time
+SleepTechnique::saveTimeFor(const Cluster &cluster, int i) const
+{
+    const auto &model = cluster.serverModel();
+    const auto &prof = cluster.profileOf(i);
+    double save = prof.sleepSaveSec;
+    if (lowPower) {
+        const int p = pstateForPowerFraction(model, 0.5);
+        save *= saveSlowdownAtThrottle(model, p, 0, kSleepSaveCpuWeight);
+    }
+    return fromSeconds(save);
+}
+
+Time
+SleepTechnique::resumeTimeFor(const Cluster &cluster, int i) const
+{
+    return fromSeconds(cluster.profileOf(i).sleepResumeSec);
+}
+
+Time
+SleepTechnique::takeEffectTime(const Cluster &cluster) const
+{
+    Time worst = 0;
+    for (int i = 0; i < cluster.size(); ++i)
+        worst = std::max(worst, saveTimeFor(cluster, i));
+    return worst;
+}
+
+void
+SleepTechnique::onOutage(Time)
+{
+    for (int i = 0; i < cluster->size(); ++i) {
+        Server &srv = cluster->server(i);
+        if (srv.state() != ServerState::Active)
+            continue;
+        if (lowPower)
+            srv.setPState(pstateForPowerFraction(srv.model(), 0.5));
+        srv.enterSleep(saveTimeFor(*cluster, i));
+    }
+}
+
+void
+SleepTechnique::onRestore(Time)
+{
+    wakeAll();
+}
+
+void
+SleepTechnique::onDgCarrying(Time)
+{
+    // A full-size generator restores normal operation mid-outage; an
+    // under-provisioned one cannot carry the woken cluster, so stay
+    // asleep until the utility returns.
+    if (dgCoversFullLoad())
+        wakeAll();
+}
+
+void
+SleepTechnique::wakeAll()
+{
+    for (int i = 0; i < cluster->size(); ++i) {
+        Server &srv = cluster->server(i);
+        const Time resume = resumeTimeFor(*cluster, i);
+        switch (srv.state()) {
+          case ServerState::Sleeping:
+            srv.wake(resume);
+            break;
+          case ServerState::EnteringSleep:
+            // Outage ended mid-suspend: let the suspend finish, then
+            // wake immediately.
+            {
+                const auto e = epoch;
+                Server *s = &srv;
+                sim->schedule(saveTimeFor(*cluster, i),
+                              [this, s, e, resume] {
+                                  if (e != epoch)
+                                      return;
+                                  if (s->state() == ServerState::Sleeping)
+                                      s->wake(resume);
+                              },
+                              "sleep-finish-then-wake");
+            }
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace bpsim

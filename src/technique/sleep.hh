@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Sleep (S3 suspend-to-RAM) save-state technique.
+ *
+ * On outage, every server suspends: DRAM drops to self-refresh (a few
+ * watts), everything else powers off; no service is offered, but the
+ * volatile state survives and resume after restoration is fast (only
+ * processor caches must re-warm). The low-power variant (Sleep-L,
+ * Table 6) throttles first so even the brief suspend transition draws
+ * only about half of peak.
+ */
+
+#ifndef BPSIM_TECHNIQUE_SLEEP_HH
+#define BPSIM_TECHNIQUE_SLEEP_HH
+
+#include "technique/technique.hh"
+
+namespace bpsim
+{
+
+/** Save-state via S3 suspend-to-RAM ("Sleep" / "Sleep-L"). */
+class SleepTechnique : public Technique
+{
+  public:
+    /**
+     * @param low_power  Throttle to ~half of peak while suspending
+     *                   (the paper's Sleep-L).
+     */
+    explicit SleepTechnique(bool low_power);
+
+    Time takeEffectTime(const Cluster &cluster) const override;
+
+    /** Save duration for the workload on server @p i (Table 8 row). */
+    Time saveTimeFor(const Cluster &cluster, int i) const;
+
+    /** Resume duration for server @p i after power returns. */
+    Time resumeTimeFor(const Cluster &cluster, int i) const;
+
+    /** Save duration for a homogeneous cluster. */
+    Time
+    saveTime(const Cluster &cluster) const
+    {
+        return saveTimeFor(cluster, 0);
+    }
+
+    /** Resume duration for a homogeneous cluster. */
+    Time
+    resumeTime(const Cluster &cluster) const
+    {
+        return resumeTimeFor(cluster, 0);
+    }
+
+  protected:
+    void onOutage(Time now) override;
+    void onRestore(Time now) override;
+    void onDgCarrying(Time now) override;
+
+  private:
+    /** Wake everything (power is back: utility or a full-size DG). */
+    void wakeAll();
+
+    bool lowPower;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TECHNIQUE_SLEEP_HH

@@ -1,0 +1,101 @@
+#include "technique/technique.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+void
+Technique::attach(Simulator &s, Cluster &c, PowerHierarchy &h)
+{
+    BPSIM_ASSERT(sim == nullptr, "technique '%s' attached twice",
+                 name_.c_str());
+    sim = &s;
+    cluster = &c;
+    hierarchy = &h;
+    h.addListener(this);
+}
+
+void
+Technique::outageStarted(Time now)
+{
+    BPSIM_ASSERT(sim != nullptr, "technique '%s' not attached",
+                 name_.c_str());
+    onOutage(now);
+}
+
+void
+Technique::utilityRestored(Time now)
+{
+    ++epoch;
+    onRestore(now);
+}
+
+void
+Technique::powerLost(Time now)
+{
+    ++epoch;
+    onPowerLost(now);
+}
+
+void
+Technique::dgCarrying(Time now)
+{
+    onDgCarrying(now);
+}
+
+bool
+Technique::dgCoversFullLoad() const
+{
+    const auto *dg = hierarchy->dg();
+    if (!dg)
+        return false;
+    return dg->params().powerCapacityW >=
+           cluster->peakPowerW() * (1.0 - 1e-9);
+}
+
+int
+Technique::pstateToFit(Watts budget_w) const
+{
+    const auto &model = cluster->serverModel();
+    const double per_server =
+        budget_w / static_cast<double>(cluster->size());
+    for (int p = 0; p < model.params().pStates; ++p) {
+        if (model.activePowerW(p, 0, 1.0) <= per_server)
+            return p;
+    }
+    return model.params().pStates - 1;
+}
+
+int
+pstateForPowerFraction(const ServerModel &model, double fraction)
+{
+    BPSIM_ASSERT(fraction > 0.0 && fraction <= 1.0,
+                 "power fraction %g out of (0, 1]", fraction);
+    const Watts target = model.params().peakPowerW * fraction;
+    int best = 0;
+    double best_err = 1e300;
+    for (int p = 0; p < model.params().pStates; ++p) {
+        const double err = std::abs(model.activePowerW(p, 0, 1.0) - target);
+        if (err < best_err) {
+            best_err = err;
+            best = p;
+        }
+    }
+    return best;
+}
+
+double
+saveSlowdownAtThrottle(const ServerModel &model, int pstate, int tstate,
+                       double cpu_weight)
+{
+    BPSIM_ASSERT(cpu_weight >= 0.0 && cpu_weight <= 1.0,
+                 "cpu weight %g out of [0, 1]", cpu_weight);
+    const double speed = model.freqRatio(pstate) * model.dutyRatio(tstate);
+    const double rate = (1.0 - cpu_weight) + cpu_weight * speed;
+    return 1.0 / rate;
+}
+
+} // namespace bpsim

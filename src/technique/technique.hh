@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Base class and shared helpers for the outage-handling system
+ * techniques of Section 5.
+ *
+ * A technique listens to power-delivery events and drives the cluster
+ * through the four operational phases of Table 4: normal operation,
+ * start of outage, during outage, and after restoration. Concrete
+ * techniques fall into the paper's two families — sustain-execution
+ * (throttling, migration/consolidation) and save-state (sleep,
+ * hibernation) — plus the hybrids of Table 6.
+ */
+
+#ifndef BPSIM_TECHNIQUE_TECHNIQUE_HH
+#define BPSIM_TECHNIQUE_TECHNIQUE_HH
+
+#include <string>
+
+#include "power/power_hierarchy.hh"
+#include "sim/simulator.hh"
+#include "workload/cluster.hh"
+
+namespace bpsim
+{
+
+/** Which family a technique belongs to (Figure 4). */
+enum class TechniqueFamily
+{
+    /** Keep executing, possibly at lower power. */
+    SustainExecution,
+    /** Preserve state, stop executing. */
+    SaveState,
+    /** Sustain for a while, then save (Table 6). */
+    Hybrid,
+    /** Do nothing (MaxPerf relies on the DG; MinCost just crashes). */
+    None,
+};
+
+/** Base outage-handling technique. */
+class Technique : public PowerHierarchy::Listener
+{
+  public:
+    ~Technique() override = default;
+
+    /** Display name ("Throttling", "Sleep-L", ...). */
+    const std::string &name() const { return name_; }
+
+    /** Family per Figure 4. */
+    TechniqueFamily family() const { return family_; }
+
+    /** Wire into a simulation; call once before running. */
+    void attach(Simulator &sim, Cluster &cluster,
+                PowerHierarchy &hierarchy);
+
+    /** Time for the technique to take effect after a failure (Table 5). */
+    virtual Time takeEffectTime(const Cluster &cluster) const = 0;
+
+    /** @name PowerHierarchy::Listener */
+    ///@{
+    void outageStarted(Time now) final;
+    void utilityRestored(Time now) final;
+    void powerLost(Time now) final;
+    void dgCarrying(Time now) final;
+    ///@}
+
+  protected:
+    Technique(std::string name, TechniqueFamily family)
+        : name_(std::move(name)), family_(family)
+    {}
+
+    /** React to the start of an outage (already attached). */
+    virtual void onOutage(Time now) = 0;
+    /** React to the utility coming back. */
+    virtual void onRestore(Time now) = 0;
+    /** Backup ran out / overload: in-flight plans are void. */
+    virtual void onPowerLost(Time) {}
+    /**
+     * The DG now carries the load: from the technique's perspective
+     * the energy emergency is over (though a small DG may still cap
+     * power). Default: no reaction.
+     */
+    virtual void onDgCarrying(Time) {}
+
+    /** True when the provisioned DG can carry the whole cluster. */
+    bool dgCoversFullLoad() const;
+
+    /**
+     * Shallowest P-state at which the whole cluster fits within
+     * @p budget_w (deepest state if nothing fits).
+     */
+    int pstateToFit(Watts budget_w) const;
+
+    Simulator *sim = nullptr;
+    Cluster *cluster = nullptr;
+    PowerHierarchy *hierarchy = nullptr;
+
+    /**
+     * Epoch guard for scheduled continuations: bumped on power loss
+     * and restoration so stale events become no-ops.
+     */
+    std::uint64_t epoch = 0;
+
+  private:
+    std::string name_;
+    TechniqueFamily family_;
+};
+
+/** A technique that does nothing (MaxPerf / MinCost baselines). */
+class NoTechnique : public Technique
+{
+  public:
+    NoTechnique() : Technique("none", TechniqueFamily::None) {}
+
+    Time takeEffectTime(const Cluster &) const override { return 0; }
+
+  protected:
+    void onOutage(Time) override {}
+    void onRestore(Time) override {}
+};
+
+/** @name Shared calibration helpers */
+///@{
+
+/**
+ * The P-state whose full-utilization active power is closest to
+ * @p fraction of peak power; used by the low-power ("-L") variants
+ * which the paper runs at half of peak.
+ */
+int pstateForPowerFraction(const ServerModel &model, double fraction);
+
+/**
+ * Slowdown of a state-save operation at reduced speed. The save path
+ * mixes CPU work (compression, page walking, weight @p cpu_weight)
+ * with fixed-rate device I/O. Calibrated against Table 8:
+ * cpu_weight 0.55 reproduces Sleep-L's 6 s -> 8 s and 0.9 reproduces
+ * Hibernate-L's 230 s -> 385 s.
+ */
+double saveSlowdownAtThrottle(const ServerModel &model, int pstate,
+                              int tstate, double cpu_weight);
+
+/** CPU weight of the suspend-to-RAM path (Table 8 calibration). */
+constexpr double kSleepSaveCpuWeight = 0.55;
+/** CPU weight of the hibernate image-write path (Table 8 calibration). */
+constexpr double kHibernateSaveCpuWeight = 0.9;
+/** Resume-time penalty measured for Hibernate-L (175 s vs 157 s). */
+constexpr double kLowPowerResumePenalty = 175.0 / 157.0;
+
+///@}
+
+} // namespace bpsim
+
+#endif // BPSIM_TECHNIQUE_TECHNIQUE_HH

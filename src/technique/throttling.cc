@@ -1,0 +1,55 @@
+#include "technique/throttling.hh"
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+Throttling::Throttling(int pstate, int tstate)
+    : Technique(formatString("Throttling(p%d,t%d)", pstate, tstate),
+                TechniqueFamily::SustainExecution),
+      pstate_(pstate), tstate_(tstate)
+{
+}
+
+void
+Throttling::onOutage(Time)
+{
+    for (int i = 0; i < cluster->size(); ++i) {
+        Server &srv = cluster->server(i);
+        if (srv.state() == ServerState::Active) {
+            srv.setPState(pstate_);
+            srv.setTState(tstate_);
+        }
+    }
+}
+
+void
+Throttling::onRestore(Time)
+{
+    for (int i = 0; i < cluster->size(); ++i) {
+        Server &srv = cluster->server(i);
+        if (srv.state() == ServerState::Active) {
+            srv.setPState(0);
+            srv.setTState(0);
+        }
+    }
+}
+
+void
+Throttling::onDgCarrying(Time)
+{
+    // The generator ended the energy emergency; only its power rating
+    // still constrains the cluster.
+    const int fit =
+        pstateToFit(hierarchy->dg()->params().powerCapacityW);
+    for (int i = 0; i < cluster->size(); ++i) {
+        Server &srv = cluster->server(i);
+        if (srv.state() == ServerState::Active) {
+            srv.setPState(fit);
+            srv.setTState(0);
+        }
+    }
+}
+
+} // namespace bpsim

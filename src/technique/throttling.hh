@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Throttling: run through the outage in a reduced active power state.
+ *
+ * Uses DVFS P-states and/or clock-modulation T-states; takes effect
+ * within tens of microseconds (inside the ~30 ms PSU ride-through, per
+ * the paper's footnote 4), making it the only basic technique that is
+ * guaranteed to cap the peak power the backup must supply.
+ */
+
+#ifndef BPSIM_TECHNIQUE_THROTTLING_HH
+#define BPSIM_TECHNIQUE_THROTTLING_HH
+
+#include "technique/technique.hh"
+
+namespace bpsim
+{
+
+/** Sustain-execution via active power-state modulation. */
+class Throttling : public Technique
+{
+  public:
+    /**
+     * @param pstate  DVFS state to hold during the outage.
+     * @param tstate  Clock-throttle state to hold during the outage.
+     */
+    Throttling(int pstate, int tstate = 0);
+
+    Time takeEffectTime(const Cluster &) const override
+    {
+        // P/T-state writes take effect in tens of microseconds.
+        return 50 * kMicrosecond;
+    }
+
+    /** The P-state held during outages. */
+    int pstate() const { return pstate_; }
+    /** The T-state held during outages. */
+    int tstate() const { return tstate_; }
+
+  protected:
+    void onOutage(Time now) override;
+    void onRestore(Time now) override;
+    void onDgCarrying(Time now) override;
+
+  private:
+    int pstate_;
+    int tstate_;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TECHNIQUE_THROTTLING_HH

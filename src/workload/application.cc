@@ -1,0 +1,309 @@
+#include "workload/application.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+const char *
+appPhaseName(AppPhase p)
+{
+    switch (p) {
+      case AppPhase::Stopped: return "Stopped";
+      case AppPhase::Starting: return "Starting";
+      case AppPhase::Preloading: return "Preloading";
+      case AppPhase::Warmup: return "Warmup";
+      case AppPhase::Serving: return "Serving";
+      case AppPhase::Paused: return "Paused";
+      case AppPhase::Lost: return "Lost";
+    }
+    return "?";
+}
+
+Application::Application(Simulator &sim, const WorkloadProfile &profile,
+                         Server &home)
+    : sim(sim), prof(profile), home_(&home), host_(&home),
+      prevHostState(home.state())
+{
+}
+
+void
+Application::notify()
+{
+    if (changeFn)
+        changeFn();
+}
+
+double
+Application::perf() const
+{
+    if (remotePerf > 0.0)
+        return remotePerf;
+    if (host_->state() != ServerState::Active)
+        return 0.0;
+    if (blackout)
+        return 0.0;
+    double base;
+    switch (ph) {
+      case AppPhase::Serving:
+        base = 1.0;
+        break;
+      case AppPhase::Warmup:
+        base = prof.warmupPerf;
+        break;
+      default:
+        return 0.0;
+    }
+    const double throttle =
+        prof.throttledPerf(host_->model(), host_->pstate(),
+                           host_->tstate());
+    const double mig = migrating_ ? prof.migrationDegradation : 1.0;
+    return base * share * throttle * mig;
+}
+
+bool
+Application::available() const
+{
+    if (remotePerf > 0.0) {
+        if (prof.metric == PerfMetric::LatencyConstrainedThroughput)
+            return remotePerf >= 0.7;
+        return true;
+    }
+    if (host_->state() != ServerState::Active || blackout)
+        return false;
+    switch (ph) {
+      case AppPhase::Serving:
+        return true;
+      case AppPhase::Warmup:
+        // A latency-constrained service below its SLO during warm-up
+        // is charged as performance-induced downtime.
+        if (prof.metric == PerfMetric::LatencyConstrainedThroughput)
+            return prof.warmupPerf >= 0.7;
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+Application::primeServing()
+{
+    BPSIM_ASSERT(host_->state() == ServerState::Active,
+                 "priming %s on a host in state %s", prof.name.c_str(),
+                 serverStateName(host_->state()));
+    prevHostState = host_->state();
+    enterPhase(AppPhase::Serving);
+}
+
+void
+Application::enterPhase(AppPhase next)
+{
+    pendingPhase.cancel();
+    ++phaseToken;
+    ph = next;
+    notify();
+}
+
+void
+Application::startRecovery()
+{
+    ph = AppPhase::Starting;
+    notify();
+    const auto token = ++phaseToken;
+    pendingPhase = sim.schedule(
+        fromSeconds(prof.processStartSec),
+        [this, token] {
+            if (token != phaseToken)
+                return;
+            if (prof.statePreloadSec > 0.0) {
+                ph = AppPhase::Preloading;
+                notify();
+                const auto t2 = ++phaseToken;
+                pendingPhase = sim.schedule(
+                    fromSeconds(prof.statePreloadSec),
+                    [this, t2] {
+                        if (t2 != phaseToken)
+                            return;
+                        beginWarmup(prof.warmupSec);
+                    },
+                    "app-preload-done");
+            } else {
+                beginWarmup(prof.warmupSec);
+            }
+        },
+        "app-start-done");
+}
+
+void
+Application::noteHostState()
+{
+    const ServerState hs = host_->state();
+    if (hs == prevHostState) {
+        notify();
+        return;
+    }
+    const ServerState prev = prevHostState;
+    prevHostState = hs;
+
+    switch (hs) {
+      case ServerState::Crashed:
+        if (ph != AppPhase::Lost && ph != AppPhase::Stopped) {
+            ++losses;
+            if (prof.recomputeMaxSec > 0.0 &&
+                (ph == AppPhase::Serving || ph == AppPhase::Warmup ||
+                 ph == AppPhase::Paused)) {
+                double lost =
+                    prof.recomputeMinSec +
+                    recomputeFraction *
+                        (prof.recomputeMaxSec - prof.recomputeMinSec);
+                if (prof.checkpointIntervalSec > 0.0) {
+                    // Checkpoints bound the lost work to the position
+                    // within the current interval.
+                    lost = std::min(
+                        lost,
+                        recomputeFraction * prof.checkpointIntervalSec);
+                }
+                extraDowntime += lost;
+            }
+            enterPhase(AppPhase::Lost);
+        }
+        break;
+
+      case ServerState::Off:
+        // Graceful shutdown is only legitimate when the service moved
+        // elsewhere first (geo-failover); consolidation shuts down
+        // *empty* sources, so anything else is an orchestration error.
+        if (ph == AppPhase::Serving || ph == AppPhase::Warmup) {
+            if (remotePerf > 0.0)
+                enterPhase(AppPhase::Stopped);
+            else
+                panic("host of running %s shut down", prof.name.c_str());
+        }
+        break;
+
+      case ServerState::Active:
+        if (ph == AppPhase::Lost || ph == AppPhase::Stopped) {
+            startRecovery();
+        } else if (ph == AppPhase::Paused) {
+            if (prev == ServerState::ResumingFromDisk &&
+                prof.resumeWarmupSec > 0.0 &&
+                !host_->model().params().nvdimm) {
+                // The hibernation image dropped cached data; re-warm.
+                // (NVDIMM restores are complete DRAM images: no
+                // re-warm needed.)
+                beginWarmup(prof.resumeWarmupSec);
+            } else {
+                enterPhase(AppPhase::Serving);
+            }
+        } else {
+            notify();
+        }
+        break;
+
+      case ServerState::EnteringSleep:
+      case ServerState::Sleeping:
+      case ServerState::Waking:
+      case ServerState::SavingToDisk:
+      case ServerState::Hibernated:
+      case ServerState::ResumingFromDisk:
+        if (ph == AppPhase::Serving || ph == AppPhase::Warmup ||
+            ph == AppPhase::Paused) {
+            enterPhase(AppPhase::Paused);
+        } else {
+            notify();
+        }
+        break;
+
+      case ServerState::Booting:
+        notify();
+        break;
+    }
+}
+
+void
+Application::beginWarmup(double warmup_sec)
+{
+    if (warmup_sec <= 0.0) {
+        enterPhase(AppPhase::Serving);
+        return;
+    }
+    pendingPhase.cancel();
+    ph = AppPhase::Warmup;
+    notify();
+    const auto token = ++phaseToken;
+    pendingPhase = sim.schedule(
+        fromSeconds(warmup_sec),
+        [this, token] {
+            if (token != phaseToken)
+                return;
+            ph = AppPhase::Serving;
+            notify();
+        },
+        "app-warmup-done");
+}
+
+void
+Application::beginMigration()
+{
+    BPSIM_ASSERT(!migrating_, "%s already migrating", prof.name.c_str());
+    migrating_ = true;
+    notify();
+}
+
+void
+Application::setMigrationBlackout(bool on)
+{
+    blackout = on;
+    notify();
+}
+
+void
+Application::abortMigration()
+{
+    migrating_ = false;
+    blackout = false;
+    notify();
+}
+
+void
+Application::completeMigration(Server *new_host, double new_share)
+{
+    BPSIM_ASSERT(new_host != nullptr, "migration to a null host");
+    BPSIM_ASSERT(new_share > 0.0 && new_share <= 1.0,
+                 "host share %g out of (0, 1]", new_share);
+    migrating_ = false;
+    blackout = false;
+    host_ = new_host;
+    prevHostState = new_host->state();
+    share = new_share;
+    notify();
+}
+
+void
+Application::setShare(double new_share)
+{
+    BPSIM_ASSERT(new_share > 0.0 && new_share <= 1.0,
+                 "host share %g out of (0, 1]", new_share);
+    share = new_share;
+    notify();
+}
+
+void
+Application::setRemoteService(double perf_level)
+{
+    BPSIM_ASSERT(perf_level >= 0.0 && perf_level <= 1.0,
+                 "remote service level %g out of [0, 1]", perf_level);
+    remotePerf = perf_level;
+    notify();
+}
+
+void
+Application::setRecomputeFraction(double f)
+{
+    BPSIM_ASSERT(f >= 0.0 && f <= 1.0, "recompute fraction %g", f);
+    recomputeFraction = f;
+}
+
+} // namespace bpsim

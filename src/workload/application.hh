@@ -1,0 +1,172 @@
+/**
+ * @file
+ * A running application instance and its service-level phase machine.
+ *
+ * The application tracks which server currently hosts it (consolidation
+ * can move it), pauses while the host saves/sleeps, loses state when the
+ * host crashes, and then walks the paper's recovery pipeline: process
+ * restart, persistent-data preload, degraded warm-up, full service.
+ * Its instantaneous normalized performance feeds the cluster timeline
+ * from which downtime and outage-window performance are computed.
+ */
+
+#ifndef BPSIM_WORKLOAD_APPLICATION_HH
+#define BPSIM_WORKLOAD_APPLICATION_HH
+
+#include <functional>
+
+#include "server/server.hh"
+#include "sim/simulator.hh"
+#include "workload/profile.hh"
+
+namespace bpsim
+{
+
+/** Service-level phase of one application instance. */
+enum class AppPhase
+{
+    /** Not yet started. */
+    Stopped,
+    /** Process creation / initialization (no service). */
+    Starting,
+    /** Re-reading persistent data into memory (no service). */
+    Preloading,
+    /** Serving at a degraded level while caches warm. */
+    Warmup,
+    /** Full service (subject to throttling/consolidation). */
+    Serving,
+    /** State preserved but host not executing (sleep/hibernate). */
+    Paused,
+    /** Volatile state lost; waiting for the host to come back. */
+    Lost,
+};
+
+/** Human-readable phase name. */
+const char *appPhaseName(AppPhase p);
+
+/** One application instance bound to a (possibly changing) host. */
+class Application
+{
+  public:
+    Application(Simulator &sim, const WorkloadProfile &profile,
+                Server &home);
+
+    /** The workload profile. */
+    const WorkloadProfile &profile() const { return prof; }
+
+    /** Current phase. */
+    AppPhase phase() const { return ph; }
+
+    /** Server currently hosting this instance. */
+    Server *host() const { return host_; }
+
+    /** The instance's original (home) server. */
+    Server *home() const { return home_; }
+
+    /** Fraction of the host's capacity allotted (1 = whole machine). */
+    double hostShare() const { return share; }
+
+    /** True while live migration is in flight. */
+    bool migrating() const { return migrating_; }
+
+    /**
+     * Instantaneous normalized performance in [0, 1]: 1 means the
+     * steady-state service level on an unthrottled dedicated server.
+     */
+    double perf() const;
+
+    /**
+     * Is the application "up" in the paper's downtime sense? Serving
+     * counts (even throttled/consolidated); being dark does not; and a
+     * latency-constrained service in a deep warm-up (30-50 % throughput
+     * reduction) is reported as performance-induced downtime, exactly
+     * as the paper does for Web-search.
+     */
+    bool available() const;
+
+    /** Register the change hook (cluster re-aggregation). */
+    void onChange(std::function<void()> fn) { changeFn = std::move(fn); }
+
+    /** Begin at full service on an Active host (steady-state init). */
+    void primeServing();
+
+    /**
+     * Re-evaluate after the host server changed state. The cluster
+     * calls this for every application whose host just transitioned.
+     */
+    void noteHostState();
+
+    /** @name Consolidation / migration (driven by the techniques) */
+    ///@{
+    /** Live migration started (service degrades slightly). */
+    void beginMigration();
+    /**
+     * Stop-and-copy blackout: the guest is paused while the final
+     * dirty set moves; performance is zero while set.
+     */
+    void setMigrationBlackout(bool on);
+    /** True while in the stop-and-copy blackout. */
+    bool migrationBlackout() const { return blackout; }
+    /** Migration finished: now running on @p new_host at @p new_share. */
+    void completeMigration(Server *new_host, double new_share);
+    /** Migration cancelled (e.g., utility returned mid-copy). */
+    void abortMigration();
+    /** Adjust the capacity share without moving (re-balancing). */
+    void setShare(double new_share);
+    ///@}
+
+    /** @name Geo-failover (requests served by a remote site) */
+    ///@{
+    /**
+     * Serve from a geo-replicated site at the given normalized level
+     * (0 disables). While remote service is active the local host's
+     * state is irrelevant to the offered performance.
+     */
+    void setRemoteService(double perf_level);
+    /** True while requests are redirected to a remote site. */
+    bool remoteService() const { return remotePerf > 0.0; }
+    ///@}
+
+    /**
+     * Extra downtime charged outside the service timeline: recompute
+     * time for batch work lost in crashes (Figure 9's MinCost band).
+     */
+    double extraDowntimeSec() const { return extraDowntime; }
+
+    /**
+     * Where in [0,1] between the profile's recompute min/max each
+     * crash's lost work lands (0.5 = midpoint; benches sweep 0 and 1
+     * for the paper's (min,max) bars).
+     */
+    void setRecomputeFraction(double f);
+
+    /** Number of times this instance lost its volatile state. */
+    int stateLosses() const { return losses; }
+
+  private:
+    void enterPhase(AppPhase next);
+    void beginWarmup(double warmup_sec);
+    void startRecovery();
+    void notify();
+
+    Simulator &sim;
+    WorkloadProfile prof;
+    Server *home_;
+    Server *host_;
+    ServerState prevHostState;
+    AppPhase ph = AppPhase::Stopped;
+    double share = 1.0;
+    bool migrating_ = false;
+    bool blackout = false;
+    double remotePerf = 0.0;
+    double extraDowntime = 0.0;
+    double recomputeFraction = 0.5;
+    int losses = 0;
+    EventHandle pendingPhase;
+    std::uint64_t phaseToken = 0;
+    std::function<void()> changeFn;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_WORKLOAD_APPLICATION_HH

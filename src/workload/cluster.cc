@@ -1,0 +1,191 @@
+#include "workload/cluster.hh"
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+std::vector<WorkloadProfile>
+replicate(const WorkloadProfile &profile, int n)
+{
+    BPSIM_ASSERT(n >= 1, "cluster needs at least one server");
+    return std::vector<WorkloadProfile>(static_cast<std::size_t>(n),
+                                        profile);
+}
+
+} // namespace
+
+Cluster::Cluster(Simulator &sim, PowerHierarchy &hierarchy,
+                 const ServerModel &model, const WorkloadProfile &profile,
+                 int n_servers)
+    : Cluster(sim, hierarchy, model, replicate(profile, n_servers))
+{
+}
+
+Cluster::Cluster(Simulator &sim, PowerHierarchy &hierarchy,
+                 const ServerModel &model,
+                 const std::vector<WorkloadProfile> &profiles)
+    : sim(sim), hierarchy(hierarchy), model_(model), profiles_(profiles)
+{
+    const int n_servers = static_cast<int>(profiles_.size());
+    BPSIM_ASSERT(n_servers >= 1, "cluster needs at least one server");
+    servers_.reserve(n_servers);
+    apps_.reserve(n_servers);
+    for (int i = 0; i < n_servers; ++i) {
+        servers_.push_back(std::make_unique<Server>(sim, model_, i));
+        apps_.push_back(std::make_unique<Application>(
+            sim, profiles_[static_cast<std::size_t>(i)],
+            *servers_.back()));
+    }
+    for (int i = 0; i < n_servers; ++i) {
+        Server *srv = servers_[i].get();
+        srv->onChange([this, srv] {
+            for (auto &app : apps_) {
+                if (app->host() == srv)
+                    app->noteHostState();
+            }
+            recompute();
+        });
+        apps_[i]->onChange([this] { recompute(); });
+    }
+    hierarchy.addListener(this);
+}
+
+void
+Cluster::primeSteadyState()
+{
+    for (auto &srv : servers_)
+        srv->primeActive();
+    for (auto &app : apps_)
+        app->primeServing();
+    recompute();
+}
+
+Watts
+Cluster::totalPowerW() const
+{
+    Watts total = 0.0;
+    for (const auto &srv : servers_)
+        total += srv->powerW();
+    return total;
+}
+
+double
+Cluster::availability() const
+{
+    double up = 0.0;
+    for (const auto &app : apps_) {
+        if (app->available())
+            up += 1.0;
+    }
+    return up / static_cast<double>(apps_.size());
+}
+
+double
+Cluster::aggregatePerf() const
+{
+    double total = 0.0;
+    for (const auto &app : apps_)
+        total += app->perf();
+    return total / static_cast<double>(apps_.size());
+}
+
+Watts
+Cluster::peakPowerW() const
+{
+    return model_.params().peakPowerW * static_cast<double>(size());
+}
+
+double
+Cluster::extraDowntimeSec() const
+{
+    double total = 0.0;
+    for (const auto &app : apps_)
+        total += app->extraDowntimeSec();
+    return total / static_cast<double>(apps_.size());
+}
+
+void
+Cluster::recompute()
+{
+    if (inRecompute) {
+        dirty = true;
+        return;
+    }
+    inRecompute = true;
+    do {
+        dirty = false;
+        hierarchy.setLoad(totalPowerW());
+        perfTl.record(sim.now(), aggregatePerf());
+        availTl.record(sim.now(), availability());
+    } while (dirty);
+    inRecompute = false;
+}
+
+void
+Cluster::powerLost(Time)
+{
+    for (auto &srv : servers_)
+        srv->crash();
+    recompute();
+}
+
+void
+Cluster::restartDarkServers()
+{
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+        Server &srv = *servers_[i];
+        if (srv.state() == ServerState::Crashed) {
+            srv.boot(fromSeconds(model_.params().bootTimeSec));
+        } else if (model_.params().nvdimm &&
+                   srv.state() == ServerState::Hibernated) {
+            // NVDIMM machines persisted through the loss; restoring
+            // DRAM from on-DIMM flash is far faster than a reboot.
+            srv.resumeFromDisk(
+                nvdimmRestoreTime(static_cast<int>(i)));
+        }
+    }
+    recompute();
+}
+
+Time
+Cluster::nvdimmRestoreTime(int i) const
+{
+    const double bytes = gbToBytes(profileOf(i).memoryGb);
+    const double bw = model_.params().nvdimmRestoreMBps * 1e6;
+    // Flash read-back plus a short kernel resume.
+    return fromSeconds(bytes / bw + 5.0);
+}
+
+bool
+Cluster::homogeneous() const
+{
+    for (const auto &p : profiles_) {
+        if (p.name != profiles_.front().name)
+            return false;
+    }
+    return true;
+}
+
+void
+Cluster::utilityRestored(Time)
+{
+    if (!autoReboot)
+        return;
+    restartDarkServers();
+}
+
+void
+Cluster::dgCarrying(Time)
+{
+    // Machines that crashed (e.g., in a NoUPS configuration) can
+    // reboot once the generator carries the load.
+    if (!autoReboot)
+        return;
+    restartDarkServers();
+}
+
+} // namespace bpsim

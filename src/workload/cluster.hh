@@ -1,0 +1,140 @@
+/**
+ * @file
+ * A rack/cluster of servers running one application each, wired to the
+ * power hierarchy.
+ *
+ * The cluster aggregates per-server power into the hierarchy's load,
+ * aggregates per-application performance into a normalized service
+ * timeline, crashes everything on abrupt power loss, and auto-reboots
+ * crashed machines when the utility returns (the MinCost baseline
+ * behaviour; deliberate shutdowns by a technique are left alone).
+ */
+
+#ifndef BPSIM_WORKLOAD_CLUSTER_HH
+#define BPSIM_WORKLOAD_CLUSTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "power/power_hierarchy.hh"
+#include "sim/simulator.hh"
+#include "sim/timeline.hh"
+#include "workload/application.hh"
+
+namespace bpsim
+{
+
+/** Servers + applications + power/performance aggregation. */
+class Cluster : public PowerHierarchy::Listener
+{
+  public:
+    /**
+     * Build @p n_servers servers of @p model, each hosting one
+     * instance of @p profile, and attach to @p hierarchy.
+     */
+    Cluster(Simulator &sim, PowerHierarchy &hierarchy,
+            const ServerModel &model, const WorkloadProfile &profile,
+            int n_servers);
+
+    /**
+     * Heterogeneous cluster (the Section 7 provisioning challenge):
+     * one server per entry of @p profiles, each hosting that profile.
+     */
+    Cluster(Simulator &sim, PowerHierarchy &hierarchy,
+            const ServerModel &model,
+            const std::vector<WorkloadProfile> &profiles);
+
+    /** Number of servers (== number of applications). */
+    int size() const { return static_cast<int>(servers_.size()); }
+
+    /** Server @p i. */
+    Server &server(int i) { return *servers_.at(i); }
+    /** Application @p i (homed on server i). */
+    Application &app(int i) { return *apps_.at(i); }
+
+    /**
+     * The first server's workload profile. For homogeneous clusters
+     * (the paper's experiments) this is *the* profile; heterogeneous
+     * techniques should consult profileOf() per server.
+     */
+    const WorkloadProfile &profile() const { return profiles_.front(); }
+
+    /** Workload profile hosted on server @p i. */
+    const WorkloadProfile &
+    profileOf(int i) const
+    {
+        return profiles_.at(static_cast<std::size_t>(i));
+    }
+
+    /** True when every server runs the same workload. */
+    bool homogeneous() const;
+
+    /** The server SKU. */
+    const ServerModel &serverModel() const { return model_; }
+
+    /**
+     * Initialize to steady state: all servers Active at full speed,
+     * all applications Serving. Call once at t = 0.
+     */
+    void primeSteadyState();
+
+    /** Aggregate electrical draw right now (watts). */
+    Watts totalPowerW() const;
+
+    /**
+     * Normalized cluster performance in [0, 1]: mean of application
+     * performance (1 = every instance at steady-state full service).
+     */
+    double aggregatePerf() const;
+
+    /** History of aggregate normalized performance. */
+    const Timeline &perfTimeline() const { return perfTl; }
+
+    /** Fraction of applications currently available. */
+    double availability() const;
+
+    /** History of the available fraction (downtime accounting). */
+    const Timeline &availabilityTimeline() const { return availTl; }
+
+    /** Peak electrical draw the cluster can present (sizing basis). */
+    Watts peakPowerW() const;
+
+    /** Sum of per-application extra (recompute) downtime, seconds. */
+    double extraDowntimeSec() const;
+
+    /** Re-aggregate power and performance (idempotent). */
+    void recompute();
+
+    /** @name PowerHierarchy::Listener */
+    ///@{
+    void powerLost(Time now) override;
+    void utilityRestored(Time now) override;
+    /** DG now carrying the load: crashed machines can reboot on it. */
+    void dgCarrying(Time now) override;
+    ///@}
+
+    /** Disable auto-reboot of crashed servers on restore. */
+    void setAutoReboot(bool v) { autoReboot = v; }
+
+    /** DRAM restore time from on-DIMM flash for server @p i. */
+    Time nvdimmRestoreTime(int i) const;
+
+  private:
+    void restartDarkServers();
+
+    Simulator &sim;
+    PowerHierarchy &hierarchy;
+    ServerModel model_;
+    std::vector<WorkloadProfile> profiles_;
+    std::vector<std::unique_ptr<Server>> servers_;
+    std::vector<std::unique_ptr<Application>> apps_;
+    Timeline perfTl{0.0};
+    Timeline availTl{0.0};
+    bool autoReboot = true;
+    bool inRecompute = false;
+    bool dirty = false;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_WORKLOAD_CLUSTER_HH

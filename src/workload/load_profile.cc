@@ -1,0 +1,63 @@
+#include "workload/load_profile.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+DiurnalLoadDriver::DiurnalLoadDriver(Simulator &sim, Cluster &cluster,
+                                     const Params &params)
+    : sim(sim), cluster(cluster), p(params)
+{
+    BPSIM_ASSERT(p.minUtil >= 0.0 && p.minUtil <= p.maxUtil &&
+                     p.maxUtil <= 1.0,
+                 "utilization band [%g, %g] invalid", p.minUtil,
+                 p.maxUtil);
+    BPSIM_ASSERT(p.period > 0, "non-positive period");
+    BPSIM_ASSERT(p.updateEvery > 0, "non-positive update interval");
+}
+
+double
+DiurnalLoadDriver::utilizationAt(Time t) const
+{
+    const double phase =
+        2.0 * M_PI *
+        static_cast<double>((t - p.peakAt) % p.period) /
+        static_cast<double>(p.period);
+    const double mid = 0.5 * (p.minUtil + p.maxUtil);
+    const double amp = 0.5 * (p.maxUtil - p.minUtil);
+    return mid + amp * std::cos(phase);
+}
+
+void
+DiurnalLoadDriver::start()
+{
+    running = true;
+    apply();
+}
+
+void
+DiurnalLoadDriver::stop()
+{
+    running = false;
+    pending.cancel();
+}
+
+void
+DiurnalLoadDriver::apply()
+{
+    if (!running)
+        return;
+    const double u = utilizationAt(sim.now());
+    for (int i = 0; i < cluster.size(); ++i) {
+        Server &srv = cluster.server(i);
+        if (srv.state() == ServerState::Active)
+            srv.setUtilization(u);
+    }
+    pending = sim.schedule(p.updateEvery, [this] { apply(); },
+                           "diurnal-update");
+}
+
+} // namespace bpsim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Diurnal utilization driver.
+ *
+ * Datacenter load is not flat: the day/night swing is what makes
+ * battery peak shaving (and normal power under-provisioning) possible
+ * at all. This driver modulates every active server's utilization on
+ * a sinusoidal day, so studies can combine time-varying load with
+ * outages — e.g., "does an outage at peak hour find the shaving
+ * battery drained?".
+ */
+
+#ifndef BPSIM_WORKLOAD_LOAD_PROFILE_HH
+#define BPSIM_WORKLOAD_LOAD_PROFILE_HH
+
+#include "sim/simulator.hh"
+#include "workload/cluster.hh"
+
+namespace bpsim
+{
+
+/** Sinusoidal day/night utilization pattern applied to a cluster. */
+class DiurnalLoadDriver
+{
+  public:
+    /** Shape parameters. */
+    struct Params
+    {
+        /** Trough utilization (night). */
+        double minUtil = 0.4;
+        /** Peak utilization (afternoon). */
+        double maxUtil = 1.0;
+        /** Length of one cycle. */
+        Time period = 24 * kHour;
+        /** Phase: when within the cycle the peak occurs. */
+        Time peakAt = 14 * kHour;
+        /** How often utilization is re-applied. */
+        Time updateEvery = 5 * kMinute;
+    };
+
+    DiurnalLoadDriver(Simulator &sim, Cluster &cluster,
+                      const Params &params);
+
+    /** The shape parameters. */
+    const Params &params() const { return p; }
+
+    /** Utilization dictated by the curve at absolute time @p t. */
+    double utilizationAt(Time t) const;
+
+    /** Begin driving the cluster (applies immediately, then periodic). */
+    void start();
+
+    /** Stop driving (pending updates are cancelled). */
+    void stop();
+
+  private:
+    void apply();
+
+    Simulator &sim;
+    Cluster &cluster;
+    Params p;
+    EventHandle pending;
+    bool running = false;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_WORKLOAD_LOAD_PROFILE_HH

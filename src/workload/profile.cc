@@ -1,0 +1,181 @@
+#include "workload/profile.hh"
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+double
+WorkloadProfile::throttledPerf(const ServerModel &model, int pstate,
+                               int tstate) const
+{
+    const double freq = model.freqRatio(pstate);
+    const double duty = model.dutyRatio(tstate);
+    return duty * ((1.0 - cpuBoundness) + cpuBoundness * freq);
+}
+
+DirtyPageModel::Params
+WorkloadProfile::dirtyParams() const
+{
+    DirtyPageModel::Params dp;
+    dp.totalStateBytes = gbToBytes(memoryGb);
+    dp.hotSetBytes = gbToBytes(hotSetGb);
+    dp.dirtyRateBytesPerSec = dirtyRateMBps * 1e6;
+    return dp;
+}
+
+double
+WorkloadProfile::hibernateImageBytes() const
+{
+    const double gb = hibernateImageGb < 0.0 ? memoryGb : hibernateImageGb;
+    return gbToBytes(gb);
+}
+
+Time
+WorkloadProfile::hibernateSaveTime(const ServerModel &model) const
+{
+    BPSIM_ASSERT(hibernateWriteEff > 0.0, "non-positive hibernate write eff");
+    const double bw = model.diskWriteBytesPerSec() * hibernateWriteEff;
+    return fromSeconds(hibernateImageBytes() / bw);
+}
+
+Time
+WorkloadProfile::hibernateResumeTime(const ServerModel &model) const
+{
+    BPSIM_ASSERT(hibernateReadEff > 0.0, "non-positive hibernate read eff");
+    const double bw = model.diskReadBytesPerSec() * hibernateReadEff;
+    return fromSeconds(hibernateImageBytes() / bw);
+}
+
+Time
+WorkloadProfile::crashRestartTime() const
+{
+    return fromSeconds(processStartSec + statePreloadSec);
+}
+
+WorkloadProfile
+specJbbProfile()
+{
+    WorkloadProfile w;
+    w.name = "specjbb";
+    w.metric = PerfMetric::LatencyConstrainedThroughput;
+    w.memoryGb = 18.0;
+    // The three-tier Java stack is compute heavy; DVFS bites hard.
+    w.cpuBoundness = 0.85;
+    // JVM heap churn: large hot set redirtied fast. Calibrated so that
+    // proactive techniques retain the 18 GB -> ~10-14 GB residuals the
+    // paper reports.
+    w.hotSetGb = 14.0;
+    w.dirtyRateMBps = 250.0;
+    // MinCost, 30 s outage: ~400 s downtime = 120 s boot + 60 s process
+    // creation + throughput catch-up (Section 6.2).
+    w.processStartSec = 60.0;
+    w.statePreloadSec = 0.0;
+    w.warmupSec = 220.0;
+    w.warmupPerf = 0.5;
+    // Table 8: save 230 s / resume 157 s for the 18 GB image.
+    w.hibernateImageGb = 18.0;
+    w.hibernateWriteEff = 1.0;
+    w.hibernateReadEff = 1.0;
+    w.sleepSaveSec = 6.0;
+    w.sleepResumeSec = 8.0;
+    return w;
+}
+
+WorkloadProfile
+webSearchProfile()
+{
+    WorkloadProfile w;
+    w.name = "web-search";
+    w.metric = PerfMetric::LatencyConstrainedThroughput;
+    w.memoryGb = 40.0;
+    // Query serving mixes scoring compute with index lookups.
+    w.cpuBoundness = 0.6;
+    // The index cache is read-only; only bookkeeping state is dirtied.
+    w.hotSetGb = 1.0;
+    w.dirtyRateMBps = 20.0;
+    // MinCost, 30 s outage: ~600 s = 120 s boot + 30 s restart + 3.5 min
+    // index pre-population + 4-5 min warm-up at 30-50% reduced
+    // throughput, which the paper counts as additional downtime.
+    w.processStartSec = 30.0;
+    w.statePreloadSec = 180.0;
+    w.warmupSec = 270.0;
+    w.warmupPerf = 0.6;
+    // Hibernation drops the clean 34 GB page-cache portion of the
+    // image and re-warms it lazily after resume; that is why the paper
+    // measures *less* downtime for Hibernation (400 s) than MinCost
+    // (600 s) on this workload.
+    w.hibernateImageGb = 6.0;
+    w.hibernateWriteEff = 1.0;
+    w.hibernateReadEff = 1.0;
+    w.resumeWarmupSec = 270.0;
+    w.sleepSaveSec = 6.0;
+    w.sleepResumeSec = 8.0;
+    return w;
+}
+
+WorkloadProfile
+memcachedProfile()
+{
+    WorkloadProfile w;
+    w.name = "memcached";
+    w.metric = PerfMetric::Throughput;
+    w.memoryGb = 20.0;
+    // Random-access memory stalls dominate; throttling is cheap
+    // (Section 6.2 credits memory-related CPU stalls).
+    w.cpuBoundness = 0.35;
+    w.hotSetGb = 0.5;
+    w.dirtyRateMBps = 5.0;
+    // MinCost, 30 s outage: ~480 s = boot + restart + re-populating the
+    // 20 GB data set from disk (small random objects keep the reload
+    // well below sequential disk speed).
+    w.processStartSec = 60.0;
+    w.statePreloadSec = 300.0;
+    w.warmupSec = 40.0;
+    w.warmupPerf = 0.7;
+    // Hibernating the scattered slab heap writes pathologically slowly
+    // (the paper measures 1140 s of downtime vs 480 s for simply
+    // reloading): calibrated efficiency factors reproduce that.
+    w.hibernateImageGb = 20.0;
+    w.hibernateWriteEff = 0.33;
+    w.hibernateReadEff = 0.45;
+    w.sleepSaveSec = 6.0;
+    w.sleepResumeSec = 8.0;
+    return w;
+}
+
+WorkloadProfile
+specCpuMcfProfile()
+{
+    WorkloadProfile w;
+    w.name = "speccpu-mcf8";
+    w.metric = PerfMetric::CompletionTime;
+    w.memoryGb = 16.0;
+    // mcf is memory-latency bound.
+    w.cpuBoundness = 0.55;
+    w.hotSetGb = 8.0;
+    w.dirtyRateMBps = 150.0;
+    w.processStartSec = 10.0;
+    w.statePreloadSec = 0.0;
+    w.warmupSec = 0.0;
+    // Un-checkpointed batch jobs recompute everything since the last
+    // start: the impact depends on when in the (hours-long) run the
+    // outage lands, hence the wide min/max band in Figure 9.
+    w.recomputeMinSec = 60.0;
+    w.recomputeMaxSec = 3600.0;
+    w.hibernateImageGb = 16.0;
+    w.hibernateWriteEff = 1.0;
+    w.hibernateReadEff = 1.0;
+    w.sleepSaveSec = 6.0;
+    w.sleepResumeSec = 8.0;
+    return w;
+}
+
+std::vector<WorkloadProfile>
+allPaperWorkloads()
+{
+    return {specJbbProfile(), webSearchProfile(), memcachedProfile(),
+            specCpuMcfProfile()};
+}
+
+} // namespace bpsim

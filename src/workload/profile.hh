@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Workload characterization profiles.
+ *
+ * Each profile captures the application characteristics that the paper
+ * identifies as decisive for performability under backup
+ * underprovisioning: volatile-state size, dirty-page behaviour,
+ * sensitivity of throughput to CPU throttling, the post-crash recovery
+ * pipeline (restart / data preload / warm-up), and how efficiently the
+ * state can be persisted. Factory functions return the four evaluated
+ * workloads (Table 7), calibrated to the measurements reported in
+ * Sections 6.1-6.2 and Table 8.
+ */
+
+#ifndef BPSIM_WORKLOAD_PROFILE_HH
+#define BPSIM_WORKLOAD_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "server/dirty_pages.hh"
+#include "server/server_model.hh"
+#include "sim/types.hh"
+
+namespace bpsim
+{
+
+/** How a workload's headline performance metric is expressed. */
+enum class PerfMetric
+{
+    /** Latency-constrained queries/operations per second. */
+    LatencyConstrainedThroughput,
+    /** Raw queries per second. */
+    Throughput,
+    /** Batch completion time (HPC). */
+    CompletionTime,
+};
+
+/** Static characterization of one application (Table 7 plus §6.2). */
+struct WorkloadProfile
+{
+    std::string name;
+    PerfMetric metric = PerfMetric::Throughput;
+
+    /** Volatile memory footprint (GB). */
+    double memoryGb = 16.0;
+    /**
+     * Fraction of throughput that scales with core frequency; the rest
+     * is memory/IO stall time that throttling does not hurt
+     * (Memcached's random-access stalls make it throttle-friendly).
+     */
+    double cpuBoundness = 0.7;
+    /** Hot (re-dirtied) working set (GB). */
+    double hotSetGb = 2.0;
+    /** Dirty rate into the hot set (MB/s). */
+    double dirtyRateMBps = 50.0;
+
+    /** @name Post-crash recovery pipeline (state lost) */
+    ///@{
+    /** Process creation + app init after OS boot (seconds). */
+    double processStartSec = 60.0;
+    /** Re-reading persistent data into memory (seconds). */
+    double statePreloadSec = 0.0;
+    /** Warm-up window with degraded service after start (seconds). */
+    double warmupSec = 0.0;
+    /** Normalized service level during warm-up. */
+    double warmupPerf = 0.5;
+    ///@}
+
+    /** @name State-save behaviour */
+    ///@{
+    /**
+     * Size of the hibernation image (GB). Clean page-cache data is
+     * dropped rather than written (Web-search's read-only index), so
+     * this can be far below memoryGb.
+     */
+    double hibernateImageGb = -1.0; // -1 -> memoryGb
+    /** Effective fraction of disk write bandwidth for the image. */
+    double hibernateWriteEff = 1.0;
+    /** Effective fraction of disk read bandwidth for image restore. */
+    double hibernateReadEff = 1.0;
+    /** Suspend-to-RAM save time at full speed (seconds). */
+    double sleepSaveSec = 6.0;
+    /** Resume-from-RAM time (seconds). */
+    double sleepResumeSec = 8.0;
+    /**
+     * Warm-up needed after a hibernate resume when the image dropped
+     * cached data (seconds at warmupPerf); 0 when the image is
+     * complete.
+     */
+    double resumeWarmupSec = 0.0;
+    ///@}
+
+    /** @name Batch (HPC) recompute penalty */
+    ///@{
+    /** Best-case lost work on a crash (seconds to recompute). */
+    double recomputeMinSec = 0.0;
+    /** Worst-case lost work on a crash (seconds to recompute). */
+    double recomputeMaxSec = 0.0;
+    /**
+     * Application-level checkpoint interval (seconds); 0 disables.
+     * The paper notes HPC recompute "can be alleviated by
+     * checkpointing partial results": with checkpoints, the lost work
+     * is bounded by the interval instead of the whole run.
+     */
+    double checkpointIntervalSec = 0.0;
+    ///@}
+
+    /** Service level while being live-migrated. */
+    double migrationDegradation = 0.9;
+
+    /**
+     * Normalized throughput at the given throttle settings: duty
+     * cycling gates everything; frequency only hurts the CPU-bound
+     * fraction.
+     */
+    double throttledPerf(const ServerModel &model, int pstate,
+                         int tstate) const;
+
+    /** Dirty-page model parameters derived from this profile. */
+    DirtyPageModel::Params dirtyParams() const;
+
+    /** Hibernation image size in bytes. */
+    double hibernateImageBytes() const;
+
+    /** Image write time at full speed (simulated Time). */
+    Time hibernateSaveTime(const ServerModel &model) const;
+
+    /** Image read-back time (simulated Time). */
+    Time hibernateResumeTime(const ServerModel &model) const;
+
+    /**
+     * Process restart + persistent-data preload after a crash (Time);
+     * excludes the OS boot and the degraded warm-up window.
+     */
+    Time crashRestartTime() const;
+};
+
+/** @name The paper's four evaluated workloads (Table 7) */
+///@{
+/** Specjbb: 3-tier retailer emulation, 18 GB in-memory database. */
+WorkloadProfile specJbbProfile();
+/** Web-search: 40 GB in-memory index cache over persistent storage. */
+WorkloadProfile webSearchProfile();
+/** Memcached: 20 GB in-memory key-value store, read-only clients. */
+WorkloadProfile memcachedProfile();
+/** SpecCPU mcf x 8: memory-intensive HPC batch, 16 GB. */
+WorkloadProfile specCpuMcfProfile();
+/** All four, in the paper's order. */
+std::vector<WorkloadProfile> allPaperWorkloads();
+///@}
+
+} // namespace bpsim
+
+#endif // BPSIM_WORKLOAD_PROFILE_HH

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the performability analyzer: fixed-config evaluation and
+ * minimal UPS sizing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+Scenario
+baseScenario(Time outage = fromMinutes(5.0))
+{
+    Scenario sc;
+    sc.profile = specJbbProfile();
+    sc.nServers = 4;
+    sc.outageDuration = outage;
+    return sc;
+}
+
+TEST(Analyzer, NominalPeakIsClusterPeak)
+{
+    Analyzer a;
+    EXPECT_DOUBLE_EQ(a.nominalPeakW(baseScenario()), 4 * 250.0);
+}
+
+TEST(Analyzer, MaxPerfIsSeamless)
+{
+    Analyzer a;
+    auto sc = baseScenario();
+    const auto ev = a.evaluateConfig(sc, maxPerfConfig());
+    EXPECT_TRUE(ev.feasible);
+    EXPECT_NEAR(ev.result.perfDuringOutage, 1.0, 1e-6);
+    EXPECT_NEAR(ev.result.downtimeSec, 0.0, 1.0);
+    EXPECT_NEAR(ev.normalizedCost, 1.0, 1e-9);
+    EXPECT_TRUE(ev.result.recovered);
+}
+
+TEST(Analyzer, MinCostCrashesAndRecoversSlowly)
+{
+    Analyzer a;
+    auto sc = baseScenario(30 * kSecond);
+    const auto ev = a.evaluateConfig(sc, minCostConfig());
+    EXPECT_FALSE(ev.feasible);
+    EXPECT_EQ(ev.result.losses, 1);
+    // Only the 30 ms ride-through contributes any service.
+    EXPECT_NEAR(ev.result.perfDuringOutage, 0.0, 0.01);
+    // The paper's ~400 s for a 30 s Specjbb outage (+ the outage).
+    EXPECT_NEAR(ev.result.downtimeSec, 430.0, 40.0);
+    EXPECT_DOUBLE_EQ(ev.normalizedCost, 0.0);
+    EXPECT_TRUE(ev.result.recovered);
+}
+
+TEST(Analyzer, NoDgAtFullLoadDiesWhenBatteryEmpties)
+{
+    Analyzer a;
+    auto sc = baseScenario(fromMinutes(10.0));
+    sc.technique = {}; // no technique: full power on a 2-min battery
+    const auto ev = a.evaluateConfig(sc, noDgConfig());
+    EXPECT_FALSE(ev.feasible);
+    EXPECT_EQ(ev.result.losses, 1);
+    // It served for ~2 minutes of the 10.
+    EXPECT_NEAR(ev.result.perfDuringOutage, 0.2, 0.05);
+}
+
+TEST(Analyzer, ThrottlingOnNoDgSurvivesFiveMinutes)
+{
+    Analyzer a;
+    auto sc = baseScenario(fromMinutes(5.0));
+    sc.technique = {TechniqueKind::Throttle, 5, 0, 0, false};
+    const auto ev = a.evaluateConfig(sc, noDgConfig());
+    EXPECT_TRUE(ev.feasible);
+    EXPECT_NEAR(ev.result.perfDuringOutage, 0.63, 0.03);
+    EXPECT_NEAR(ev.result.downtimeSec, 0.0, 1.0);
+}
+
+TEST(Analyzer, DgConfigsHandleLongOutages)
+{
+    Analyzer a;
+    auto sc = baseScenario(fromHours(2.0));
+    const auto ev = a.evaluateConfig(sc, maxPerfConfig());
+    EXPECT_TRUE(ev.feasible);
+    EXPECT_NEAR(ev.result.perfDuringOutage, 1.0, 1e-6);
+}
+
+TEST(Analyzer, PeakBackupDrawReflectsThrottle)
+{
+    Analyzer a;
+    auto sc = baseScenario();
+    sc.technique = {TechniqueKind::Throttle, 6, 0, 0, false};
+    const auto ev = a.evaluateConfig(sc, largeEUpsConfig());
+    // Four servers at the deepest DVFS point: ~106 W each.
+    EXPECT_NEAR(ev.result.peakBatteryDrawW, 4 * 106.0, 4 * 10.0);
+}
+
+TEST(Analyzer, SizeUpsOnlyProducesFeasibleMinimalConfig)
+{
+    Analyzer a;
+    auto sc = baseScenario(fromMinutes(30.0));
+    sc.technique = {TechniqueKind::Throttle, 6, 0, 0, false};
+    const auto sized = a.sizeUpsOnly(sc);
+    EXPECT_TRUE(sized.feasible);
+    EXPECT_EQ(sized.result.losses, 0);
+    EXPECT_GT(sized.capacity.upsKw, 0.0);
+    EXPECT_GE(sized.capacity.upsRuntimeSec, 120.0);
+    EXPECT_GT(sized.normalizedCost, 0.0);
+    EXPECT_LT(sized.normalizedCost, 1.0);
+}
+
+TEST(Analyzer, SizedCapacityIsTight)
+{
+    // Shrinking the sized runtime by 10 % must break the scenario:
+    // the sizing is genuinely minimal (up to its small margin).
+    Analyzer a;
+    auto sc = baseScenario(fromMinutes(30.0));
+    sc.technique = {TechniqueKind::Throttle, 6, 0, 0, false};
+    const auto sized = a.sizeUpsOnly(sc);
+
+    PowerHierarchy::Config shrunk;
+    shrunk.hasDg = false;
+    shrunk.hasUps = true;
+    shrunk.ups.powerCapacityW = sized.capacity.upsKw * 1000.0 * 1.001;
+    shrunk.ups.runtimeAtRatedSec = sized.capacity.upsRuntimeSec * 0.9;
+    const auto broken = a.run(sc, shrunk);
+    EXPECT_GT(broken.losses, 0);
+}
+
+TEST(Analyzer, SleepSizesTinyBackup)
+{
+    Analyzer a;
+    auto sc = baseScenario(fromHours(1.0));
+    sc.technique.kind = TechniqueKind::Sleep;
+    sc.technique.lowPower = true;
+    const auto sized = a.sizeUpsOnly(sc);
+    EXPECT_TRUE(sized.feasible);
+    // Sleep-L: the paper reports ~20 % of MaxPerf cost.
+    EXPECT_LT(sized.normalizedCost, 0.25);
+}
+
+TEST(Analyzer, LongerOutagesCostMoreToSustain)
+{
+    Analyzer a;
+    double prev = 0.0;
+    for (double minutes : {5.0, 30.0, 60.0, 120.0}) {
+        auto sc = baseScenario(fromMinutes(minutes));
+        sc.technique = {TechniqueKind::Throttle, 6, 0, 0, false};
+        const auto sized = a.sizeUpsOnly(sc);
+        EXPECT_GE(sized.normalizedCost, prev);
+        prev = sized.normalizedCost;
+    }
+}
+
+TEST(Analyzer, PeukertRuntimeConsistentWithConstantLoad)
+{
+    // For a constant-draw technique the Peukert integral equals the
+    // outage duration (draw == rated power of the sizing).
+    Analyzer a;
+    auto sc = baseScenario(fromMinutes(10.0));
+    sc.technique = {}; // full constant load
+    const auto sized = a.sizeUpsOnly(sc);
+    EXPECT_NEAR(sized.result.peukertRuntimeSec, 600.0, 10.0);
+}
+
+TEST(Analyzer, BatteryEnergyAccounting)
+{
+    Analyzer a;
+    auto sc = baseScenario(fromMinutes(10.0));
+    const auto sized = a.sizeUpsOnly(sc);
+    // 1 kW for 10 minutes = 1/6 kWh.
+    EXPECT_NEAR(sized.result.batteryEnergyKwh, 1000.0 * 600.0 / 3.6e6,
+                0.01);
+}
+
+TEST(Analyzer, RecomputeFractionFlowsThrough)
+{
+    Analyzer a;
+    Scenario sc = baseScenario(fromMinutes(2.0));
+    sc.profile = specCpuMcfProfile();
+    sc.recomputeFraction = 1.0;
+    const auto worst = a.evaluateConfig(sc, minCostConfig());
+    sc.recomputeFraction = 0.0;
+    const auto best = a.evaluateConfig(sc, minCostConfig());
+    EXPECT_GT(worst.result.downtimeSec,
+              best.result.downtimeSec +
+                  0.9 * (specCpuMcfProfile().recomputeMaxSec -
+                         specCpuMcfProfile().recomputeMinSec));
+}
+
+TEST(Analyzer, DeterministicAcrossRuns)
+{
+    Analyzer a;
+    auto sc = baseScenario(fromMinutes(7.0));
+    sc.technique = {TechniqueKind::Throttle, 4, 0, 0, false};
+    const auto e1 = a.evaluateConfig(sc, largeEUpsConfig());
+    const auto e2 = a.evaluateConfig(sc, largeEUpsConfig());
+    EXPECT_DOUBLE_EQ(e1.result.perfDuringOutage,
+                     e2.result.perfDuringOutage);
+    EXPECT_DOUBLE_EQ(e1.result.downtimeSec, e2.result.downtimeSec);
+    EXPECT_DOUBLE_EQ(e1.result.batteryEnergyKwh,
+                     e2.result.batteryEnergyKwh);
+}
+
+/**
+ * Property sweep: for every basic technique, the sized configuration
+ * must be verified feasible, and performance/availability must be in
+ * [0, 1].
+ */
+class SizingSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SizingSweep, SizedConfigIsFeasibleAndSane)
+{
+    Analyzer a;
+    auto sc = baseScenario(fromMinutes(30.0));
+    const auto cands = basicCandidates(ServerModel{});
+    sc.technique = cands[static_cast<std::size_t>(GetParam())];
+    const auto sized = a.sizeUpsOnly(sc);
+    EXPECT_TRUE(sized.feasible) << sc.technique.label();
+    EXPECT_GE(sized.result.perfDuringOutage, 0.0);
+    EXPECT_LE(sized.result.perfDuringOutage, 1.0 + 1e-9);
+    EXPECT_GE(sized.result.availabilityDuringOutage, 0.0);
+    EXPECT_LE(sized.result.availabilityDuringOutage, 1.0 + 1e-9);
+    EXPECT_GE(sized.result.downtimeSec, 0.0);
+    EXPECT_TRUE(sized.result.recovered) << sc.technique.label();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBasicTechniques, SizingSweep,
+                         ::testing::Range(0, 25));
+
+} // namespace
+} // namespace bpsim

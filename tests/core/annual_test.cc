@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the annual (multi-outage) availability simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/annual.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+constexpr Time kYear = 365LL * 24 * kHour;
+
+std::vector<OutageEvent>
+threeOutages()
+{
+    return {{10 * kHour, 2 * kMinute},
+            {100 * 24 * kHour, 10 * kMinute},
+            {200 * 24 * kHour, kHour}};
+}
+
+TEST(Annual, QuietYearIsPerfect)
+{
+    AnnualSimulator sim;
+    const auto r = sim.runYear(specJbbProfile(), 4, {}, maxPerfConfig(),
+                               {});
+    EXPECT_EQ(r.outages, 0);
+    EXPECT_EQ(r.losses, 0);
+    EXPECT_NEAR(r.downtimeMin, 0.0, 1e-6);
+    EXPECT_NEAR(r.meanPerf, 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(r.batteryKwh, 0.0);
+}
+
+TEST(Annual, MaxPerfRidesThroughEverything)
+{
+    AnnualSimulator sim;
+    const auto r = sim.runYear(specJbbProfile(), 4, {}, maxPerfConfig(),
+                               threeOutages());
+    EXPECT_EQ(r.outages, 3);
+    EXPECT_EQ(r.losses, 0);
+    EXPECT_NEAR(r.downtimeMin, 0.0, 1e-3);
+    EXPECT_GT(r.batteryKwh, 0.0); // bridged the DG transfers
+}
+
+TEST(Annual, MinCostAccumulatesOutageAndRecoveryTime)
+{
+    AnnualSimulator sim;
+    const auto r = sim.runYear(specJbbProfile(), 4, {}, minCostConfig(),
+                               threeOutages());
+    EXPECT_EQ(r.losses, 3);
+    // Sum of outages (72 min) plus ~400 s of recovery per event.
+    EXPECT_NEAR(r.downtimeMin, 72.0 + 3.0 * 400.0 / 60.0, 3.0);
+    EXPECT_GT(r.worstGapMin, 60.0); // the one-hour outage
+}
+
+TEST(Annual, BatteryRechargesBetweenOutages)
+{
+    // Two full-load outages, each within the battery runtime, half a
+    // year apart: both must be ridden through.
+    AnnualSimulator sim;
+    TechniqueSpec throttle{TechniqueKind::Throttle, 6, 0, 0, false};
+    const std::vector<OutageEvent> events{
+        {10 * kHour, 5 * kMinute}, {180 * 24 * kHour, 5 * kMinute}};
+    const auto r = sim.runYear(specJbbProfile(), 4, throttle,
+                               noDgConfig(), events);
+    EXPECT_EQ(r.losses, 0);
+    EXPECT_NEAR(r.downtimeMin, 0.0, 1e-3);
+}
+
+TEST(Annual, SleepDefenseBoundsDowntimeToOutages)
+{
+    AnnualSimulator sim;
+    TechniqueSpec sleep{TechniqueKind::Sleep, 0, 0, 0, true};
+    const auto r = sim.runYear(specJbbProfile(), 4, sleep, noDgConfig(),
+                               threeOutages());
+    EXPECT_EQ(r.losses, 0);
+    // Downtime ~= total outage time + one resume per event.
+    EXPECT_NEAR(r.downtimeMin, 72.0 + 3.0 * 8.0 / 60.0, 1.0);
+}
+
+TEST(Annual, SummaryAggregatesAcrossYears)
+{
+    AnnualSimulator sim;
+    TechniqueSpec sleep{TechniqueKind::Sleep, 0, 0, 0, true};
+    const auto s = sim.runYears(specJbbProfile(), 4, sleep,
+                                largeEUpsConfig(), 20, 99);
+    EXPECT_EQ(s.downtimeMin.count(), 20u);
+    EXPECT_GT(s.meanPerf.mean(), 0.99); // outages are rare
+    EXPECT_DOUBLE_EQ(s.lossFreeYears, 1.0); // sleep never crashes
+}
+
+TEST(Annual, DeterministicGivenSeed)
+{
+    AnnualSimulator sim;
+    TechniqueSpec throttle{TechniqueKind::Throttle, 5, 0, 0, false};
+    const auto a = sim.runYears(specJbbProfile(), 4, throttle,
+                                largeEUpsConfig(), 5, 7);
+    const auto b = sim.runYears(specJbbProfile(), 4, throttle,
+                                largeEUpsConfig(), 5, 7);
+    EXPECT_DOUBLE_EQ(a.downtimeMin.mean(), b.downtimeMin.mean());
+    EXPECT_DOUBLE_EQ(a.meanPerf.mean(), b.meanPerf.mean());
+}
+
+TEST(Annual, MoreBackupNeverHurtsAvailability)
+{
+    AnnualSimulator sim;
+    TechniqueSpec throttle{TechniqueKind::Throttle, 6, 0, 0, false};
+    const auto small = sim.runYears(specJbbProfile(), 4, throttle,
+                                    noDgConfig(), 10, 5);
+    const auto large = sim.runYears(specJbbProfile(), 4, throttle,
+                                    largeEUpsConfig(), 10, 5);
+    EXPECT_LE(large.downtimeMin.mean(), small.downtimeMin.mean() + 1e-6);
+    EXPECT_GE(large.lossFreeYears, small.lossFreeYears);
+}
+
+TEST(Annual, RejectsOutagesBeyondTheYear)
+{
+    AnnualSimulator sim;
+    EXPECT_DEATH(sim.runYear(specJbbProfile(), 4, {}, maxPerfConfig(),
+                             {{kYear - kMinute, 2 * kMinute}}),
+                 "beyond the year");
+}
+
+TEST(Annual, SectionedYearAggregatesByServers)
+{
+    AnnualSimulator sim;
+    SectionSpec protected_section;
+    protected_section.name = "protected";
+    protected_section.profiles.assign(4, specJbbProfile());
+    protected_section.backup = maxPerfConfig();
+    protected_section.technique = {};
+    SectionSpec bare_section;
+    bare_section.name = "bare";
+    bare_section.profiles.assign(4, specJbbProfile());
+    bare_section.backup = minCostConfig();
+    bare_section.technique = {};
+
+    const auto r = sim.runSectionedYear(
+        {protected_section, bare_section}, threeOutages());
+    EXPECT_EQ(r.outages, 3);
+    EXPECT_EQ(r.losses, 3); // only the bare section crashed, 3 times
+    // Half the servers see MinCost downtime, half see none.
+    EXPECT_NEAR(r.downtimeMin, 0.5 * (72.0 + 3.0 * 400.0 / 60.0), 3.0);
+    EXPECT_GT(r.meanPerf, 0.999 * 0.5 + 0.49);
+}
+
+TEST(Annual, SectionedQuietYearIsPerfect)
+{
+    AnnualSimulator sim;
+    SectionSpec s;
+    s.name = "only";
+    s.profiles.assign(2, memcachedProfile());
+    s.backup = noDgConfig();
+    s.technique = {TechniqueKind::Sleep, 0, 0, 0, true};
+    const auto r = sim.runSectionedYear({s}, {});
+    EXPECT_EQ(r.losses, 0);
+    EXPECT_NEAR(r.downtimeMin, 0.0, 1e-6);
+    EXPECT_NEAR(r.meanPerf, 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace bpsim

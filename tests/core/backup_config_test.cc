@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the Table 3 configurations and their normalized costs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/backup_config.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+const CostModel kCost{};
+constexpr double kPeakW = 1e6; // 1 MW reference datacenter
+
+double
+normCost(const BackupConfigSpec &spec)
+{
+    return kCost.normalizedCost(capacityOf(spec, kPeakW), kPeakW / 1000.0);
+}
+
+TEST(Table3, NineConfigurationsInPaperOrder)
+{
+    const auto all = table3Configs();
+    ASSERT_EQ(all.size(), 9u);
+    EXPECT_EQ(all[0].name, "MaxPerf");
+    EXPECT_EQ(all[1].name, "MinCost");
+    EXPECT_EQ(all[2].name, "NoDG");
+    EXPECT_EQ(all[3].name, "NoUPS");
+    EXPECT_EQ(all[4].name, "DG-SmallPUPS");
+    EXPECT_EQ(all[5].name, "SmallDG-SmallPUPS");
+    EXPECT_EQ(all[6].name, "SmallPUPS");
+    EXPECT_EQ(all[7].name, "LargeEUPS");
+    EXPECT_EQ(all[8].name, "SmallP-LargeEUPS");
+}
+
+TEST(Table3, NormalizedCostsMatchThePaper)
+{
+    // The cost column of Table 3, to two decimals.
+    EXPECT_NEAR(normCost(maxPerfConfig()), 1.00, 0.005);
+    EXPECT_NEAR(normCost(minCostConfig()), 0.00, 1e-12);
+    EXPECT_NEAR(normCost(noDgConfig()), 0.38, 0.005);
+    // 83.3 / 133.3 = 0.6249; the paper prints 0.63.
+    EXPECT_NEAR(normCost(noUpsConfig()), 0.63, 0.006);
+    EXPECT_NEAR(normCost(dgSmallPUpsConfig()), 0.81, 0.005);
+    EXPECT_NEAR(normCost(smallDgSmallPUpsConfig()), 0.50, 0.005);
+    EXPECT_NEAR(normCost(smallPUpsConfig()), 0.19, 0.005);
+    EXPECT_NEAR(normCost(largeEUpsConfig()), 0.55, 0.005);
+    EXPECT_NEAR(normCost(smallPLargeEUpsConfig()), 0.38, 0.005);
+}
+
+TEST(Table3, NoDgAndSmallPLargeEUpsCostTheSame)
+{
+    // The paper highlights that SmallP-LargeEUPS trades peak power for
+    // runtime at the NoDG price point (both 0.38).
+    EXPECT_NEAR(normCost(noDgConfig()), normCost(smallPLargeEUpsConfig()),
+                0.005);
+}
+
+TEST(Table3, EliminatingDgSavesSixtyTwoPercent)
+{
+    EXPECT_NEAR(1.0 - normCost(noDgConfig()), 0.62, 0.01);
+}
+
+TEST(Table3, RemovingUpsSavesThirtySevenPercent)
+{
+    EXPECT_NEAR(1.0 - normCost(noUpsConfig()), 0.37, 0.01);
+}
+
+TEST(Table3, LargeEUpsRuntimeIsThirtyMinutes)
+{
+    const auto spec = largeEUpsConfig();
+    EXPECT_DOUBLE_EQ(spec.upsRuntimeSec, 1800.0);
+    EXPECT_FALSE(spec.hasDg);
+    EXPECT_DOUBLE_EQ(spec.upsPowerFrac, 1.0);
+}
+
+TEST(Table3, SmallPLargeEUpsTradesPowerForRuntime)
+{
+    const auto spec = smallPLargeEUpsConfig();
+    EXPECT_DOUBLE_EQ(spec.upsPowerFrac, 0.5);
+    EXPECT_DOUBLE_EQ(spec.upsRuntimeSec, 62.0 * 60.0);
+}
+
+TEST(ToHierarchyConfig, ScalesCapacitiesByPeak)
+{
+    const auto cfg = toHierarchyConfig(dgSmallPUpsConfig(), 2000.0);
+    ASSERT_TRUE(cfg.hasDg);
+    ASSERT_TRUE(cfg.hasUps);
+    EXPECT_DOUBLE_EQ(cfg.dg.powerCapacityW, 2000.0);
+    EXPECT_DOUBLE_EQ(cfg.ups.powerCapacityW, 1000.0);
+    EXPECT_DOUBLE_EQ(cfg.ups.runtimeAtRatedSec, 120.0);
+}
+
+TEST(ToHierarchyConfig, MinCostHasNoBackup)
+{
+    const auto cfg = toHierarchyConfig(minCostConfig(), 2000.0);
+    EXPECT_FALSE(cfg.hasDg);
+    EXPECT_FALSE(cfg.hasUps);
+}
+
+TEST(CapacityOf, MatchesSpecFractions)
+{
+    const auto cap = capacityOf(smallDgSmallPUpsConfig(), 1e6);
+    EXPECT_DOUBLE_EQ(cap.dgKw, 500.0);
+    EXPECT_DOUBLE_EQ(cap.upsKw, 500.0);
+    EXPECT_DOUBLE_EQ(cap.upsRuntimeSec, 120.0);
+}
+
+} // namespace
+} // namespace bpsim

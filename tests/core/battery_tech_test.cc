@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the battery-technology variants (Section 7): Li-ion cost
+ * structure and flatter rate capability, and their effect on technique
+ * economics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hh"
+#include "power/battery.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(BatteryTech, LeadAcidParamsAreTable1)
+{
+    const auto p = leadAcidCostParams();
+    EXPECT_DOUBLE_EQ(p.dgPowerCostPerKwYr, 83.3);
+    EXPECT_DOUBLE_EQ(p.upsPowerCostPerKwYr, 50.0);
+    EXPECT_DOUBLE_EQ(p.upsEnergyCostPerKwhYr, 50.0);
+}
+
+TEST(BatteryTech, LiIonEnergyDearerPowerCheaper)
+{
+    const auto li = liIonCostParams();
+    const auto pb = leadAcidCostParams();
+    EXPECT_LT(li.upsPowerCostPerKwYr, pb.upsPowerCostPerKwYr);
+    EXPECT_GT(li.upsEnergyCostPerKwhYr, pb.upsEnergyCostPerKwhYr);
+}
+
+TEST(BatteryTech, LiIonRuntimeNearlyInverseInLoad)
+{
+    PeukertBattery::Params p;
+    p.ratedPowerW = 4000.0;
+    p.runtimeAtRatedSec = 600.0;
+    p.peukertExponent = kLiIonPeukertExponent;
+    const PeukertBattery li(p);
+    // At quarter load a lead-acid string stretches 6.0x; Li-ion only
+    // ~4.3x (close to the ideal 4x of a perfect energy reservoir).
+    const double stretch =
+        toSeconds(li.runtimeAtLoad(1000.0)) / 600.0;
+    EXPECT_GT(stretch, 4.0);
+    EXPECT_LT(stretch, 4.6);
+}
+
+TEST(BatteryTech, LiIonShrinksTheDgFreeCoverageWindow)
+{
+    // Lead-acid UPS energy beats the DG below ~42 min; dearer Li-ion
+    // energy moves that crossover earlier.
+    const CostModel pb{leadAcidCostParams()};
+    const CostModel li{liIonCostParams()};
+    auto crossover = [](const CostModel &m) {
+        for (double t = 1.0; t < 120.0; t += 0.25) {
+            if (m.upsCostPerYr(1.0, t * 60.0) >= m.dgCostPerYr(1.0))
+                return t;
+        }
+        return 120.0;
+    };
+    const double pb_min = crossover(pb);
+    const double li_min = crossover(li);
+    EXPECT_NEAR(pb_min, 42.0, 1.0);
+    EXPECT_LT(li_min, pb_min);
+}
+
+TEST(BatteryTech, LiIonFavorsEnergyFrugalTechniques)
+{
+    // Section 7: "higher energy cost may prefer more energy saving
+    // techniques such as proactive hibernation ... compared to peak
+    // reduction techniques such as Throttling." Compare the two
+    // techniques' backup costs for a 30-minute Specjbb outage under
+    // both economics: throttling loses more ground under Li-ion.
+    Scenario sc;
+    sc.profile = specJbbProfile();
+    sc.nServers = 8;
+    sc.outageDuration = fromMinutes(30.0);
+
+    auto ratio = [&sc](const CostParams &params, double k) {
+        Analyzer a{CostModel{params}};
+        Scenario s = sc;
+        s.upsPeukertExponent = k;
+        s.technique = {TechniqueKind::Throttle, 6, 0, 0, false};
+        const double throttle = a.sizeUpsOnly(s).costPerYr;
+        s.technique = {TechniqueKind::ProactiveHibernate, 0, 0, 0, true};
+        const double hibernate = a.sizeUpsOnly(s).costPerYr;
+        return throttle / hibernate;
+    };
+
+    const double pb_ratio = ratio(leadAcidCostParams(), 0.0);
+    const double li_ratio =
+        ratio(liIonCostParams(), kLiIonPeukertExponent);
+    EXPECT_GT(li_ratio, pb_ratio);
+}
+
+TEST(BatteryTech, PeukertExponentFlowsThroughScenario)
+{
+    // A flatter exponent means a sustained sub-rated load consumes
+    // *more* of the rated runtime, so the sized runtime grows.
+    Scenario sc;
+    sc.profile = specJbbProfile();
+    sc.nServers = 8;
+    sc.outageDuration = fromMinutes(30.0);
+    sc.technique = {TechniqueKind::ThrottleSleep, 5, 0, 10 * kMinute,
+                    true};
+    Analyzer a;
+    Scenario pb = sc;
+    const auto sized_pb = a.sizeUpsOnly(pb);
+    Scenario li = sc;
+    li.upsPeukertExponent = kLiIonPeukertExponent;
+    const auto sized_li = a.sizeUpsOnly(li);
+    EXPECT_TRUE(sized_pb.feasible);
+    EXPECT_TRUE(sized_li.feasible);
+    EXPECT_GT(sized_li.capacity.upsRuntimeSec,
+              sized_pb.capacity.upsRuntimeSec);
+}
+
+} // namespace
+} // namespace bpsim

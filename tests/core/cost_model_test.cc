@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the cost model against the paper's Tables 1-3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(CostModel, Table1Defaults)
+{
+    CostModel m;
+    EXPECT_DOUBLE_EQ(m.params().dgPowerCostPerKwYr, 83.3);
+    EXPECT_DOUBLE_EQ(m.params().upsPowerCostPerKwYr, 50.0);
+    EXPECT_DOUBLE_EQ(m.params().upsEnergyCostPerKwhYr, 50.0);
+    EXPECT_DOUBLE_EQ(m.params().freeRunTimeSec, 120.0);
+}
+
+TEST(CostModel, Table2OneMegawattRow)
+{
+    // 1 MW, 2-min UPS: DG 0.08 M$, UPS 0.05 M$, total 0.13 M$.
+    CostModel m;
+    EXPECT_NEAR(m.dgCostPerYr(1000.0), 0.083e6, 0.5e3);
+    EXPECT_NEAR(m.upsCostPerYr(1000.0, 120.0), 0.05e6, 1.0);
+    BackupCapacity cap{1000.0, 1000.0, 120.0};
+    EXPECT_NEAR(m.totalCostPerYr(cap), 0.133e6, 0.5e3);
+}
+
+TEST(CostModel, Table2TenMegawattRows)
+{
+    CostModel m;
+    // 10 MW, 2 min: 0.83 + 0.5 = 1.33 M$.
+    BackupCapacity base{10000.0, 10000.0, 120.0};
+    EXPECT_NEAR(m.totalCostPerYr(base), 1.333e6, 5e3);
+    // 10 MW, 42 min: UPS rises to ~0.83 M$, total ~1.66 M$.
+    BackupCapacity large{10000.0, 10000.0, 42.0 * 60.0};
+    EXPECT_NEAR(m.upsCostPerYr(10000.0, 42.0 * 60.0), 0.833e6, 5e3);
+    EXPECT_NEAR(m.totalCostPerYr(large), 1.666e6, 8e3);
+}
+
+TEST(CostModel, TwentyFoldEnergyIsOnlyQuarterCost)
+{
+    // Table 2 observation (ii): a 20x increase in UPS energy (2 min ->
+    // ~42 min) raises the total by only ~24 %.
+    CostModel m;
+    const double base =
+        m.totalCostPerYr(BackupCapacity{10000.0, 10000.0, 120.0});
+    const double large =
+        m.totalCostPerYr(BackupCapacity{10000.0, 10000.0, 2520.0});
+    EXPECT_NEAR(large / base, 1.24, 0.02);
+}
+
+TEST(CostModel, UpsBeatsDgBelowFortyTwoMinutes)
+{
+    // Table 2 observation (iii) / the "40 minutes" headline: UPS
+    // energy for t minutes costs less than a DG as long as
+    // 50 + 50*(t - 2)/60 < 83.3  =>  t < 42 min.
+    CostModel m;
+    const double dg = m.dgCostPerYr(1.0);
+    EXPECT_LT(m.upsCostPerYr(1.0, 40.0 * 60.0), dg);
+    EXPECT_LT(m.upsCostPerYr(1.0, 41.9 * 60.0), dg);
+    EXPECT_GT(m.upsCostPerYr(1.0, 42.1 * 60.0), dg);
+}
+
+TEST(CostModel, FreeRuntimeCostsNothingExtra)
+{
+    CostModel m;
+    EXPECT_DOUBLE_EQ(m.upsCostPerYr(100.0, 0.0),
+                     m.upsCostPerYr(100.0, 120.0));
+    EXPECT_GT(m.upsCostPerYr(100.0, 121.0), m.upsCostPerYr(100.0, 120.0));
+}
+
+TEST(CostModel, ZeroCapacityCostsNothing)
+{
+    CostModel m;
+    EXPECT_DOUBLE_EQ(m.dgCostPerYr(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(m.upsCostPerYr(0.0, 3600.0), 0.0);
+    EXPECT_DOUBLE_EQ(m.totalCostPerYr(BackupCapacity{}), 0.0);
+}
+
+TEST(CostModel, MaxPerfBaseline)
+{
+    CostModel m;
+    // 83.3 + 50 = 133.3 $/kW/yr.
+    EXPECT_NEAR(m.maxPerfCostPerYr(1.0), 133.3, 1e-9);
+}
+
+TEST(CostModel, NormalizedCostOfMaxPerfIsOne)
+{
+    CostModel m;
+    BackupCapacity cap{500.0, 500.0, 120.0};
+    EXPECT_NEAR(m.normalizedCost(cap, 500.0), 1.0, 1e-12);
+}
+
+TEST(CostModel, CostMonotoneInEveryCapacity)
+{
+    CostModel m;
+    BackupCapacity cap{100.0, 100.0, 600.0};
+    const double base = m.totalCostPerYr(cap);
+    BackupCapacity more_dg = cap;
+    more_dg.dgKw += 10.0;
+    BackupCapacity more_ups = cap;
+    more_ups.upsKw += 10.0;
+    BackupCapacity more_energy = cap;
+    more_energy.upsRuntimeSec += 60.0;
+    EXPECT_GT(m.totalCostPerYr(more_dg), base);
+    EXPECT_GT(m.totalCostPerYr(more_ups), base);
+    EXPECT_GT(m.totalCostPerYr(more_energy), base);
+}
+
+TEST(CostModel, EnergyKwhConvention)
+{
+    BackupCapacity cap{0.0, 10000.0, 42.0 * 60.0};
+    // Table 2: 10 MW for 42 min = 7000 kWh.
+    EXPECT_NEAR(cap.upsEnergyKwh(), 7000.0, 1e-9);
+}
+
+TEST(CostModel, RejectsNegativeInputs)
+{
+    CostModel m;
+    EXPECT_DEATH(m.dgCostPerYr(-1.0), "negative");
+    EXPECT_DEATH(m.upsCostPerYr(1.0, -5.0), "negative");
+}
+
+} // namespace
+} // namespace bpsim

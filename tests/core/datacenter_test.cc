@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the sectioned Datacenter (Section 7's heterogeneous
+ * provisioning structure): independent power fates behind one utility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/datacenter.hh"
+#include "power/utility.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+SectionSpec
+interactiveSection()
+{
+    SectionSpec s;
+    s.name = "interactive";
+    s.profiles = {specJbbProfile(), specJbbProfile(), specJbbProfile(),
+                  specJbbProfile()};
+    s.backup = largeEUpsConfig();
+    s.technique = {TechniqueKind::Throttle, 5, 0, 0, false};
+    return s;
+}
+
+SectionSpec
+batchSection()
+{
+    SectionSpec s;
+    s.name = "batch";
+    s.profiles = {specCpuMcfProfile(), specCpuMcfProfile(),
+                  specCpuMcfProfile(), specCpuMcfProfile()};
+    s.backup = smallPUpsConfig();
+    s.technique = {TechniqueKind::Sleep, 0, 0, 0, true};
+    return s;
+}
+
+SectionSpec
+bareSection()
+{
+    SectionSpec s;
+    s.name = "scavenger";
+    s.profiles = {memcachedProfile(), memcachedProfile()};
+    s.backup = minCostConfig();
+    s.technique = {TechniqueKind::None};
+    return s;
+}
+
+TEST(Datacenter, BuildsSectionsWithTheirOwnBackups)
+{
+    Simulator sim;
+    Utility utility(sim);
+    Datacenter dc(sim, utility, ServerModel{},
+                  {interactiveSection(), batchSection()});
+    ASSERT_EQ(dc.size(), 2);
+    EXPECT_EQ(dc.totalServers(), 8);
+    EXPECT_TRUE(dc.section(0).hierarchy().ups() != nullptr);
+    EXPECT_DOUBLE_EQ(
+        dc.section(0).hierarchy().ups()->params().runtimeAtRatedSec,
+        1800.0);
+    EXPECT_DOUBLE_EQ(
+        dc.section(1).hierarchy().ups()->params().powerCapacityW,
+        0.5 * 4 * 250.0);
+    EXPECT_DOUBLE_EQ(dc.aggregatePerf(), 1.0);
+}
+
+TEST(Datacenter, SectionsDivergeDuringAnOutage)
+{
+    Simulator sim;
+    Utility utility(sim);
+    Datacenter dc(sim, utility, ServerModel{},
+                  {interactiveSection(), batchSection(), bareSection()});
+    utility.scheduleOutage(kMinute, 10 * kMinute);
+    sim.runUntil(5 * kMinute);
+    // Interactive: throttled serving. Batch: asleep. Scavenger: dark.
+    EXPECT_GT(dc.section(0).cluster().aggregatePerf(), 0.5);
+    EXPECT_DOUBLE_EQ(dc.section(1).cluster().aggregatePerf(), 0.0);
+    EXPECT_DOUBLE_EQ(dc.section(2).cluster().aggregatePerf(), 0.0);
+    EXPECT_EQ(dc.section(0).hierarchy().powerLossCount(), 0);
+    EXPECT_EQ(dc.section(1).hierarchy().powerLossCount(), 0);
+    EXPECT_EQ(dc.section(2).hierarchy().powerLossCount(), 1);
+    EXPECT_EQ(dc.totalLosses(), 1);
+}
+
+TEST(Datacenter, OneSectionsCrashDoesNotTouchTheOthers)
+{
+    Simulator sim;
+    Utility utility(sim);
+    Datacenter dc(sim, utility, ServerModel{},
+                  {interactiveSection(), bareSection()});
+    utility.scheduleOutage(kMinute, 5 * kMinute);
+    sim.runUntil(kHour);
+    // Scavenger crashed and lost state; interactive never blinked.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(dc.section(0).cluster().app(i).stateLosses(), 0);
+    for (int i = 0; i < 2; ++i)
+        EXPECT_EQ(dc.section(1).cluster().app(i).stateLosses(), 1);
+}
+
+TEST(Datacenter, CostsSumAndNormalize)
+{
+    Simulator sim;
+    Utility utility(sim);
+    Datacenter dc(sim, utility, ServerModel{},
+                  {interactiveSection(), batchSection()});
+    const CostModel cost;
+    // LargeEUPS on 1 kW + SmallPUPS on 1 kW.
+    const double expected =
+        cost.totalCostPerYr(capacityOf(largeEUpsConfig(), 1000.0)) +
+        cost.totalCostPerYr(capacityOf(smallPUpsConfig(), 1000.0));
+    EXPECT_NEAR(dc.totalCostPerYr(cost), expected, 1e-9);
+    // Normalized against MaxPerf for the full 2 kW.
+    EXPECT_NEAR(dc.normalizedCost(cost),
+                expected / cost.maxPerfCostPerYr(2.0), 1e-12);
+    // (0.55 + 0.19) / 2 blended.
+    EXPECT_NEAR(dc.normalizedCost(cost), 0.37, 0.01);
+}
+
+TEST(Datacenter, RunSectionedReducesPerSection)
+{
+    const auto r = runSectioned(
+        {interactiveSection(), batchSection(), bareSection()},
+        fromMinutes(5.0), fromMinutes(10.0));
+    ASSERT_EQ(r.sections.size(), 3u);
+    EXPECT_EQ(r.sections[0].name, "interactive");
+    EXPECT_GT(r.sections[0].perfDuringOutage, 0.5);
+    EXPECT_LT(r.sections[0].downtimeSec, 1.0);
+    EXPECT_NEAR(r.sections[1].downtimeSec, 10.0 * 60.0 + 8.0, 60.0);
+    EXPECT_EQ(r.sections[2].losses, 1);
+    EXPECT_GT(r.sections[2].downtimeSec, 600.0);
+    // Aggregates are server-weighted.
+    const double expect_perf = (r.sections[0].perfDuringOutage * 4 +
+                                r.sections[1].perfDuringOutage * 4 +
+                                r.sections[2].perfDuringOutage * 2) /
+                               10.0;
+    EXPECT_NEAR(r.perfDuringOutage, expect_perf, 1e-12);
+    EXPECT_EQ(r.losses, 1);
+}
+
+TEST(Datacenter, SingleSectionMatchesAnalyzer)
+{
+    // A one-section datacenter must agree with the Analyzer's answer
+    // for the same scenario.
+    SectionSpec s = interactiveSection();
+    const auto dc_result =
+        runSectioned({s}, fromMinutes(5.0), fromMinutes(10.0));
+
+    Scenario sc;
+    sc.mixedProfiles = s.profiles;
+    sc.technique = s.technique;
+    sc.outageStart = fromMinutes(5.0);
+    sc.outageDuration = fromMinutes(10.0);
+    Analyzer a;
+    const auto ev = a.evaluateConfig(sc, s.backup);
+
+    EXPECT_NEAR(dc_result.perfDuringOutage,
+                ev.result.perfDuringOutage, 1e-9);
+    EXPECT_NEAR(dc_result.downtimeSec, ev.result.downtimeSec, 1e-6);
+    EXPECT_NEAR(dc_result.normalizedCost, ev.normalizedCost, 1e-12);
+}
+
+TEST(Datacenter, RejectsEmptyConfigurations)
+{
+    Simulator sim;
+    Utility utility(sim);
+    EXPECT_DEATH(Datacenter(sim, utility, ServerModel{}, {}),
+                 "at least one section");
+    SectionSpec empty;
+    empty.name = "empty";
+    EXPECT_DEATH(Datacenter(sim, utility, ServerModel{}, {empty}),
+                 "no servers");
+}
+
+} // namespace
+} // namespace bpsim

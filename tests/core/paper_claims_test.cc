@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Integration tests for the paper's headline claims (abstract and
+ * Sections 6.1-6.2 "Summary of Insights"). These are the end-to-end
+ * checks that the reproduction actually reproduces the *shape* of the
+ * published results: who wins, by roughly what factor, and where the
+ * crossovers fall.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/selector.hh"
+#include "core/tco.hh"
+#include "outage/distribution.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+Scenario
+scenario(const WorkloadProfile &w, Time outage)
+{
+    Scenario sc;
+    sc.profile = w;
+    sc.nServers = 4;
+    sc.outageDuration = outage;
+    return sc;
+}
+
+TEST(PaperClaims, UpsEnergyCheaperThanDgUpToFortyMinutes)
+{
+    // Abstract: "completely do away with DGs ... and still be able to
+    // handle power outages lasting as high as 40 minutes" — because
+    // UPS energy for <= ~40 minutes costs less than the DG it
+    // replaces.
+    CostModel cost;
+    const double dg = cost.dgCostPerYr(1.0);
+    EXPECT_LT(cost.upsCostPerYr(1.0, 40.0 * 60.0), dg);
+}
+
+TEST(PaperClaims, FortyMinuteOutagesCoveredWithoutDgAtFullPerf)
+{
+    // Size a DG-free UPS that serves a 40-minute outage at full
+    // performance; it must cost less than today's MaxPerf.
+    Analyzer a;
+    auto sc = scenario(specJbbProfile(), fromMinutes(40.0));
+    sc.technique = {}; // full speed, no degradation
+    const auto sized = a.sizeUpsOnly(sc);
+    EXPECT_TRUE(sized.feasible);
+    EXPECT_NEAR(sized.result.perfDuringOutage, 1.0, 1e-6);
+    EXPECT_LT(sized.normalizedCost, 1.0);
+}
+
+TEST(PaperClaims, UpsAloneMatchesMaxPerfCostUpToHundredMinutes)
+{
+    // §6.1 insight (iii): "UPS can eliminate DG for up to 100 mins of
+    // outage duration and offer the same performance as with today's
+    // approach at the same cost."
+    Analyzer a;
+    auto sc = scenario(specJbbProfile(), fromMinutes(100.0));
+    sc.technique = {}; // same performance as MaxPerf
+    const auto sized = a.sizeUpsOnly(sc);
+    EXPECT_TRUE(sized.feasible);
+    EXPECT_NEAR(sized.result.perfDuringOutage, 1.0, 1e-6);
+    EXPECT_LE(sized.normalizedCost, 1.05);
+    // And beyond ~100 minutes it stops being competitive.
+    auto sc_long = scenario(specJbbProfile(), fromMinutes(150.0));
+    sc_long.technique = {};
+    const auto sized_long = a.sizeUpsOnly(sc_long);
+    EXPECT_GT(sized_long.normalizedCost, 1.05);
+}
+
+TEST(PaperClaims, FortyPercentDegradationBuysFortyPercentSavingsAtOneHour)
+{
+    // §6.1 insight (iv): 40 % cost savings for 1-hour outages if a
+    // 40 % performance hit is acceptable.
+    TechniqueSelector sel;
+    const auto sc = scenario(specJbbProfile(), fromHours(1.0));
+    const auto best = sel.bestUnderBudget(
+        sc, allCandidates(ServerModel{}, sc.outageDuration), 0.62);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_GE(best->eval.result.perfDuringOutage, 0.55);
+}
+
+TEST(PaperClaims, LongRuntimeBeatsHighPowerForLongOutages)
+{
+    // §6.1 insight (v): at equal cost (0.38 of MaxPerf), the
+    // small-power / long-runtime UPS outperforms the full-power /
+    // 2-minute one for long outages.
+    TechniqueSelector sel;
+    const auto sc = scenario(specJbbProfile(), fromMinutes(60.0));
+    const auto cands = allCandidates(ServerModel{}, sc.outageDuration);
+    const auto no_dg = sel.bestForConfig(sc, noDgConfig(), cands);
+    const auto small_p =
+        sel.bestForConfig(sc, smallPLargeEUpsConfig(), cands);
+    EXPECT_GT(small_p.eval.result.perfDuringOutage,
+              no_dg.eval.result.perfDuringOutage);
+}
+
+TEST(PaperClaims, LargeEUpsFullPerfThirtyMinAtFiftyFivePercentCost)
+{
+    // §6.1: "LargeEUPS with 30 minutes of UPS battery capacity
+    // achieves the same performance as MaxPerf up to 30 mins outage
+    // duration ... at only 55 % of the cost."
+    TechniqueSelector sel;
+    const auto sc = scenario(specJbbProfile(), fromMinutes(30.0));
+    const auto best = sel.bestForConfig(
+        sc, largeEUpsConfig(),
+        allCandidates(ServerModel{}, sc.outageDuration));
+    EXPECT_TRUE(best.eval.feasible);
+    EXPECT_NEAR(best.eval.result.perfDuringOutage, 1.0, 0.02);
+    EXPECT_NEAR(best.eval.normalizedCost, 0.55, 0.01);
+}
+
+TEST(PaperClaims, LargeEUpsSustainsSixtyPercentAtOneHour)
+{
+    // §6.1: "sustains 60 % of (degraded) performance for up to 1 hour
+    // outage duration".
+    TechniqueSelector sel;
+    const auto sc = scenario(specJbbProfile(), fromHours(1.0));
+    const auto best = sel.bestForConfig(
+        sc, largeEUpsConfig(),
+        allCandidates(ServerModel{}, sc.outageDuration));
+    EXPECT_TRUE(best.eval.feasible);
+    // Degraded but substantial service (the paper reports ~60 %; our
+    // selector finds an operating point slightly above it).
+    EXPECT_GE(best.eval.result.perfDuringOutage, 0.5);
+    EXPECT_LE(best.eval.result.perfDuringOutage, 0.75);
+}
+
+TEST(PaperClaims, ThrottlingBestForShortSleepHybridForMedium)
+{
+    // §6.2 summary: throttling covers short outages cheaply; for
+    // medium outages the Throttle+Sleep-L hybrid preserves state
+    // within a tiny battery.
+    Analyzer a;
+    // Short: throttled serving at under 40 % of MaxPerf cost.
+    auto sc_short = scenario(specJbbProfile(), fromMinutes(5.0));
+    sc_short.technique = {TechniqueKind::Throttle, 5, 0, 0, false};
+    const auto throttled = a.sizeUpsOnly(sc_short);
+    EXPECT_TRUE(throttled.feasible);
+    EXPECT_LT(throttled.normalizedCost, 0.4);
+    EXPECT_GT(throttled.result.perfDuringOutage, 0.5);
+
+    // Medium, 30 min: hybrid sustains part of it and sleeps, cheaper
+    // than sustaining throttled the whole way.
+    auto sc_med = scenario(specJbbProfile(), fromMinutes(30.0));
+    sc_med.technique = {TechniqueKind::ThrottleSleep, 5, 0,
+                        15 * kMinute, true};
+    const auto hybrid = a.sizeUpsOnly(sc_med);
+    sc_med.technique = {TechniqueKind::Throttle, 5, 0, 0, false};
+    const auto sustain = a.sizeUpsOnly(sc_med);
+    EXPECT_TRUE(hybrid.feasible);
+    EXPECT_LT(hybrid.costPerYr, sustain.costPerYr);
+}
+
+TEST(PaperClaims, ThrottleSleepHandlesTwoHoursAtTwentyPercentCost)
+{
+    // §6.2: "for long outages (2 hours and beyond) ... Throttle+
+    // Sleep-L can sustain at as low as 20 % cost."
+    Analyzer a;
+    auto sc = scenario(specJbbProfile(), fromHours(2.0));
+    sc.technique = {TechniqueKind::ThrottleSleep, 5, 0, 10 * kMinute,
+                    true};
+    const auto sized = a.sizeUpsOnly(sc);
+    EXPECT_TRUE(sized.feasible);
+    EXPECT_LE(sized.normalizedCost, 0.22);
+}
+
+TEST(PaperClaims, MigrationBeatsThrottlingForLongOutages)
+{
+    // §6.2 summary (iii): consolidation wins for long outages because
+    // today's servers are not energy proportional: at equal backup
+    // cost the consolidated cluster offers more performance.
+    Analyzer a;
+    auto sc = scenario(specJbbProfile(), fromHours(2.0));
+    sc.technique = {TechniqueKind::Migration, 5, 0, 0, false};
+    const auto mig = a.sizeUpsOnly(sc);
+    ASSERT_TRUE(mig.feasible);
+
+    // Find the throttle depth with comparable cost.
+    Evaluation thr_at_cost;
+    double best_gap = 1e300;
+    for (int p = 0; p < 7; ++p) {
+        for (int t : {0, 2, 4, 7}) {
+            auto sc_t = sc;
+            sc_t.technique = {TechniqueKind::Throttle, p, t, 0, false};
+            const auto ev = a.sizeUpsOnly(sc_t);
+            if (!ev.feasible)
+                continue;
+            const double gap = std::abs(ev.costPerYr - mig.costPerYr);
+            if (gap < best_gap) {
+                best_gap = gap;
+                thr_at_cost = ev;
+            }
+        }
+    }
+    EXPECT_GE(mig.result.perfDuringOutage,
+              thr_at_cost.result.perfDuringOutage - 0.05);
+}
+
+TEST(PaperClaims, MemcachedPrefersThrottlingOverHibernation)
+{
+    // §6.2: Memcached's memory stalls make throttling cheap, while
+    // hibernating its 20 GB slab heap is pathological.
+    Analyzer a;
+    auto sc = scenario(memcachedProfile(), fromMinutes(30.0));
+    sc.technique = {TechniqueKind::Throttle, 6, 0, 0, false};
+    const auto thr = a.sizeUpsOnly(sc);
+    sc.technique = {TechniqueKind::Hibernate, 0, 0, 0, false};
+    const auto hib = a.sizeUpsOnly(sc);
+    EXPECT_GT(thr.result.perfDuringOutage, 0.75);
+    EXPECT_GT(hib.result.downtimeSec, thr.result.downtimeSec + 600.0);
+}
+
+TEST(PaperClaims, TechniqueChoiceDiffersAcrossWorkloads)
+{
+    // §6 insight: "different applications react differently to the
+    // system mechanisms" — the best technique for a 30 s outage under
+    // a tight budget differs between Memcached and Web-search.
+    // A 0.25 budget cannot afford a full-power UPS, so serving means
+    // throttling — which the workloads tolerate very differently.
+    TechniqueSelector sel;
+    const auto cands = allCandidates(ServerModel{}, 30 * kSecond);
+    const auto mc = sel.bestUnderBudget(
+        scenario(memcachedProfile(), 30 * kSecond), cands, 0.25);
+    const auto ws = sel.bestUnderBudget(
+        scenario(webSearchProfile(), 30 * kSecond), cands, 0.25);
+    ASSERT_TRUE(mc.has_value());
+    ASSERT_TRUE(ws.has_value());
+    EXPECT_GT(mc->eval.result.perfDuringOutage,
+              ws->eval.result.perfDuringOutage);
+}
+
+TEST(PaperClaims, BulkOfOutagesWithinFortyMinutes)
+{
+    // The "handle outages lasting as high as 40 minutes (which
+    // constitute the bulk of the outages)" framing: Figure 1 puts
+    // ~74 % of outages within 40 minutes.
+    const auto d = OutageDurationDistribution::figure1();
+    EXPECT_GT(d.fractionWithin(fromMinutes(40.0)), 0.7);
+}
+
+TEST(PaperClaims, TcoCrossoverAroundFiveHours)
+{
+    TcoModel tco;
+    EXPECT_NEAR(tco.crossoverMinutesPerYr() / 60.0, 5.0, 0.3);
+}
+
+} // namespace
+} // namespace bpsim

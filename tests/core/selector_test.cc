@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the technique selector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/selector.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+Scenario
+baseScenario(Time outage)
+{
+    Scenario sc;
+    sc.profile = specJbbProfile();
+    sc.nServers = 4;
+    sc.outageDuration = outage;
+    return sc;
+}
+
+TEST(Selector, BetterPrefersFeasibility)
+{
+    TechniqueChoice a, b;
+    a.eval.feasible = true;
+    a.eval.result.perfDuringOutage = 0.1;
+    b.eval.feasible = false;
+    b.eval.result.perfDuringOutage = 0.9;
+    EXPECT_TRUE(TechniqueSelector::better(a, b));
+    EXPECT_FALSE(TechniqueSelector::better(b, a));
+}
+
+TEST(Selector, BetterPrefersPerfThenDowntimeThenCost)
+{
+    TechniqueChoice a, b;
+    a.eval.feasible = b.eval.feasible = true;
+    a.eval.result.perfDuringOutage = 0.8;
+    b.eval.result.perfDuringOutage = 0.6;
+    EXPECT_TRUE(TechniqueSelector::better(a, b));
+
+    b.eval.result.perfDuringOutage = 0.8;
+    a.eval.result.downtimeSec = 10.0;
+    b.eval.result.downtimeSec = 100.0;
+    EXPECT_TRUE(TechniqueSelector::better(a, b));
+
+    b.eval.result.downtimeSec = 10.0;
+    a.eval.costPerYr = 5.0;
+    b.eval.costPerYr = 9.0;
+    EXPECT_TRUE(TechniqueSelector::better(a, b));
+}
+
+TEST(Selector, ShortOutageOnNoDgPicksShallowThrottle)
+{
+    TechniqueSelector sel;
+    const auto sc = baseScenario(fromMinutes(5.0));
+    const auto best = sel.bestForConfig(
+        sc, noDgConfig(), allCandidates(ServerModel{}, sc.outageDuration));
+    EXPECT_TRUE(best.eval.feasible);
+    // The paper's NoDG @ 5 min lands near 60 % performance.
+    EXPECT_NEAR(best.eval.result.perfDuringOutage, 0.6, 0.1);
+}
+
+TEST(Selector, MediumOutageOnNoDgSavesState)
+{
+    TechniqueSelector sel;
+    const auto sc = baseScenario(fromMinutes(30.0));
+    const auto best = sel.bestForConfig(
+        sc, noDgConfig(), allCandidates(ServerModel{}, sc.outageDuration));
+    // A 2-minute battery cannot sustain any active state for 30 min;
+    // the best feasible option preserves state (perf ~ 0) instead of
+    // crashing.
+    EXPECT_TRUE(best.eval.feasible);
+    EXPECT_LT(best.eval.result.perfDuringOutage, 0.2);
+    EXPECT_LT(best.eval.result.downtimeSec, 35.0 * 60.0);
+}
+
+TEST(Selector, LargeEUpsHoldsFullPerfForThirtyMinutes)
+{
+    TechniqueSelector sel;
+    const auto sc = baseScenario(fromMinutes(30.0));
+    const auto best = sel.bestForConfig(
+        sc, largeEUpsConfig(),
+        allCandidates(ServerModel{}, sc.outageDuration));
+    EXPECT_TRUE(best.eval.feasible);
+    EXPECT_NEAR(best.eval.result.perfDuringOutage, 1.0, 0.02);
+}
+
+TEST(Selector, SizeAllEvaluatesEverything)
+{
+    TechniqueSelector sel;
+    const auto sc = baseScenario(fromMinutes(5.0));
+    const auto cands = basicCandidates(ServerModel{});
+    const auto all = sel.sizeAll(sc, cands);
+    ASSERT_EQ(all.size(), cands.size());
+    for (const auto &c : all)
+        EXPECT_TRUE(c.eval.feasible) << c.spec.label();
+}
+
+TEST(Selector, BudgetRestrictsChoice)
+{
+    TechniqueSelector sel;
+    const auto sc = baseScenario(fromMinutes(30.0));
+    const auto cands = allCandidates(ServerModel{}, sc.outageDuration);
+    // A generous budget buys throttled serving...
+    const auto rich = sel.bestUnderBudget(sc, cands, 0.6);
+    ASSERT_TRUE(rich.has_value());
+    EXPECT_GT(rich->eval.result.perfDuringOutage, 0.5);
+    // ...a shoestring budget forces a save-state technique.
+    const auto poor = sel.bestUnderBudget(sc, cands, 0.22);
+    ASSERT_TRUE(poor.has_value());
+    EXPECT_LT(poor->eval.result.perfDuringOutage,
+              rich->eval.result.perfDuringOutage);
+    EXPECT_LE(poor->eval.normalizedCost, 0.22);
+}
+
+TEST(Selector, ImpossibleBudgetReturnsNothing)
+{
+    TechniqueSelector sel;
+    const auto sc = baseScenario(fromMinutes(30.0));
+    const auto none = sel.bestUnderBudget(
+        sc, basicCandidates(ServerModel{}), 0.001);
+    EXPECT_FALSE(none.has_value());
+}
+
+TEST(Selector, EmptyCandidateListPanics)
+{
+    TechniqueSelector sel;
+    const auto sc = baseScenario(fromMinutes(5.0));
+    EXPECT_DEATH(sel.bestForConfig(sc, noDgConfig(), {}), "candidate");
+}
+
+TEST(Selector, FrontierIsSortedAndUndominated)
+{
+    TechniqueSelector sel;
+    const auto sc = baseScenario(fromMinutes(30.0));
+    const auto frontier = sel.costPerfFrontier(
+        sc, allCandidates(ServerModel{}, sc.outageDuration));
+    ASSERT_GE(frontier.size(), 3u);
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+        // Ascending cost AND ascending perf: no point dominates another.
+        EXPECT_GE(frontier[i].eval.costPerYr,
+                  frontier[i - 1].eval.costPerYr);
+        EXPECT_GT(frontier[i].eval.result.perfDuringOutage,
+                  frontier[i - 1].eval.result.perfDuringOutage);
+    }
+    // The frontier spans from save-state-cheap to full-perf-expensive.
+    EXPECT_LT(frontier.front().eval.result.perfDuringOutage, 0.2);
+    EXPECT_GT(frontier.back().eval.result.perfDuringOutage, 0.9);
+}
+
+TEST(Selector, FrontierContainsOnlyFeasibleChoices)
+{
+    TechniqueSelector sel;
+    const auto sc = baseScenario(fromHours(2.0));
+    const auto frontier = sel.costPerfFrontier(
+        sc, allCandidates(ServerModel{}, sc.outageDuration));
+    for (const auto &c : frontier)
+        EXPECT_TRUE(c.eval.feasible) << c.spec.label();
+}
+
+} // namespace
+} // namespace bpsim

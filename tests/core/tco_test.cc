@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tests for the Figure 10 TCO model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tco.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(Tco, GoogleDefaults)
+{
+    TcoModel m;
+    EXPECT_DOUBLE_EQ(m.params().revenuePerKwMin, 0.28);
+    EXPECT_DOUBLE_EQ(m.params().serverDepreciationPerKwMin, 0.003);
+    EXPECT_DOUBLE_EQ(m.params().dgCostPerKwYr, 83.3);
+    EXPECT_NEAR(m.lossPerKwMin(), 0.283, 1e-12);
+}
+
+TEST(Tco, CrossoverNearFiveHours)
+{
+    // Section 7: "the cross-over point ... turns out to be around
+    // 5 hours per year".
+    TcoModel m;
+    const double minutes = m.crossoverMinutesPerYr();
+    EXPECT_NEAR(minutes / 60.0, 5.0, 0.25);
+}
+
+TEST(Tco, ProfitableBelowCrossoverLossAbove)
+{
+    TcoModel m;
+    const double x = m.crossoverMinutesPerYr();
+    EXPECT_TRUE(m.profitableWithoutDg(x * 0.9));
+    EXPECT_FALSE(m.profitableWithoutDg(x * 1.1));
+}
+
+TEST(Tco, OutageCostIsLinear)
+{
+    TcoModel m;
+    EXPECT_DOUBLE_EQ(m.outageCostPerKwYr(0.0), 0.0);
+    EXPECT_NEAR(m.outageCostPerKwYr(100.0), 28.3, 1e-9);
+    EXPECT_NEAR(m.outageCostPerKwYr(200.0),
+                2.0 * m.outageCostPerKwYr(100.0), 1e-9);
+}
+
+TEST(Tco, SavingsEqualDgCost)
+{
+    TcoModel m;
+    EXPECT_DOUBLE_EQ(m.dgSavingsPerKwYr(), 83.3);
+}
+
+TEST(Tco, LowerMarginOrganizationsToleratMoreDowntime)
+{
+    // An organization earning half the revenue density can absorb
+    // twice the yearly outage minutes before the DG pays off.
+    TcoParams cheap;
+    cheap.revenuePerKwMin = 0.14;
+    cheap.serverDepreciationPerKwMin = 0.0015;
+    TcoModel m(cheap);
+    TcoModel google;
+    EXPECT_NEAR(m.crossoverMinutesPerYr(),
+                2.0 * google.crossoverMinutesPerYr(), 1e-9);
+}
+
+} // namespace
+} // namespace bpsim

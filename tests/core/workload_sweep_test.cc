@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Cross-product property sweep: every paper workload × representative
+ * techniques × outage durations. Invariants checked per cell: sized
+ * backups are feasible, results land in physical ranges, downtime
+ * accounting is consistent with availability, and save-state defenses
+ * never lose state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+struct Cell
+{
+    int workload; // index into allPaperWorkloads()
+    int technique;
+    double outageMin;
+};
+
+std::vector<TechniqueSpec>
+sweepTechniques()
+{
+    return {
+        {TechniqueKind::Throttle, 6, 0, 0, false},
+        {TechniqueKind::Sleep, 0, 0, 0, true},
+        {TechniqueKind::Hibernate, 0, 0, 0, false},
+        {TechniqueKind::ProactiveHibernate, 0, 0, 0, false},
+        {TechniqueKind::Migration, 0, 0, 0, false},
+        {TechniqueKind::ThrottleSleep, 5, 0, 5 * kMinute, true},
+    };
+}
+
+class WorkloadSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, double>>
+{
+};
+
+TEST_P(WorkloadSweep, SizedBackupIsFeasibleAndPhysical)
+{
+    const auto [w_idx, t_idx, minutes] = GetParam();
+    Scenario sc;
+    sc.profile = allPaperWorkloads()[static_cast<std::size_t>(w_idx)];
+    sc.nServers = 4;
+    sc.outageDuration = fromMinutes(minutes);
+    sc.settleAfter = fromHours(3.0);
+    sc.technique =
+        sweepTechniques()[static_cast<std::size_t>(t_idx)];
+
+    Analyzer a;
+    const auto ev = a.sizeUpsOnly(sc);
+
+    EXPECT_TRUE(ev.feasible)
+        << sc.profile.name << " / " << sc.technique.label();
+    EXPECT_TRUE(ev.result.recovered)
+        << sc.profile.name << " / " << sc.technique.label();
+
+    // Physical ranges.
+    EXPECT_GE(ev.result.perfDuringOutage, 0.0);
+    EXPECT_LE(ev.result.perfDuringOutage, 1.0 + 1e-9);
+    EXPECT_GE(ev.result.availabilityDuringOutage, 0.0);
+    EXPECT_LE(ev.result.availabilityDuringOutage, 1.0 + 1e-9);
+    EXPECT_GE(ev.result.downtimeSec, -1e-9);
+    EXPECT_GE(ev.capacity.upsKw, 0.0);
+    EXPECT_LE(ev.capacity.upsKw, 4 * 0.25 * 1.001);
+    EXPECT_GE(ev.capacity.upsRuntimeSec, 120.0); // free-runtime floor
+    EXPECT_GT(ev.costPerYr, 0.0);
+
+    // Downtime can never exceed the observed window plus recompute.
+    const double window_sec =
+        toSeconds(sc.outageDuration + sc.settleAfter);
+    EXPECT_LE(ev.result.downtimeSec,
+              window_sec + sc.profile.recomputeMaxSec + 1.0);
+
+    // Energy bookkeeping: delivered battery energy is positive and
+    // bounded by capacity at rated draw... loosely: the Peukert charge
+    // consumed never exceeds the sized runtime.
+    EXPECT_LE(ev.result.peukertRuntimeSec,
+              ev.capacity.upsRuntimeSec + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, WorkloadSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(0, 1, 2, 3, 4, 5),
+                       ::testing::Values(0.5, 30.0, 120.0)));
+
+/** Save-state defenses never lose state, for every workload. */
+class SaveStateSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>>
+{
+};
+
+TEST_P(SaveStateSweep, NoStateLossUnderSleep)
+{
+    const auto [w_idx, minutes] = GetParam();
+    Scenario sc;
+    sc.profile = allPaperWorkloads()[static_cast<std::size_t>(w_idx)];
+    sc.nServers = 4;
+    sc.outageDuration = fromMinutes(minutes);
+    sc.technique = {TechniqueKind::Sleep, 0, 0, 0, true};
+    Analyzer a;
+    const auto ev = a.sizeUpsOnly(sc);
+    EXPECT_TRUE(ev.feasible);
+    EXPECT_EQ(ev.result.losses, 0);
+    // Downtime ~ outage + resume (+ hibernation-free: no preload).
+    EXPECT_NEAR(ev.result.downtimeSec,
+                minutes * 60.0 + sc.profile.sleepResumeSec, 25.0)
+        << sc.profile.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SaveStateSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(1.0, 15.0, 60.0, 240.0)));
+
+/** Sized cost is monotone in outage duration for sustain techniques. */
+class DurationMonotoneSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DurationMonotoneSweep, CostGrowsWithDuration)
+{
+    Scenario sc;
+    sc.profile =
+        allPaperWorkloads()[static_cast<std::size_t>(GetParam())];
+    sc.nServers = 4;
+    sc.technique = {TechniqueKind::Throttle, 5, 0, 0, false};
+    Analyzer a;
+    double prev = 0.0;
+    for (double minutes : {2.0, 10.0, 30.0, 90.0}) {
+        sc.outageDuration = fromMinutes(minutes);
+        const auto ev = a.sizeUpsOnly(sc);
+        EXPECT_GE(ev.costPerYr, prev - 1e-9) << sc.profile.name;
+        prev = ev.costPerYr;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, DurationMonotoneSweep,
+                         ::testing::Values(0, 1, 2, 3));
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the Figure 1 outage distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "outage/distribution.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(DurationDist, Figure1BucketMasses)
+{
+    const auto d = OutageDurationDistribution::figure1();
+    ASSERT_EQ(d.buckets().size(), 6u);
+    EXPECT_DOUBLE_EQ(d.buckets()[0].prob, 0.31); // < 1 min
+    EXPECT_DOUBLE_EQ(d.buckets()[1].prob, 0.27); // 1-5
+    EXPECT_DOUBLE_EQ(d.buckets()[2].prob, 0.14); // 5-30
+    EXPECT_DOUBLE_EQ(d.buckets()[3].prob, 0.17); // 30-120
+    EXPECT_DOUBLE_EQ(d.buckets()[4].prob, 0.06); // 120-240
+    EXPECT_DOUBLE_EQ(d.buckets()[5].prob, 0.05); // > 240
+}
+
+TEST(DurationDist, MajorityShorterThanFiveMinutes)
+{
+    // The paper's headline: over 58 % of outages are <= 5 minutes.
+    const auto d = OutageDurationDistribution::figure1();
+    EXPECT_NEAR(d.fractionWithin(fromMinutes(5.0)), 0.58, 1e-9);
+}
+
+TEST(DurationDist, SurvivalAtBucketEdges)
+{
+    const auto d = OutageDurationDistribution::figure1();
+    EXPECT_DOUBLE_EQ(d.survival(0), 1.0);
+    EXPECT_NEAR(d.survival(fromMinutes(1.0)), 0.69, 1e-9);
+    EXPECT_NEAR(d.survival(fromMinutes(30.0)), 0.28, 1e-9);
+    EXPECT_NEAR(d.survival(fromMinutes(120.0)), 0.11, 1e-9);
+    EXPECT_NEAR(d.survival(fromMinutes(240.0)), 0.05, 1e-9);
+    EXPECT_DOUBLE_EQ(d.survival(fromMinutes(480.0)), 0.0);
+}
+
+TEST(DurationDist, SurvivalInterpolatesWithinBuckets)
+{
+    const auto d = OutageDurationDistribution::figure1();
+    // Halfway through the 1-5 min bucket: 0.69 - 0.27/2.
+    EXPECT_NEAR(d.survival(fromMinutes(3.0)), 0.555, 1e-9);
+}
+
+TEST(DurationDist, SurvivalMonotoneNonIncreasing)
+{
+    const auto d = OutageDurationDistribution::figure1();
+    double prev = 1.1;
+    for (double m = 0.0; m <= 500.0; m += 7.3) {
+        const double s = d.survival(fromMinutes(m));
+        EXPECT_LE(s, prev + 1e-12);
+        prev = s;
+    }
+}
+
+TEST(DurationDist, ConditionalSurvivalIsBayes)
+{
+    const auto d = OutageDurationDistribution::figure1();
+    const Time e = fromMinutes(10.0), u = fromMinutes(60.0);
+    EXPECT_NEAR(d.conditionalSurvival(e, u),
+                d.survival(u) / d.survival(e), 1e-12);
+    // Conditioning on nothing is the plain survival.
+    EXPECT_NEAR(d.conditionalSurvival(0, u), d.survival(u), 1e-12);
+}
+
+TEST(DurationDist, ConditionalSurvivalOfDeadTailIsZero)
+{
+    const auto d = OutageDurationDistribution::figure1();
+    EXPECT_DOUBLE_EQ(
+        d.conditionalSurvival(fromMinutes(500.0), fromMinutes(600.0)),
+        0.0);
+}
+
+TEST(DurationDist, ExpectedRemainingGrowsWithElapsed)
+{
+    // Survived outages get (stochastically) longer: the hazard of the
+    // mixture decreases, so E[remaining] grows with elapsed time.
+    const auto d = OutageDurationDistribution::figure1();
+    const Time early = d.expectedRemaining(0);
+    const Time mid = d.expectedRemaining(fromMinutes(10.0));
+    const Time late = d.expectedRemaining(fromMinutes(120.0));
+    EXPECT_LT(early, mid);
+    EXPECT_LT(mid, late);
+}
+
+TEST(DurationDist, MeanMatchesBucketMidpoints)
+{
+    const auto d = OutageDurationDistribution::figure1();
+    const double expect_min = 0.31 * 0.5 + 0.27 * 3.0 + 0.14 * 17.5 +
+                              0.17 * 75.0 + 0.06 * 180.0 + 0.05 * 360.0;
+    EXPECT_NEAR(toMinutes(d.mean()), expect_min, 1e-9);
+}
+
+TEST(DurationDist, ExpectedRemainingAtZeroIsTheMean)
+{
+    const auto d = OutageDurationDistribution::figure1();
+    EXPECT_NEAR(toMinutes(d.expectedRemaining(0)), toMinutes(d.mean()),
+                1e-6);
+}
+
+TEST(DurationDist, SamplesFollowTheBuckets)
+{
+    const auto d = OutageDurationDistribution::figure1();
+    Rng rng(2024);
+    int within_5min = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const Time t = d.sample(rng);
+        ASSERT_GT(t, 0);
+        ASSERT_LE(t, fromMinutes(480.0));
+        if (t <= fromMinutes(5.0))
+            ++within_5min;
+    }
+    EXPECT_NEAR(within_5min / double(n), 0.58, 0.01);
+}
+
+TEST(DurationDist, RejectsBadBuckets)
+{
+    EXPECT_DEATH(OutageDurationDistribution({{0.0, 1.0, 0.5}}),
+                 "sum to");
+    EXPECT_DEATH(OutageDurationDistribution(
+                     {{0.0, 2.0, 0.5}, {1.0, 3.0, 0.5}}),
+                 "overlap");
+}
+
+TEST(FrequencyDist, Figure1BucketMasses)
+{
+    const auto f = OutageFrequencyDistribution::figure1();
+    ASSERT_EQ(f.buckets().size(), 4u);
+    EXPECT_DOUBLE_EQ(f.buckets()[0].prob, 0.17); // none
+    EXPECT_DOUBLE_EQ(f.buckets()[1].prob, 0.40); // 1-2
+    EXPECT_DOUBLE_EQ(f.buckets()[2].prob, 0.30); // 3-6
+    EXPECT_DOUBLE_EQ(f.buckets()[3].prob, 0.13); // 7+
+}
+
+TEST(FrequencyDist, SixOrFewerIsTheOverwhelmingMajority)
+{
+    // 87 % of businesses see 6 or fewer outages per year.
+    const auto f = OutageFrequencyDistribution::figure1();
+    double mass = 0.0;
+    for (const auto &b : f.buckets()) {
+        if (b.hi <= 7.0)
+            mass += b.prob;
+    }
+    EXPECT_NEAR(mass, 0.87, 1e-9);
+}
+
+TEST(FrequencyDist, SamplesAreValidCounts)
+{
+    const auto f = OutageFrequencyDistribution::figure1();
+    Rng rng(5);
+    int zeros = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const int n = f.sample(rng);
+        ASSERT_GE(n, 0);
+        ASSERT_LE(n, 12);
+        if (n == 0)
+            ++zeros;
+    }
+    EXPECT_NEAR(zeros / 50000.0, 0.17, 0.01);
+}
+
+TEST(FrequencyDist, MeanIsPlausible)
+{
+    const auto f = OutageFrequencyDistribution::figure1();
+    // 0.17*0 + 0.40*1.5 + 0.30*4.5 + 0.13*9.5 = 3.185.
+    EXPECT_NEAR(f.mean(), 3.185, 1e-9);
+}
+
+} // namespace
+} // namespace bpsim

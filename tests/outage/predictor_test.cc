@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the outage-duration predictor and the escalation policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "outage/predictor.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+OutagePredictor
+paperPredictor()
+{
+    return OutagePredictor(OutageDurationDistribution::figure1());
+}
+
+TEST(Predictor, ProbOutlastsMatchesConditionalSurvival)
+{
+    const auto p = paperPredictor();
+    const auto &d = p.distribution();
+    EXPECT_NEAR(p.probOutlasts(fromMinutes(2.0), fromMinutes(8.0)),
+                d.conditionalSurvival(fromMinutes(2.0), fromMinutes(10.0)),
+                1e-12);
+}
+
+TEST(Predictor, ShortOutagesLikelyToEndSoon)
+{
+    const auto p = paperPredictor();
+    // A just-started outage has a 58 % chance of ending within 5 min.
+    EXPECT_NEAR(1.0 - p.probOutlasts(0, fromMinutes(5.0)), 0.58, 1e-9);
+}
+
+TEST(Predictor, SurvivedOutagesAreStickier)
+{
+    const auto p = paperPredictor();
+    // P(lasts 30 more min) grows with elapsed time.
+    const double fresh = p.probOutlasts(0, fromMinutes(30.0));
+    const double old = p.probOutlasts(fromMinutes(60.0),
+                                      fromMinutes(30.0));
+    EXPECT_GT(old, fresh);
+}
+
+TEST(Predictor, TransitionMatrixRowsAreDistributions)
+{
+    const auto p = paperPredictor();
+    const std::vector<Time> edges{0,
+                                  fromMinutes(1.0),
+                                  fromMinutes(5.0),
+                                  fromMinutes(30.0),
+                                  fromMinutes(120.0),
+                                  fromMinutes(240.0)};
+    const auto m = p.transitionMatrix(edges);
+    ASSERT_EQ(m.size(), edges.size());
+    for (std::size_t i = 0; i < m.size(); ++i) {
+        const double row =
+            std::accumulate(m[i].begin(), m[i].end(), 0.0);
+        EXPECT_NEAR(row, 1.0, 1e-9) << "row " << i;
+        // No mass on states already passed.
+        for (std::size_t j = 0; j < i; ++j)
+            EXPECT_DOUBLE_EQ(m[i][j], 0.0);
+    }
+}
+
+TEST(Predictor, TransitionMatrixFirstRowIsTheMarginal)
+{
+    const auto p = paperPredictor();
+    const std::vector<Time> edges{0, fromMinutes(1.0), fromMinutes(5.0),
+                                  fromMinutes(30.0), fromMinutes(120.0),
+                                  fromMinutes(240.0)};
+    const auto m = p.transitionMatrix(edges);
+    // Row 0 reproduces Figure 1(b)'s bucket masses.
+    EXPECT_NEAR(m[0][0], 0.31, 1e-9);
+    EXPECT_NEAR(m[0][1], 0.27, 1e-9);
+    EXPECT_NEAR(m[0][2], 0.14, 1e-9);
+    EXPECT_NEAR(m[0][3], 0.17, 1e-9);
+    EXPECT_NEAR(m[0][4], 0.06, 1e-9);
+    EXPECT_NEAR(m[0][5], 0.05, 1e-9);
+}
+
+TEST(Predictor, TransitionMatrixRejectsBadEdges)
+{
+    const auto p = paperPredictor();
+    EXPECT_DEATH(p.transitionMatrix({}), "at least one");
+    EXPECT_DEATH(p.transitionMatrix({fromMinutes(5.0), fromMinutes(1.0)}),
+                 "increasing");
+}
+
+TEST(EscalationPolicy, PicksHighestPerfSafeLevel)
+{
+    AdaptiveEscalationPolicy pol(paperPredictor(), 0.3);
+    // Level 0: full speed, tiny runway; level 1: throttled, medium;
+    // level 2: sleep-bound, huge runway.
+    const std::vector<Time> runway{fromMinutes(2.0), fromMinutes(12.0),
+                                   fromHours(10.0)};
+    const std::vector<double> perf{1.0, 0.6, 0.0};
+    const int pick = pol.choose(0, runway, perf, fromSeconds(10.0));
+    // 2-minute runway leaves ~45 % of outages uncovered (> 0.3 risk);
+    // 12 minutes leaves ~35 %... also unsafe; sleep always safe.
+    EXPECT_EQ(pick, 2);
+}
+
+TEST(EscalationPolicy, RelaxedRiskPrefersServing)
+{
+    AdaptiveEscalationPolicy pol(paperPredictor(), 0.5);
+    const std::vector<Time> runway{fromMinutes(2.0), fromMinutes(12.0),
+                                   fromHours(10.0)};
+    const std::vector<double> perf{1.0, 0.6, 0.0};
+    // At 50 % tolerated risk, the 12-minute throttled level (only
+    // ~37 % of outages outlast 12 min) is acceptable; full speed with
+    // a 2-minute runway (45 % outlast) is not.
+    EXPECT_EQ(pol.choose(0, runway, perf, 0), 1);
+}
+
+TEST(EscalationPolicy, ZeroRiskAlwaysSaves)
+{
+    AdaptiveEscalationPolicy pol(paperPredictor(), 0.0);
+    const std::vector<Time> runway{fromMinutes(30.0)};
+    const std::vector<double> perf{1.0};
+    EXPECT_EQ(pol.choose(0, runway, perf, 0), -1);
+}
+
+TEST(EscalationPolicy, SaveReserveShrinksTheRunway)
+{
+    AdaptiveEscalationPolicy pol(paperPredictor(), 0.45);
+    const std::vector<Time> runway{fromMinutes(5.0)};
+    const std::vector<double> perf{1.0};
+    // With no reserve the 5-minute runway is acceptable (42 % risk);
+    // reserving 4.5 minutes for the save pushes risk too high.
+    EXPECT_EQ(pol.choose(0, runway, perf, 0), 0);
+    EXPECT_EQ(pol.choose(0, runway, perf, fromMinutes(4.5)), -1);
+}
+
+TEST(EscalationPolicy, MismatchedVectorsPanic)
+{
+    AdaptiveEscalationPolicy pol(paperPredictor(), 0.5);
+    EXPECT_DEATH(pol.choose(0, {kMinute}, {1.0, 0.5}, 0), "disagree");
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the synthetic outage trace generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "outage/trace.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+constexpr Time kYear = 365LL * 24 * kHour;
+
+TEST(Trace, EventsAreSortedNonOverlappingWithGaps)
+{
+    auto gen = OutageTraceGenerator::figure1();
+    Rng rng(1);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto events = gen.generate(rng, kYear, kHour);
+        Time prev_end = -kHour;
+        for (const auto &ev : events) {
+            EXPECT_GE(ev.start, prev_end + kHour);
+            EXPECT_GT(ev.duration, 0);
+            EXPECT_LE(ev.end(), kYear);
+            prev_end = ev.end();
+        }
+    }
+}
+
+TEST(Trace, CountsFollowTheFrequencyDistribution)
+{
+    auto gen = OutageTraceGenerator::figure1();
+    Rng rng(7);
+    double total = 0.0;
+    const int trials = 2000;
+    for (int i = 0; i < trials; ++i)
+        total += static_cast<double>(gen.generate(rng, kYear).size());
+    // Mean ~3.185/year; placement can only drop events (rarely).
+    EXPECT_NEAR(total / trials, 3.1, 0.3);
+}
+
+TEST(Trace, HorizonScalesTheCount)
+{
+    auto gen = OutageTraceGenerator::figure1();
+    Rng rng(11);
+    double half_year = 0.0;
+    const int trials = 2000;
+    for (int i = 0; i < trials; ++i)
+        half_year +=
+            static_cast<double>(gen.generate(rng, kYear / 2).size());
+    EXPECT_NEAR(half_year / trials, 3.185 / 2.0, 0.3);
+}
+
+TEST(Trace, DeterministicGivenSeed)
+{
+    auto gen = OutageTraceGenerator::figure1();
+    Rng a(42), b(42);
+    const auto ea = gen.generate(a, kYear);
+    const auto eb = gen.generate(b, kYear);
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+        EXPECT_EQ(ea[i].start, eb[i].start);
+        EXPECT_EQ(ea[i].duration, eb[i].duration);
+    }
+}
+
+TEST(Trace, MostOutagesAreShort)
+{
+    auto gen = OutageTraceGenerator::figure1();
+    Rng rng(13);
+    int total = 0, short_ones = 0;
+    for (int i = 0; i < 3000; ++i) {
+        for (const auto &ev : gen.generate(rng, kYear)) {
+            ++total;
+            if (ev.duration <= fromMinutes(5.0))
+                ++short_ones;
+        }
+    }
+    ASSERT_GT(total, 1000);
+    EXPECT_NEAR(short_ones / double(total), 0.58, 0.03);
+}
+
+TEST(Trace, RejectsNonPositiveHorizon)
+{
+    auto gen = OutageTraceGenerator::figure1();
+    Rng rng(1);
+    EXPECT_DEATH(gen.generate(rng, 0), "horizon");
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the automatic transfer switch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/ats.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(Ats, CommandsGeneratorAfterDetectionDelay)
+{
+    Simulator sim;
+    Ats ats(sim, Ats::Params{});
+    Time started_at = kTimeNever;
+    ats.onStartGenerator([&] { started_at = sim.now(); });
+    sim.schedule(kMinute, [&] { ats.utilityFailed(); });
+    sim.run();
+    EXPECT_EQ(started_at, kMinute + 500 * kMillisecond);
+    EXPECT_EQ(ats.transfers(), 1);
+}
+
+TEST(Ats, RestoreBeforeDetectionCancelsTheStart)
+{
+    Simulator sim;
+    Ats ats(sim, Ats::Params{});
+    bool started = false;
+    bool returned = false;
+    ats.onStartGenerator([&] { started = true; });
+    ats.onReturnToUtility([&] { returned = true; });
+    sim.schedule(kMinute, [&] { ats.utilityFailed(); });
+    // Restored 100 ms later: inside the 500 ms detection window.
+    sim.schedule(kMinute + 100 * kMillisecond,
+                 [&] { ats.utilityRestored(); });
+    sim.run();
+    EXPECT_FALSE(started);
+    EXPECT_TRUE(returned);
+    EXPECT_EQ(ats.transfers(), 0);
+}
+
+TEST(Ats, CustomDetectionDelay)
+{
+    Simulator sim;
+    Ats::Params p;
+    p.detectionDelaySec = 2.0;
+    Ats ats(sim, p);
+    Time started_at = kTimeNever;
+    ats.onStartGenerator([&] { started_at = sim.now(); });
+    sim.schedule(0, [&] { ats.utilityFailed(); });
+    sim.run();
+    EXPECT_EQ(started_at, 2 * kSecond);
+}
+
+TEST(Ats, CountsRepeatedTransfers)
+{
+    Simulator sim;
+    Ats ats(sim, Ats::Params{});
+    ats.onStartGenerator([] {});
+    for (int k = 0; k < 3; ++k) {
+        sim.schedule(k * kHour + kMinute, [&] { ats.utilityFailed(); });
+        sim.schedule(k * kHour + 2 * kMinute,
+                     [&] { ats.utilityRestored(); });
+    }
+    sim.run();
+    EXPECT_EQ(ats.transfers(), 3);
+}
+
+TEST(Ats, WorksWithoutHooks)
+{
+    Simulator sim;
+    Ats ats(sim, Ats::Params{});
+    sim.schedule(kMinute, [&] { ats.utilityFailed(); });
+    sim.schedule(2 * kMinute, [&] { ats.utilityRestored(); });
+    sim.run(); // must not crash
+    EXPECT_EQ(ats.transfers(), 1);
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the Peukert battery model, including the paper's Figure 3
+ * anchor points and discharge-behaviour properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "power/battery.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+PeukertBattery::Params
+apc4kw()
+{
+    // The Figure 3 unit: 4 kW rated, 10 minutes at 100 % load.
+    PeukertBattery::Params p;
+    p.ratedPowerW = 4000.0;
+    p.runtimeAtRatedSec = 600.0;
+    return p;
+}
+
+TEST(PeukertBattery, Figure3AnchorFullLoad)
+{
+    PeukertBattery bat(apc4kw());
+    // 10 minutes at 4000 W.
+    EXPECT_NEAR(toMinutes(bat.runtimeAtLoad(4000.0)), 10.0, 1e-6);
+}
+
+TEST(PeukertBattery, Figure3AnchorQuarterLoad)
+{
+    PeukertBattery bat(apc4kw());
+    // 60 minutes at 1000 W (25 % load): the exponent is fitted to this.
+    EXPECT_NEAR(toMinutes(bat.runtimeAtLoad(1000.0)), 60.0, 1e-6);
+}
+
+TEST(PeukertBattery, EnergyDeliveredMatchesFigure3)
+{
+    PeukertBattery bat(apc4kw());
+    // Figure 3 commentary: 1 kWh at 25 % load, 0.66 kWh at 100 %.
+    const double kwh_full =
+        4000.0 * toSeconds(bat.runtimeAtLoad(4000.0)) / 3.6e6;
+    const double kwh_quarter =
+        1000.0 * toSeconds(bat.runtimeAtLoad(1000.0)) / 3.6e6;
+    EXPECT_NEAR(kwh_full, 0.667, 0.01);
+    EXPECT_NEAR(kwh_quarter, 1.0, 0.01);
+}
+
+TEST(PeukertBattery, NominalEnergyUsesPaperConvention)
+{
+    PeukertBattery bat(apc4kw());
+    EXPECT_NEAR(bat.nominalEnergyKwh(), 4.0 * 600.0 / 3600.0, 1e-9);
+}
+
+TEST(PeukertBattery, ZeroLoadLastsForever)
+{
+    PeukertBattery bat(apc4kw());
+    EXPECT_EQ(bat.runtimeAtLoad(0.0), kTimeNever);
+    EXPECT_EQ(bat.timeToEmpty(0.0), kTimeNever);
+}
+
+TEST(PeukertBattery, OverRatedLoadPanics)
+{
+    PeukertBattery bat(apc4kw());
+    EXPECT_DEATH(bat.runtimeAtLoad(4500.0), "exceeds rated power");
+}
+
+TEST(PeukertBattery, DischargeDrainsProportionally)
+{
+    PeukertBattery bat(apc4kw());
+    bat.discharge(4000.0, fromMinutes(5.0));
+    EXPECT_NEAR(bat.soc(), 0.5, 1e-9);
+    EXPECT_FALSE(bat.empty());
+    bat.discharge(4000.0, fromMinutes(5.0));
+    EXPECT_NEAR(bat.soc(), 0.0, 1e-9);
+    EXPECT_TRUE(bat.empty());
+}
+
+TEST(PeukertBattery, TimeToEmptyScalesWithSoc)
+{
+    PeukertBattery bat(apc4kw());
+    bat.discharge(4000.0, fromMinutes(5.0));
+    EXPECT_NEAR(toMinutes(bat.timeToEmpty(4000.0)), 5.0, 1e-6);
+    EXPECT_NEAR(toMinutes(bat.timeToEmpty(1000.0)), 30.0, 1e-6);
+}
+
+TEST(PeukertBattery, VariableLoadDischargeComposes)
+{
+    // Half the charge at full load, then the rest at quarter load:
+    // 5 min + 30 min.
+    PeukertBattery bat(apc4kw());
+    bat.discharge(4000.0, fromMinutes(5.0));
+    bat.discharge(1000.0, fromMinutes(30.0));
+    EXPECT_NEAR(bat.soc(), 0.0, 1e-6);
+}
+
+TEST(PeukertBattery, OverDischargePanics)
+{
+    PeukertBattery bat(apc4kw());
+    EXPECT_DEATH(bat.discharge(4000.0, fromMinutes(11.0)),
+                 "over-discharged");
+}
+
+TEST(PeukertBattery, EnergyDeliveredAccumulates)
+{
+    PeukertBattery bat(apc4kw());
+    bat.discharge(2000.0, fromMinutes(10.0));
+    EXPECT_NEAR(joulesToKwh(bat.energyDeliveredJ()), 2.0 * 10.0 / 60.0,
+                1e-9);
+}
+
+TEST(PeukertBattery, RechargeRestoresCharge)
+{
+    auto p = apc4kw();
+    p.rechargeTimeSec = 3600.0;
+    PeukertBattery bat(p);
+    bat.discharge(4000.0, fromMinutes(10.0));
+    EXPECT_TRUE(bat.empty());
+    bat.recharge(fromMinutes(30.0));
+    EXPECT_NEAR(bat.soc(), 0.5, 1e-9);
+    bat.recharge(fromHours(2.0));
+    EXPECT_DOUBLE_EQ(bat.soc(), 1.0); // caps at full
+}
+
+TEST(PeukertBattery, ResetFullRestoresCharge)
+{
+    PeukertBattery bat(apc4kw());
+    bat.discharge(4000.0, fromMinutes(10.0));
+    bat.resetFull();
+    EXPECT_DOUBLE_EQ(bat.soc(), 1.0);
+}
+
+TEST(PeukertBattery, ExponentOneIsConstantEnergy)
+{
+    auto p = apc4kw();
+    p.peukertExponent = 1.0;
+    PeukertBattery bat(p);
+    // With k = 1 the deliverable energy is load-independent.
+    const double e_full =
+        4000.0 * toSeconds(bat.runtimeAtLoad(4000.0));
+    const double e_low = 400.0 * toSeconds(bat.runtimeAtLoad(400.0));
+    EXPECT_NEAR(e_full, e_low, 1e-6 * e_full);
+}
+
+/** Property: runtime is strictly decreasing in load. */
+class BatteryLoadSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BatteryLoadSweep, RuntimeMonotoneDecreasingInLoad)
+{
+    PeukertBattery bat(apc4kw());
+    const double f = GetParam();
+    const Time t_here = bat.runtimeAtLoad(4000.0 * f);
+    const Time t_higher = bat.runtimeAtLoad(4000.0 * std::min(1.0, f + 0.1));
+    EXPECT_GT(t_here, t_higher);
+}
+
+/** Property: delivered energy grows as load shrinks (Ragone effect). */
+TEST_P(BatteryLoadSweep, DeliverableEnergyGrowsAtLowerLoad)
+{
+    PeukertBattery bat(apc4kw());
+    const double f = GetParam();
+    const double load = 4000.0 * f;
+    const double higher = 4000.0 * std::min(1.0, f + 0.1);
+    const double e_here = load * toSeconds(bat.runtimeAtLoad(load));
+    const double e_higher = higher * toSeconds(bat.runtimeAtLoad(higher));
+    EXPECT_GT(e_here, e_higher);
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadFractions, BatteryLoadSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3, 0.4, 0.5,
+                                           0.6, 0.7, 0.8, 0.89));
+
+/**
+ * Property: discharging in n equal slices at constant load drains
+ * exactly as much as one contiguous discharge.
+ */
+class BatterySliceSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BatterySliceSweep, SlicedDischargeEqualsContiguous)
+{
+    const int slices = GetParam();
+    PeukertBattery a(apc4kw()), b(apc4kw());
+    const Time total = fromMinutes(8.0);
+    a.discharge(3000.0, total);
+    for (int i = 0; i < slices; ++i)
+        b.discharge(3000.0, total / slices);
+    EXPECT_NEAR(a.soc(), b.soc(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(SliceCounts, BatterySliceSweep,
+                         ::testing::Values(2, 3, 5, 8, 16));
+
+} // namespace
+} // namespace bpsim

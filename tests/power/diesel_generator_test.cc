@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the diesel generator start-up / ramp / fuel model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/diesel_generator.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+DieselGenerator::Params
+testDg()
+{
+    DieselGenerator::Params p;
+    p.powerCapacityW = 2000.0;
+    p.startupDelaySec = 25.0;
+    p.rampSteps = 4;
+    p.rampDurationSec = 120.0;
+    return p;
+}
+
+TEST(DieselGenerator, StartsOffWithNoOutput)
+{
+    Simulator sim;
+    DieselGenerator dg(sim, testDg());
+    EXPECT_EQ(dg.state(), DieselGenerator::State::Off);
+    EXPECT_DOUBLE_EQ(dg.availablePowerW(1000.0), 0.0);
+    EXPECT_DOUBLE_EQ(dg.transferFraction(), 0.0);
+}
+
+TEST(DieselGenerator, OnlineAfterStartupDelay)
+{
+    Simulator sim;
+    DieselGenerator dg(sim, testDg());
+    dg.start();
+    EXPECT_EQ(dg.state(), DieselGenerator::State::Starting);
+    sim.runUntil(fromSeconds(24.9));
+    EXPECT_FALSE(dg.online());
+    sim.runUntil(fromSeconds(25.1));
+    EXPECT_TRUE(dg.online());
+}
+
+TEST(DieselGenerator, RampStepsAreGradual)
+{
+    Simulator sim;
+    DieselGenerator dg(sim, testDg());
+    dg.start();
+    // First step happens immediately at online (25 s): fraction 0.25.
+    sim.runUntil(fromSeconds(26.0));
+    EXPECT_DOUBLE_EQ(dg.transferFraction(), 0.25);
+    // Steps every 30 s: 55 s -> 0.5, 85 s -> 0.75, 115 s -> 1.0.
+    sim.runUntil(fromSeconds(56.0));
+    EXPECT_DOUBLE_EQ(dg.transferFraction(), 0.5);
+    sim.runUntil(fromSeconds(86.0));
+    EXPECT_DOUBLE_EQ(dg.transferFraction(), 0.75);
+    sim.runUntil(fromSeconds(116.0));
+    EXPECT_DOUBLE_EQ(dg.transferFraction(), 1.0);
+}
+
+TEST(DieselGenerator, FullTransitionWithinPaperWindow)
+{
+    // Section 3: start + gradual load steps => overall ~2-3 minutes.
+    Simulator sim;
+    DieselGenerator dg(sim, testDg());
+    dg.start();
+    sim.run();
+    const double total =
+        testDg().startupDelaySec + testDg().rampDurationSec;
+    EXPECT_GE(total, 120.0);
+    EXPECT_LE(total, 180.0);
+    EXPECT_DOUBLE_EQ(dg.transferFraction(), 1.0);
+}
+
+TEST(DieselGenerator, AvailablePowerFollowsRampAndCapacity)
+{
+    Simulator sim;
+    DieselGenerator dg(sim, testDg());
+    dg.start();
+    sim.runUntil(fromSeconds(56.0)); // fraction 0.5
+    EXPECT_DOUBLE_EQ(dg.availablePowerW(1000.0), 500.0);
+    sim.run();
+    EXPECT_DOUBLE_EQ(dg.availablePowerW(1000.0), 1000.0);
+    // Capacity caps the offer.
+    EXPECT_DOUBLE_EQ(dg.availablePowerW(5000.0), 2000.0);
+}
+
+TEST(DieselGenerator, StopResetsRamp)
+{
+    Simulator sim;
+    DieselGenerator dg(sim, testDg());
+    dg.start();
+    sim.run();
+    dg.stop();
+    EXPECT_EQ(dg.state(), DieselGenerator::State::Off);
+    EXPECT_DOUBLE_EQ(dg.transferFraction(), 0.0);
+}
+
+TEST(DieselGenerator, StopDuringStartupCancelsIt)
+{
+    Simulator sim;
+    DieselGenerator dg(sim, testDg());
+    dg.start();
+    sim.runUntil(fromSeconds(10.0));
+    dg.stop();
+    sim.run();
+    EXPECT_EQ(dg.state(), DieselGenerator::State::Off);
+}
+
+TEST(DieselGenerator, StartIsIdempotentWhileStarting)
+{
+    Simulator sim;
+    DieselGenerator dg(sim, testDg());
+    dg.start();
+    dg.start(); // no-op
+    sim.run();
+    EXPECT_TRUE(dg.online());
+}
+
+TEST(DieselGenerator, FuelDrawsDown)
+{
+    auto p = testDg();
+    p.fuelCapacityJ = 2000.0 * 3600.0; // one hour at rated
+    Simulator sim;
+    DieselGenerator dg(sim, p);
+    dg.start();
+    sim.run();
+    dg.consume(2000.0, fromMinutes(30.0));
+    EXPECT_NEAR(dg.fuelRemainingJ(), 2000.0 * 1800.0, 1.0);
+    dg.consume(2000.0, fromMinutes(30.0));
+    EXPECT_TRUE(dg.fuelExhausted());
+    EXPECT_DOUBLE_EQ(dg.availablePowerW(1000.0), 0.0);
+}
+
+TEST(DieselGenerator, DefaultTankIsTwentyFourHours)
+{
+    Simulator sim;
+    DieselGenerator dg(sim, testDg());
+    EXPECT_DOUBLE_EQ(dg.fuelRemainingJ(), 2000.0 * 24.0 * 3600.0);
+}
+
+TEST(DieselGenerator, RampCallbackFires)
+{
+    Simulator sim;
+    DieselGenerator dg(sim, testDg());
+    int calls = 0;
+    dg.onRampChange([&] { ++calls; });
+    dg.start();
+    sim.run();
+    EXPECT_EQ(calls, 4); // one per ramp step
+}
+
+} // namespace
+} // namespace bpsim

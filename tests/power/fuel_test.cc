@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for diesel fuel exhaustion inside the power hierarchy: the
+ * tank running dry mid-outage must be detected as an event, fall back
+ * to whatever battery charge remains, and finally lose power.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/power_hierarchy.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+class Recorder : public PowerHierarchy::Listener
+{
+  public:
+    void powerLost(Time t) override { lostAt = t; ++losses; }
+    void backupDepleted(Time t) override { depletedAt = t; ++depletions; }
+    void dgCarrying(Time t) override { dgAt = t; }
+
+    Time lostAt = kTimeNever;
+    Time depletedAt = kTimeNever;
+    Time dgAt = kTimeNever;
+    int losses = 0;
+    int depletions = 0;
+};
+
+PowerHierarchy::Config
+smallTank(double tank_hours, double ups_runtime_sec = 120.0)
+{
+    PowerHierarchy::Config c;
+    c.hasUps = true;
+    c.ups.powerCapacityW = 1000.0;
+    c.ups.runtimeAtRatedSec = ups_runtime_sec;
+    c.hasDg = true;
+    c.dg.powerCapacityW = 1000.0;
+    c.dg.fuelCapacityJ = 1000.0 * tank_hours * 3600.0;
+    return c;
+}
+
+TEST(DieselFuel, TankRunsDryAtThePredictedTime)
+{
+    Simulator sim;
+    Utility u(sim);
+    PowerHierarchy h(sim, u, smallTank(1.0)); // one hour at this load
+    Recorder rec;
+    h.addListener(&rec);
+    h.setLoad(1000.0);
+    u.scheduleOutage(kMinute, 6 * kHour);
+    sim.runUntil(8 * kHour);
+    ASSERT_EQ(rec.losses, 1);
+    // DG carries from ~2.4 min; the tank (1 h at 1 kW, minus the ramp
+    // share it already burned) empties roughly an hour later; the
+    // drained 2-minute battery cannot absorb it.
+    EXPECT_GT(rec.lostAt, kMinute + 50 * kMinute);
+    EXPECT_LT(rec.lostAt, kMinute + 80 * kMinute);
+    // Two depletion notifications: the tank, then the (nearly drained)
+    // bridge battery it fell back to.
+    EXPECT_GE(rec.depletions, 1);
+}
+
+TEST(DieselFuel, BatteryAbsorbsTheDryTankIfCharged)
+{
+    // A large battery picks up the load when the tank dies, covering
+    // the rest of the outage.
+    Simulator sim;
+    Utility u(sim);
+    PowerHierarchy h(sim, u, smallTank(1.0, 3600.0));
+    Recorder rec;
+    h.addListener(&rec);
+    h.setLoad(500.0); // half load: tank ~2 h, battery stretches long
+    u.scheduleOutage(kMinute, 2.5 * kHour);
+    sim.runUntil(4 * kHour);
+    EXPECT_EQ(rec.losses, 0);
+    EXPECT_EQ(h.mode(), PowerHierarchy::Mode::OnUtility);
+}
+
+TEST(DieselFuel, GenerousDefaultTankNeverDiesInADay)
+{
+    Simulator sim;
+    Utility u(sim);
+    PowerHierarchy::Config c = smallTank(1.0);
+    c.dg.fuelCapacityJ = 0.0; // default: 24 h at rated
+    PowerHierarchy h(sim, u, c);
+    Recorder rec;
+    h.addListener(&rec);
+    h.setLoad(1000.0);
+    u.scheduleOutage(kMinute, 12 * kHour);
+    sim.runUntil(14 * kHour);
+    EXPECT_EQ(rec.losses, 0);
+}
+
+TEST(DieselFuel, RestorationBeforeDryTankIsClean)
+{
+    Simulator sim;
+    Utility u(sim);
+    PowerHierarchy h(sim, u, smallTank(1.0));
+    Recorder rec;
+    h.addListener(&rec);
+    h.setLoad(1000.0);
+    u.scheduleOutage(kMinute, 30 * kMinute); // well within the tank
+    sim.runUntil(2 * kHour);
+    EXPECT_EQ(rec.losses, 0);
+    EXPECT_EQ(rec.depletions, 0);
+    EXPECT_EQ(h.dg()->state(), DieselGenerator::State::Off);
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the UPS unit wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/ups.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+Ups::Params
+rackUps()
+{
+    Ups::Params p;
+    p.powerCapacityW = 2000.0;
+    p.runtimeAtRatedSec = 120.0;
+    return p;
+}
+
+TEST(Ups, OfflineTransferDelayIsTenMilliseconds)
+{
+    Ups ups(rackUps());
+    EXPECT_EQ(ups.transferDelay(), 10 * kMillisecond);
+}
+
+TEST(Ups, OnlinePlacementTransfersInstantly)
+{
+    auto p = rackUps();
+    p.placement = Ups::Placement::Online;
+    Ups ups(p);
+    EXPECT_EQ(ups.transferDelay(), 0);
+}
+
+TEST(Ups, CanCarryUpToRatedPower)
+{
+    Ups ups(rackUps());
+    EXPECT_TRUE(ups.canCarry(0.0));
+    EXPECT_TRUE(ups.canCarry(2000.0));
+    EXPECT_FALSE(ups.canCarry(2100.0));
+}
+
+TEST(Ups, BatteryInheritsCapacityParameters)
+{
+    Ups ups(rackUps());
+    EXPECT_DOUBLE_EQ(ups.battery().params().ratedPowerW, 2000.0);
+    EXPECT_DOUBLE_EQ(ups.battery().params().runtimeAtRatedSec, 120.0);
+    // 2 kW for 2 minutes = 1/15 kWh.
+    EXPECT_NEAR(ups.energyCapacityKwh(), 2.0 * 120.0 / 3600.0, 1e-9);
+}
+
+TEST(Ups, DischargeAndRechargeRoundTrip)
+{
+    Ups ups(rackUps());
+    ups.discharge(2000.0, fromSeconds(60.0));
+    EXPECT_NEAR(ups.battery().soc(), 0.5, 1e-9);
+    EXPECT_NEAR(toSeconds(ups.timeToEmpty(2000.0)), 60.0, 1e-3);
+    ups.recharge(fromHours(4.0));
+    EXPECT_DOUBLE_EQ(ups.battery().soc(), 1.0);
+}
+
+TEST(Ups, LongRuntimeConfigurationsScale)
+{
+    auto p = rackUps();
+    p.runtimeAtRatedSec = 30.0 * 60.0; // LargeEUPS-style
+    Ups ups(p);
+    EXPECT_NEAR(toMinutes(ups.timeToEmpty(2000.0)), 30.0, 1e-6);
+    // Peukert effect: at half load runtime is much more than doubled.
+    EXPECT_GT(toMinutes(ups.timeToEmpty(1000.0)), 60.0);
+}
+
+TEST(Ups, RejectsBadParameters)
+{
+    auto p = rackUps();
+    p.powerCapacityW = 0.0;
+    // The battery string rejects the zero rating first.
+    EXPECT_DEATH(Ups{p}, "rated power|capacity");
+    p = rackUps();
+    p.onlineEfficiency = 0.0;
+    EXPECT_DEATH(Ups{p}, "efficiency");
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the Utility feed and its outage scheduling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "power/utility.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(Utility, AvailableByDefault)
+{
+    Simulator sim;
+    Utility u(sim);
+    EXPECT_TRUE(u.available());
+    EXPECT_EQ(u.outagesSeen(), 0);
+}
+
+TEST(Utility, OutageTogglesAvailability)
+{
+    Simulator sim;
+    Utility u(sim);
+    u.scheduleOutage(kMinute, 5 * kMinute);
+    std::vector<std::pair<Time, bool>> log;
+    u.onFail([&] { log.push_back({sim.now(), false}); });
+    u.onRestore([&] { log.push_back({sim.now(), true}); });
+    sim.run();
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[0], (std::pair<Time, bool>{kMinute, false}));
+    EXPECT_EQ(log[1], (std::pair<Time, bool>{6 * kMinute, true}));
+    EXPECT_TRUE(u.available());
+    EXPECT_EQ(u.outagesSeen(), 1);
+}
+
+TEST(Utility, AvailabilityFalseDuringOutage)
+{
+    Simulator sim;
+    Utility u(sim);
+    u.scheduleOutage(kMinute, kMinute);
+    bool seen_down = false;
+    u.onFail([&] { seen_down = !u.available(); });
+    sim.run();
+    EXPECT_TRUE(seen_down);
+}
+
+TEST(Utility, MultipleSequentialOutages)
+{
+    Simulator sim;
+    Utility u(sim);
+    u.scheduleOutage(kMinute, kMinute);
+    u.scheduleOutage(10 * kMinute, 2 * kMinute);
+    u.scheduleOutage(30 * kMinute, 30 * kSecond);
+    sim.run();
+    EXPECT_EQ(u.outagesSeen(), 3);
+    EXPECT_TRUE(u.available());
+}
+
+TEST(Utility, RejectsOverlappingOutages)
+{
+    Simulator sim;
+    Utility u(sim);
+    u.scheduleOutage(kMinute, 10 * kMinute);
+    EXPECT_DEATH(u.scheduleOutage(5 * kMinute, kMinute), "overlaps");
+}
+
+TEST(Utility, RejectsZeroDuration)
+{
+    Simulator sim;
+    Utility u(sim);
+    EXPECT_DEATH(u.scheduleOutage(kMinute, 0), "positive");
+}
+
+TEST(Utility, MultipleListenersAllFire)
+{
+    Simulator sim;
+    Utility u(sim);
+    int fails = 0;
+    u.onFail([&] { ++fails; });
+    u.onFail([&] { ++fails; });
+    u.scheduleOutage(kSecond, kSecond);
+    sim.run();
+    EXPECT_EQ(fails, 2);
+}
+
+} // namespace
+} // namespace bpsim

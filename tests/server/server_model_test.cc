@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the server electrical model against the paper's testbed
+ * numbers (80 W idle, 250 W peak, 7 P-states, 8 T-states).
+ */
+
+#include <gtest/gtest.h>
+
+#include "server/server_model.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(ServerModel, DefaultsMatchPaperTestbed)
+{
+    ServerModel m;
+    EXPECT_DOUBLE_EQ(m.params().idlePowerW, 80.0);
+    EXPECT_DOUBLE_EQ(m.params().peakPowerW, 250.0);
+    EXPECT_EQ(m.params().pStates, 7);
+    EXPECT_EQ(m.params().tStates, 8);
+    EXPECT_DOUBLE_EQ(m.params().memoryGb, 64.0);
+    EXPECT_EQ(m.params().cores, 12);
+}
+
+TEST(ServerModel, PeakPowerAtFullSpeedFullLoad)
+{
+    ServerModel m;
+    EXPECT_DOUBLE_EQ(m.activePowerW(0, 0, 1.0), 250.0);
+}
+
+TEST(ServerModel, IdlePowerAtZeroUtilization)
+{
+    ServerModel m;
+    EXPECT_DOUBLE_EQ(m.activePowerW(0, 0, 0.0), 80.0);
+    EXPECT_DOUBLE_EQ(m.activePowerW(6, 7, 0.0), 80.0);
+}
+
+TEST(ServerModel, FrequencyGridSpansNominalToMin)
+{
+    ServerModel m;
+    EXPECT_DOUBLE_EQ(m.freqRatio(0), 1.0);
+    EXPECT_NEAR(m.freqRatio(6), 1.6 / 3.4, 1e-12);
+    for (int p = 1; p < 7; ++p)
+        EXPECT_LT(m.freqRatio(p), m.freqRatio(p - 1));
+}
+
+TEST(ServerModel, DutyGridSpansFullToOneEighth)
+{
+    ServerModel m;
+    EXPECT_DOUBLE_EQ(m.dutyRatio(0), 1.0);
+    EXPECT_DOUBLE_EQ(m.dutyRatio(7), 1.0 / 8.0);
+    for (int t = 1; t < 8; ++t)
+        EXPECT_LT(m.dutyRatio(t), m.dutyRatio(t - 1));
+}
+
+TEST(ServerModel, PowerMonotoneInPState)
+{
+    ServerModel m;
+    for (int p = 1; p < 7; ++p)
+        EXPECT_LT(m.activePowerW(p, 0, 1.0), m.activePowerW(p - 1, 0, 1.0));
+}
+
+TEST(ServerModel, PowerMonotoneInTState)
+{
+    ServerModel m;
+    for (int t = 1; t < 8; ++t)
+        EXPECT_LT(m.activePowerW(0, t, 1.0), m.activePowerW(0, t - 1, 1.0));
+}
+
+TEST(ServerModel, DeepestThrottleNearIdle)
+{
+    ServerModel m;
+    const Watts floor = m.minActivePowerW();
+    EXPECT_GT(floor, m.params().idlePowerW);
+    EXPECT_LT(floor, m.params().idlePowerW + 10.0);
+}
+
+TEST(ServerModel, SleepPowerTinyVersusIdle)
+{
+    ServerModel m;
+    EXPECT_LE(m.params().sleepPowerW, 5.0);
+    EXPECT_LT(m.params().sleepPowerW / m.params().idlePowerW, 0.1);
+}
+
+TEST(ServerModel, NicEffectiveBandwidth)
+{
+    ServerModel m;
+    // 1 Gbps at 85 % efficiency: ~106 MB/s.
+    EXPECT_NEAR(m.nicBytesPerSec(), 106.25e6, 1e4);
+}
+
+TEST(ServerModel, DiskBandwidths)
+{
+    ServerModel m;
+    EXPECT_DOUBLE_EQ(m.diskWriteBytesPerSec(), 80e6);
+    EXPECT_DOUBLE_EQ(m.diskReadBytesPerSec(), 115e6);
+}
+
+TEST(ServerModel, RejectsBadParameters)
+{
+    ServerModel::Params p;
+    p.peakPowerW = 50.0; // below idle
+    EXPECT_DEATH(ServerModel{p}, "peak power");
+    ServerModel::Params q;
+    q.pStates = 0;
+    EXPECT_DEATH(ServerModel{q}, "power state");
+}
+
+TEST(ServerModel, OutOfRangeStatePanics)
+{
+    ServerModel m;
+    EXPECT_DEATH(m.freqRatio(7), "out of range");
+    EXPECT_DEATH(m.dutyRatio(-1), "out of range");
+    EXPECT_DEATH(m.activePowerW(0, 0, 1.5), "utilization");
+}
+
+/** Property: power is within [idle, peak] across the whole state grid. */
+class PowerGrid
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(PowerGrid, PowerWithinPhysicalEnvelope)
+{
+    ServerModel m;
+    const auto [p, t] = GetParam();
+    for (double u : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        const Watts w = m.activePowerW(p, t, u);
+        EXPECT_GE(w, m.params().idlePowerW);
+        EXPECT_LE(w, m.params().peakPowerW);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStates, PowerGrid,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5, 6),
+                       ::testing::Values(0, 1, 3, 5, 7)));
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the Server power-state machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "server/server.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+struct Fixture
+{
+    Simulator sim;
+    ServerModel model;
+    Server srv{sim, model, 0};
+};
+
+TEST(Server, StartsOffDrawingNothing)
+{
+    Fixture f;
+    EXPECT_EQ(f.srv.state(), ServerState::Off);
+    EXPECT_DOUBLE_EQ(f.srv.powerW(), 0.0);
+    EXPECT_FALSE(f.srv.holdsVolatileState());
+}
+
+TEST(Server, PrimeActiveJumpsToFullSpeed)
+{
+    Fixture f;
+    f.srv.primeActive();
+    EXPECT_EQ(f.srv.state(), ServerState::Active);
+    EXPECT_DOUBLE_EQ(f.srv.powerW(), 250.0);
+    EXPECT_TRUE(f.srv.holdsVolatileState());
+}
+
+TEST(Server, BootTakesConfiguredTime)
+{
+    Fixture f;
+    f.srv.boot(fromSeconds(120.0));
+    EXPECT_EQ(f.srv.state(), ServerState::Booting);
+    EXPECT_DOUBLE_EQ(f.srv.powerW(), 150.0); // boot power
+    f.sim.runUntil(fromSeconds(119.0));
+    EXPECT_EQ(f.srv.state(), ServerState::Booting);
+    f.sim.runUntil(fromSeconds(121.0));
+    EXPECT_EQ(f.srv.state(), ServerState::Active);
+}
+
+TEST(Server, ThrottlingKnobsChangePower)
+{
+    Fixture f;
+    f.srv.primeActive();
+    const Watts full = f.srv.powerW();
+    f.srv.setPState(6);
+    const Watts dvfs = f.srv.powerW();
+    EXPECT_LT(dvfs, full);
+    f.srv.setTState(7);
+    EXPECT_LT(f.srv.powerW(), dvfs);
+    f.srv.setUtilization(0.0);
+    EXPECT_DOUBLE_EQ(f.srv.powerW(), 80.0);
+}
+
+TEST(Server, SleepCycleTimingsAndPower)
+{
+    Fixture f;
+    f.srv.primeActive();
+    f.srv.enterSleep(fromSeconds(6.0));
+    EXPECT_EQ(f.srv.state(), ServerState::EnteringSleep);
+    EXPECT_TRUE(f.srv.holdsVolatileState());
+    f.sim.runUntil(fromSeconds(7.0));
+    EXPECT_EQ(f.srv.state(), ServerState::Sleeping);
+    EXPECT_DOUBLE_EQ(f.srv.powerW(), 5.0);
+    f.srv.wake(fromSeconds(8.0));
+    EXPECT_EQ(f.srv.state(), ServerState::Waking);
+    f.sim.runUntil(fromSeconds(16.0));
+    EXPECT_EQ(f.srv.state(), ServerState::Active);
+}
+
+TEST(Server, WakeResumesAtFullSpeed)
+{
+    Fixture f;
+    f.srv.primeActive();
+    f.srv.setPState(5); // throttled before sleeping (Sleep-L)
+    f.srv.enterSleep(fromSeconds(8.0));
+    f.sim.runUntil(fromSeconds(9.0));
+    f.srv.wake(fromSeconds(8.0));
+    f.sim.runUntil(fromSeconds(20.0));
+    EXPECT_EQ(f.srv.pstate(), 0);
+    EXPECT_DOUBLE_EQ(f.srv.powerW(), 250.0);
+}
+
+TEST(Server, HibernateCyclePowersFullyOff)
+{
+    Fixture f;
+    f.srv.primeActive();
+    f.srv.saveToDisk(fromSeconds(230.0));
+    EXPECT_EQ(f.srv.state(), ServerState::SavingToDisk);
+    EXPECT_GT(f.srv.powerW(), 0.0);
+    f.sim.runUntil(fromSeconds(231.0));
+    EXPECT_EQ(f.srv.state(), ServerState::Hibernated);
+    EXPECT_DOUBLE_EQ(f.srv.powerW(), 0.0);
+    EXPECT_FALSE(f.srv.holdsVolatileState());
+    f.srv.resumeFromDisk(fromSeconds(157.0));
+    EXPECT_EQ(f.srv.state(), ServerState::ResumingFromDisk);
+    f.sim.runUntil(fromSeconds(400.0));
+    EXPECT_EQ(f.srv.state(), ServerState::Active);
+}
+
+TEST(Server, ThrottledSaveDrawsLessThanFullSpeedSave)
+{
+    Fixture f;
+    f.srv.primeActive();
+    f.srv.setPState(5);
+    f.srv.saveToDisk(fromSeconds(385.0));
+    EXPECT_LT(f.srv.powerW(), 130.0); // ~half of peak (Hibernate-L)
+}
+
+TEST(Server, CrashLosesVolatileState)
+{
+    Fixture f;
+    f.srv.primeActive();
+    f.srv.crash();
+    EXPECT_EQ(f.srv.state(), ServerState::Crashed);
+    EXPECT_TRUE(f.srv.crashed());
+    EXPECT_DOUBLE_EQ(f.srv.powerW(), 0.0);
+}
+
+TEST(Server, CrashDuringSleepTransitionAbortsIt)
+{
+    Fixture f;
+    f.srv.primeActive();
+    f.srv.enterSleep(fromSeconds(6.0));
+    f.srv.crash();
+    f.sim.runUntil(fromSeconds(10.0));
+    // The pending completion must not resurrect the server.
+    EXPECT_EQ(f.srv.state(), ServerState::Crashed);
+}
+
+TEST(Server, CrashDuringSleepLosesDramState)
+{
+    Fixture f;
+    f.srv.primeActive();
+    f.srv.enterSleep(fromSeconds(6.0));
+    f.sim.runUntil(fromSeconds(7.0));
+    ASSERT_EQ(f.srv.state(), ServerState::Sleeping);
+    f.srv.crash(); // self-refresh lost
+    EXPECT_EQ(f.srv.state(), ServerState::Crashed);
+}
+
+TEST(Server, HibernatedServerImmuneToCrash)
+{
+    Fixture f;
+    f.srv.primeActive();
+    f.srv.saveToDisk(fromSeconds(10.0));
+    f.sim.runUntil(fromSeconds(11.0));
+    f.srv.crash();
+    EXPECT_EQ(f.srv.state(), ServerState::Hibernated);
+}
+
+TEST(Server, BootFromCrashRecovers)
+{
+    Fixture f;
+    f.srv.primeActive();
+    f.srv.crash();
+    f.srv.boot(fromSeconds(120.0));
+    f.sim.runUntil(fromSeconds(121.0));
+    EXPECT_EQ(f.srv.state(), ServerState::Active);
+    EXPECT_FALSE(f.srv.crashed());
+}
+
+TEST(Server, ShutdownIsGraceful)
+{
+    Fixture f;
+    f.srv.primeActive();
+    f.srv.shutdown();
+    EXPECT_EQ(f.srv.state(), ServerState::Off);
+    EXPECT_FALSE(f.srv.crashed());
+}
+
+TEST(Server, ChangeHookFiresOnTransitions)
+{
+    Fixture f;
+    int changes = 0;
+    f.srv.onChange([&] { ++changes; });
+    f.srv.primeActive();
+    f.srv.setPState(3);
+    f.srv.enterSleep(fromSeconds(5.0));
+    f.sim.runUntil(fromSeconds(6.0));
+    EXPECT_EQ(changes, 4); // prime, pstate, enter-sleep, sleeping
+}
+
+TEST(Server, InvalidTransitionsPanic)
+{
+    Fixture f;
+    EXPECT_DEATH(f.srv.shutdown(), "shutdown from");
+    EXPECT_DEATH(f.srv.wake(kSecond), "wake from");
+    f.srv.primeActive();
+    EXPECT_DEATH(f.srv.boot(kSecond), "boot from");
+    EXPECT_DEATH(f.srv.resumeFromDisk(kSecond), "disk resume from");
+}
+
+TEST(Server, StateNamesAreStable)
+{
+    EXPECT_STREQ(serverStateName(ServerState::Active), "Active");
+    EXPECT_STREQ(serverStateName(ServerState::Hibernated), "Hibernated");
+    EXPECT_STREQ(serverStateName(ServerState::Crashed), "Crashed");
+}
+
+} // namespace
+} // namespace bpsim

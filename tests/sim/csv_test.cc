@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the CSV timeline exporter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/csv.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+std::vector<std::string>
+lines(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream is(s);
+    std::string line;
+    while (std::getline(is, line))
+        out.push_back(line);
+    return out;
+}
+
+TEST(Csv, StepExportEmitsOneRowPerChange)
+{
+    Timeline a(0.0), b(1.0);
+    a.record(10 * kSecond, 5.0);
+    b.record(20 * kSecond, 2.0);
+    std::ostringstream os;
+    writeTimelinesCsv(os, {{"a", &a}, {"b", &b}}, 0, 30 * kSecond);
+    const auto rows = lines(os.str());
+    ASSERT_EQ(rows.size(), 5u); // header + 0,10,20,30
+    EXPECT_EQ(rows[0], "time_s,a,b");
+    EXPECT_EQ(rows[1], "0,0,1");
+    EXPECT_EQ(rows[2], "10,5,1");
+    EXPECT_EQ(rows[3], "20,5,2");
+    EXPECT_EQ(rows[4], "30,5,2");
+}
+
+TEST(Csv, StepExportClipsToWindow)
+{
+    Timeline a(0.0);
+    a.record(kSecond, 1.0);
+    a.record(kMinute, 2.0);
+    a.record(kHour, 3.0);
+    std::ostringstream os;
+    writeTimelinesCsv(os, {{"a", &a}}, 30 * kSecond, 2 * kMinute);
+    const auto rows = lines(os.str());
+    // header + window start (value 1), the 60 s step, window end.
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_EQ(rows[1], "30,1");
+    EXPECT_EQ(rows[2], "60,2");
+    EXPECT_EQ(rows[3], "120,2");
+}
+
+TEST(Csv, SampledExportHasFixedPeriod)
+{
+    Timeline a(0.0);
+    a.record(15 * kSecond, 7.0);
+    std::ostringstream os;
+    writeSampledCsv(os, {{"a", &a}}, 0, kMinute, 10 * kSecond);
+    const auto rows = lines(os.str());
+    ASSERT_EQ(rows.size(), 8u); // header + 0..50 step 10 + 60
+    EXPECT_EQ(rows[1], "0,0");
+    EXPECT_EQ(rows[3], "20,7");
+    EXPECT_EQ(rows[7], "60,7");
+}
+
+TEST(Csv, CoincidentChangesShareARow)
+{
+    Timeline a(0.0), b(0.0);
+    a.record(kSecond, 1.0);
+    b.record(kSecond, 2.0);
+    std::ostringstream os;
+    writeTimelinesCsv(os, {{"a", &a}, {"b", &b}}, 0, 2 * kSecond);
+    const auto rows = lines(os.str());
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_EQ(rows[2], "1,1,2");
+}
+
+TEST(Csv, RejectsBadInput)
+{
+    Timeline a(0.0);
+    std::ostringstream os;
+    EXPECT_DEATH(writeTimelinesCsv(os, {}, 0, kSecond), "no series");
+    EXPECT_DEATH(writeTimelinesCsv(os, {{"a", nullptr}}, 0, kSecond),
+                 "null timeline");
+    EXPECT_DEATH(writeSampledCsv(os, {{"a", &a}}, 0, kSecond, 0),
+                 "period");
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for Event / EventHandle / EventQueue ordering semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(EventQueue, EmptyInitially)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextTime(), kTimeNever);
+}
+
+TEST(EventQueue, PopsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.push(30 * kSecond, EventPriority::Normal,
+           [&] { order.push_back(3); }, "c");
+    q.push(10 * kSecond, EventPriority::Normal,
+           [&] { order.push_back(1); }, "a");
+    q.push(20 * kSecond, EventPriority::Normal,
+           [&] { order.push_back(2); }, "b");
+    while (!q.empty())
+        q.pop()->execute();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, PriorityBreaksTimestampTies)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.push(kSecond, EventPriority::Stats, [&] { order.push_back(3); }, "s");
+    q.push(kSecond, EventPriority::Power, [&] { order.push_back(1); }, "p");
+    q.push(kSecond, EventPriority::Normal, [&] { order.push_back(2); },
+           "n");
+    while (!q.empty())
+        q.pop()->execute();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, InsertionOrderBreaksFullTies)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        q.push(kSecond, EventPriority::Normal,
+               [&order, i] { order.push_back(i); }, "e");
+    }
+    while (!q.empty())
+        q.pop()->execute();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelledEventIsSkipped)
+{
+    EventQueue q;
+    bool ran = false;
+    auto h = q.push(kSecond, EventPriority::Normal, [&] { ran = true; },
+                    "victim");
+    EXPECT_TRUE(h.pending());
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelOneOfManyLeavesOthers)
+{
+    EventQueue q;
+    int ran = 0;
+    auto h1 = q.push(kSecond, EventPriority::Normal, [&] { ++ran; }, "a");
+    q.push(2 * kSecond, EventPriority::Normal, [&] { ++ran; }, "b");
+    h1.cancel();
+    EXPECT_EQ(q.nextTime(), 2 * kSecond);
+    while (!q.empty())
+        q.pop()->execute();
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(EventHandle, DefaultHandleIsInert)
+{
+    EventHandle h;
+    EXPECT_FALSE(h.pending());
+    EXPECT_EQ(h.when(), kTimeNever);
+    h.cancel(); // must not crash
+}
+
+TEST(EventHandle, WhenReportsScheduledTime)
+{
+    EventQueue q;
+    auto h = q.push(42 * kSecond, EventPriority::Normal, [] {}, "x");
+    EXPECT_EQ(h.when(), 42 * kSecond);
+    q.pop()->execute();
+    EXPECT_EQ(h.when(), kTimeNever);
+}
+
+TEST(Event, ExecuteRunsOnlyOnce)
+{
+    int runs = 0;
+    Event ev(0, EventPriority::Normal, 0, [&] { ++runs; }, "once");
+    ev.execute();
+    ev.execute();
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(Event, CancelledEventNeverRuns)
+{
+    int runs = 0;
+    Event ev(0, EventPriority::Normal, 0, [&] { ++runs; }, "never");
+    ev.cancel();
+    ev.execute();
+    EXPECT_EQ(runs, 0);
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Tests for the logging/error helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(Logging, FormatStringBasics)
+{
+    EXPECT_EQ(formatString("plain"), "plain");
+    EXPECT_EQ(formatString("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(formatString("%.2f", 3.14159), "3.14");
+}
+
+TEST(Logging, FormatStringLongOutput)
+{
+    // Exercise the two-pass vsnprintf sizing path.
+    std::string big(5000, 'a');
+    const std::string out = formatString("<%s>", big.c_str());
+    EXPECT_EQ(out.size(), big.size() + 2);
+    EXPECT_EQ(out.front(), '<');
+    EXPECT_EQ(out.back(), '>');
+}
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 7), "panic: boom 7");
+}
+
+TEST(Logging, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "fatal: bad config x");
+}
+
+TEST(Logging, AssertMacroCarriesContext)
+{
+    const int value = 3;
+    EXPECT_DEATH(BPSIM_ASSERT(value == 4, "value was %d", value),
+                 "assertion 'value == 4' failed.*value was 3");
+}
+
+TEST(Logging, AssertPassesSilently)
+{
+    BPSIM_ASSERT(1 + 1 == 2, "unreachable");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace bpsim

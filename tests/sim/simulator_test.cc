@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the Simulator kernel: clock advance, scheduling,
+ * runUntil semantics, stop(), and error conditions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(Simulator, StartsAtTimeZero)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(Simulator, ClockAdvancesToEventTimes)
+{
+    Simulator sim;
+    std::vector<Time> seen;
+    sim.schedule(5 * kSecond, [&] { seen.push_back(sim.now()); });
+    sim.schedule(kMinute, [&] { seen.push_back(sim.now()); });
+    sim.run();
+    EXPECT_EQ(seen, (std::vector<Time>{5 * kSecond, kMinute}));
+    EXPECT_EQ(sim.now(), kMinute);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents)
+{
+    Simulator sim;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            sim.schedule(kSecond, chain);
+    };
+    sim.schedule(kSecond, chain);
+    sim.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(sim.now(), 5 * kSecond);
+}
+
+TEST(Simulator, RunUntilStopsAtLimitAndAdvancesClock)
+{
+    Simulator sim;
+    bool late_ran = false;
+    sim.schedule(kHour, [&] { late_ran = true; });
+    sim.runUntil(kMinute);
+    EXPECT_FALSE(late_ran);
+    EXPECT_EQ(sim.now(), kMinute);
+    // Continuing past the limit executes the event.
+    sim.runUntil(2 * kHour);
+    EXPECT_TRUE(late_ran);
+}
+
+TEST(Simulator, RunUntilWithEmptyQueueAdvancesToLimit)
+{
+    Simulator sim;
+    sim.runUntil(10 * kMinute);
+    EXPECT_EQ(sim.now(), 10 * kMinute);
+}
+
+TEST(Simulator, EventExactlyAtLimitRuns)
+{
+    Simulator sim;
+    bool ran = false;
+    sim.schedule(kMinute, [&] { ran = true; });
+    sim.runUntil(kMinute);
+    EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, StopHaltsTheLoop)
+{
+    Simulator sim;
+    int ran = 0;
+    sim.schedule(kSecond, [&] {
+        ++ran;
+        sim.stop();
+    });
+    sim.schedule(2 * kSecond, [&] { ++ran; });
+    sim.run();
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(sim.now(), kSecond);
+}
+
+TEST(Simulator, CancelledEventDoesNotRun)
+{
+    Simulator sim;
+    bool ran = false;
+    auto h = sim.schedule(kSecond, [&] { ran = true; });
+    h.cancel();
+    sim.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, AbsoluteSchedulingWithAt)
+{
+    Simulator sim;
+    Time seen = -1;
+    sim.schedule(kSecond, [&] {
+        sim.at(10 * kSecond, [&] { seen = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(seen, 10 * kSecond);
+}
+
+TEST(Simulator, ExecutedEventsCounter)
+{
+    Simulator sim;
+    for (int i = 0; i < 7; ++i)
+        sim.schedule(i * kSecond, [] {});
+    sim.run();
+    EXPECT_EQ(sim.executedEvents(), 7u);
+}
+
+TEST(Simulator, NegativeDelayPanics)
+{
+    Simulator sim;
+    EXPECT_DEATH(sim.schedule(-1, [] {}), "negative delay");
+}
+
+TEST(Simulator, SchedulingInThePastPanics)
+{
+    Simulator sim;
+    sim.schedule(kMinute, [&] {
+        EXPECT_DEATH(sim.at(kSecond, [] {}), "in the past");
+    });
+    sim.run();
+}
+
+TEST(Simulator, SameTimeEventsRunInScheduleOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i)
+        sim.schedule(kSecond, [&order, i] { order.push_back(i); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit and property tests for the piecewise-constant Timeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hh"
+#include "sim/timeline.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(Timeline, InitialValueHoldsBeforeAnySample)
+{
+    Timeline tl(3.5);
+    EXPECT_DOUBLE_EQ(tl.valueAt(0), 3.5);
+    EXPECT_DOUBLE_EQ(tl.valueAt(kHour), 3.5);
+    EXPECT_DOUBLE_EQ(tl.lastValue(), 3.5);
+}
+
+TEST(Timeline, StepChangeTakesEffectAtItsTimestamp)
+{
+    Timeline tl(0.0);
+    tl.record(10 * kSecond, 2.0);
+    EXPECT_DOUBLE_EQ(tl.valueAt(10 * kSecond - 1), 0.0);
+    EXPECT_DOUBLE_EQ(tl.valueAt(10 * kSecond), 2.0);
+    EXPECT_DOUBLE_EQ(tl.valueAt(kHour), 2.0);
+}
+
+TEST(Timeline, ReRecordingAtSameTimestampOverwrites)
+{
+    Timeline tl(0.0);
+    tl.record(kSecond, 1.0);
+    tl.record(kSecond, 7.0);
+    EXPECT_DOUBLE_EQ(tl.valueAt(kSecond), 7.0);
+    EXPECT_EQ(tl.size(), 1u);
+}
+
+TEST(Timeline, RecordingUnchangedValueIsElided)
+{
+    Timeline tl(5.0);
+    tl.record(kSecond, 5.0);
+    EXPECT_EQ(tl.size(), 0u);
+    tl.record(2 * kSecond, 6.0);
+    tl.record(3 * kSecond, 6.0);
+    EXPECT_EQ(tl.size(), 1u);
+}
+
+TEST(Timeline, IntegrateConstantSegment)
+{
+    Timeline tl(2.0);
+    // 2.0 for 10 s -> 20 value-seconds.
+    EXPECT_DOUBLE_EQ(tl.integrate(0, 10 * kSecond), 20.0);
+}
+
+TEST(Timeline, IntegrateAcrossSteps)
+{
+    Timeline tl(1.0);
+    tl.record(10 * kSecond, 3.0);
+    tl.record(20 * kSecond, 0.0);
+    // 1*10 + 3*10 + 0*10 = 40.
+    EXPECT_DOUBLE_EQ(tl.integrate(0, 30 * kSecond), 40.0);
+}
+
+TEST(Timeline, IntegrateWindowClipsPartialSegments)
+{
+    Timeline tl(0.0);
+    tl.record(10 * kSecond, 4.0);
+    tl.record(20 * kSecond, 0.0);
+    // Window [15 s, 25 s): 4 * 5 + 0 * 5 = 20.
+    EXPECT_DOUBLE_EQ(tl.integrate(15 * kSecond, 25 * kSecond), 20.0);
+}
+
+TEST(Timeline, AverageOfEmptyWindowIsPointValue)
+{
+    Timeline tl(0.0);
+    tl.record(kSecond, 9.0);
+    EXPECT_DOUBLE_EQ(tl.average(2 * kSecond, 2 * kSecond), 9.0);
+}
+
+TEST(Timeline, AverageWeighsByDuration)
+{
+    Timeline tl(1.0);
+    tl.record(30 * kSecond, 0.0);
+    // [0, 60): 1.0 for half the time.
+    EXPECT_DOUBLE_EQ(tl.average(0, 60 * kSecond), 0.5);
+}
+
+TEST(Timeline, MinMaxOverWindow)
+{
+    Timeline tl(5.0);
+    tl.record(10 * kSecond, 1.0);
+    tl.record(20 * kSecond, 8.0);
+    EXPECT_DOUBLE_EQ(tl.minOver(0, 30 * kSecond), 1.0);
+    EXPECT_DOUBLE_EQ(tl.maxOver(0, 30 * kSecond), 8.0);
+    // A window that sees only the middle segment.
+    EXPECT_DOUBLE_EQ(tl.maxOver(12 * kSecond, 18 * kSecond), 1.0);
+}
+
+TEST(Timeline, TimeBelowThreshold)
+{
+    Timeline tl(1.0);
+    tl.record(10 * kSecond, 0.2);
+    tl.record(40 * kSecond, 1.0);
+    EXPECT_EQ(tl.timeBelow(0, 60 * kSecond, 0.5), 30 * kSecond);
+    EXPECT_EQ(tl.timeBelow(0, 60 * kSecond, 0.1), 0);
+    // Threshold is strict: a value exactly at it does not count.
+    EXPECT_EQ(tl.timeBelow(0, 60 * kSecond, 0.2), 0);
+}
+
+TEST(Timeline, RejectsOutOfOrderSamples)
+{
+    Timeline tl(0.0);
+    tl.record(10 * kSecond, 1.0);
+    EXPECT_DEATH(tl.record(5 * kSecond, 2.0), "precedes");
+}
+
+TEST(Timeline, RejectsInvertedQueryWindow)
+{
+    Timeline tl(0.0);
+    EXPECT_DEATH(tl.integrate(kSecond, 0), "inverted");
+}
+
+/**
+ * Property: for random step sequences, integral over [a, c) equals
+ * integral over [a, b) plus [b, c), and the average lies within
+ * [min, max] of the window.
+ */
+TEST(TimelineProperty, IntegralIsAdditiveAndAverageBounded)
+{
+    Rng rng(1234);
+    for (int trial = 0; trial < 50; ++trial) {
+        Timeline tl(rng.uniform(0.0, 2.0));
+        Time t = 0;
+        for (int i = 0; i < 20; ++i) {
+            t += fromSeconds(rng.uniform(0.1, 100.0));
+            tl.record(t, rng.uniform(0.0, 10.0));
+        }
+        const Time a = fromSeconds(rng.uniform(0.0, 500.0));
+        const Time c = a + fromSeconds(rng.uniform(1.0, 1000.0));
+        const Time b = a + (c - a) / 2;
+        const double whole = tl.integrate(a, c);
+        const double parts = tl.integrate(a, b) + tl.integrate(b, c);
+        EXPECT_NEAR(whole, parts, 1e-6 * (1.0 + std::abs(whole)));
+
+        const double avg = tl.average(a, c);
+        EXPECT_GE(avg, tl.minOver(a, c) - 1e-9);
+        EXPECT_LE(avg, tl.maxOver(a, c) + 1e-9);
+    }
+}
+
+/** Property: timeBelow is monotone in the threshold. */
+TEST(TimelineProperty, TimeBelowMonotoneInThreshold)
+{
+    Rng rng(99);
+    Timeline tl(0.5);
+    Time t = 0;
+    for (int i = 0; i < 30; ++i) {
+        t += fromSeconds(rng.uniform(0.5, 50.0));
+        tl.record(t, rng.uniform(0.0, 1.0));
+    }
+    Time prev = 0;
+    for (double thr : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2}) {
+        const Time below = tl.timeBelow(0, t + kSecond, thr);
+        EXPECT_GE(below, prev);
+        prev = below;
+    }
+}
+
+} // namespace
+} // namespace bpsim

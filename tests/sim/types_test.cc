@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests for the fundamental time/energy unit helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(Types, TimeConstantsCompose)
+{
+    EXPECT_EQ(kSecond, 1000 * kMillisecond);
+    EXPECT_EQ(kMinute, 60 * kSecond);
+    EXPECT_EQ(kHour, 60 * kMinute);
+    EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+}
+
+TEST(Types, RoundTripSeconds)
+{
+    for (double s : {0.0, 0.001, 1.0, 59.9, 3600.0, 86400.0}) {
+        EXPECT_NEAR(toSeconds(fromSeconds(s)), s, 1e-6);
+    }
+}
+
+TEST(Types, MinutesAndHours)
+{
+    EXPECT_EQ(fromMinutes(2.0), 2 * kMinute);
+    EXPECT_EQ(fromHours(1.5), 90 * kMinute);
+    EXPECT_DOUBLE_EQ(toMinutes(90 * kSecond), 1.5);
+    EXPECT_DOUBLE_EQ(toHours(45 * kMinute), 0.75);
+}
+
+TEST(Types, SubSecondResolution)
+{
+    // Microsecond resolution survives the round trip.
+    const Time t = fromSeconds(0.000123);
+    EXPECT_EQ(t, 123);
+}
+
+TEST(Types, EnergyConversions)
+{
+    EXPECT_DOUBLE_EQ(joulesToKwh(3.6e6), 1.0);
+    EXPECT_DOUBLE_EQ(kwhToJoules(2.0), 7.2e6);
+    EXPECT_DOUBLE_EQ(joulesToKwh(kwhToJoules(0.123)), 0.123);
+}
+
+TEST(Types, EnergyOverInterval)
+{
+    // 100 W for one hour = 0.1 kWh.
+    EXPECT_DOUBLE_EQ(joulesToKwh(energyOver(100.0, kHour)), 0.1);
+    EXPECT_DOUBLE_EQ(energyOver(250.0, 0), 0.0);
+}
+
+TEST(Types, NeverIsHuge)
+{
+    EXPECT_GT(kTimeNever, 1000LL * 365 * 24 * kHour);
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the predictor-driven AdaptiveTechnique (Section 7's
+ * unknown-duration challenge).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fixture.hh"
+#include "technique/adaptive.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+std::unique_ptr<AdaptiveTechnique>
+adaptive(double risk)
+{
+    return std::make_unique<AdaptiveTechnique>(
+        OutagePredictor(OutageDurationDistribution::figure1()), risk);
+}
+
+PowerHierarchy::Config
+tenMinuteUps(int n = 4)
+{
+    PowerHierarchy::Config c;
+    c.hasDg = false;
+    c.hasUps = true;
+    c.ups.powerCapacityW = n * 250.0;
+    c.ups.runtimeAtRatedSec = 10.0 * 60.0;
+    return c;
+}
+
+TEST(Adaptive, NeverCrashesRegardlessOfDuration)
+{
+    for (double minutes : {0.5, 2.0, 10.0, 45.0, 180.0}) {
+        TechniqueHarness h(adaptive(0.4), specJbbProfile(), 4,
+                           tenMinuteUps());
+        h.runOutage(kMinute, fromMinutes(minutes),
+                    fromMinutes(minutes) + 3 * kHour);
+        EXPECT_EQ(h.hierarchy.powerLossCount(), 0)
+            << minutes << " minutes";
+        EXPECT_DOUBLE_EQ(h.cluster.perfTimeline().lastValue(), 1.0)
+            << minutes << " minutes";
+        for (int i = 0; i < h.cluster.size(); ++i)
+            EXPECT_EQ(h.cluster.app(i).stateLosses(), 0);
+    }
+}
+
+TEST(Adaptive, ServesShortOutagesAtHighPerf)
+{
+    TechniqueHarness h(adaptive(0.45), specJbbProfile(), 4,
+                       tenMinuteUps());
+    h.runOutage(kMinute, 30 * kSecond, kHour);
+    // The first poll happens at outage start; a 10-minute runway at
+    // full power is within a 0.45 risk (42 % of outages outlast
+    // 10 min), so it serves at full speed throughout.
+    EXPECT_GT(h.cluster.perfTimeline().average(kMinute,
+                                               kMinute + 30 * kSecond),
+              0.9);
+}
+
+TEST(Adaptive, ConservativePolicySleepsEarly)
+{
+    TechniqueHarness h(adaptive(0.05), specJbbProfile(), 4,
+                       tenMinuteUps());
+    h.runOutage(kMinute, 30 * kMinute, 2 * kHour);
+    auto *tech = static_cast<AdaptiveTechnique *>(h.technique.get());
+    EXPECT_TRUE(tech->suspended());
+    // Asleep within the first minute of the outage.
+    EXPECT_DOUBLE_EQ(
+        h.cluster.perfTimeline().valueAt(kMinute + 2 * kMinute), 0.0);
+}
+
+TEST(Adaptive, EscalatesAsTheOutageDrags)
+{
+    TechniqueHarness h(adaptive(0.42), specJbbProfile(), 4,
+                       tenMinuteUps());
+    h.runOutage(kMinute, kHour, 3 * kHour);
+    auto *tech = static_cast<AdaptiveTechnique *>(h.technique.get());
+    // Served at some level first, then escalated and finally slept.
+    EXPECT_TRUE(tech->suspended());
+    const auto &perf = h.cluster.perfTimeline();
+    EXPECT_GT(perf.valueAt(kMinute + 10 * kSecond), 0.5);
+    EXPECT_DOUBLE_EQ(perf.valueAt(kMinute + 30 * kMinute), 0.0);
+}
+
+TEST(Adaptive, BiggerBatteryServesLonger)
+{
+    auto big = tenMinuteUps();
+    big.ups.runtimeAtRatedSec = 60.0 * 60.0;
+    TechniqueHarness small(adaptive(0.3), specJbbProfile(), 4,
+                           tenMinuteUps());
+    TechniqueHarness large(adaptive(0.3), specJbbProfile(), 4, big);
+    small.runOutage(kMinute, kHour, 3 * kHour);
+    large.runOutage(kMinute, kHour, 3 * kHour);
+    const double perf_small = small.cluster.perfTimeline().average(
+        kMinute, kMinute + kHour);
+    const double perf_large = large.cluster.perfTimeline().average(
+        kMinute, kMinute + kHour);
+    EXPECT_GT(perf_large, perf_small);
+}
+
+TEST(Adaptive, FullDgEndsTheEmergency)
+{
+    PowerHierarchy::Config cfg = tenMinuteUps();
+    cfg.hasDg = true;
+    cfg.dg.powerCapacityW = 4 * 250.0;
+    TechniqueHarness h(adaptive(0.3), specJbbProfile(), 4, cfg);
+    h.runOutage(kMinute, kHour, 3 * kHour);
+    EXPECT_EQ(h.hierarchy.powerLossCount(), 0);
+    // Once the DG carries (within ~2.5 min), service returns to full
+    // speed for the rest of the outage.
+    EXPECT_DOUBLE_EQ(h.cluster.perfTimeline().valueAt(kMinute + kHour / 2),
+                     1.0);
+}
+
+TEST(Adaptive, RecoversFromMidSuspendRestore)
+{
+    // Utility returns while the cluster is suspending.
+    TechniqueHarness h(adaptive(0.01), specJbbProfile(), 4,
+                       tenMinuteUps());
+    h.runOutage(kMinute, 3 * kSecond, kHour);
+    EXPECT_DOUBLE_EQ(h.cluster.perfTimeline().valueAt(kHour - kSecond),
+                     1.0);
+}
+
+TEST(Adaptive, NameEncodesRisk)
+{
+    auto t = adaptive(0.25);
+    EXPECT_EQ(t->name(), "Adaptive(risk=0.25)");
+    EXPECT_EQ(t->family(), TechniqueFamily::Hybrid);
+}
+
+TEST(Adaptive, CatalogRoundTrip)
+{
+    TechniqueSpec spec;
+    spec.kind = TechniqueKind::Adaptive;
+    spec.risk = 0.5;
+    auto t = makeTechnique(spec);
+    EXPECT_EQ(t->name(), "Adaptive(risk=0.50)");
+    EXPECT_EQ(spec.label(), "Adaptive(risk=0.50)");
+}
+
+} // namespace
+} // namespace bpsim

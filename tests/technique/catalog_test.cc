@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the technique catalog: factory round-trips, candidate
+ * generation and the Table 5 reproduction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fixture.hh"
+#include "technique/catalog.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+const ServerModel kModel{};
+
+TEST(Catalog, FactoryProducesMatchingNames)
+{
+    EXPECT_EQ(makeTechnique({TechniqueKind::None})->name(), "none");
+    EXPECT_EQ(makeTechnique({TechniqueKind::Throttle, 3, 1})->name(),
+              "Throttling(p3,t1)");
+    TechniqueSpec s;
+    s.kind = TechniqueKind::Sleep;
+    s.lowPower = true;
+    EXPECT_EQ(makeTechnique(s)->name(), "Sleep-L");
+    s.kind = TechniqueKind::ProactiveHibernate;
+    s.lowPower = false;
+    EXPECT_EQ(makeTechnique(s)->name(), "ProactiveHibernate");
+    EXPECT_EQ(makeTechnique({TechniqueKind::Migration})->name(),
+              "Migration");
+    EXPECT_EQ(makeTechnique({TechniqueKind::MigrationSleep})->name(),
+              "Migration+Sleep-L");
+}
+
+TEST(Catalog, SpecLabelsAreStable)
+{
+    TechniqueSpec s;
+    s.kind = TechniqueKind::ThrottleSleep;
+    s.pstate = 5;
+    s.serveFor = 30 * kMinute;
+    s.lowPower = true;
+    EXPECT_EQ(s.label(), "Throttle+Sleep-L(p5,t0,serve=30.0min)");
+}
+
+TEST(Catalog, BasicCandidatesCoverTable4)
+{
+    const auto cands = basicCandidates(kModel);
+    int throttles = 0, sleeps = 0, hibernates = 0, migrations = 0;
+    for (const auto &c : cands) {
+        switch (c.kind) {
+          case TechniqueKind::Throttle:
+            ++throttles;
+            break;
+          case TechniqueKind::Sleep:
+            ++sleeps;
+            break;
+          case TechniqueKind::Hibernate:
+          case TechniqueKind::ProactiveHibernate:
+            ++hibernates;
+            break;
+          case TechniqueKind::Migration:
+          case TechniqueKind::ProactiveMigration:
+          case TechniqueKind::MigrationSleep:
+            ++migrations;
+            break;
+          default:
+            break;
+        }
+    }
+    EXPECT_GE(throttles, kModel.params().pStates); // full DVFS sweep
+    EXPECT_EQ(sleeps, 2);                          // Sleep, Sleep-L
+    EXPECT_EQ(hibernates, 4);
+    EXPECT_GE(migrations, 4);
+}
+
+TEST(Catalog, HybridCandidatesScaleWithDuration)
+{
+    const auto cands = hybridCandidates(kModel, kHour);
+    EXPECT_EQ(cands.size(), 16u); // 2 pstates x 4 fractions x 2 modes
+    for (const auto &c : cands) {
+        EXPECT_TRUE(c.kind == TechniqueKind::ThrottleSleep ||
+                    c.kind == TechniqueKind::ThrottleHibernate);
+        EXPECT_GT(c.serveFor, 0);
+        EXPECT_LE(c.serveFor, kHour);
+    }
+}
+
+TEST(Catalog, AllCandidatesIsUnionAndInstantiable)
+{
+    const auto cands = allCandidates(kModel, 30 * kMinute);
+    EXPECT_EQ(cands.size(),
+              basicCandidates(kModel).size() +
+                  hybridCandidates(kModel, 30 * kMinute).size());
+    for (const auto &c : cands) {
+        auto t = makeTechnique(c);
+        ASSERT_NE(t, nullptr);
+        EXPECT_FALSE(t->name().empty());
+    }
+}
+
+TEST(Catalog, Table5RowsAndOrdering)
+{
+    TechniqueHarness h(std::make_unique<NoTechnique>());
+    const auto rows = table5(h.cluster);
+    ASSERT_EQ(rows.size(), 6u);
+    EXPECT_EQ(rows[0].technique, "Throttling");
+    EXPECT_EQ(rows[5].technique, "Proactive Hibernation");
+
+    // Table 5 magnitudes: throttling in microseconds, migration in
+    // minutes, proactive migration faster than migration, sleep ~10 s,
+    // hibernation minutes.
+    EXPECT_LT(rows[0].timeToTakeEffect, kMillisecond);
+    EXPECT_GT(rows[1].timeToTakeEffect, 2 * kMinute);
+    EXPECT_LT(rows[2].timeToTakeEffect, rows[1].timeToTakeEffect);
+    EXPECT_LE(rows[3].timeToTakeEffect, 10 * kSecond);
+    EXPECT_GT(rows[4].timeToTakeEffect, kMinute);
+    EXPECT_LT(rows[5].timeToTakeEffect, rows[4].timeToTakeEffect);
+}
+
+TEST(Catalog, PstateForPowerFractionHitsHalfPeak)
+{
+    const int p = pstateForPowerFraction(kModel, 0.5);
+    const Watts w = kModel.activePowerW(p, 0, 1.0);
+    EXPECT_NEAR(w / kModel.params().peakPowerW, 0.5, 0.06);
+}
+
+TEST(Catalog, SaveSlowdownCalibration)
+{
+    // Table 8 anchors: Sleep-L 6 s -> 8 s; Hibernate-L 230 s -> 385 s,
+    // both at the half-power P-state.
+    const int p = pstateForPowerFraction(kModel, 0.5);
+    const double sleep_slow =
+        saveSlowdownAtThrottle(kModel, p, 0, kSleepSaveCpuWeight);
+    EXPECT_NEAR(6.0 * sleep_slow, 8.0, 0.6);
+    const double hib_slow =
+        saveSlowdownAtThrottle(kModel, p, 0, kHibernateSaveCpuWeight);
+    EXPECT_NEAR(230.0 * hib_slow, 385.0, 30.0);
+}
+
+TEST(Catalog, AttachingTwicePanics)
+{
+    TechniqueHarness h(std::make_unique<NoTechnique>());
+    EXPECT_DEATH(
+        h.technique->attach(h.sim, h.cluster, h.hierarchy),
+        "attached twice");
+}
+
+} // namespace
+} // namespace bpsim

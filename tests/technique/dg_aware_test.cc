@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for DG-aware technique behaviour: once the generator carries
+ * the load the energy emergency is over, and the techniques react
+ * according to how much generator was provisioned.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fixture.hh"
+#include "technique/hibernate.hh"
+#include "technique/hybrid.hh"
+#include "technique/sleep.hh"
+#include "technique/throttling.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+PowerHierarchy::Config
+withDg(double dg_frac, int n = 4)
+{
+    PowerHierarchy::Config c;
+    c.hasUps = true;
+    c.ups.powerCapacityW = n * 250.0;
+    c.ups.runtimeAtRatedSec = 600.0;
+    c.hasDg = true;
+    c.dg.powerCapacityW = dg_frac * n * 250.0;
+    return c;
+}
+
+TEST(DgAware, ThrottlingUnthrottlesOnFullDg)
+{
+    TechniqueHarness h(std::make_unique<Throttling>(6, 0),
+                       specJbbProfile(), 4, withDg(1.0));
+    h.runOutage(kMinute, kHour, 2 * kHour);
+    // After the ~2.5 min transition the DG carries everything: full
+    // speed for the rest of the outage.
+    EXPECT_DOUBLE_EQ(h.cluster.perfTimeline().valueAt(kMinute + kHour / 2),
+                     1.0);
+    EXPECT_EQ(h.hierarchy.powerLossCount(), 0);
+}
+
+TEST(DgAware, ThrottlingFitsASmallDg)
+{
+    // A half-size DG: the cluster may only run at ~125 W/server.
+    TechniqueHarness h(std::make_unique<Throttling>(6, 0),
+                       specJbbProfile(), 4, withDg(0.5));
+    h.runOutage(kMinute, kHour, 2 * kHour);
+    EXPECT_EQ(h.hierarchy.powerLossCount(), 0);
+    const double mid =
+        h.cluster.perfTimeline().valueAt(kMinute + kHour / 2);
+    // Better than the deep p6 throttle, but well short of full.
+    EXPECT_GT(mid, 0.55);
+    EXPECT_LT(mid, 0.75);
+}
+
+TEST(DgAware, SleepWakesOnFullDgOnly)
+{
+    TechniqueHarness full(std::make_unique<SleepTechnique>(false),
+                          specJbbProfile(), 4, withDg(1.0));
+    full.runOutage(kMinute, kHour, 2 * kHour);
+    // Woken by the DG: serving mid-outage.
+    EXPECT_DOUBLE_EQ(
+        full.cluster.perfTimeline().valueAt(kMinute + 30 * kMinute),
+        1.0);
+
+    TechniqueHarness small(std::make_unique<SleepTechnique>(false),
+                           specJbbProfile(), 4, withDg(0.5));
+    small.runOutage(kMinute, kHour, 2 * kHour);
+    // A half DG cannot carry the woken cluster: stay asleep.
+    EXPECT_DOUBLE_EQ(
+        small.cluster.perfTimeline().valueAt(kMinute + 30 * kMinute),
+        0.0);
+    EXPECT_EQ(small.hierarchy.powerLossCount(), 0);
+    // And it still wakes cleanly when the utility returns.
+    EXPECT_DOUBLE_EQ(
+        small.cluster.perfTimeline().valueAt(2 * kHour - kSecond), 1.0);
+}
+
+TEST(DgAware, HibernateResumesOnFullDg)
+{
+    TechniqueHarness h(
+        std::make_unique<HibernationTechnique>(false, false),
+        specJbbProfile(), 4, withDg(1.0));
+    h.runOutage(kMinute, kHour, 3 * kHour);
+    // Save (~230 s) + DG resume (~157 s): serving again mid-outage.
+    EXPECT_DOUBLE_EQ(
+        h.cluster.perfTimeline().valueAt(kMinute + 30 * kMinute), 1.0);
+    for (int i = 0; i < h.cluster.size(); ++i)
+        EXPECT_EQ(h.cluster.app(i).stateLosses(), 0);
+}
+
+TEST(DgAware, HybridCancelsSaveWhenPartialDgArrives)
+{
+    // Serve window 10 min; the half-size DG is carrying by ~2.5 min,
+    // so the save never happens and throttled service continues for
+    // the entire outage.
+    TechniqueHarness h(std::make_unique<ThrottleThenSave>(
+                           5, 0, ThrottleThenSave::SaveMode::Sleep,
+                           10 * kMinute),
+                       specJbbProfile(), 4, withDg(0.5));
+    h.runOutage(kMinute, 2 * kHour, 4 * kHour);
+    EXPECT_EQ(h.hierarchy.powerLossCount(), 0);
+    const double mid =
+        h.cluster.perfTimeline().valueAt(kMinute + kHour);
+    EXPECT_GT(mid, 0.5); // still serving, throttled to the DG
+    EXPECT_DOUBLE_EQ(h.cluster.perfTimeline().valueAt(4 * kHour - kSecond),
+                     1.0);
+}
+
+TEST(DgAware, HybridRecoversFullyOnFullDg)
+{
+    TechniqueHarness h(std::make_unique<ThrottleThenSave>(
+                           5, 0, ThrottleThenSave::SaveMode::Sleep,
+                           kMinute),
+                       specJbbProfile(), 4, withDg(1.0));
+    h.runOutage(kMinute, 2 * kHour, 4 * kHour);
+    // It slept at +1 min, the DG was ready at ~+2.5 min and woke it:
+    // full service for nearly the whole outage.
+    const double avg = h.cluster.perfTimeline().average(
+        kMinute + 5 * kMinute, kMinute + 2 * kHour);
+    EXPECT_GT(avg, 0.99);
+}
+
+} // namespace
+} // namespace bpsim

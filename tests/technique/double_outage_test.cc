@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Edge-case integration tests: a second outage arriving while the
+ * cluster is still recovering from (or reacting to) the first —
+ * brownout-style sub-second events, outage-during-wake, and
+ * outage-during-migrate-back. The paper's footnote 3 folds brownouts
+ * and sags into outage events; these tests pin the model's behaviour
+ * on exactly those patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fixture.hh"
+#include "technique/hibernate.hh"
+#include "technique/migration.hh"
+#include "technique/sleep.hh"
+#include "technique/throttling.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(DoubleOutage, BrownoutIsSeamlessOnBattery)
+{
+    // A 200 ms sag is an outage event per the paper's footnote; with a
+    // UPS it must be completely invisible.
+    TechniqueHarness h(std::make_unique<Throttling>(5, 0));
+    h.utility.scheduleOutage(kMinute, 200 * kMillisecond);
+    h.sim.runUntil(10 * kMinute);
+    EXPECT_EQ(h.hierarchy.powerLossCount(), 0);
+    EXPECT_DOUBLE_EQ(
+        h.cluster.availabilityTimeline().average(0, 10 * kMinute), 1.0);
+}
+
+TEST(DoubleOutage, BrownoutWithoutUpsCrashes)
+{
+    PowerHierarchy::Config bare;
+    bare.hasDg = false;
+    bare.hasUps = false;
+    TechniqueHarness h(std::make_unique<NoTechnique>(), specJbbProfile(),
+                       4, bare);
+    h.utility.scheduleOutage(kMinute, 200 * kMillisecond);
+    h.sim.runUntil(kHour);
+    EXPECT_EQ(h.hierarchy.powerLossCount(), 1);
+    // Recovery still completes.
+    EXPECT_DOUBLE_EQ(h.cluster.perfTimeline().valueAt(kHour - kSecond),
+                     1.0);
+}
+
+TEST(DoubleOutage, SecondOutageDuringWakeSleepsAgain)
+{
+    TechniqueHarness h(std::make_unique<SleepTechnique>(false));
+    // First outage: 10 min; second begins 4 s after restore, while
+    // servers are still waking (8 s resume).
+    h.utility.scheduleOutage(kMinute, 10 * kMinute);
+    h.utility.scheduleOutage(11 * kMinute + 4 * kSecond, 10 * kMinute);
+    h.sim.runUntil(2 * kHour);
+    EXPECT_EQ(h.hierarchy.powerLossCount(), 0);
+    for (int i = 0; i < h.cluster.size(); ++i)
+        EXPECT_EQ(h.cluster.app(i).stateLosses(), 0);
+    EXPECT_DOUBLE_EQ(h.cluster.perfTimeline().valueAt(2 * kHour - kSecond),
+                     1.0);
+}
+
+TEST(DoubleOutage, SecondOutageDuringHibernateResume)
+{
+    TechniqueHarness h(
+        std::make_unique<HibernationTechnique>(false, false));
+    // Second outage lands mid-resume (resume takes ~157 s).
+    h.utility.scheduleOutage(kMinute, 10 * kMinute);
+    h.utility.scheduleOutage(11 * kMinute + kMinute, 10 * kMinute);
+    h.sim.runUntil(3 * kHour);
+    EXPECT_EQ(h.hierarchy.powerLossCount(), 0);
+    EXPECT_DOUBLE_EQ(h.cluster.perfTimeline().valueAt(3 * kHour - kSecond),
+                     1.0);
+    for (int i = 0; i < h.cluster.size(); ++i)
+        EXPECT_EQ(h.cluster.server(i).state(), ServerState::Active);
+}
+
+TEST(DoubleOutage, SecondOutageDuringMigrateBack)
+{
+    TechniqueHarness h(std::make_unique<MigrationTechnique>(
+        MigrationTechnique::Options{}));
+    // First outage consolidates; second hits during the migrate-back
+    // window (~boot 2 min + copy ~8 min after restore).
+    h.utility.scheduleOutage(kMinute, kHour);
+    h.utility.scheduleOutage(kMinute + kHour + 5 * kMinute, 30 * kMinute);
+    h.sim.runUntil(6 * kHour);
+    EXPECT_EQ(h.hierarchy.powerLossCount(), 0);
+    // Everything eventually comes home at full service.
+    EXPECT_DOUBLE_EQ(h.cluster.perfTimeline().valueAt(6 * kHour - kSecond),
+                     1.0);
+    for (int i = 0; i < h.cluster.size(); ++i) {
+        EXPECT_EQ(h.cluster.app(i).host(), h.cluster.app(i).home());
+        EXPECT_EQ(h.cluster.app(i).stateLosses(), 0);
+    }
+}
+
+TEST(DoubleOutage, ThreeBackToBackShortOutages)
+{
+    TechniqueHarness h(std::make_unique<Throttling>(6, 0));
+    for (int k = 0; k < 3; ++k) {
+        h.utility.scheduleOutage(kMinute + k * 10 * kMinute,
+                                 2 * kMinute);
+    }
+    h.sim.runUntil(2 * kHour);
+    EXPECT_EQ(h.hierarchy.powerLossCount(), 0);
+    EXPECT_EQ(h.utility.outagesSeen(), 3);
+    EXPECT_DOUBLE_EQ(
+        h.cluster.availabilityTimeline().average(0, 2 * kHour), 1.0);
+}
+
+} // namespace
+} // namespace bpsim

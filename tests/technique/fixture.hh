@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared harness for technique tests: a cluster behind a configurable
+ * UPS, one technique attached, one scheduled outage.
+ */
+
+#ifndef BPSIM_TESTS_TECHNIQUE_FIXTURE_HH
+#define BPSIM_TESTS_TECHNIQUE_FIXTURE_HH
+
+#include <memory>
+#include <optional>
+
+#include "technique/catalog.hh"
+#include "workload/cluster.hh"
+
+namespace bpsim
+{
+
+struct TechniqueHarness
+{
+    /** Generous UPS so technique behaviour is observed un-clipped. */
+    static PowerHierarchy::Config
+    bigUps(int n_servers)
+    {
+        PowerHierarchy::Config c;
+        c.hasDg = false;
+        c.hasUps = true;
+        c.ups.powerCapacityW = n_servers * 250.0 * 1.01;
+        c.ups.runtimeAtRatedSec = 24.0 * 3600.0;
+        return c;
+    }
+
+    TechniqueHarness(std::unique_ptr<Technique> t,
+                     const WorkloadProfile &w = specJbbProfile(),
+                     int n_servers = 4,
+                     std::optional<PowerHierarchy::Config> cfg = {})
+        : utility(sim),
+          hierarchy(sim, utility, cfg ? *cfg : bigUps(n_servers)),
+          cluster(sim, hierarchy, ServerModel{}, w, n_servers),
+          technique(std::move(t))
+    {
+        technique->attach(sim, cluster, hierarchy);
+        cluster.primeSteadyState();
+    }
+
+    /** Schedule the outage and run to `until`. */
+    void
+    runOutage(Time start, Time duration, Time until)
+    {
+        utility.scheduleOutage(start, duration);
+        sim.runUntil(until);
+    }
+
+    Simulator sim;
+    Utility utility;
+    PowerHierarchy hierarchy;
+    Cluster cluster;
+    std::unique_ptr<Technique> technique;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TESTS_TECHNIQUE_FIXTURE_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the geo-failover technique (Section 7: request redirection
+ * to geo-replicated datacenters for very long outages).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fixture.hh"
+#include "technique/geo_failover.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+GeoFailover::Params
+defaults()
+{
+    return GeoFailover::Params{};
+}
+
+TEST(GeoFailover, RedirectsAndShutsDownLocally)
+{
+    TechniqueHarness h(std::make_unique<GeoFailover>(defaults()));
+    h.runOutage(kMinute, 4 * kHour, 8 * kHour);
+    EXPECT_EQ(h.hierarchy.powerLossCount(), 0);
+    // Mid-outage: remote serving at 0.7, all local machines off.
+    EXPECT_NEAR(h.cluster.perfTimeline().valueAt(2 * kHour), 0.7, 1e-9);
+    EXPECT_DOUBLE_EQ(
+        h.hierarchy.meter().fromBattery().valueAt(2 * kHour), 0.0);
+}
+
+TEST(GeoFailover, BatteryOnlyBridgesTheDrainWindow)
+{
+    TechniqueHarness h(std::make_unique<GeoFailover>(defaults()));
+    h.runOutage(kMinute, 4 * kHour, 8 * kHour);
+    const double kwh = joulesToKwh(
+        h.hierarchy.meter().batteryEnergyJ(0, 8 * kHour));
+    // ~60 s at 1 kW = 1/60 kWh: tiny.
+    EXPECT_LT(kwh, 0.05);
+}
+
+TEST(GeoFailover, TrafficComesHomeAfterRestore)
+{
+    TechniqueHarness h(std::make_unique<GeoFailover>(defaults()));
+    h.runOutage(kMinute, 4 * kHour, 9 * kHour);
+    EXPECT_DOUBLE_EQ(h.cluster.perfTimeline().valueAt(9 * kHour - kSecond),
+                     1.0);
+    for (int i = 0; i < h.cluster.size(); ++i) {
+        EXPECT_FALSE(h.cluster.app(i).remoteService());
+        EXPECT_EQ(h.cluster.server(i).state(), ServerState::Active);
+    }
+}
+
+TEST(GeoFailover, NoServiceGapDuringHomecoming)
+{
+    TechniqueHarness h(std::make_unique<GeoFailover>(defaults()));
+    h.runOutage(kMinute, 4 * kHour, 9 * kHour);
+    // The remote site keeps serving until the local fleet is warm:
+    // perf never drops to zero after the redirect completes.
+    const double floor = h.cluster.perfTimeline().minOver(
+        kMinute + 2 * kMinute, 9 * kHour);
+    EXPECT_GE(floor, 0.69);
+}
+
+TEST(GeoFailover, DowntimeOnlyDuringDrainForThroughputMetrics)
+{
+    TechniqueHarness h(std::make_unique<GeoFailover>(defaults()),
+                       memcachedProfile());
+    h.runOutage(kMinute, 4 * kHour, 9 * kHour);
+    const Time down = h.cluster.availabilityTimeline().timeBelow(
+        kMinute, 9 * kHour, 0.5);
+    // Remote serving at 0.7 counts as up for a throughput metric;
+    // only local restart gaps could register, and the remote covers
+    // them. Expect essentially zero.
+    EXPECT_LT(toSeconds(down), 5.0);
+}
+
+TEST(GeoFailover, SurvivesPowerLossDuringDrain)
+{
+    // Tiny UPS dies before the 60 s drain finishes: the redirect still
+    // happens (crash-stop instead of graceful drain).
+    PowerHierarchy::Config tiny;
+    tiny.hasDg = false;
+    tiny.hasUps = true;
+    tiny.ups.powerCapacityW = 4 * 250.0 * 1.01;
+    tiny.ups.runtimeAtRatedSec = 20.0;
+    TechniqueHarness h(std::make_unique<GeoFailover>(defaults()),
+                       specJbbProfile(), 4, tiny);
+    h.runOutage(kMinute, 2 * kHour, 6 * kHour);
+    EXPECT_GE(h.hierarchy.powerLossCount(), 1);
+    EXPECT_NEAR(h.cluster.perfTimeline().valueAt(kHour), 0.7, 1e-9);
+    // And everything comes home eventually.
+    EXPECT_DOUBLE_EQ(h.cluster.perfTimeline().valueAt(6 * kHour - kSecond),
+                     1.0);
+}
+
+TEST(GeoFailover, ThrottledDrainReducesPeak)
+{
+    GeoFailover::Params p;
+    p.drainPState = 5;
+    TechniqueHarness h(std::make_unique<GeoFailover>(p));
+    h.runOutage(kMinute, 2 * kHour, 6 * kHour);
+    const Watts peak = h.hierarchy.meter().fromBattery().maxOver(
+        kMinute, kMinute + 2 * kMinute);
+    EXPECT_LT(peak, 4 * 130.0);
+}
+
+TEST(GeoFailover, ShortOutageNeverRedirects)
+{
+    TechniqueHarness h(std::make_unique<GeoFailover>(defaults()));
+    h.runOutage(kMinute, 30 * kSecond, kHour);
+    // The outage ended inside the drain window: no redirect happened,
+    // no shutdown, full local service.
+    EXPECT_DOUBLE_EQ(
+        h.cluster.availabilityTimeline().average(0, kHour), 1.0);
+    for (int i = 0; i < h.cluster.size(); ++i)
+        EXPECT_FALSE(h.cluster.app(i).remoteService());
+}
+
+TEST(GeoFailover, NameAndFamily)
+{
+    GeoFailover g(defaults());
+    EXPECT_EQ(g.name(), "GeoFailover(remote=0.70)");
+    EXPECT_EQ(g.family(), TechniqueFamily::SustainExecution);
+}
+
+} // namespace
+} // namespace bpsim

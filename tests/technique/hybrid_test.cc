@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the hybrid throttle-then-save techniques (Table 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fixture.hh"
+#include "technique/hybrid.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(ThrottleThenSave, ServesThrottledThenSleeps)
+{
+    TechniqueHarness h(std::make_unique<ThrottleThenSave>(
+        6, 0, ThrottleThenSave::SaveMode::Sleep, 20 * kMinute));
+    h.runOutage(kMinute, kHour, 3 * kHour);
+    const auto &perf = h.cluster.perfTimeline();
+    // Serving (throttled) 10 minutes in; dark 40 minutes in.
+    EXPECT_GT(perf.valueAt(kMinute + 10 * kMinute), 0.4);
+    EXPECT_DOUBLE_EQ(perf.valueAt(kMinute + 40 * kMinute), 0.0);
+    // Battery draw in the sleep tail is self-refresh only.
+    EXPECT_NEAR(
+        h.hierarchy.meter().fromBattery().valueAt(kMinute + 40 * kMinute),
+        4 * 5.0, 1.0);
+    // Recovered at the end.
+    EXPECT_DOUBLE_EQ(perf.valueAt(3 * kHour - kSecond), 1.0);
+}
+
+TEST(ThrottleThenSave, ZeroWindowDegeneratesToImmediateSave)
+{
+    TechniqueHarness h(std::make_unique<ThrottleThenSave>(
+        5, 0, ThrottleThenSave::SaveMode::Sleep, 0));
+    h.runOutage(kMinute, 30 * kMinute, 2 * kHour);
+    // Immediately after the outage begins the cluster suspends.
+    EXPECT_DOUBLE_EQ(
+        h.cluster.perfTimeline().valueAt(kMinute + kMinute), 0.0);
+}
+
+TEST(ThrottleThenSave, HibernateTailReachesZeroWatts)
+{
+    TechniqueHarness h(std::make_unique<ThrottleThenSave>(
+        5, 0, ThrottleThenSave::SaveMode::Hibernate, 10 * kMinute));
+    h.runOutage(kMinute, 2 * kHour, 5 * kHour);
+    // Long after the throttled save completes: zero draw.
+    EXPECT_DOUBLE_EQ(
+        h.hierarchy.meter().fromBattery().valueAt(kMinute + kHour), 0.0);
+    EXPECT_DOUBLE_EQ(h.cluster.perfTimeline().valueAt(5 * kHour - kSecond),
+                     1.0);
+}
+
+TEST(ThrottleThenSave, OutageEndingInServeWindowJustUnthrottles)
+{
+    TechniqueHarness h(std::make_unique<ThrottleThenSave>(
+        6, 0, ThrottleThenSave::SaveMode::Sleep, kHour));
+    h.runOutage(kMinute, 10 * kMinute, 2 * kHour);
+    // The save never engaged; no downtime at all.
+    EXPECT_DOUBLE_EQ(
+        h.cluster.availabilityTimeline().average(0, 2 * kHour), 1.0);
+    EXPECT_DOUBLE_EQ(h.cluster.perfTimeline().valueAt(2 * kHour - kSecond),
+                     1.0);
+    for (int i = 0; i < h.cluster.size(); ++i)
+        EXPECT_EQ(h.cluster.server(i).pstate(), 0);
+}
+
+TEST(ThrottleThenSave, SaveTimeStretchesWithThrottle)
+{
+    TechniqueHarness shallow(std::make_unique<ThrottleThenSave>(
+        0, 0, ThrottleThenSave::SaveMode::Hibernate, 0));
+    TechniqueHarness deep(std::make_unique<ThrottleThenSave>(
+        6, 7, ThrottleThenSave::SaveMode::Hibernate, 0));
+    auto *t_shallow =
+        static_cast<ThrottleThenSave *>(shallow.technique.get());
+    auto *t_deep = static_cast<ThrottleThenSave *>(deep.technique.get());
+    EXPECT_GT(t_deep->saveTime(deep.cluster),
+              2 * t_shallow->saveTime(shallow.cluster));
+}
+
+TEST(ThrottleThenSave, LongerServeWindowUsesMoreEnergy)
+{
+    double kwh[2];
+    int i = 0;
+    for (Time serve : {10 * kMinute, 40 * kMinute}) {
+        TechniqueHarness h(std::make_unique<ThrottleThenSave>(
+            6, 0, ThrottleThenSave::SaveMode::Sleep, serve));
+        h.runOutage(kMinute, kHour, 3 * kHour);
+        kwh[i++] = joulesToKwh(
+            h.hierarchy.meter().batteryEnergyJ(0, 3 * kHour));
+    }
+    EXPECT_GT(kwh[1], kwh[0]);
+}
+
+TEST(ThrottleThenSave, TwoHourOutageSustainedOnTinyBattery)
+{
+    // The paper's headline: Throttle+Sleep-L handles 2-hour outages at
+    // ~20 % of MaxPerf cost. With a 4-server rack, a half-power UPS
+    // with modest runtime must survive serve-10-min-then-sleep.
+    PowerHierarchy::Config small;
+    small.hasDg = false;
+    small.hasUps = true;
+    small.ups.powerCapacityW = 4 * 130.0;
+    small.ups.runtimeAtRatedSec = 14 * 60.0;
+    TechniqueHarness h(std::make_unique<ThrottleThenSave>(
+                           5, 0, ThrottleThenSave::SaveMode::Sleep,
+                           10 * kMinute),
+                       specJbbProfile(), 4, small);
+    h.runOutage(kMinute, 2 * kHour, 5 * kHour);
+    EXPECT_EQ(h.hierarchy.powerLossCount(), 0);
+    EXPECT_DOUBLE_EQ(h.cluster.perfTimeline().valueAt(5 * kHour - kSecond),
+                     1.0);
+}
+
+TEST(ThrottleThenSave, NameEncodesParameters)
+{
+    ThrottleThenSave t(5, 0, ThrottleThenSave::SaveMode::Sleep,
+                       30 * kMinute);
+    EXPECT_EQ(t.name(), "Throttle+Sleep-L(p5,t0,serve=30.0min)");
+    EXPECT_EQ(t.family(), TechniqueFamily::Hybrid);
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the save-state techniques: Sleep, Hibernation and their
+ * low-power / proactive variants, against the Table 8 measurements.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fixture.hh"
+#include "technique/hibernate.hh"
+#include "technique/sleep.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(Sleep, SaveAndResumeMatchTable8)
+{
+    TechniqueHarness h(std::make_unique<SleepTechnique>(false));
+    auto *sleep = static_cast<SleepTechnique *>(h.technique.get());
+    EXPECT_NEAR(toSeconds(sleep->saveTime(h.cluster)), 6.0, 0.5);
+    EXPECT_NEAR(toSeconds(sleep->resumeTime(h.cluster)), 8.0, 0.5);
+}
+
+TEST(Sleep, LowPowerVariantMatchesTable8)
+{
+    TechniqueHarness h(std::make_unique<SleepTechnique>(true));
+    auto *sleep = static_cast<SleepTechnique *>(h.technique.get());
+    // Table 8: Sleep-L saves in 8 s (vs 6 s) at half of peak power.
+    EXPECT_NEAR(toSeconds(sleep->saveTime(h.cluster)), 8.0, 1.0);
+}
+
+TEST(Sleep, ServersSleepDuringOutageAndWakeAfter)
+{
+    TechniqueHarness h(std::make_unique<SleepTechnique>(false));
+    h.runOutage(kMinute, 30 * kMinute, 2 * kHour);
+    // Mid-outage: everything asleep at ~5 W.
+    EXPECT_EQ(h.hierarchy.powerLossCount(), 0);
+    const Watts mid =
+        h.hierarchy.meter().fromBattery().valueAt(15 * kMinute);
+    EXPECT_NEAR(mid, 4 * 5.0, 1.0);
+    // Afterwards: serving again at full power.
+    EXPECT_DOUBLE_EQ(h.cluster.perfTimeline().valueAt(2 * kHour - kSecond),
+                     1.0);
+}
+
+TEST(Sleep, DowntimeIsOutagePlusResume)
+{
+    TechniqueHarness h(std::make_unique<SleepTechnique>(false));
+    const Time outage = 30 * kMinute;
+    h.runOutage(kMinute, outage, 2 * kHour);
+    const Time down = h.cluster.availabilityTimeline().timeBelow(
+        kMinute, 2 * kHour, 0.5);
+    EXPECT_NEAR(toSeconds(down), toSeconds(outage) + 8.0, 2.0);
+}
+
+TEST(Sleep, StatePreservedNoLosses)
+{
+    TechniqueHarness h(std::make_unique<SleepTechnique>(true));
+    h.runOutage(kMinute, kHour, 3 * kHour);
+    for (int i = 0; i < h.cluster.size(); ++i)
+        EXPECT_EQ(h.cluster.app(i).stateLosses(), 0);
+}
+
+TEST(Sleep, OutageShorterThanSaveStillWakes)
+{
+    // A 3 s outage ends while servers are still suspending; they must
+    // finish the suspend and wake up rather than hang asleep.
+    TechniqueHarness h(std::make_unique<SleepTechnique>(false));
+    h.runOutage(kMinute, 3 * kSecond, kHour);
+    EXPECT_DOUBLE_EQ(h.cluster.perfTimeline().valueAt(kHour - kSecond),
+                     1.0);
+    for (int i = 0; i < h.cluster.size(); ++i)
+        EXPECT_EQ(h.cluster.server(i).state(), ServerState::Active);
+}
+
+TEST(Hibernate, SaveAndResumeMatchTable8)
+{
+    TechniqueHarness h(
+        std::make_unique<HibernationTechnique>(false, false));
+    auto *hib = static_cast<HibernationTechnique *>(h.technique.get());
+    EXPECT_NEAR(toSeconds(hib->saveTime(h.cluster)), 230.0, 10.0);
+    EXPECT_NEAR(toSeconds(hib->resumeTime(h.cluster)), 157.0, 8.0);
+}
+
+TEST(Hibernate, LowPowerVariantMatchesTable8)
+{
+    TechniqueHarness h(std::make_unique<HibernationTechnique>(true, false));
+    auto *hib = static_cast<HibernationTechnique *>(h.technique.get());
+    // Table 8: Hibernate-L saves in 385 s, resumes in 175 s.
+    EXPECT_NEAR(toSeconds(hib->saveTime(h.cluster)), 385.0, 30.0);
+    EXPECT_NEAR(toSeconds(hib->resumeTime(h.cluster)), 175.0, 10.0);
+}
+
+TEST(Hibernate, ProactiveReducesSaveTime)
+{
+    TechniqueHarness full(
+        std::make_unique<HibernationTechnique>(false, false));
+    TechniqueHarness pro(
+        std::make_unique<HibernationTechnique>(false, true));
+    auto *h_full = static_cast<HibernationTechnique *>(full.technique.get());
+    auto *h_pro = static_cast<HibernationTechnique *>(pro.technique.get());
+    const double t_full = toSeconds(h_full->saveTime(full.cluster));
+    const double t_pro = toSeconds(h_pro->saveTime(pro.cluster));
+    // The paper measures a 22 % reduction (230 s -> 179 s).
+    EXPECT_LT(t_pro, t_full);
+    EXPECT_NEAR(t_pro, 179.0, 15.0);
+}
+
+TEST(Hibernate, ServersReachZeroWattsDuringOutage)
+{
+    TechniqueHarness h(
+        std::make_unique<HibernationTechnique>(false, false));
+    h.runOutage(kMinute, kHour, 3 * kHour);
+    EXPECT_EQ(h.hierarchy.powerLossCount(), 0);
+    // After the ~230 s save the battery draw is exactly zero.
+    EXPECT_DOUBLE_EQ(
+        h.hierarchy.meter().fromBattery().valueAt(30 * kMinute), 0.0);
+    EXPECT_DOUBLE_EQ(h.cluster.perfTimeline().valueAt(3 * kHour - kSecond),
+                     1.0);
+}
+
+TEST(Hibernate, BadIdeaForShortOutages)
+{
+    // Figure 6, 30 s outage: the save must complete (on restored
+    // utility) and resume afterwards, so downtime far exceeds the
+    // outage itself.
+    TechniqueHarness h(
+        std::make_unique<HibernationTechnique>(false, false));
+    h.runOutage(kMinute, 30 * kSecond, 2 * kHour);
+    const Time down = h.cluster.availabilityTimeline().timeBelow(
+        kMinute, 2 * kHour, 0.5);
+    EXPECT_GT(toSeconds(down), 350.0);
+    EXPECT_LT(toSeconds(down), 450.0);
+}
+
+TEST(Hibernate, WebSearchHibernationBeatsStateLoss)
+{
+    // Section 6.2: for Web-search, Hibernation (~400 s) beats MinCost
+    // (~600 s) on a 30 s outage; our availability accounting must
+    // reproduce that ordering.
+    TechniqueHarness hib(
+        std::make_unique<HibernationTechnique>(false, false),
+        webSearchProfile());
+    hib.runOutage(kMinute, 30 * kSecond, 2 * kHour);
+    const Time down_hib = hib.cluster.availabilityTimeline().timeBelow(
+        kMinute, 2 * kHour, 0.5);
+    EXPECT_NEAR(toSeconds(down_hib), 400.0, 60.0);
+}
+
+TEST(Hibernate, MemcachedHibernationWorseThanReload)
+{
+    TechniqueHarness hib(
+        std::make_unique<HibernationTechnique>(false, false),
+        memcachedProfile());
+    hib.runOutage(kMinute, 30 * kSecond, 2 * kHour);
+    const Time down = hib.cluster.availabilityTimeline().timeBelow(
+        kMinute, 2 * kHour, 0.5);
+    // ~1140 s in the paper.
+    EXPECT_NEAR(toSeconds(down), 1140.0, 150.0);
+}
+
+TEST(Hibernate, NamesAndFamilies)
+{
+    EXPECT_EQ(HibernationTechnique(false, false).name(), "Hibernate");
+    EXPECT_EQ(HibernationTechnique(true, false).name(), "Hibernate-L");
+    EXPECT_EQ(HibernationTechnique(false, true).name(),
+              "ProactiveHibernate");
+    EXPECT_EQ(SleepTechnique(true).name(), "Sleep-L");
+    EXPECT_EQ(SleepTechnique(false).family(), TechniqueFamily::SaveState);
+}
+
+TEST(SleepVsHibernate, SleepRecoversFasterForMediumOutages)
+{
+    TechniqueHarness slp(std::make_unique<SleepTechnique>(false));
+    slp.runOutage(kMinute, 30 * kMinute, 2 * kHour);
+    TechniqueHarness hib(
+        std::make_unique<HibernationTechnique>(false, false));
+    hib.runOutage(kMinute, 30 * kMinute, 2 * kHour);
+
+    const Time down_sleep = slp.cluster.availabilityTimeline().timeBelow(
+        kMinute, 2 * kHour, 0.5);
+    const Time down_hib = hib.cluster.availabilityTimeline().timeBelow(
+        kMinute, 2 * kHour, 0.5);
+    EXPECT_LT(down_sleep, down_hib);
+}
+
+TEST(SleepVsHibernate, HibernateDrawsLessEnergyForVeryLongOutages)
+{
+    // Self-refresh costs ~20 W continuously; the one-time image write
+    // costs ~64 Wh. Past a few hours, hibernation wins on energy.
+    TechniqueHarness slp(std::make_unique<SleepTechnique>(false));
+    slp.runOutage(kMinute, 6 * kHour, 8 * kHour);
+    TechniqueHarness hib(
+        std::make_unique<HibernationTechnique>(false, false));
+    hib.runOutage(kMinute, 6 * kHour, 8 * kHour);
+
+    const double e_sleep = joulesToKwh(
+        slp.hierarchy.meter().batteryEnergyJ(0, 8 * kHour));
+    const double e_hib = joulesToKwh(
+        hib.hierarchy.meter().batteryEnergyJ(0, 8 * kHour));
+    EXPECT_LT(e_hib, e_sleep);
+}
+
+} // namespace
+} // namespace bpsim

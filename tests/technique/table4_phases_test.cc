@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Table 4 reproduction as tests: the performance/availability
+ * behaviour of every technique across the paper's four operational
+ * phases — normal operation, start of outage, during the outage, and
+ * after restoration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fixture.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+struct PhaseProbe
+{
+    double normal;   // before the outage
+    double start;    // shortly after the outage begins
+    double during;   // deep in the outage
+    double restored; // well after restoration
+};
+
+PhaseProbe
+probe(const TechniqueSpec &spec, Time outage = 30 * kMinute)
+{
+    TechniqueHarness h(makeTechnique(spec));
+    const Time t0 = 5 * kMinute;
+    h.utility.scheduleOutage(t0, outage);
+    h.sim.runUntil(t0 + outage + 2 * kHour);
+    const auto &perf = h.cluster.perfTimeline();
+    PhaseProbe p;
+    p.normal = perf.valueAt(t0 - kMinute);
+    p.start = perf.valueAt(t0 + 30 * kSecond);
+    p.during = perf.valueAt(t0 + outage / 2);
+    p.restored = perf.valueAt(t0 + outage + 2 * kHour - kMinute);
+    return p;
+}
+
+TEST(Table4, MaxPerfFullServiceEverywhere)
+{
+    // With no technique and a generous UPS the cluster never blinks.
+    const auto p = probe({TechniqueKind::None});
+    EXPECT_DOUBLE_EQ(p.normal, 1.0);
+    EXPECT_DOUBLE_EQ(p.start, 1.0);
+    EXPECT_DOUBLE_EQ(p.during, 1.0);
+    EXPECT_DOUBLE_EQ(p.restored, 1.0);
+}
+
+TEST(Table4, ThrottlingRow)
+{
+    // Full service -> throttled perf -> throttled perf -> full again.
+    const auto p = probe({TechniqueKind::Throttle, 6, 0, 0, false});
+    const double expected =
+        specJbbProfile().throttledPerf(ServerModel{}, 6, 0);
+    EXPECT_DOUBLE_EQ(p.normal, 1.0);
+    EXPECT_NEAR(p.start, expected, 1e-9);
+    EXPECT_NEAR(p.during, expected, 1e-9);
+    EXPECT_DOUBLE_EQ(p.restored, 1.0);
+}
+
+TEST(Table4, MigrationRow)
+{
+    // Full -> migrate (degraded) -> consolidated service -> full.
+    const auto p = probe({TechniqueKind::Migration, 0, 0, 0, false},
+                         kHour);
+    EXPECT_DOUBLE_EQ(p.normal, 1.0);
+    EXPECT_NEAR(p.start, 0.95, 1e-9); // half migrating at 0.9
+    EXPECT_NEAR(p.during, 0.5, 0.05); // consolidated
+    EXPECT_DOUBLE_EQ(p.restored, 1.0);
+}
+
+TEST(Table4, SleepRow)
+{
+    // Full -> suspending -> no service -> resume from memory.
+    const auto p = probe({TechniqueKind::Sleep, 0, 0, 0, false});
+    EXPECT_DOUBLE_EQ(p.normal, 1.0);
+    EXPECT_DOUBLE_EQ(p.start, 0.0);
+    EXPECT_DOUBLE_EQ(p.during, 0.0);
+    EXPECT_DOUBLE_EQ(p.restored, 1.0);
+}
+
+TEST(Table4, HibernationRow)
+{
+    // Full -> persisting -> no service -> resume from disk.
+    const auto p = probe({TechniqueKind::Hibernate, 0, 0, 0, false});
+    EXPECT_DOUBLE_EQ(p.normal, 1.0);
+    EXPECT_DOUBLE_EQ(p.start, 0.0); // saving: paused
+    EXPECT_DOUBLE_EQ(p.during, 0.0);
+    EXPECT_DOUBLE_EQ(p.restored, 1.0);
+}
+
+TEST(Table4, ProactiveVariantsBehaveLikeBaseDuringOutage)
+{
+    // Proactive flushing happens in *normal* operation; the outage
+    // phases look like the base technique, only faster.
+    const auto ph =
+        probe({TechniqueKind::ProactiveHibernate, 0, 0, 0, false});
+    EXPECT_DOUBLE_EQ(ph.normal, 1.0);
+    EXPECT_DOUBLE_EQ(ph.during, 0.0);
+    EXPECT_DOUBLE_EQ(ph.restored, 1.0);
+
+    const auto pm =
+        probe({TechniqueKind::ProactiveMigration, 0, 0, 0, false}, kHour);
+    EXPECT_DOUBLE_EQ(pm.normal, 1.0);
+    EXPECT_NEAR(pm.during, 0.5, 0.05);
+    EXPECT_DOUBLE_EQ(pm.restored, 1.0);
+}
+
+TEST(Table4, MinCostRow)
+{
+    // Crash at outage start; restart after restoration.
+    PowerHierarchy::Config bare;
+    bare.hasDg = false;
+    bare.hasUps = false;
+    TechniqueHarness h(makeTechnique({TechniqueKind::None}),
+                       specJbbProfile(), 4, bare);
+    const Time t0 = 5 * kMinute;
+    h.utility.scheduleOutage(t0, 30 * kMinute);
+    h.sim.runUntil(t0 + 30 * kMinute + 2 * kHour);
+    const auto &perf = h.cluster.perfTimeline();
+    EXPECT_DOUBLE_EQ(perf.valueAt(t0 - kMinute), 1.0);
+    EXPECT_DOUBLE_EQ(perf.valueAt(t0 + kMinute), 0.0);
+    EXPECT_DOUBLE_EQ(perf.valueAt(t0 + 15 * kMinute), 0.0);
+    EXPECT_DOUBLE_EQ(
+        perf.valueAt(t0 + 30 * kMinute + 2 * kHour - kMinute), 1.0);
+}
+
+TEST(Table4, HybridRow)
+{
+    // Throttled service for the serve window, then dark, then full.
+    const auto p = probe(
+        {TechniqueKind::ThrottleSleep, 5, 0, 10 * kMinute, true});
+    const double throttled =
+        specJbbProfile().throttledPerf(ServerModel{}, 5, 0);
+    EXPECT_NEAR(p.start, throttled, 1e-9);
+    EXPECT_DOUBLE_EQ(p.during, 0.0); // past the 10-minute window
+    EXPECT_DOUBLE_EQ(p.restored, 1.0);
+}
+
+} // namespace
+} // namespace bpsim

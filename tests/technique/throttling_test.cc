@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the Throttling technique.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fixture.hh"
+#include "technique/throttling.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(Throttling, EngagesAtOutageAndReleasesAtRestore)
+{
+    TechniqueHarness h(std::make_unique<Throttling>(6, 0));
+    h.runOutage(kMinute, 10 * kMinute, kHour);
+    const auto &perf = h.cluster.perfTimeline();
+    // Before: full; during: throttled; after: full again.
+    EXPECT_DOUBLE_EQ(perf.valueAt(30 * kSecond), 1.0);
+    const double during = perf.valueAt(5 * kMinute);
+    const double expected =
+        specJbbProfile().throttledPerf(ServerModel{}, 6, 0);
+    EXPECT_NEAR(during, expected, 1e-9);
+    EXPECT_DOUBLE_EQ(perf.valueAt(30 * kMinute), 1.0);
+}
+
+TEST(Throttling, ReducesBackupPowerDraw)
+{
+    TechniqueHarness h(std::make_unique<Throttling>(6, 0));
+    h.runOutage(kMinute, 10 * kMinute, kHour);
+    const Watts peak_batt =
+        h.hierarchy.meter().fromBattery().maxOver(0, kHour);
+    // Four servers at the deepest DVFS state: ~106 W each.
+    EXPECT_LT(peak_batt, 4 * 120.0);
+    EXPECT_GT(peak_batt, 4 * 90.0);
+}
+
+TEST(Throttling, DeeperPStateDrawsLess)
+{
+    Watts draw[2];
+    int idx = 0;
+    for (int p : {2, 6}) {
+        TechniqueHarness h(std::make_unique<Throttling>(p, 0));
+        h.runOutage(kMinute, 10 * kMinute, kHour);
+        draw[idx++] = h.hierarchy.meter().fromBattery().maxOver(0, kHour);
+    }
+    EXPECT_GT(draw[0], draw[1]);
+}
+
+TEST(Throttling, TStatesCutFurther)
+{
+    TechniqueHarness h(std::make_unique<Throttling>(6, 7));
+    h.runOutage(kMinute, 10 * kMinute, kHour);
+    const Watts peak_batt =
+        h.hierarchy.meter().fromBattery().maxOver(kMinute + kSecond,
+                                                  11 * kMinute);
+    // Deep clock modulation: just above idle (4 x ~83 W).
+    EXPECT_LT(peak_batt, 4 * 90.0);
+    // But availability is never lost.
+    EXPECT_DOUBLE_EQ(
+        h.cluster.availabilityTimeline().average(0, kHour), 1.0);
+}
+
+TEST(Throttling, NoDowntimeWithSufficientBattery)
+{
+    TechniqueHarness h(std::make_unique<Throttling>(6, 0));
+    h.runOutage(kMinute, 10 * kMinute, kHour);
+    EXPECT_EQ(h.hierarchy.powerLossCount(), 0);
+    EXPECT_DOUBLE_EQ(
+        h.cluster.availabilityTimeline().average(0, kHour), 1.0);
+}
+
+TEST(Throttling, TakeEffectIsMicroseconds)
+{
+    TechniqueHarness h(std::make_unique<Throttling>(6, 0));
+    EXPECT_LT(h.technique->takeEffectTime(h.cluster), kMillisecond);
+}
+
+TEST(Throttling, ExtendsBatteryLifePeukertStyle)
+{
+    // With a small UPS (full-load runtime 2 min), throttling must
+    // stretch the ride-through far beyond 2 minutes.
+    PowerHierarchy::Config small;
+    small.hasDg = false;
+    small.hasUps = true;
+    small.ups.powerCapacityW = 4 * 250.0;
+    small.ups.runtimeAtRatedSec = 120.0;
+
+    TechniqueHarness unthrottled(std::make_unique<NoTechnique>(),
+                                 specJbbProfile(), 4, small);
+    unthrottled.runOutage(kMinute, 10 * kMinute, kHour);
+    EXPECT_EQ(unthrottled.hierarchy.powerLossCount(), 1);
+
+    TechniqueHarness throttled(std::make_unique<Throttling>(6, 0),
+                               specJbbProfile(), 4, small);
+    throttled.runOutage(kMinute, 5 * kMinute, kHour);
+    EXPECT_EQ(throttled.hierarchy.powerLossCount(), 0);
+}
+
+TEST(Throttling, FamilyAndName)
+{
+    Throttling t(3, 1);
+    EXPECT_EQ(t.family(), TechniqueFamily::SustainExecution);
+    EXPECT_EQ(t.name(), "Throttling(p3,t1)");
+}
+
+TEST(Throttling, MemcachedKeepsMostPerfUnderThrottle)
+{
+    // The Section 6.2 contrast: at the deepest P-state Memcached
+    // retains most of its throughput, Specjbb does not.
+    TechniqueHarness mc(std::make_unique<Throttling>(6, 0),
+                        memcachedProfile());
+    mc.runOutage(kMinute, 10 * kMinute, kHour);
+    TechniqueHarness jbb(std::make_unique<Throttling>(6, 0),
+                         specJbbProfile());
+    jbb.runOutage(kMinute, 10 * kMinute, kHour);
+    const double mc_perf =
+        mc.cluster.perfTimeline().valueAt(5 * kMinute);
+    const double jbb_perf =
+        jbb.cluster.perfTimeline().valueAt(5 * kMinute);
+    EXPECT_GT(mc_perf, jbb_perf + 0.2);
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Compile-level test: the umbrella header includes the whole public
+ * API, and a few cross-module types are usable together through it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpsim.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(Umbrella, EverythingIsReachable)
+{
+    Simulator sim;
+    Utility utility(sim);
+    PowerHierarchy hierarchy(sim, utility,
+                             toHierarchyConfig(noDgConfig(), 1000.0));
+    Cluster cluster(sim, hierarchy, ServerModel{}, specJbbProfile(), 4);
+    cluster.primeSteadyState();
+    EXPECT_DOUBLE_EQ(cluster.aggregatePerf(), 1.0);
+
+    const CostModel cost;
+    EXPECT_GT(cost.maxPerfCostPerYr(1.0), 0.0);
+    const TcoModel tco;
+    EXPECT_GT(tco.crossoverMinutesPerYr(), 0.0);
+    const OutagePredictor predictor(
+        OutageDurationDistribution::figure1());
+    EXPECT_GT(predictor.expectedRemaining(0), 0);
+    EXPECT_NE(makeTechnique({TechniqueKind::Sleep}), nullptr);
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Tests for the Application phase machine: recovery pipeline after
+ * crashes, pausing on sleep/hibernate, migration states and the
+ * availability predicate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/application.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+struct Fixture
+{
+    Fixture() : Fixture(specJbbProfile()) {}
+
+    explicit Fixture(const WorkloadProfile &w)
+        : prof(w), srv(sim, model, 0), app(sim, prof, srv)
+    {
+        srv.onChange([this] { app.noteHostState(); });
+        srv.primeActive();
+        app.primeServing();
+    }
+
+    Simulator sim;
+    ServerModel model;
+    WorkloadProfile prof;
+    Server srv;
+    Application app;
+};
+
+TEST(Application, ServesAtFullPerfInSteadyState)
+{
+    Fixture f;
+    EXPECT_EQ(f.app.phase(), AppPhase::Serving);
+    EXPECT_DOUBLE_EQ(f.app.perf(), 1.0);
+    EXPECT_TRUE(f.app.available());
+}
+
+TEST(Application, ThrottlingScalesPerf)
+{
+    Fixture f;
+    f.srv.setPState(6);
+    const double expected =
+        f.prof.throttledPerf(f.model, 6, 0);
+    EXPECT_DOUBLE_EQ(f.app.perf(), expected);
+    EXPECT_TRUE(f.app.available()); // throttled serving is not downtime
+}
+
+TEST(Application, CrashEntersLostAndPerfZero)
+{
+    Fixture f;
+    f.srv.crash();
+    EXPECT_EQ(f.app.phase(), AppPhase::Lost);
+    EXPECT_DOUBLE_EQ(f.app.perf(), 0.0);
+    EXPECT_FALSE(f.app.available());
+    EXPECT_EQ(f.app.stateLosses(), 1);
+}
+
+TEST(Application, RecoveryPipelineAfterCrash)
+{
+    Fixture f;
+    f.srv.crash();
+    f.srv.boot(fromSeconds(120.0));
+    f.sim.runUntil(fromSeconds(121.0));
+    EXPECT_EQ(f.app.phase(), AppPhase::Starting);
+    // processStartSec = 60 for Specjbb; no preload.
+    f.sim.runUntil(fromSeconds(182.0));
+    EXPECT_EQ(f.app.phase(), AppPhase::Warmup);
+    EXPECT_DOUBLE_EQ(f.app.perf(), f.prof.warmupPerf);
+    // warmupSec = 220.
+    f.sim.runUntil(fromSeconds(403.0));
+    EXPECT_EQ(f.app.phase(), AppPhase::Serving);
+    EXPECT_DOUBLE_EQ(f.app.perf(), 1.0);
+}
+
+TEST(Application, PreloadPhaseForDiskBackedWorkloads)
+{
+    Fixture f{webSearchProfile()};
+    f.srv.crash();
+    f.srv.boot(fromSeconds(120.0));
+    // boot 120 + start 30 -> Preloading.
+    f.sim.runUntil(fromSeconds(151.0));
+    EXPECT_EQ(f.app.phase(), AppPhase::Preloading);
+    EXPECT_FALSE(f.app.available());
+    // + preload 180 -> Warmup.
+    f.sim.runUntil(fromSeconds(332.0));
+    EXPECT_EQ(f.app.phase(), AppPhase::Warmup);
+    // Web-search warm-up is below SLO: still counted down.
+    EXPECT_FALSE(f.app.available());
+    f.sim.runUntil(fromSeconds(610.0));
+    EXPECT_TRUE(f.app.available());
+}
+
+TEST(Application, MemcachedWarmupCountsAsAvailable)
+{
+    Fixture f{memcachedProfile()};
+    f.srv.crash();
+    f.srv.boot(fromSeconds(120.0));
+    f.sim.runUntil(fromSeconds(120.0 + 60.0 + 300.0 + 10.0));
+    ASSERT_EQ(f.app.phase(), AppPhase::Warmup);
+    // Pure-throughput metric: degraded warm-up still "up".
+    EXPECT_TRUE(f.app.available());
+}
+
+TEST(Application, SleepCyclePausesAndResumes)
+{
+    Fixture f;
+    f.srv.enterSleep(fromSeconds(6.0));
+    EXPECT_EQ(f.app.phase(), AppPhase::Paused);
+    EXPECT_DOUBLE_EQ(f.app.perf(), 0.0);
+    f.sim.runUntil(fromSeconds(7.0));
+    EXPECT_EQ(f.app.phase(), AppPhase::Paused);
+    f.srv.wake(fromSeconds(8.0));
+    f.sim.runUntil(fromSeconds(16.0));
+    EXPECT_EQ(f.app.phase(), AppPhase::Serving);
+    EXPECT_DOUBLE_EQ(f.app.perf(), 1.0);
+    EXPECT_EQ(f.app.stateLosses(), 0);
+}
+
+TEST(Application, HibernateResumeSkipsRecoveryWhenImageComplete)
+{
+    Fixture f; // Specjbb: full image
+    f.srv.saveToDisk(fromSeconds(230.0));
+    f.sim.runUntil(fromSeconds(231.0));
+    f.srv.resumeFromDisk(fromSeconds(157.0));
+    f.sim.runUntil(fromSeconds(400.0));
+    EXPECT_EQ(f.app.phase(), AppPhase::Serving);
+    EXPECT_EQ(f.app.stateLosses(), 0);
+}
+
+TEST(Application, HibernateResumeRewarmsDroppedCache)
+{
+    Fixture f{webSearchProfile()};
+    f.srv.saveToDisk(fromSeconds(75.0));
+    f.sim.runUntil(fromSeconds(76.0));
+    f.srv.resumeFromDisk(fromSeconds(52.0));
+    f.sim.runUntil(fromSeconds(130.0));
+    // Image dropped the clean index cache: warm-up follows resume.
+    EXPECT_EQ(f.app.phase(), AppPhase::Warmup);
+    f.sim.runUntil(fromSeconds(130.0 + 271.0));
+    EXPECT_EQ(f.app.phase(), AppPhase::Serving);
+}
+
+TEST(Application, CrashDuringSleepLosesState)
+{
+    Fixture f;
+    f.srv.enterSleep(fromSeconds(6.0));
+    f.sim.runUntil(fromSeconds(7.0));
+    f.srv.crash();
+    EXPECT_EQ(f.app.phase(), AppPhase::Lost);
+    EXPECT_EQ(f.app.stateLosses(), 1);
+}
+
+TEST(Application, MigrationDegradesThenMovesHost)
+{
+    Fixture f;
+    Server dst(f.sim, f.model, 1);
+    dst.primeActive();
+    f.app.beginMigration();
+    EXPECT_TRUE(f.app.migrating());
+    EXPECT_DOUBLE_EQ(f.app.perf(), f.prof.migrationDegradation);
+    f.app.setMigrationBlackout(true);
+    EXPECT_DOUBLE_EQ(f.app.perf(), 0.0);
+    EXPECT_FALSE(f.app.available());
+    f.app.completeMigration(&dst, 0.5);
+    EXPECT_EQ(f.app.host(), &dst);
+    EXPECT_FALSE(f.app.migrating());
+    EXPECT_DOUBLE_EQ(f.app.perf(), 0.5);
+    EXPECT_TRUE(f.app.available()); // consolidated serving is up
+}
+
+TEST(Application, AbortMigrationRestoresFullService)
+{
+    Fixture f;
+    f.app.beginMigration();
+    f.app.setMigrationBlackout(true);
+    f.app.abortMigration();
+    EXPECT_FALSE(f.app.migrating());
+    EXPECT_DOUBLE_EQ(f.app.perf(), 1.0);
+}
+
+TEST(Application, HostCrashWhileConsolidatedLosesApp)
+{
+    Fixture f;
+    Server dst(f.sim, f.model, 1);
+    dst.onChange([&f] { f.app.noteHostState(); });
+    dst.primeActive();
+    f.app.completeMigration(&dst, 0.5);
+    dst.crash();
+    EXPECT_EQ(f.app.phase(), AppPhase::Lost);
+}
+
+TEST(Application, HomeCrashDoesNotAffectMigratedApp)
+{
+    Fixture f;
+    Server dst(f.sim, f.model, 1);
+    dst.primeActive();
+    f.app.completeMigration(&dst, 0.5);
+    // The old home crashing is irrelevant now. (The fixture's onChange
+    // routes home-server events to the app; noteHostState must see the
+    // *host* unchanged and keep serving.)
+    f.srv.crash();
+    EXPECT_EQ(f.app.phase(), AppPhase::Serving);
+    EXPECT_EQ(f.app.stateLosses(), 0);
+}
+
+TEST(Application, BatchRecomputeChargedOnCrash)
+{
+    Fixture f{specCpuMcfProfile()};
+    f.app.setRecomputeFraction(0.5);
+    f.srv.crash();
+    const auto &w = f.prof;
+    EXPECT_DOUBLE_EQ(f.app.extraDowntimeSec(),
+                     w.recomputeMinSec +
+                         0.5 * (w.recomputeMaxSec - w.recomputeMinSec));
+}
+
+TEST(Application, RecomputeFractionBoundsTheBand)
+{
+    Fixture lo{specCpuMcfProfile()};
+    lo.app.setRecomputeFraction(0.0);
+    lo.srv.crash();
+    EXPECT_DOUBLE_EQ(lo.app.extraDowntimeSec(),
+                     lo.prof.recomputeMinSec);
+
+    Fixture hi{specCpuMcfProfile()};
+    hi.app.setRecomputeFraction(1.0);
+    hi.srv.crash();
+    EXPECT_DOUBLE_EQ(hi.app.extraDowntimeSec(),
+                     hi.prof.recomputeMaxSec);
+}
+
+TEST(Application, InteractiveWorkloadsHaveNoRecomputePenalty)
+{
+    Fixture f; // Specjbb
+    f.srv.crash();
+    EXPECT_DOUBLE_EQ(f.app.extraDowntimeSec(), 0.0);
+}
+
+TEST(Application, DoubleCrashChargesOnce)
+{
+    Fixture f{specCpuMcfProfile()};
+    f.srv.crash();
+    const double first = f.app.extraDowntimeSec();
+    f.srv.crash(); // no-op: already crashed
+    f.app.noteHostState();
+    EXPECT_DOUBLE_EQ(f.app.extraDowntimeSec(), first);
+    EXPECT_EQ(f.app.stateLosses(), 1);
+}
+
+TEST(Application, CheckpointingBoundsRecompute)
+{
+    auto w = specCpuMcfProfile();
+    w.checkpointIntervalSec = 300.0;
+    Fixture f{w};
+    f.app.setRecomputeFraction(1.0);
+    f.srv.crash();
+    // Without checkpoints the worst case is 3600 s; with a 5-minute
+    // interval at most one interval of work is lost.
+    EXPECT_DOUBLE_EQ(f.app.extraDowntimeSec(), 300.0);
+}
+
+TEST(Application, CheckpointingNeverIncreasesThePenalty)
+{
+    auto w = specCpuMcfProfile();
+    w.checkpointIntervalSec = 3.0 * 3600.0; // longer than the band
+    Fixture f{w};
+    f.app.setRecomputeFraction(0.5);
+    f.srv.crash();
+    const double unchecked = w.recomputeMinSec +
+                             0.5 * (w.recomputeMaxSec - w.recomputeMinSec);
+    EXPECT_DOUBLE_EQ(f.app.extraDowntimeSec(), unchecked);
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the Cluster: aggregation, crash/reboot behaviour and the
+ * power/performance timelines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/cluster.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+struct Fixture
+{
+    explicit Fixture(int n = 4,
+                     const WorkloadProfile &w = specJbbProfile())
+        : utility(sim), hierarchy(sim, utility, upsConfig()),
+          cluster(sim, hierarchy, ServerModel{}, w, n)
+    {
+        cluster.primeSteadyState();
+    }
+
+    static PowerHierarchy::Config
+    upsConfig()
+    {
+        PowerHierarchy::Config c;
+        c.hasDg = false;
+        c.hasUps = true;
+        c.ups.powerCapacityW = 4 * 250.0;
+        c.ups.runtimeAtRatedSec = 600.0;
+        return c;
+    }
+
+    Simulator sim;
+    Utility utility;
+    PowerHierarchy hierarchy;
+    Cluster cluster;
+};
+
+TEST(Cluster, SteadyStateFullPowerFullPerf)
+{
+    Fixture f;
+    EXPECT_DOUBLE_EQ(f.cluster.totalPowerW(), 1000.0);
+    EXPECT_DOUBLE_EQ(f.cluster.aggregatePerf(), 1.0);
+    EXPECT_DOUBLE_EQ(f.cluster.availability(), 1.0);
+    EXPECT_DOUBLE_EQ(f.hierarchy.load(), 1000.0);
+}
+
+TEST(Cluster, PeakPowerIsSkuPeakTimesSize)
+{
+    Fixture f;
+    EXPECT_DOUBLE_EQ(f.cluster.peakPowerW(), 1000.0);
+}
+
+TEST(Cluster, LoadFollowsServerKnobs)
+{
+    Fixture f;
+    f.cluster.server(0).setPState(6);
+    EXPECT_LT(f.hierarchy.load(), 1000.0);
+    EXPECT_LT(f.cluster.aggregatePerf(), 1.0);
+}
+
+TEST(Cluster, PerfTimelineRecordsChanges)
+{
+    Fixture f;
+    f.sim.runUntil(kMinute);
+    for (int i = 0; i < f.cluster.size(); ++i)
+        f.cluster.server(i).setPState(6);
+    f.sim.runUntil(2 * kMinute);
+    const auto &tl = f.cluster.perfTimeline();
+    EXPECT_DOUBLE_EQ(tl.valueAt(30 * kSecond), 1.0);
+    EXPECT_LT(tl.valueAt(90 * kSecond), 0.6);
+}
+
+TEST(Cluster, PowerLossCrashesEverything)
+{
+    Fixture f;
+    f.utility.scheduleOutage(kMinute, kHour); // battery dies mid-outage
+    f.sim.runUntil(30 * kMinute);
+    EXPECT_EQ(f.hierarchy.powerLossCount(), 1);
+    EXPECT_DOUBLE_EQ(f.cluster.aggregatePerf(), 0.0);
+    for (int i = 0; i < f.cluster.size(); ++i)
+        EXPECT_EQ(f.cluster.server(i).state(), ServerState::Crashed);
+    EXPECT_DOUBLE_EQ(f.hierarchy.load(), 0.0);
+}
+
+TEST(Cluster, AutoRebootAfterRestore)
+{
+    Fixture f;
+    f.utility.scheduleOutage(kMinute, kHour);
+    f.sim.runUntil(3 * kHour);
+    EXPECT_DOUBLE_EQ(f.cluster.aggregatePerf(), 1.0);
+    EXPECT_DOUBLE_EQ(f.cluster.availability(), 1.0);
+}
+
+TEST(Cluster, AutoRebootCanBeDisabled)
+{
+    Fixture f;
+    f.cluster.setAutoReboot(false);
+    f.utility.scheduleOutage(kMinute, kHour);
+    f.sim.runUntil(3 * kHour);
+    EXPECT_DOUBLE_EQ(f.cluster.aggregatePerf(), 0.0);
+    for (int i = 0; i < f.cluster.size(); ++i)
+        EXPECT_EQ(f.cluster.server(i).state(), ServerState::Crashed);
+}
+
+TEST(Cluster, AvailabilityTimelineTracksDowntime)
+{
+    Fixture f;
+    f.utility.scheduleOutage(kMinute, kHour);
+    f.sim.runUntil(3 * kHour);
+    const auto &avail = f.cluster.availabilityTimeline();
+    // Down from battery depletion (~10+ min into the outage, Peukert)
+    // until boot + recovery completes after restore.
+    const Time down = avail.timeBelow(kMinute, 3 * kHour, 0.5);
+    EXPECT_GT(down, 45 * kMinute);
+    EXPECT_LT(down, 75 * kMinute);
+}
+
+TEST(Cluster, ShortOutageWithinBatteryIsSeamless)
+{
+    Fixture f;
+    f.utility.scheduleOutage(kMinute, 5 * kMinute);
+    f.sim.runUntil(kHour);
+    EXPECT_EQ(f.hierarchy.powerLossCount(), 0);
+    EXPECT_DOUBLE_EQ(
+        f.cluster.availabilityTimeline().average(0, kHour), 1.0);
+}
+
+TEST(Cluster, ExtraDowntimeAveragesAcrossApps)
+{
+    Fixture f(4, specCpuMcfProfile());
+    for (int i = 0; i < f.cluster.size(); ++i)
+        f.cluster.app(i).setRecomputeFraction(0.0);
+    f.utility.scheduleOutage(kMinute, kHour);
+    f.sim.runUntil(2 * kHour);
+    // Every app lost state once: min recompute each.
+    EXPECT_DOUBLE_EQ(f.cluster.extraDowntimeSec(),
+                     specCpuMcfProfile().recomputeMinSec);
+}
+
+TEST(Cluster, SingleServerClusterWorks)
+{
+    Fixture f(1);
+    EXPECT_DOUBLE_EQ(f.cluster.totalPowerW(), 250.0);
+    f.cluster.server(0).setPState(6);
+    EXPECT_LT(f.cluster.aggregatePerf(), 1.0);
+}
+
+TEST(Cluster, RejectsEmptyCluster)
+{
+    Simulator sim;
+    Utility u(sim);
+    PowerHierarchy h(sim, u, Fixture::upsConfig());
+    EXPECT_DEATH(Cluster(sim, h, ServerModel{}, specJbbProfile(), 0),
+                 "at least one server");
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for heterogeneous clusters (Section 7's "how do we provision
+ * for heterogeneous applications?"): mixed workloads on one rack, with
+ * per-server profiles flowing through techniques.
+ */
+
+#include <gtest/gtest.h>
+
+#include "technique/catalog.hh"
+#include "technique/hibernate.hh"
+#include "technique/migration.hh"
+#include "technique/sleep.hh"
+#include "workload/cluster.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+std::vector<WorkloadProfile>
+mixedRack()
+{
+    // Pairs, so consolidation pairs stay type-aligned.
+    return {specJbbProfile(),   specJbbProfile(),
+            webSearchProfile(), webSearchProfile(),
+            memcachedProfile(), memcachedProfile()};
+}
+
+struct Fixture
+{
+    explicit Fixture(std::unique_ptr<Technique> t = nullptr)
+        : utility(sim), hierarchy(sim, utility, bigUps()),
+          cluster(sim, hierarchy, ServerModel{}, mixedRack()),
+          technique(std::move(t))
+    {
+        if (technique)
+            technique->attach(sim, cluster, hierarchy);
+        cluster.primeSteadyState();
+    }
+
+    static PowerHierarchy::Config
+    bigUps()
+    {
+        PowerHierarchy::Config c;
+        c.hasDg = false;
+        c.hasUps = true;
+        c.ups.powerCapacityW = 6 * 250.0 * 1.01;
+        c.ups.runtimeAtRatedSec = 24 * 3600.0;
+        return c;
+    }
+
+    Simulator sim;
+    Utility utility;
+    PowerHierarchy hierarchy;
+    Cluster cluster;
+    std::unique_ptr<Technique> technique;
+};
+
+TEST(Heterogeneous, PerServerProfilesAreWired)
+{
+    Fixture f;
+    EXPECT_FALSE(f.cluster.homogeneous());
+    EXPECT_EQ(f.cluster.profileOf(0).name, "specjbb");
+    EXPECT_EQ(f.cluster.profileOf(2).name, "web-search");
+    EXPECT_EQ(f.cluster.profileOf(4).name, "memcached");
+    EXPECT_EQ(f.cluster.app(3).profile().name, "web-search");
+}
+
+TEST(Heterogeneous, HomogeneousClusterReportsSo)
+{
+    Simulator sim;
+    Utility u(sim);
+    PowerHierarchy h(sim, u, Fixture::bigUps());
+    Cluster c(sim, h, ServerModel{}, specJbbProfile(), 4);
+    EXPECT_TRUE(c.homogeneous());
+}
+
+TEST(Heterogeneous, ThrottlingHitsWorkloadsDifferently)
+{
+    auto spec = TechniqueSpec{TechniqueKind::Throttle, 6, 0, 0, false};
+    Fixture f(makeTechnique(spec));
+    f.utility.scheduleOutage(kMinute, 10 * kMinute);
+    f.sim.runUntil(5 * kMinute);
+    // Same P-state, different perf: memcached >> specjbb.
+    EXPECT_GT(f.cluster.app(4).perf(), f.cluster.app(0).perf() + 0.2);
+    // Cluster aggregate sits between them.
+    const double agg = f.cluster.aggregatePerf();
+    EXPECT_GT(agg, f.cluster.app(0).perf());
+    EXPECT_LT(agg, f.cluster.app(4).perf());
+}
+
+TEST(Heterogeneous, HibernateSaveTimesDifferPerServer)
+{
+    HibernationTechnique hib(false, false);
+    Fixture f;
+    // Specjbb: 18 GB full image (~225 s); web-search: 6 GB (~75 s);
+    // memcached: 20 GB at pathological efficiency (~758 s).
+    EXPECT_NEAR(toSeconds(hib.saveTimeFor(f.cluster, 0)), 225.0, 15.0);
+    EXPECT_NEAR(toSeconds(hib.saveTimeFor(f.cluster, 2)), 75.0, 10.0);
+    EXPECT_GT(toSeconds(hib.saveTimeFor(f.cluster, 4)), 600.0);
+    // takeEffectTime is the slowest of them.
+    EXPECT_EQ(hib.takeEffectTime(f.cluster),
+              hib.saveTimeFor(f.cluster, 4));
+}
+
+TEST(Heterogeneous, HibernateCycleRecoversEveryWorkload)
+{
+    auto spec = TechniqueSpec{TechniqueKind::Hibernate, 0, 0, 0, false};
+    Fixture f(makeTechnique(spec));
+    f.utility.scheduleOutage(kMinute, kHour);
+    f.sim.runUntil(4 * kHour);
+    EXPECT_EQ(f.hierarchy.powerLossCount(), 0);
+    for (int i = 0; i < f.cluster.size(); ++i) {
+        EXPECT_EQ(f.cluster.app(i).stateLosses(), 0) << i;
+        EXPECT_EQ(f.cluster.server(i).state(), ServerState::Active) << i;
+    }
+    EXPECT_DOUBLE_EQ(f.cluster.aggregatePerf(), 1.0);
+}
+
+TEST(Heterogeneous, MigrationPlansPerPair)
+{
+    MigrationTechnique mig{MigrationTechnique::Options{}};
+    Fixture f;
+    const auto jbb = mig.migrationPlanFor(f.cluster, 1);
+    const auto ws = mig.migrationPlanFor(f.cluster, 3);
+    const auto mc = mig.migrationPlanFor(f.cluster, 5);
+    // Specjbb's aggressive dirtying makes its copy the longest per GB;
+    // memcached is a clean 20 GB stream; web-search's 40 GB dominates
+    // by size.
+    EXPECT_GT(ws.bytesMoved, mc.bytesMoved);
+    EXPECT_GT(jbb.precopy + jbb.blackout, mc.precopy + mc.blackout);
+}
+
+TEST(Heterogeneous, ConsolidationCycleWorksOnMixedRack)
+{
+    auto spec = TechniqueSpec{TechniqueKind::Migration, 0, 0, 0, false};
+    Fixture f(makeTechnique(spec));
+    f.utility.scheduleOutage(kMinute, 2 * kHour);
+    f.sim.runUntil(6 * kHour);
+    EXPECT_EQ(f.hierarchy.powerLossCount(), 0);
+    for (int i = 0; i < f.cluster.size(); ++i) {
+        EXPECT_EQ(f.cluster.app(i).host(), f.cluster.app(i).home());
+        EXPECT_EQ(f.cluster.app(i).stateLosses(), 0);
+    }
+    EXPECT_DOUBLE_EQ(f.cluster.perfTimeline().valueAt(6 * kHour - kSecond),
+                     1.0);
+}
+
+TEST(Heterogeneous, AvailabilityBlendsMetricSemantics)
+{
+    // During a post-crash warm-up, memcached (throughput metric)
+    // counts as up while web-search (latency SLO) counts as down.
+    Fixture f;
+    for (int i = 0; i < f.cluster.size(); ++i)
+        f.cluster.server(i).crash();
+    for (int i = 0; i < f.cluster.size(); ++i)
+        f.cluster.server(i).boot(fromSeconds(120.0));
+    // Run to a point where both are warming up: boot 120 + start ~60 +
+    // preload: memcached at 300 s preload ends 480; websearch preload
+    // ends 330, warm-up until 600.
+    f.sim.runUntil(fromSeconds(500.0));
+    EXPECT_EQ(f.cluster.app(4).phase(), AppPhase::Warmup);
+    EXPECT_TRUE(f.cluster.app(4).available());
+    EXPECT_EQ(f.cluster.app(2).phase(), AppPhase::Warmup);
+    EXPECT_FALSE(f.cluster.app(2).available());
+}
+
+} // namespace
+} // namespace bpsim

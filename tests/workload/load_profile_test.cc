@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the diurnal load driver and battery peak shaving.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/load_profile.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+struct Fixture
+{
+    explicit Fixture(PowerHierarchy::Config cfg = plainUps())
+        : utility(sim), hierarchy(sim, utility, cfg),
+          cluster(sim, hierarchy, ServerModel{}, memcachedProfile(), 4)
+    {
+        cluster.primeSteadyState();
+    }
+
+    static PowerHierarchy::Config
+    plainUps()
+    {
+        PowerHierarchy::Config c;
+        c.hasDg = false;
+        c.hasUps = true;
+        c.ups.powerCapacityW = 1000.0;
+        c.ups.runtimeAtRatedSec = 600.0;
+        return c;
+    }
+
+    Simulator sim;
+    Utility utility;
+    PowerHierarchy hierarchy;
+    Cluster cluster;
+};
+
+TEST(DiurnalLoad, CurvePeaksAndTroughsWhereConfigured)
+{
+    Fixture f;
+    DiurnalLoadDriver::Params p;
+    p.minUtil = 0.4;
+    p.maxUtil = 1.0;
+    p.peakAt = 14 * kHour;
+    DiurnalLoadDriver d(f.sim, f.cluster, p);
+    EXPECT_NEAR(d.utilizationAt(14 * kHour), 1.0, 1e-9);
+    EXPECT_NEAR(d.utilizationAt(2 * kHour), 0.4, 1e-9);
+    EXPECT_NEAR(d.utilizationAt(14 * kHour + 24 * kHour), 1.0, 1e-9);
+    // Symmetric around the peak.
+    EXPECT_NEAR(d.utilizationAt(10 * kHour), d.utilizationAt(18 * kHour),
+                1e-9);
+}
+
+TEST(DiurnalLoad, CurveStaysInBand)
+{
+    Fixture f;
+    DiurnalLoadDriver d(f.sim, f.cluster, {});
+    for (Time t = 0; t < 48 * kHour; t += 13 * kMinute) {
+        const double u = d.utilizationAt(t);
+        EXPECT_GE(u, 0.4 - 1e-9);
+        EXPECT_LE(u, 1.0 + 1e-9);
+    }
+}
+
+TEST(DiurnalLoad, DrivesClusterPower)
+{
+    Fixture f;
+    DiurnalLoadDriver::Params p;
+    p.peakAt = 14 * kHour;
+    DiurnalLoadDriver d(f.sim, f.cluster, p);
+    d.start();
+    f.sim.runUntil(2 * kHour); // trough
+    const Watts night = f.cluster.totalPowerW();
+    f.sim.runUntil(14 * kHour); // peak
+    const Watts day = f.cluster.totalPowerW();
+    EXPECT_GT(day, night + 100.0);
+    EXPECT_NEAR(day, 4 * 250.0, 1.0);
+}
+
+TEST(DiurnalLoad, StopFreezesUtilization)
+{
+    Fixture f;
+    DiurnalLoadDriver d(f.sim, f.cluster, {});
+    d.start();
+    f.sim.runUntil(2 * kHour);
+    d.stop();
+    const Watts frozen = f.cluster.totalPowerW();
+    f.sim.runUntil(14 * kHour);
+    EXPECT_DOUBLE_EQ(f.cluster.totalPowerW(), frozen);
+}
+
+TEST(PeakShaving, BatteryCarriesLoadAboveThreshold)
+{
+    auto cfg = Fixture::plainUps();
+    cfg.peakShaveThresholdW = 800.0;
+    Fixture f(cfg);
+    // Full load 1000 W: 200 W should come from the battery.
+    f.sim.runUntil(kMinute);
+    EXPECT_NEAR(f.hierarchy.meter().fromBattery().lastValue(), 200.0,
+                1e-6);
+    EXPECT_NEAR(f.hierarchy.meter().fromUtility().lastValue(), 800.0,
+                1e-6);
+}
+
+TEST(PeakShaving, BelowThresholdNoShaving)
+{
+    auto cfg = Fixture::plainUps();
+    cfg.peakShaveThresholdW = 800.0;
+    Fixture f(cfg);
+    for (int i = 0; i < 4; ++i)
+        f.cluster.server(i).setUtilization(0.3);
+    f.sim.runUntil(kMinute);
+    EXPECT_DOUBLE_EQ(f.hierarchy.meter().fromBattery().lastValue(), 0.0);
+}
+
+TEST(PeakShaving, ShavingStopsWhenTheStringRunsDry)
+{
+    auto cfg = Fixture::plainUps();
+    cfg.peakShaveThresholdW = 800.0;
+    cfg.ups.runtimeAtRatedSec = 120.0; // small string
+    Fixture f(cfg);
+    // 200 W on a 1 kW/2 min string: f = 0.2 -> lasts 2 * 0.2^-1.29
+    // ~ 16 min; afterwards the utility absorbs the peak.
+    f.sim.runUntil(kHour);
+    EXPECT_DOUBLE_EQ(f.hierarchy.meter().fromBattery().lastValue(), 0.0);
+    EXPECT_NEAR(f.hierarchy.meter().fromUtility().lastValue(), 1000.0,
+                1e-6);
+    EXPECT_EQ(f.hierarchy.powerLossCount(), 0); // nothing crashed
+    EXPECT_TRUE(f.hierarchy.ups()->battery().empty());
+}
+
+TEST(PeakShaving, OutageAtPeakFindsAPartiallyDrainedString)
+{
+    // The Section 2 hazard: dual-use batteries mean the outage begins
+    // with less than a full charge.
+    auto drained_cfg = Fixture::plainUps();
+    drained_cfg.peakShaveThresholdW = 800.0;
+    Fixture shaving(drained_cfg);
+    Fixture reserved; // no shaving
+
+    for (Fixture *f : {&shaving, &reserved}) {
+        f->utility.scheduleOutage(30 * kMinute, 10 * kMinute);
+        f->sim.runUntil(2 * kHour);
+    }
+    // The reserved string rides the 10-minute outage (1 kW on a 1 kW /
+    // 10 min string); the shaved one has spent ~30 min x 200 W first
+    // and dies mid-outage.
+    EXPECT_EQ(reserved.hierarchy.powerLossCount(), 0);
+    EXPECT_EQ(shaving.hierarchy.powerLossCount(), 1);
+}
+
+TEST(PeakShaving, RechargeRestoresShavingHeadroom)
+{
+    auto cfg = Fixture::plainUps();
+    cfg.peakShaveThresholdW = 800.0;
+    cfg.ups.rechargeTimeSec = 600.0; // fast charger for the test
+    Fixture f(cfg);
+    // Drain by shaving at full load...
+    f.sim.runUntil(30 * kMinute);
+    // ...then drop below the threshold so the string recharges.
+    for (int i = 0; i < 4; ++i)
+        f.cluster.server(i).setUtilization(0.2);
+    f.sim.runUntil(2 * kHour);
+    // Load returns: shaving resumes from a recharged string.
+    for (int i = 0; i < 4; ++i)
+        f.cluster.server(i).setUtilization(1.0);
+    f.sim.runUntil(2 * kHour + kMinute);
+    EXPECT_NEAR(f.hierarchy.meter().fromBattery().lastValue(), 200.0,
+                1e-6);
+}
+
+} // namespace
+} // namespace bpsim

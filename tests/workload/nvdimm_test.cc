@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for NVDIMM-equipped clusters (Section 7): abrupt power loss
+ * persists volatile state instead of destroying it, and restoration is
+ * a fast flash read-back rather than a cold recovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/cluster.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+ServerModel::Params
+nvdimmServer()
+{
+    ServerModel::Params p;
+    p.nvdimm = true;
+    return p;
+}
+
+struct Fixture
+{
+    explicit Fixture(bool nvdimm,
+                     const WorkloadProfile &w = specJbbProfile())
+        : utility(sim), hierarchy(sim, utility, noBackup()),
+          cluster(sim, hierarchy,
+                  ServerModel{nvdimm ? nvdimmServer()
+                                     : ServerModel::Params{}},
+                  w, 4)
+    {
+        cluster.primeSteadyState();
+    }
+
+    static PowerHierarchy::Config
+    noBackup()
+    {
+        PowerHierarchy::Config c;
+        c.hasDg = false;
+        c.hasUps = false;
+        return c;
+    }
+
+    Simulator sim;
+    Utility utility;
+    PowerHierarchy hierarchy;
+    Cluster cluster;
+};
+
+TEST(Nvdimm, PowerLossPersistsInsteadOfCrashing)
+{
+    Fixture f(true);
+    f.utility.scheduleOutage(kMinute, 5 * kMinute);
+    f.sim.runUntil(2 * kMinute);
+    for (int i = 0; i < f.cluster.size(); ++i) {
+        EXPECT_EQ(f.cluster.server(i).state(), ServerState::Hibernated);
+        EXPECT_EQ(f.cluster.app(i).stateLosses(), 0);
+        EXPECT_EQ(f.cluster.app(i).phase(), AppPhase::Paused);
+    }
+}
+
+TEST(Nvdimm, WithoutNvdimmSameLossCrashes)
+{
+    Fixture f(false);
+    f.utility.scheduleOutage(kMinute, 5 * kMinute);
+    f.sim.runUntil(2 * kMinute);
+    for (int i = 0; i < f.cluster.size(); ++i) {
+        EXPECT_EQ(f.cluster.server(i).state(), ServerState::Crashed);
+        EXPECT_EQ(f.cluster.app(i).stateLosses(), 1);
+    }
+}
+
+TEST(Nvdimm, ZeroDrawDuringTheOutage)
+{
+    Fixture f(true);
+    f.utility.scheduleOutage(kMinute, 30 * kMinute);
+    f.sim.runUntil(10 * kMinute);
+    EXPECT_DOUBLE_EQ(f.hierarchy.load(), 0.0);
+}
+
+TEST(Nvdimm, FastRestoreWithoutColdRecovery)
+{
+    Fixture f(true);
+    f.utility.scheduleOutage(kMinute, 5 * kMinute);
+    f.sim.runUntil(kHour);
+    // Restore = 18 GB / 1 GB/s + 5 s kernel resume ~ 23 s; no process
+    // restart, no warm-up.
+    EXPECT_DOUBLE_EQ(f.cluster.aggregatePerf(), 1.0);
+    const Time down = f.cluster.availabilityTimeline().timeBelow(
+        kMinute, kHour, 0.5);
+    EXPECT_NEAR(toSeconds(down), 5.0 * 60.0 + 23.0, 5.0);
+}
+
+TEST(Nvdimm, MuchFasterRecoveryThanCrash)
+{
+    Fixture with(true), without(false);
+    for (Fixture *f : {&with, &without}) {
+        f->utility.scheduleOutage(kMinute, 5 * kMinute);
+        f->sim.runUntil(kHour);
+    }
+    const Time down_nv = with.cluster.availabilityTimeline().timeBelow(
+        kMinute, kHour, 0.5);
+    const Time down_crash =
+        without.cluster.availabilityTimeline().timeBelow(kMinute, kHour,
+                                                         0.5);
+    // Crash pays boot + restart + warm-up (~400 s) on top of the
+    // outage; NVDIMM pays ~23 s.
+    EXPECT_GT(down_crash - down_nv, fromSeconds(300.0));
+}
+
+TEST(Nvdimm, WebSearchSkipsResumeWarmup)
+{
+    // NVDIMM restores the complete DRAM image, including the page
+    // cache a hibernation image would drop: no post-resume warm-up.
+    Fixture f(true, webSearchProfile());
+    f.utility.scheduleOutage(kMinute, 5 * kMinute);
+    f.sim.runUntil(kHour);
+    const Time down = f.cluster.availabilityTimeline().timeBelow(
+        kMinute, kHour, 0.5);
+    // ~outage + 40 GB / 1 GB/s + 5 s.
+    EXPECT_NEAR(toSeconds(down), 300.0 + 45.0, 8.0);
+}
+
+TEST(Nvdimm, WorksWithZeroBackupCost)
+{
+    // The headline: with NVDIMM, state preservation needs *no* UPS and
+    // *no* DG at all.
+    Fixture f(true);
+    f.utility.scheduleOutage(kMinute, 2 * kHour);
+    f.sim.runUntil(4 * kHour);
+    EXPECT_DOUBLE_EQ(f.cluster.aggregatePerf(), 1.0);
+    for (int i = 0; i < f.cluster.size(); ++i)
+        EXPECT_EQ(f.cluster.app(i).stateLosses(), 0);
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the workload profiles, including the Table 7 / Table 8 /
+ * Section 6.2 calibration anchors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/profile.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+const ServerModel kModel{};
+
+TEST(Profiles, Table7MemoryFootprints)
+{
+    EXPECT_DOUBLE_EQ(specJbbProfile().memoryGb, 18.0);
+    EXPECT_DOUBLE_EQ(webSearchProfile().memoryGb, 40.0);
+    EXPECT_DOUBLE_EQ(memcachedProfile().memoryGb, 20.0);
+    EXPECT_DOUBLE_EQ(specCpuMcfProfile().memoryGb, 16.0);
+}
+
+TEST(Profiles, Table7Metrics)
+{
+    EXPECT_EQ(specJbbProfile().metric,
+              PerfMetric::LatencyConstrainedThroughput);
+    EXPECT_EQ(webSearchProfile().metric,
+              PerfMetric::LatencyConstrainedThroughput);
+    EXPECT_EQ(memcachedProfile().metric, PerfMetric::Throughput);
+    EXPECT_EQ(specCpuMcfProfile().metric, PerfMetric::CompletionTime);
+}
+
+TEST(Profiles, AllPaperWorkloadsInOrder)
+{
+    const auto all = allPaperWorkloads();
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_EQ(all[0].name, "specjbb");
+    EXPECT_EQ(all[1].name, "web-search");
+    EXPECT_EQ(all[2].name, "memcached");
+    EXPECT_EQ(all[3].name, "speccpu-mcf8");
+}
+
+TEST(Profiles, SpecjbbHibernateMatchesTable8)
+{
+    // Table 8: save 230 s, resume 157 s.
+    const auto w = specJbbProfile();
+    EXPECT_NEAR(toSeconds(w.hibernateSaveTime(kModel)), 230.0, 10.0);
+    EXPECT_NEAR(toSeconds(w.hibernateResumeTime(kModel)), 157.0, 5.0);
+}
+
+TEST(Profiles, SpecjbbSleepMatchesTable8)
+{
+    const auto w = specJbbProfile();
+    EXPECT_DOUBLE_EQ(w.sleepSaveSec, 6.0);
+    EXPECT_DOUBLE_EQ(w.sleepResumeSec, 8.0);
+}
+
+TEST(Profiles, MemcachedHibernateIsPathologicallySlow)
+{
+    // Section 6.2: hibernation (1140 s of downtime) is worse than
+    // simply reloading (480 s) for Memcached.
+    const auto w = memcachedProfile();
+    const double cycle_sec = toSeconds(w.hibernateSaveTime(kModel)) +
+                             toSeconds(w.hibernateResumeTime(kModel));
+    EXPECT_NEAR(cycle_sec, 1140.0, 120.0);
+    const double reload_sec =
+        120.0 + toSeconds(w.crashRestartTime()); // boot + restart
+    EXPECT_GT(cycle_sec, reload_sec);
+}
+
+TEST(Profiles, WebSearchHibernateImageDropsCleanCache)
+{
+    const auto w = webSearchProfile();
+    EXPECT_LT(w.hibernateImageGb, w.memoryGb / 2.0);
+    EXPECT_GT(w.resumeWarmupSec, 0.0);
+}
+
+TEST(Profiles, WebSearchCrashRecoveryMatchesPaper)
+{
+    // ~600 s total: 120 boot + 30 restart + 180 preload + 270 warm-up
+    // below SLO.
+    const auto w = webSearchProfile();
+    const double total = 120.0 + w.processStartSec + w.statePreloadSec +
+                         w.warmupSec;
+    EXPECT_NEAR(total, 600.0, 30.0);
+    EXPECT_LT(w.warmupPerf, 0.7); // warm-up counts as downtime
+}
+
+TEST(Profiles, SpecjbbCrashRecoveryMatchesPaper)
+{
+    // ~400 s for MinCost after a short outage.
+    const auto w = specJbbProfile();
+    const double total = 120.0 + w.processStartSec + w.statePreloadSec +
+                         w.warmupSec;
+    EXPECT_NEAR(total, 400.0, 30.0);
+}
+
+TEST(Profiles, MemcachedCrashRecoveryMatchesPaper)
+{
+    // ~480 s for MinCost after a short outage.
+    const auto w = memcachedProfile();
+    const double total = 120.0 + w.processStartSec + w.statePreloadSec;
+    EXPECT_NEAR(total, 480.0, 30.0);
+}
+
+TEST(Profiles, SpecCpuHasRecomputeBand)
+{
+    const auto w = specCpuMcfProfile();
+    EXPECT_GT(w.recomputeMaxSec, w.recomputeMinSec);
+    EXPECT_GT(w.recomputeMaxSec, 600.0); // a wide Figure 9 band
+}
+
+TEST(Profiles, ThrottledPerfFullSpeedIsOne)
+{
+    for (const auto &w : allPaperWorkloads())
+        EXPECT_DOUBLE_EQ(w.throttledPerf(kModel, 0, 0), 1.0);
+}
+
+TEST(Profiles, MemcachedTolerantOfThrottlingSpecjbbNot)
+{
+    // Section 6.2: memory-stalled Memcached barely notices DVFS, the
+    // compute-heavy Specjbb takes the full frequency hit.
+    const int p_min = kModel.params().pStates - 1;
+    const double mc = memcachedProfile().throttledPerf(kModel, p_min, 0);
+    const double jbb = specJbbProfile().throttledPerf(kModel, p_min, 0);
+    EXPECT_GT(mc, 0.75);
+    EXPECT_LT(jbb, 0.6);
+    EXPECT_GT(mc, jbb + 0.2);
+}
+
+TEST(Profiles, ThrottledPerfMonotoneInPState)
+{
+    for (const auto &w : allPaperWorkloads()) {
+        for (int p = 1; p < kModel.params().pStates; ++p) {
+            EXPECT_LE(w.throttledPerf(kModel, p, 0),
+                      w.throttledPerf(kModel, p - 1, 0))
+                << w.name << " p" << p;
+        }
+    }
+}
+
+TEST(Profiles, TStatesGateAllWorkloadsLinearly)
+{
+    for (const auto &w : allPaperWorkloads()) {
+        EXPECT_NEAR(w.throttledPerf(kModel, 0, 7), 1.0 / 8.0, 1e-9)
+            << w.name;
+    }
+}
+
+TEST(Profiles, DirtyParamsDeriveFromProfile)
+{
+    const auto w = specJbbProfile();
+    const auto dp = w.dirtyParams();
+    EXPECT_DOUBLE_EQ(dp.totalStateBytes, 18e9);
+    EXPECT_DOUBLE_EQ(dp.hotSetBytes, 14e9);
+    EXPECT_DOUBLE_EQ(dp.dirtyRateBytesPerSec, 250e6);
+}
+
+TEST(Profiles, HibernateImageDefaultsToFullMemory)
+{
+    WorkloadProfile w;
+    w.memoryGb = 12.0;
+    EXPECT_DOUBLE_EQ(w.hibernateImageBytes(), 12e9);
+}
+
+} // namespace
+} // namespace bpsim
