@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_adaptive"
+  "../bench/abl_adaptive.pdb"
+  "CMakeFiles/abl_adaptive.dir/abl_adaptive.cpp.o"
+  "CMakeFiles/abl_adaptive.dir/abl_adaptive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_annual_availability"
+  "../bench/abl_annual_availability.pdb"
+  "CMakeFiles/abl_annual_availability.dir/abl_annual_availability.cpp.o"
+  "CMakeFiles/abl_annual_availability.dir/abl_annual_availability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_annual_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

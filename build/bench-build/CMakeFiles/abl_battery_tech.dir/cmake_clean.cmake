@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_battery_tech"
+  "../bench/abl_battery_tech.pdb"
+  "CMakeFiles/abl_battery_tech.dir/abl_battery_tech.cpp.o"
+  "CMakeFiles/abl_battery_tech.dir/abl_battery_tech.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_battery_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_free_runtime"
+  "../bench/abl_free_runtime.pdb"
+  "CMakeFiles/abl_free_runtime.dir/abl_free_runtime.cpp.o"
+  "CMakeFiles/abl_free_runtime.dir/abl_free_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_free_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

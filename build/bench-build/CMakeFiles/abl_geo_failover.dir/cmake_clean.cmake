@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_geo_failover"
+  "../bench/abl_geo_failover.pdb"
+  "CMakeFiles/abl_geo_failover.dir/abl_geo_failover.cpp.o"
+  "CMakeFiles/abl_geo_failover.dir/abl_geo_failover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_geo_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_nvdimm"
+  "../bench/abl_nvdimm.pdb"
+  "CMakeFiles/abl_nvdimm.dir/abl_nvdimm.cpp.o"
+  "CMakeFiles/abl_nvdimm.dir/abl_nvdimm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_nvdimm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_peak_shaving.cpp" "bench-build/CMakeFiles/abl_peak_shaving.dir/abl_peak_shaving.cpp.o" "gcc" "bench-build/CMakeFiles/abl_peak_shaving.dir/abl_peak_shaving.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bpsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/technique/CMakeFiles/bpsim_technique.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bpsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/bpsim_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/bpsim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/outage/CMakeFiles/bpsim_outage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bpsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_peak_shaving"
+  "../bench/abl_peak_shaving.pdb"
+  "CMakeFiles/abl_peak_shaving.dir/abl_peak_shaving.cpp.o"
+  "CMakeFiles/abl_peak_shaving.dir/abl_peak_shaving.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_peak_shaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/claims_headline"
+  "../bench/claims_headline.pdb"
+  "CMakeFiles/claims_headline.dir/claims_headline.cpp.o"
+  "CMakeFiles/claims_headline.dir/claims_headline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claims_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

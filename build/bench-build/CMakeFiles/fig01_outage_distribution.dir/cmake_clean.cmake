@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_outage_distribution"
+  "../bench/fig01_outage_distribution.pdb"
+  "CMakeFiles/fig01_outage_distribution.dir/fig01_outage_distribution.cpp.o"
+  "CMakeFiles/fig01_outage_distribution.dir/fig01_outage_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_outage_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

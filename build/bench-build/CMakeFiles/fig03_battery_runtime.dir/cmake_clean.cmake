@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_battery_runtime"
+  "../bench/fig03_battery_runtime.pdb"
+  "CMakeFiles/fig03_battery_runtime.dir/fig03_battery_runtime.cpp.o"
+  "CMakeFiles/fig03_battery_runtime.dir/fig03_battery_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_battery_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

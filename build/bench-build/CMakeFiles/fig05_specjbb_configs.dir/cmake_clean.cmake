@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_specjbb_configs"
+  "../bench/fig05_specjbb_configs.pdb"
+  "CMakeFiles/fig05_specjbb_configs.dir/fig05_specjbb_configs.cpp.o"
+  "CMakeFiles/fig05_specjbb_configs.dir/fig05_specjbb_configs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_specjbb_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_specjbb_techniques"
+  "../bench/fig06_specjbb_techniques.pdb"
+  "CMakeFiles/fig06_specjbb_techniques.dir/fig06_specjbb_techniques.cpp.o"
+  "CMakeFiles/fig06_specjbb_techniques.dir/fig06_specjbb_techniques.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_specjbb_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_memcached"
+  "../bench/fig07_memcached.pdb"
+  "CMakeFiles/fig07_memcached.dir/fig07_memcached.cpp.o"
+  "CMakeFiles/fig07_memcached.dir/fig07_memcached.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

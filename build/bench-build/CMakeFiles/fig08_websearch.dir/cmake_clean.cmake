@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_websearch"
+  "../bench/fig08_websearch.pdb"
+  "CMakeFiles/fig08_websearch.dir/fig08_websearch.cpp.o"
+  "CMakeFiles/fig08_websearch.dir/fig08_websearch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_websearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_speccpu"
+  "../bench/fig09_speccpu.pdb"
+  "CMakeFiles/fig09_speccpu.dir/fig09_speccpu.cpp.o"
+  "CMakeFiles/fig09_speccpu.dir/fig09_speccpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_speccpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

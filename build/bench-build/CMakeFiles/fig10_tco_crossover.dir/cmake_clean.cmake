@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_tco_crossover"
+  "../bench/fig10_tco_crossover.pdb"
+  "CMakeFiles/fig10_tco_crossover.dir/fig10_tco_crossover.cpp.o"
+  "CMakeFiles/fig10_tco_crossover.dir/fig10_tco_crossover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tco_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab02_backup_cost"
+  "../bench/tab02_backup_cost.pdb"
+  "CMakeFiles/tab02_backup_cost.dir/tab02_backup_cost.cpp.o"
+  "CMakeFiles/tab02_backup_cost.dir/tab02_backup_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_backup_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

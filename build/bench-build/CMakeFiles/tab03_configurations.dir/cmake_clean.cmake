@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab03_configurations"
+  "../bench/tab03_configurations.pdb"
+  "CMakeFiles/tab03_configurations.dir/tab03_configurations.cpp.o"
+  "CMakeFiles/tab03_configurations.dir/tab03_configurations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_configurations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

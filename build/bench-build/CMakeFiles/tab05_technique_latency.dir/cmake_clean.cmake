@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab05_technique_latency"
+  "../bench/tab05_technique_latency.pdb"
+  "CMakeFiles/tab05_technique_latency.dir/tab05_technique_latency.cpp.o"
+  "CMakeFiles/tab05_technique_latency.dir/tab05_technique_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_technique_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

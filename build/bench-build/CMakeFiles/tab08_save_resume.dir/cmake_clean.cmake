@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab08_save_resume"
+  "../bench/tab08_save_resume.pdb"
+  "CMakeFiles/tab08_save_resume.dir/tab08_save_resume.cpp.o"
+  "CMakeFiles/tab08_save_resume.dir/tab08_save_resume.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab08_save_resume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_outage_controller.dir/adaptive_outage_controller.cpp.o"
+  "CMakeFiles/adaptive_outage_controller.dir/adaptive_outage_controller.cpp.o.d"
+  "adaptive_outage_controller"
+  "adaptive_outage_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_outage_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sectioned_datacenter.dir/sectioned_datacenter.cpp.o"
+  "CMakeFiles/sectioned_datacenter.dir/sectioned_datacenter.cpp.o.d"
+  "sectioned_datacenter"
+  "sectioned_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sectioned_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

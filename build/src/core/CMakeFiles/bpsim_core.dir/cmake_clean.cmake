@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_core.dir/analyzer.cc.o"
+  "CMakeFiles/bpsim_core.dir/analyzer.cc.o.d"
+  "CMakeFiles/bpsim_core.dir/annual.cc.o"
+  "CMakeFiles/bpsim_core.dir/annual.cc.o.d"
+  "CMakeFiles/bpsim_core.dir/backup_config.cc.o"
+  "CMakeFiles/bpsim_core.dir/backup_config.cc.o.d"
+  "CMakeFiles/bpsim_core.dir/cost_model.cc.o"
+  "CMakeFiles/bpsim_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/bpsim_core.dir/datacenter.cc.o"
+  "CMakeFiles/bpsim_core.dir/datacenter.cc.o.d"
+  "CMakeFiles/bpsim_core.dir/selector.cc.o"
+  "CMakeFiles/bpsim_core.dir/selector.cc.o.d"
+  "libbpsim_core.a"
+  "libbpsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

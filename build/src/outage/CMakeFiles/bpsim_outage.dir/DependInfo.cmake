@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/outage/distribution.cc" "src/outage/CMakeFiles/bpsim_outage.dir/distribution.cc.o" "gcc" "src/outage/CMakeFiles/bpsim_outage.dir/distribution.cc.o.d"
+  "/root/repo/src/outage/predictor.cc" "src/outage/CMakeFiles/bpsim_outage.dir/predictor.cc.o" "gcc" "src/outage/CMakeFiles/bpsim_outage.dir/predictor.cc.o.d"
+  "/root/repo/src/outage/trace.cc" "src/outage/CMakeFiles/bpsim_outage.dir/trace.cc.o" "gcc" "src/outage/CMakeFiles/bpsim_outage.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bpsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_outage.dir/distribution.cc.o"
+  "CMakeFiles/bpsim_outage.dir/distribution.cc.o.d"
+  "CMakeFiles/bpsim_outage.dir/predictor.cc.o"
+  "CMakeFiles/bpsim_outage.dir/predictor.cc.o.d"
+  "CMakeFiles/bpsim_outage.dir/trace.cc.o"
+  "CMakeFiles/bpsim_outage.dir/trace.cc.o.d"
+  "libbpsim_outage.a"
+  "libbpsim_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

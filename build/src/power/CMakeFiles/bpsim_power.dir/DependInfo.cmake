@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/ats.cc" "src/power/CMakeFiles/bpsim_power.dir/ats.cc.o" "gcc" "src/power/CMakeFiles/bpsim_power.dir/ats.cc.o.d"
+  "/root/repo/src/power/battery.cc" "src/power/CMakeFiles/bpsim_power.dir/battery.cc.o" "gcc" "src/power/CMakeFiles/bpsim_power.dir/battery.cc.o.d"
+  "/root/repo/src/power/diesel_generator.cc" "src/power/CMakeFiles/bpsim_power.dir/diesel_generator.cc.o" "gcc" "src/power/CMakeFiles/bpsim_power.dir/diesel_generator.cc.o.d"
+  "/root/repo/src/power/power_hierarchy.cc" "src/power/CMakeFiles/bpsim_power.dir/power_hierarchy.cc.o" "gcc" "src/power/CMakeFiles/bpsim_power.dir/power_hierarchy.cc.o.d"
+  "/root/repo/src/power/ups.cc" "src/power/CMakeFiles/bpsim_power.dir/ups.cc.o" "gcc" "src/power/CMakeFiles/bpsim_power.dir/ups.cc.o.d"
+  "/root/repo/src/power/utility.cc" "src/power/CMakeFiles/bpsim_power.dir/utility.cc.o" "gcc" "src/power/CMakeFiles/bpsim_power.dir/utility.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bpsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

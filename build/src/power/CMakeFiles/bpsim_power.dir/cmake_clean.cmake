@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_power.dir/ats.cc.o"
+  "CMakeFiles/bpsim_power.dir/ats.cc.o.d"
+  "CMakeFiles/bpsim_power.dir/battery.cc.o"
+  "CMakeFiles/bpsim_power.dir/battery.cc.o.d"
+  "CMakeFiles/bpsim_power.dir/diesel_generator.cc.o"
+  "CMakeFiles/bpsim_power.dir/diesel_generator.cc.o.d"
+  "CMakeFiles/bpsim_power.dir/power_hierarchy.cc.o"
+  "CMakeFiles/bpsim_power.dir/power_hierarchy.cc.o.d"
+  "CMakeFiles/bpsim_power.dir/ups.cc.o"
+  "CMakeFiles/bpsim_power.dir/ups.cc.o.d"
+  "CMakeFiles/bpsim_power.dir/utility.cc.o"
+  "CMakeFiles/bpsim_power.dir/utility.cc.o.d"
+  "libbpsim_power.a"
+  "libbpsim_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/dirty_pages.cc" "src/server/CMakeFiles/bpsim_server.dir/dirty_pages.cc.o" "gcc" "src/server/CMakeFiles/bpsim_server.dir/dirty_pages.cc.o.d"
+  "/root/repo/src/server/server.cc" "src/server/CMakeFiles/bpsim_server.dir/server.cc.o" "gcc" "src/server/CMakeFiles/bpsim_server.dir/server.cc.o.d"
+  "/root/repo/src/server/server_model.cc" "src/server/CMakeFiles/bpsim_server.dir/server_model.cc.o" "gcc" "src/server/CMakeFiles/bpsim_server.dir/server_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bpsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_server.dir/dirty_pages.cc.o"
+  "CMakeFiles/bpsim_server.dir/dirty_pages.cc.o.d"
+  "CMakeFiles/bpsim_server.dir/server.cc.o"
+  "CMakeFiles/bpsim_server.dir/server.cc.o.d"
+  "CMakeFiles/bpsim_server.dir/server_model.cc.o"
+  "CMakeFiles/bpsim_server.dir/server_model.cc.o.d"
+  "libbpsim_server.a"
+  "libbpsim_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_sim.dir/csv.cc.o"
+  "CMakeFiles/bpsim_sim.dir/csv.cc.o.d"
+  "CMakeFiles/bpsim_sim.dir/event.cc.o"
+  "CMakeFiles/bpsim_sim.dir/event.cc.o.d"
+  "CMakeFiles/bpsim_sim.dir/logging.cc.o"
+  "CMakeFiles/bpsim_sim.dir/logging.cc.o.d"
+  "CMakeFiles/bpsim_sim.dir/random.cc.o"
+  "CMakeFiles/bpsim_sim.dir/random.cc.o.d"
+  "CMakeFiles/bpsim_sim.dir/simulator.cc.o"
+  "CMakeFiles/bpsim_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/bpsim_sim.dir/stats.cc.o"
+  "CMakeFiles/bpsim_sim.dir/stats.cc.o.d"
+  "CMakeFiles/bpsim_sim.dir/timeline.cc.o"
+  "CMakeFiles/bpsim_sim.dir/timeline.cc.o.d"
+  "libbpsim_sim.a"
+  "libbpsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

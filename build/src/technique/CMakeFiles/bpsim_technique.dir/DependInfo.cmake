@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/technique/adaptive.cc" "src/technique/CMakeFiles/bpsim_technique.dir/adaptive.cc.o" "gcc" "src/technique/CMakeFiles/bpsim_technique.dir/adaptive.cc.o.d"
+  "/root/repo/src/technique/catalog.cc" "src/technique/CMakeFiles/bpsim_technique.dir/catalog.cc.o" "gcc" "src/technique/CMakeFiles/bpsim_technique.dir/catalog.cc.o.d"
+  "/root/repo/src/technique/geo_failover.cc" "src/technique/CMakeFiles/bpsim_technique.dir/geo_failover.cc.o" "gcc" "src/technique/CMakeFiles/bpsim_technique.dir/geo_failover.cc.o.d"
+  "/root/repo/src/technique/hibernate.cc" "src/technique/CMakeFiles/bpsim_technique.dir/hibernate.cc.o" "gcc" "src/technique/CMakeFiles/bpsim_technique.dir/hibernate.cc.o.d"
+  "/root/repo/src/technique/hybrid.cc" "src/technique/CMakeFiles/bpsim_technique.dir/hybrid.cc.o" "gcc" "src/technique/CMakeFiles/bpsim_technique.dir/hybrid.cc.o.d"
+  "/root/repo/src/technique/migration.cc" "src/technique/CMakeFiles/bpsim_technique.dir/migration.cc.o" "gcc" "src/technique/CMakeFiles/bpsim_technique.dir/migration.cc.o.d"
+  "/root/repo/src/technique/sleep.cc" "src/technique/CMakeFiles/bpsim_technique.dir/sleep.cc.o" "gcc" "src/technique/CMakeFiles/bpsim_technique.dir/sleep.cc.o.d"
+  "/root/repo/src/technique/technique.cc" "src/technique/CMakeFiles/bpsim_technique.dir/technique.cc.o" "gcc" "src/technique/CMakeFiles/bpsim_technique.dir/technique.cc.o.d"
+  "/root/repo/src/technique/throttling.cc" "src/technique/CMakeFiles/bpsim_technique.dir/throttling.cc.o" "gcc" "src/technique/CMakeFiles/bpsim_technique.dir/throttling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/bpsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/outage/CMakeFiles/bpsim_outage.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/bpsim_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/bpsim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bpsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_technique.dir/adaptive.cc.o"
+  "CMakeFiles/bpsim_technique.dir/adaptive.cc.o.d"
+  "CMakeFiles/bpsim_technique.dir/catalog.cc.o"
+  "CMakeFiles/bpsim_technique.dir/catalog.cc.o.d"
+  "CMakeFiles/bpsim_technique.dir/geo_failover.cc.o"
+  "CMakeFiles/bpsim_technique.dir/geo_failover.cc.o.d"
+  "CMakeFiles/bpsim_technique.dir/hibernate.cc.o"
+  "CMakeFiles/bpsim_technique.dir/hibernate.cc.o.d"
+  "CMakeFiles/bpsim_technique.dir/hybrid.cc.o"
+  "CMakeFiles/bpsim_technique.dir/hybrid.cc.o.d"
+  "CMakeFiles/bpsim_technique.dir/migration.cc.o"
+  "CMakeFiles/bpsim_technique.dir/migration.cc.o.d"
+  "CMakeFiles/bpsim_technique.dir/sleep.cc.o"
+  "CMakeFiles/bpsim_technique.dir/sleep.cc.o.d"
+  "CMakeFiles/bpsim_technique.dir/technique.cc.o"
+  "CMakeFiles/bpsim_technique.dir/technique.cc.o.d"
+  "CMakeFiles/bpsim_technique.dir/throttling.cc.o"
+  "CMakeFiles/bpsim_technique.dir/throttling.cc.o.d"
+  "libbpsim_technique.a"
+  "libbpsim_technique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_technique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

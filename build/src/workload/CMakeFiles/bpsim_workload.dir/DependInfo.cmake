@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/application.cc" "src/workload/CMakeFiles/bpsim_workload.dir/application.cc.o" "gcc" "src/workload/CMakeFiles/bpsim_workload.dir/application.cc.o.d"
+  "/root/repo/src/workload/cluster.cc" "src/workload/CMakeFiles/bpsim_workload.dir/cluster.cc.o" "gcc" "src/workload/CMakeFiles/bpsim_workload.dir/cluster.cc.o.d"
+  "/root/repo/src/workload/load_profile.cc" "src/workload/CMakeFiles/bpsim_workload.dir/load_profile.cc.o" "gcc" "src/workload/CMakeFiles/bpsim_workload.dir/load_profile.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/workload/CMakeFiles/bpsim_workload.dir/profile.cc.o" "gcc" "src/workload/CMakeFiles/bpsim_workload.dir/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/bpsim_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/bpsim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bpsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_workload.dir/application.cc.o"
+  "CMakeFiles/bpsim_workload.dir/application.cc.o.d"
+  "CMakeFiles/bpsim_workload.dir/cluster.cc.o"
+  "CMakeFiles/bpsim_workload.dir/cluster.cc.o.d"
+  "CMakeFiles/bpsim_workload.dir/load_profile.cc.o"
+  "CMakeFiles/bpsim_workload.dir/load_profile.cc.o.d"
+  "CMakeFiles/bpsim_workload.dir/profile.cc.o"
+  "CMakeFiles/bpsim_workload.dir/profile.cc.o.d"
+  "libbpsim_workload.a"
+  "libbpsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/analyzer_test.cc" "tests/CMakeFiles/core_test.dir/core/analyzer_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/analyzer_test.cc.o.d"
+  "/root/repo/tests/core/annual_test.cc" "tests/CMakeFiles/core_test.dir/core/annual_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/annual_test.cc.o.d"
+  "/root/repo/tests/core/backup_config_test.cc" "tests/CMakeFiles/core_test.dir/core/backup_config_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/backup_config_test.cc.o.d"
+  "/root/repo/tests/core/battery_tech_test.cc" "tests/CMakeFiles/core_test.dir/core/battery_tech_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/battery_tech_test.cc.o.d"
+  "/root/repo/tests/core/cost_model_test.cc" "tests/CMakeFiles/core_test.dir/core/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/cost_model_test.cc.o.d"
+  "/root/repo/tests/core/datacenter_test.cc" "tests/CMakeFiles/core_test.dir/core/datacenter_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/datacenter_test.cc.o.d"
+  "/root/repo/tests/core/paper_claims_test.cc" "tests/CMakeFiles/core_test.dir/core/paper_claims_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/paper_claims_test.cc.o.d"
+  "/root/repo/tests/core/selector_test.cc" "tests/CMakeFiles/core_test.dir/core/selector_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/selector_test.cc.o.d"
+  "/root/repo/tests/core/tco_test.cc" "tests/CMakeFiles/core_test.dir/core/tco_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/tco_test.cc.o.d"
+  "/root/repo/tests/core/workload_sweep_test.cc" "tests/CMakeFiles/core_test.dir/core/workload_sweep_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/workload_sweep_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bpsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/technique/CMakeFiles/bpsim_technique.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bpsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/bpsim_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/bpsim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/outage/CMakeFiles/bpsim_outage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bpsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/analyzer_test.cc.o"
+  "CMakeFiles/core_test.dir/core/analyzer_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/annual_test.cc.o"
+  "CMakeFiles/core_test.dir/core/annual_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/backup_config_test.cc.o"
+  "CMakeFiles/core_test.dir/core/backup_config_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/battery_tech_test.cc.o"
+  "CMakeFiles/core_test.dir/core/battery_tech_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/cost_model_test.cc.o"
+  "CMakeFiles/core_test.dir/core/cost_model_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/datacenter_test.cc.o"
+  "CMakeFiles/core_test.dir/core/datacenter_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/paper_claims_test.cc.o"
+  "CMakeFiles/core_test.dir/core/paper_claims_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/selector_test.cc.o"
+  "CMakeFiles/core_test.dir/core/selector_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/tco_test.cc.o"
+  "CMakeFiles/core_test.dir/core/tco_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/workload_sweep_test.cc.o"
+  "CMakeFiles/core_test.dir/core/workload_sweep_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outage_test.dir/outage/distribution_test.cc.o"
+  "CMakeFiles/outage_test.dir/outage/distribution_test.cc.o.d"
+  "CMakeFiles/outage_test.dir/outage/predictor_test.cc.o"
+  "CMakeFiles/outage_test.dir/outage/predictor_test.cc.o.d"
+  "CMakeFiles/outage_test.dir/outage/trace_test.cc.o"
+  "CMakeFiles/outage_test.dir/outage/trace_test.cc.o.d"
+  "outage_test"
+  "outage_test.pdb"
+  "outage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_test.dir/power/ats_test.cc.o"
+  "CMakeFiles/power_test.dir/power/ats_test.cc.o.d"
+  "CMakeFiles/power_test.dir/power/battery_test.cc.o"
+  "CMakeFiles/power_test.dir/power/battery_test.cc.o.d"
+  "CMakeFiles/power_test.dir/power/battery_wear_test.cc.o"
+  "CMakeFiles/power_test.dir/power/battery_wear_test.cc.o.d"
+  "CMakeFiles/power_test.dir/power/diesel_generator_test.cc.o"
+  "CMakeFiles/power_test.dir/power/diesel_generator_test.cc.o.d"
+  "CMakeFiles/power_test.dir/power/fuel_test.cc.o"
+  "CMakeFiles/power_test.dir/power/fuel_test.cc.o.d"
+  "CMakeFiles/power_test.dir/power/hierarchy_test.cc.o"
+  "CMakeFiles/power_test.dir/power/hierarchy_test.cc.o.d"
+  "CMakeFiles/power_test.dir/power/meter_test.cc.o"
+  "CMakeFiles/power_test.dir/power/meter_test.cc.o.d"
+  "CMakeFiles/power_test.dir/power/ups_test.cc.o"
+  "CMakeFiles/power_test.dir/power/ups_test.cc.o.d"
+  "CMakeFiles/power_test.dir/power/utility_test.cc.o"
+  "CMakeFiles/power_test.dir/power/utility_test.cc.o.d"
+  "power_test"
+  "power_test.pdb"
+  "power_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/technique/adaptive_test.cc" "tests/CMakeFiles/technique_test.dir/technique/adaptive_test.cc.o" "gcc" "tests/CMakeFiles/technique_test.dir/technique/adaptive_test.cc.o.d"
+  "/root/repo/tests/technique/catalog_test.cc" "tests/CMakeFiles/technique_test.dir/technique/catalog_test.cc.o" "gcc" "tests/CMakeFiles/technique_test.dir/technique/catalog_test.cc.o.d"
+  "/root/repo/tests/technique/dg_aware_test.cc" "tests/CMakeFiles/technique_test.dir/technique/dg_aware_test.cc.o" "gcc" "tests/CMakeFiles/technique_test.dir/technique/dg_aware_test.cc.o.d"
+  "/root/repo/tests/technique/double_outage_test.cc" "tests/CMakeFiles/technique_test.dir/technique/double_outage_test.cc.o" "gcc" "tests/CMakeFiles/technique_test.dir/technique/double_outage_test.cc.o.d"
+  "/root/repo/tests/technique/geo_failover_test.cc" "tests/CMakeFiles/technique_test.dir/technique/geo_failover_test.cc.o" "gcc" "tests/CMakeFiles/technique_test.dir/technique/geo_failover_test.cc.o.d"
+  "/root/repo/tests/technique/hybrid_test.cc" "tests/CMakeFiles/technique_test.dir/technique/hybrid_test.cc.o" "gcc" "tests/CMakeFiles/technique_test.dir/technique/hybrid_test.cc.o.d"
+  "/root/repo/tests/technique/migration_test.cc" "tests/CMakeFiles/technique_test.dir/technique/migration_test.cc.o" "gcc" "tests/CMakeFiles/technique_test.dir/technique/migration_test.cc.o.d"
+  "/root/repo/tests/technique/save_state_test.cc" "tests/CMakeFiles/technique_test.dir/technique/save_state_test.cc.o" "gcc" "tests/CMakeFiles/technique_test.dir/technique/save_state_test.cc.o.d"
+  "/root/repo/tests/technique/table4_phases_test.cc" "tests/CMakeFiles/technique_test.dir/technique/table4_phases_test.cc.o" "gcc" "tests/CMakeFiles/technique_test.dir/technique/table4_phases_test.cc.o.d"
+  "/root/repo/tests/technique/throttling_test.cc" "tests/CMakeFiles/technique_test.dir/technique/throttling_test.cc.o" "gcc" "tests/CMakeFiles/technique_test.dir/technique/throttling_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bpsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/technique/CMakeFiles/bpsim_technique.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bpsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/bpsim_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/bpsim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/outage/CMakeFiles/bpsim_outage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bpsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

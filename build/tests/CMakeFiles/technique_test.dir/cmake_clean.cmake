@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/technique_test.dir/technique/adaptive_test.cc.o"
+  "CMakeFiles/technique_test.dir/technique/adaptive_test.cc.o.d"
+  "CMakeFiles/technique_test.dir/technique/catalog_test.cc.o"
+  "CMakeFiles/technique_test.dir/technique/catalog_test.cc.o.d"
+  "CMakeFiles/technique_test.dir/technique/dg_aware_test.cc.o"
+  "CMakeFiles/technique_test.dir/technique/dg_aware_test.cc.o.d"
+  "CMakeFiles/technique_test.dir/technique/double_outage_test.cc.o"
+  "CMakeFiles/technique_test.dir/technique/double_outage_test.cc.o.d"
+  "CMakeFiles/technique_test.dir/technique/geo_failover_test.cc.o"
+  "CMakeFiles/technique_test.dir/technique/geo_failover_test.cc.o.d"
+  "CMakeFiles/technique_test.dir/technique/hybrid_test.cc.o"
+  "CMakeFiles/technique_test.dir/technique/hybrid_test.cc.o.d"
+  "CMakeFiles/technique_test.dir/technique/migration_test.cc.o"
+  "CMakeFiles/technique_test.dir/technique/migration_test.cc.o.d"
+  "CMakeFiles/technique_test.dir/technique/save_state_test.cc.o"
+  "CMakeFiles/technique_test.dir/technique/save_state_test.cc.o.d"
+  "CMakeFiles/technique_test.dir/technique/table4_phases_test.cc.o"
+  "CMakeFiles/technique_test.dir/technique/table4_phases_test.cc.o.d"
+  "CMakeFiles/technique_test.dir/technique/throttling_test.cc.o"
+  "CMakeFiles/technique_test.dir/technique/throttling_test.cc.o.d"
+  "technique_test"
+  "technique_test.pdb"
+  "technique_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/technique_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/application_test.cc" "tests/CMakeFiles/workload_test.dir/workload/application_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/application_test.cc.o.d"
+  "/root/repo/tests/workload/cluster_test.cc" "tests/CMakeFiles/workload_test.dir/workload/cluster_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/cluster_test.cc.o.d"
+  "/root/repo/tests/workload/heterogeneous_test.cc" "tests/CMakeFiles/workload_test.dir/workload/heterogeneous_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/heterogeneous_test.cc.o.d"
+  "/root/repo/tests/workload/load_profile_test.cc" "tests/CMakeFiles/workload_test.dir/workload/load_profile_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/load_profile_test.cc.o.d"
+  "/root/repo/tests/workload/nvdimm_test.cc" "tests/CMakeFiles/workload_test.dir/workload/nvdimm_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/nvdimm_test.cc.o.d"
+  "/root/repo/tests/workload/profile_test.cc" "tests/CMakeFiles/workload_test.dir/workload/profile_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/profile_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bpsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/technique/CMakeFiles/bpsim_technique.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bpsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/bpsim_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/bpsim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/outage/CMakeFiles/bpsim_outage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bpsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
