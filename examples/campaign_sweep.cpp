@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Campaign sweep: size every Table 3 backup configuration against a
+ * standing defense by running year-scale Monte Carlo campaigns on the
+ * parallel campaign engine — with a confidence-interval early stop,
+ * live progress, and machine-readable JSON/CSV exports.
+ *
+ * Demonstrates the full campaign surface:
+ *   - runAnnualCampaign() fanning trials across every core, with
+ *     aggregates that are bit-identical to a serial run;
+ *   - the CI early-stop rule (stop once E[downtime] is pinned down to
+ *     +-10% or +-1 min/yr, whichever is looser);
+ *   - progress callbacks, streamed as trials complete in order;
+ *   - writeCampaignJson() / writeCampaignCsv() exports per scenario.
+ *
+ * Build and run:
+ *     cmake -B build -G Ninja && cmake --build build
+ *     ./build/examples/campaign_sweep
+ */
+
+#include <cstdio>
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+
+#include "campaign/annual_campaign.hh"
+#include "sim/logging.hh"
+
+using namespace bpsim;
+
+namespace
+{
+
+/** The defense each configuration is paired with in this sweep. */
+TechniqueSpec
+standingDefense(const BackupConfigSpec &config)
+{
+    if (!config.hasUps)
+        return {}; // nothing to ride an outage on
+    if (config.hasDg)
+        return {TechniqueKind::ThrottleSleep, 5, 0, fromMinutes(4.0), true};
+    // UPS-only: serve throttled for half the rated runtime, then sleep.
+    return {TechniqueKind::ThrottleSleep, 5, 0,
+            fromSeconds(std::max(180.0, config.upsRuntimeSec * 0.5)), true};
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuietLogging(true);
+
+    std::printf("Campaign sweep: Table 3 configurations x standing "
+                "defense, up to 400\n"
+                "simulated years each (early stop: E[downtime] CI "
+                "half-width <= max(10%%, 1 min))\n"
+                "on %d thread(s).\n\n",
+                WorkStealingPool::hardwareThreads());
+
+    std::printf("%-20s %7s %16s %10s %18s %8s\n", "configuration",
+                "years", "E[down] min/yr", "P99 down", "p(loss-free) [CI]",
+                "yrs/sec");
+
+    for (const auto &config : table3Configs()) {
+        AnnualCampaignSpec spec;
+        spec.profile = specJbbProfile();
+        spec.nServers = 8;
+        spec.technique = standingDefense(config);
+        spec.config = config;
+
+        AnnualCampaignOptions opts;
+        opts.maxTrials = 400;
+        opts.seed = 2014;
+        opts.minTrials = 64;
+        opts.ciRelTol = 0.10;   // +-10% of the mean...
+        opts.ciAbsTolMin = 1.0; // ...or +-1 min/yr, whichever is looser
+        opts.progressEvery = 100;
+        opts.progress = [&](const CampaignProgress &p) {
+            std::fprintf(stderr, "  [%s] %llu/%llu years%s\r",
+                         config.name.c_str(),
+                         static_cast<unsigned long long>(p.consumed),
+                         static_cast<unsigned long long>(p.total),
+                         p.stopped ? " (early stop)" : "");
+        };
+
+        const auto s = runAnnualCampaign(spec, opts);
+        std::fprintf(stderr, "%*s\r", 60, ""); // clear the progress line
+        std::printf("%-20s %6llu%s %16.1f %10.1f %8.0f%% [%2.0f,%3.0f] "
+                    "%8.0f\n",
+                    config.name.c_str(),
+                    static_cast<unsigned long long>(s.trials),
+                    s.stoppedEarly ? "*" : " ",
+                    s.downtimeMin.summary().mean(), s.downtimeMin.p99(),
+                    s.lossFree.fraction * 100.0, s.lossFree.lo * 100.0,
+                    s.lossFree.hi * 100.0, s.trialsPerSec);
+
+        // Per-scenario machine-readable exports.
+        const std::string stem = "campaign_" + config.name;
+        std::ofstream js(stem + ".json");
+        writeCampaignJson(js, s);
+        std::ofstream csv(stem + ".csv");
+        writeCampaignCsv(csv, s);
+    }
+
+    std::printf("\n(*) stopped early by the CI rule. Per-scenario "
+                "results exported to\n"
+                "campaign_<config>.json / .csv; re-running with the "
+                "same seed reproduces them\n"
+                "bit-for-bit on any machine and any thread count.\n");
+    return 0;
+}

@@ -13,6 +13,13 @@
 #ifndef BPSIM_BPSIM_HH
 #define BPSIM_BPSIM_HH
 
+// Campaign engine (parallel Monte Carlo with deterministic replay).
+#include "campaign/annual_campaign.hh"
+#include "campaign/json.hh"
+#include "campaign/online_stats.hh"
+#include "campaign/runner.hh"
+#include "campaign/thread_pool.hh"
+
 // Simulation kernel.
 #include "sim/csv.hh"
 #include "sim/event.hh"

@@ -1,0 +1,153 @@
+#include "campaign/annual_campaign.hh"
+
+#include <chrono>
+#include <cmath>
+
+#include "campaign/json.hh"
+#include "outage/trace.hh"
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+constexpr Time kYear = 365LL * 24 * kHour;
+
+} // namespace
+
+AnnualCampaignSummary
+runAnnualCampaign(const AnnualTrialFn &trial,
+                  const AnnualCampaignOptions &opts)
+{
+    BPSIM_ASSERT(opts.maxTrials >= 1, "campaign needs at least one trial");
+    const auto t0 = std::chrono::steady_clock::now();
+
+    AnnualCampaignSummary out;
+    out.planned = opts.maxTrials;
+    const bool early_stop = opts.ciRelTol > 0.0 || opts.ciAbsTolMin > 0.0;
+
+    const std::function<AnnualResult(std::uint64_t)> body =
+        [&](std::uint64_t id) {
+            Rng rng = Rng::stream(opts.seed, id);
+            return trial(id, rng);
+        };
+    const std::function<bool(std::uint64_t, AnnualResult &&)> consume =
+        [&](std::uint64_t, AnnualResult &&r) {
+            out.downtimeMin.add(r.downtimeMin);
+            out.lossesPerYear.add(static_cast<double>(r.losses));
+            out.meanPerf.add(r.meanPerf);
+            out.batteryKwh.add(r.batteryKwh);
+            out.worstGapMin.add(r.worstGapMin);
+            if (r.losses == 0)
+                ++out.lossFreeTrials;
+            ++out.trials;
+            if (early_stop && out.trials >= opts.minTrials) {
+                const double hw =
+                    out.downtimeMin.meanCiHalfWidth(opts.ciZ);
+                const double tol = std::max(
+                    opts.ciAbsTolMin,
+                    opts.ciRelTol *
+                        std::abs(out.downtimeMin.summary().mean()));
+                if (hw <= tol)
+                    return false;
+            }
+            return true;
+        };
+
+    CampaignOptions copts;
+    copts.threads = opts.threads;
+    copts.progressEvery = opts.progressEvery;
+    copts.progress = opts.progress;
+    const CampaignOutcome oc =
+        runCampaign<AnnualResult>(opts.maxTrials, body, consume, copts);
+    out.stoppedEarly = oc.stoppedEarly;
+    out.lossFree = wilsonInterval(out.lossFreeTrials, out.trials, opts.ciZ);
+
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - t0;
+    out.wallSeconds = wall.count();
+    out.trialsPerSec = out.wallSeconds > 0.0
+                           ? static_cast<double>(out.trials) /
+                                 out.wallSeconds
+                           : 0.0;
+    return out;
+}
+
+AnnualCampaignSummary
+runAnnualCampaign(const AnnualCampaignSpec &spec,
+                  const AnnualCampaignOptions &opts)
+{
+    const auto gen = OutageTraceGenerator::figure1();
+    const AnnualSimulator sim;
+    return runAnnualCampaign(
+        [&](std::uint64_t, Rng &rng) {
+            const auto events = gen.generate(rng, kYear);
+            return sim.runYear(spec.profile, spec.nServers, spec.technique,
+                               spec.config, events);
+        },
+        opts);
+}
+
+void
+writeMetricJson(JsonWriter &w, const std::string &name,
+                const MetricStats &m)
+{
+    w.key(name).beginObject();
+    w.field("count", static_cast<std::uint64_t>(m.summary().count()));
+    w.field("mean", m.summary().mean());
+    w.field("stddev", m.summary().stddev());
+    w.field("min", m.summary().min());
+    w.field("max", m.summary().max());
+    w.field("p50", m.p50());
+    w.field("p95", m.p95());
+    w.field("p99", m.p99());
+    w.endObject();
+}
+
+void
+writeCampaignJson(std::ostream &os, const AnnualCampaignSummary &s)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("trials", s.trials);
+    w.field("planned", s.planned);
+    w.field("stopped_early", s.stoppedEarly);
+    w.field("wall_seconds", s.wallSeconds);
+    w.field("trials_per_sec", s.trialsPerSec);
+    writeMetricJson(w, "downtime_min", s.downtimeMin);
+    writeMetricJson(w, "losses_per_year", s.lossesPerYear);
+    writeMetricJson(w, "mean_perf", s.meanPerf);
+    writeMetricJson(w, "battery_kwh", s.batteryKwh);
+    writeMetricJson(w, "worst_gap_min", s.worstGapMin);
+    w.key("loss_free").beginObject();
+    w.field("trials", s.lossFreeTrials);
+    w.field("fraction", s.lossFree.fraction);
+    w.field("ci_lo", s.lossFree.lo);
+    w.field("ci_hi", s.lossFree.hi);
+    w.endObject();
+    w.endObject();
+    os << '\n';
+}
+
+void
+writeCampaignCsv(std::ostream &os, const AnnualCampaignSummary &s)
+{
+    os << "metric,count,mean,stddev,min,max,p50,p95,p99\n";
+    const auto row = [&os](const char *name, const MetricStats &m) {
+        os << name << ',' << m.summary().count() << ','
+           << m.summary().mean() << ',' << m.summary().stddev() << ','
+           << m.summary().min() << ',' << m.summary().max() << ','
+           << m.p50() << ',' << m.p95() << ',' << m.p99() << '\n';
+    };
+    row("downtime_min", s.downtimeMin);
+    row("losses_per_year", s.lossesPerYear);
+    row("mean_perf", s.meanPerf);
+    row("battery_kwh", s.batteryKwh);
+    row("worst_gap_min", s.worstGapMin);
+    os << "loss_free_fraction," << s.trials << ',' << s.lossFree.fraction
+       << ",,," << s.lossFree.lo << ',' << s.lossFree.hi << ",,\n";
+}
+
+} // namespace bpsim

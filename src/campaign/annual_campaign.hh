@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Year-scale Monte Carlo campaigns: fan independent simulated years
+ * (scenario × per-trial seed) across the work-stealing pool, with
+ * online aggregation (Welford moments, P50/P95/P99 sketches, Wilson
+ * interval on the loss-free-year fraction), an optional
+ * confidence-interval early-stop rule, progress callbacks, and
+ * JSON/CSV export.
+ *
+ * The trial/seed model: trial t draws its randomness from
+ * `Rng::stream(seed, t)` — a pure function of (campaign seed, trial
+ * id) — and builds its own Simulator/PowerHierarchy/Cluster, so no
+ * mutable state crosses threads and the aggregated results are
+ * bit-identical for any thread count (see docs/CAMPAIGN.md).
+ */
+
+#ifndef BPSIM_CAMPAIGN_ANNUAL_CAMPAIGN_HH
+#define BPSIM_CAMPAIGN_ANNUAL_CAMPAIGN_HH
+
+#include <functional>
+#include <ostream>
+
+#include "campaign/online_stats.hh"
+#include "campaign/runner.hh"
+#include "core/annual.hh"
+
+namespace bpsim
+{
+
+/** The scenario one annual campaign holds fixed across its trials. */
+struct AnnualCampaignSpec
+{
+    WorkloadProfile profile;
+    int nServers = 8;
+    TechniqueSpec technique;
+    BackupConfigSpec config;
+};
+
+/** Campaign sizing, seeding, and early-stop knobs. */
+struct AnnualCampaignOptions
+{
+    /** Trial budget (upper bound when early stop is enabled). */
+    std::uint64_t maxTrials = 200;
+    /** Campaign seed; trial t uses Rng::stream(seed, t). */
+    std::uint64_t seed = 1;
+    /** Worker threads (0 = shared hardware-sized pool). */
+    int threads = 0;
+
+    /**
+     * @name Early stop
+     * After at least minTrials, stop once the normal-approximation CI
+     * half-width of E[downtime min/yr] is <= max(ciAbsTolMin,
+     * ciRelTol * |mean|). Disabled while both tolerances are 0. The
+     * rule is evaluated on the in-order trial prefix, so the stopping
+     * point is identical for every thread count.
+     */
+    ///@{
+    std::uint64_t minTrials = 64;
+    double ciRelTol = 0.0;
+    double ciAbsTolMin = 0.0;
+    double ciZ = 1.96;
+    ///@}
+
+    /** Progress callback cadence in trials (0 = no callbacks). */
+    std::uint64_t progressEvery = 0;
+    std::function<void(const CampaignProgress &)> progress;
+};
+
+/** Aggregates of one annual campaign. */
+struct AnnualCampaignSummary
+{
+    /** Trials aggregated (== stop index + 1 under early stop). */
+    std::uint64_t trials = 0;
+    /** Trial budget the campaign was launched with. */
+    std::uint64_t planned = 0;
+    /** True when the CI rule stopped the campaign early. */
+    bool stoppedEarly = false;
+
+    /** @name Per-metric streaming statistics (in trial order) */
+    ///@{
+    MetricStats downtimeMin;
+    MetricStats lossesPerYear;
+    MetricStats meanPerf;
+    MetricStats batteryKwh;
+    MetricStats worstGapMin;
+    ///@}
+
+    /** Years with zero abrupt power-loss events. */
+    std::uint64_t lossFreeTrials = 0;
+    /** Loss-free fraction with its Wilson interval. */
+    BinomialCi lossFree;
+
+    /** @name Wall-clock throughput (not part of the deterministic state) */
+    ///@{
+    double wallSeconds = 0.0;
+    double trialsPerSec = 0.0;
+    ///@}
+};
+
+/**
+ * A custom trial body: simulate year @p trial_id using only @p rng
+ * for randomness and return its result. Must not touch shared
+ * mutable state.
+ */
+using AnnualTrialFn =
+    std::function<AnnualResult(std::uint64_t trial_id, Rng &rng)>;
+
+/** Run a campaign with a custom per-trial body. */
+AnnualCampaignSummary runAnnualCampaign(const AnnualTrialFn &trial,
+                                        const AnnualCampaignOptions &opts);
+
+/**
+ * Run the standard campaign: each trial draws a Figure 1 outage trace
+ * for one year and runs it against the spec's cluster, backup
+ * configuration, and standing technique.
+ */
+AnnualCampaignSummary runAnnualCampaign(const AnnualCampaignSpec &spec,
+                                        const AnnualCampaignOptions &opts);
+
+/** JSON export (one object; campaign + per-metric stats). */
+void writeCampaignJson(std::ostream &os, const AnnualCampaignSummary &s);
+
+/** CSV export: one `metric,count,mean,...` row per metric. */
+void writeCampaignCsv(std::ostream &os, const AnnualCampaignSummary &s);
+
+/** Emit one metric as a JSON object member (used by bench exports). */
+class JsonWriter;
+void writeMetricJson(JsonWriter &w, const std::string &name,
+                     const MetricStats &m);
+
+} // namespace bpsim
+
+#endif // BPSIM_CAMPAIGN_ANNUAL_CAMPAIGN_HH

@@ -1,0 +1,175 @@
+#include "campaign/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+void
+JsonWriter::separate()
+{
+    if (pending_key) {
+        pending_key = false;
+        return;
+    }
+    if (!used.empty()) {
+        if (used.back())
+            os << ',';
+        used.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    os << '{';
+    used.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    BPSIM_ASSERT(!used.empty(), "endObject() without beginObject()");
+    used.pop_back();
+    os << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    os << '[';
+    used.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    BPSIM_ASSERT(!used.empty(), "endArray() without beginArray()");
+    used.pop_back();
+    os << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    separate();
+    os << '"' << name << "\":";
+    pending_key = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separate();
+    if (std::isfinite(v)) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+        os << buf;
+    } else {
+        os << "null"; // JSON has no inf/nan
+    }
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    separate();
+    os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    os << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::raw(const std::string &json)
+{
+    separate();
+    os << json;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    os << '"';
+    for (char c : v) {
+        switch (c) {
+        case '"':
+            os << "\\\"";
+            break;
+        case '\\':
+            os << "\\\\";
+            break;
+        case '\n':
+            os << "\\n";
+            break;
+        case '\t':
+            os << "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+    return *this;
+}
+
+std::string
+writeBenchJsonFile(const std::string &name,
+                   const std::function<void(JsonWriter &)> &body)
+{
+    const std::string file = "BENCH_" + name + ".json";
+    std::ofstream os(file);
+    if (!os) {
+        warn("cannot write %s", file.c_str());
+        return "";
+    }
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("bench", name);
+    body(w);
+    w.endObject();
+    os << '\n';
+    return os ? file : "";
+}
+
+} // namespace bpsim

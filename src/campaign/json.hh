@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for campaign and bench exports.
+ *
+ * Emits syntactically valid JSON with automatic comma placement;
+ * doubles are printed with %.17g so values round-trip exactly. Not a
+ * general serializer — just enough for flat result objects and the
+ * machine-readable BENCH_*.json files the benches emit so the perf
+ * trajectory can be tracked across PRs.
+ */
+
+#ifndef BPSIM_CAMPAIGN_JSON_HH
+#define BPSIM_CAMPAIGN_JSON_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bpsim
+{
+
+/** Streaming writer for one JSON document. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os(os) {}
+
+    /** @name Structure */
+    ///@{
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+    /** Emit the key of the next member (inside an object). */
+    JsonWriter &key(const std::string &name);
+    ///@}
+
+    /** @name Values */
+    ///@{
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(const std::string &v);
+    /**
+     * Splice pre-serialized JSON verbatim in value position. The
+     * caller guarantees `json` is one complete JSON value (e.g. an
+     * array built by another JsonWriter).
+     */
+    JsonWriter &raw(const std::string &json);
+    ///@}
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &name, const T &v)
+    {
+        key(name);
+        return value(v);
+    }
+
+  private:
+    void separate();
+
+    std::ostream &os;
+    /** Per-nesting-level "a member has been emitted" flags. */
+    std::vector<bool> used;
+    /** A key() is pending, so the next value needs no comma. */
+    bool pending_key = false;
+};
+
+/**
+ * Write `BENCH_<name>.json` in the current working directory with
+ * `body` filling the members of the top-level object (a "bench" member
+ * is emitted first). Returns the file name, or "" on I/O failure.
+ */
+std::string writeBenchJsonFile(const std::string &name,
+                               const std::function<void(JsonWriter &)> &body);
+
+} // namespace bpsim
+
+#endif // BPSIM_CAMPAIGN_JSON_HH

@@ -1,0 +1,144 @@
+#include "campaign/online_stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+P2Quantile::P2Quantile(double probability) : p(probability)
+{
+    BPSIM_ASSERT(probability > 0.0 && probability < 1.0,
+                 "quantile probability %g outside (0, 1)", probability);
+    for (int i = 0; i < 5; ++i) {
+        q[i] = 0.0;
+        n_[i] = static_cast<double>(i + 1);
+    }
+    np[0] = 1.0;
+    np[1] = 1.0 + 2.0 * p;
+    np[2] = 1.0 + 4.0 * p;
+    np[3] = 3.0 + 2.0 * p;
+    np[4] = 5.0;
+    dn[0] = 0.0;
+    dn[1] = p / 2.0;
+    dn[2] = p;
+    dn[3] = (1.0 + p) / 2.0;
+    dn[4] = 1.0;
+}
+
+void
+P2Quantile::add(double x)
+{
+    ++count_;
+    if (count_ <= 5) {
+        // Initialization phase: collect and keep sorted.
+        q[count_ - 1] = x;
+        std::sort(q, q + count_);
+        return;
+    }
+
+    // Find the cell containing x and clamp the extreme markers.
+    int k;
+    if (x < q[0]) {
+        q[0] = x;
+        k = 0;
+    } else if (x >= q[4]) {
+        q[4] = x;
+        k = 3;
+    } else {
+        k = 0;
+        while (k < 3 && x >= q[k + 1])
+            ++k;
+    }
+
+    for (int i = k + 1; i < 5; ++i)
+        n_[i] += 1.0;
+    for (int i = 0; i < 5; ++i)
+        np[i] += dn[i];
+
+    // Nudge the three middle markers toward their desired positions,
+    // with parabolic (falling back to linear) height adjustment.
+    for (int i = 1; i <= 3; ++i) {
+        const double d = np[i] - n_[i];
+        if ((d >= 1.0 && n_[i + 1] - n_[i] > 1.0) ||
+            (d <= -1.0 && n_[i - 1] - n_[i] < -1.0)) {
+            const double sign = d >= 0.0 ? 1.0 : -1.0;
+            const double qp =
+                q[i] +
+                sign / (n_[i + 1] - n_[i - 1]) *
+                    ((n_[i] - n_[i - 1] + sign) * (q[i + 1] - q[i]) /
+                         (n_[i + 1] - n_[i]) +
+                     (n_[i + 1] - n_[i] - sign) * (q[i] - q[i - 1]) /
+                         (n_[i] - n_[i - 1]));
+            if (q[i - 1] < qp && qp < q[i + 1]) {
+                q[i] = qp;
+            } else {
+                // Parabolic estimate left the bracket; linear step.
+                const int j = i + static_cast<int>(sign);
+                q[i] += sign * (q[j] - q[i]) / (n_[j] - n_[i]);
+            }
+            n_[i] += sign;
+        }
+    }
+}
+
+double
+P2Quantile::value() const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (count_ <= 5) {
+        // Exact sample quantile (nearest-rank with interpolation).
+        const auto m = static_cast<double>(count_);
+        const double rank = p * (m - 1.0);
+        const auto lo = static_cast<std::size_t>(rank);
+        const std::size_t hi = std::min<std::size_t>(
+            lo + 1, static_cast<std::size_t>(count_) - 1);
+        const double frac = rank - static_cast<double>(lo);
+        return q[lo] + frac * (q[hi] - q[lo]);
+    }
+    return q[2];
+}
+
+BinomialCi
+wilsonInterval(std::uint64_t successes, std::uint64_t trials, double z)
+{
+    BinomialCi ci;
+    if (trials == 0)
+        return ci;
+    BPSIM_ASSERT(successes <= trials, "%llu successes out of %llu trials",
+                 static_cast<unsigned long long>(successes),
+                 static_cast<unsigned long long>(trials));
+    const auto n = static_cast<double>(trials);
+    const double phat = static_cast<double>(successes) / n;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double center = (phat + z2 / (2.0 * n)) / denom;
+    const double half =
+        z / denom * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n));
+    ci.fraction = phat;
+    ci.lo = std::max(0.0, center - half);
+    ci.hi = std::min(1.0, center + half);
+    return ci;
+}
+
+void
+MetricStats::add(double x)
+{
+    s.add(x);
+    q50.add(x);
+    q95.add(x);
+    q99.add(x);
+}
+
+double
+MetricStats::meanCiHalfWidth(double z) const
+{
+    if (s.count() < 2)
+        return 0.0;
+    return z * s.stddev() / std::sqrt(static_cast<double>(s.count()));
+}
+
+} // namespace bpsim

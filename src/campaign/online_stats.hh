@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Online (single-pass, bounded-memory) statistics for Monte Carlo
+ * campaigns: the P² streaming quantile sketch, Wilson score intervals
+ * for binomial proportions (loss-free-year fraction), and a per-metric
+ * aggregate bundling Welford moments with P50/P95/P99 sketches.
+ *
+ * Everything here is deterministic in the input *sequence*: feeding
+ * the same observations in the same order yields bit-identical state.
+ * The campaign runner exploits this by always consuming trial results
+ * in trial-id order, so campaign statistics do not depend on the
+ * thread count or scheduling (see campaign/runner.hh).
+ */
+
+#ifndef BPSIM_CAMPAIGN_ONLINE_STATS_HH
+#define BPSIM_CAMPAIGN_ONLINE_STATS_HH
+
+#include <cstdint>
+
+#include "sim/stats.hh"
+
+namespace bpsim
+{
+
+/**
+ * P² streaming quantile estimator (Jain & Chlamtac, CACM 1985):
+ * tracks one quantile of an unbounded stream with five markers and
+ * O(1) memory. Exact for the first five observations, a parabolic
+ * interpolation thereafter.
+ */
+class P2Quantile
+{
+  public:
+    /** Track the @p probability quantile (0 < probability < 1). */
+    explicit P2Quantile(double probability);
+
+    /** Add one observation. */
+    void add(double x);
+
+    /** Current estimate (exact sample quantile while count() < 5). */
+    double value() const;
+
+    /** Observations seen. */
+    std::uint64_t count() const { return count_; }
+
+    /** The tracked probability. */
+    double probability() const { return p; }
+
+  private:
+    double p;
+    double q[5];  // marker heights
+    double n_[5]; // marker positions (1-based)
+    double np[5]; // desired marker positions
+    double dn[5]; // desired position increments
+    std::uint64_t count_ = 0;
+};
+
+/** A binomial proportion with its Wilson score interval. */
+struct BinomialCi
+{
+    double fraction = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * Wilson score interval for @p successes out of @p trials at normal
+ * quantile @p z (1.96 = 95%). Well-behaved at 0 and 1, unlike the
+ * Wald interval. Returns all-zero for trials == 0.
+ */
+BinomialCi wilsonInterval(std::uint64_t successes, std::uint64_t trials,
+                          double z = 1.96);
+
+/**
+ * One campaign metric: streaming moments (Welford) plus P50/P95/P99
+ * quantile sketches.
+ */
+class MetricStats
+{
+  public:
+    /** Add one per-trial observation. */
+    void add(double x);
+
+    /** Welford count/mean/variance/min/max/sum. */
+    const SummaryStats &summary() const { return s; }
+
+    double p50() const { return q50.value(); }
+    double p95() const { return q95.value(); }
+    double p99() const { return q99.value(); }
+
+    /**
+     * Normal-approximation half-width of the confidence interval on
+     * the mean: z * stddev / sqrt(n). Zero for fewer than 2 samples.
+     */
+    double meanCiHalfWidth(double z = 1.96) const;
+
+  private:
+    SummaryStats s;
+    P2Quantile q50{0.50};
+    P2Quantile q95{0.95};
+    P2Quantile q99{0.99};
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_CAMPAIGN_ONLINE_STATS_HH

@@ -1,5 +1,6 @@
 #include "core/annual.hh"
 
+#include "campaign/runner.hh"
 #include "power/utility.hh"
 #include "sim/logging.hh"
 #include "workload/cluster.hh"
@@ -109,21 +110,30 @@ AnnualSimulator::runYears(const WorkloadProfile &profile, int n_servers,
                           std::uint64_t seed) const
 {
     BPSIM_ASSERT(years >= 1, "need at least one year");
-    auto gen = OutageTraceGenerator::figure1();
-    Rng rng(seed);
+    const auto gen = OutageTraceGenerator::figure1();
     AnnualSummary summary;
     int loss_free = 0;
-    for (int y = 0; y < years; ++y) {
-        Rng year_rng = rng.fork(static_cast<std::uint64_t>(y));
-        const auto events = gen.generate(year_rng, kYear);
-        const auto r =
-            runYear(profile, n_servers, technique, config, events);
-        summary.downtimeMin.add(r.downtimeMin);
-        summary.lossesPerYear.add(static_cast<double>(r.losses));
-        summary.meanPerf.add(r.meanPerf);
-        if (r.losses == 0)
-            ++loss_free;
-    }
+    // One independent trial per year, fanned out across the campaign
+    // pool; each trial builds its own Simulator and draws from
+    // Rng::stream(seed, y), and the consumer below runs in year order,
+    // so the summary does not depend on the thread count.
+    runCampaign<AnnualResult>(
+        static_cast<std::uint64_t>(years),
+        [&](std::uint64_t y) {
+            Rng year_rng = Rng::stream(seed, y);
+            const auto events = gen.generate(year_rng, kYear);
+            return runYear(profile, n_servers, technique, config, events);
+        },
+        [&](std::uint64_t, AnnualResult &&r) {
+            summary.downtimeMin.add(r.downtimeMin);
+            summary.lossesPerYear.add(static_cast<double>(r.losses));
+            summary.meanPerf.add(r.meanPerf);
+            summary.batteryKwh.add(r.batteryKwh);
+            summary.worstGapMin.add(r.worstGapMin);
+            if (r.losses == 0)
+                ++loss_free;
+            return true;
+        });
     summary.lossFreeYears =
         static_cast<double>(loss_free) / static_cast<double>(years);
     return summary;

@@ -44,6 +44,8 @@ struct AnnualSummary
     SummaryStats downtimeMin;
     SummaryStats lossesPerYear;
     SummaryStats meanPerf;
+    SummaryStats batteryKwh;
+    SummaryStats worstGapMin;
     /** Fraction of years with zero abrupt power-loss events. */
     double lossFreeYears = 0.0;
 };
@@ -66,7 +68,10 @@ class AnnualSimulator
 
     /**
      * Simulate @p years independent years with traces drawn from the
-     * Figure 1 statistics (seeded deterministically from @p seed).
+     * Figure 1 statistics. Year y draws its randomness from
+     * Rng::stream(seed, y) and the years are fanned out across the
+     * campaign thread pool; aggregation is in year order, so the
+     * summary is bit-identical for any thread count.
      */
     AnnualSummary runYears(const WorkloadProfile &profile, int n_servers,
                            const TechniqueSpec &technique,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "campaign/runner.hh"
 #include "sim/logging.hh"
 
 namespace bpsim
@@ -29,13 +30,20 @@ TechniqueSelector::bestForConfig(
     const std::vector<TechniqueSpec> &candidates) const
 {
     BPSIM_ASSERT(!candidates.empty(), "no candidate techniques");
+    // Evaluations are independent full-simulator runs: fan them out
+    // across the campaign pool, then reduce in candidate order so the
+    // tie-breaking (first win) matches the serial loop exactly.
+    auto choices = parallelMap<TechniqueChoice>(
+        candidates.size(), [&](std::uint64_t i) {
+            Scenario sc = base;
+            sc.technique = candidates[i];
+            return TechniqueChoice{
+                candidates[i], analyzer_.evaluateConfig(sc, config)};
+        });
     std::optional<TechniqueChoice> best;
-    for (const auto &spec : candidates) {
-        Scenario sc = base;
-        sc.technique = spec;
-        TechniqueChoice choice{spec, analyzer_.evaluateConfig(sc, config)};
+    for (auto &choice : choices) {
         if (!best || better(choice, *best))
-            best = choice;
+            best = std::move(choice);
     }
     return *best;
 }
@@ -44,14 +52,15 @@ std::vector<TechniqueChoice>
 TechniqueSelector::sizeAll(const Scenario &base,
                            const std::vector<TechniqueSpec> &candidates) const
 {
-    std::vector<TechniqueChoice> out;
-    out.reserve(candidates.size());
-    for (const auto &spec : candidates) {
-        Scenario sc = base;
-        sc.technique = spec;
-        out.push_back({spec, analyzer_.sizeUpsOnly(sc)});
-    }
-    return out;
+    // Each sizing run is an independent bisection over full simulator
+    // runs; the sweep is embarrassingly parallel and order-preserving.
+    return parallelMap<TechniqueChoice>(
+        candidates.size(), [&](std::uint64_t i) {
+            Scenario sc = base;
+            sc.technique = candidates[i];
+            return TechniqueChoice{candidates[i],
+                                   analyzer_.sizeUpsOnly(sc)};
+        });
 }
 
 std::vector<TechniqueChoice>

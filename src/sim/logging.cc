@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -10,7 +11,9 @@ namespace bpsim
 namespace
 {
 
-bool quietLogging = false;
+// Atomic so campaign worker threads may consult the flag while
+// another thread toggles it, without a data race under TSan.
+std::atomic<bool> quietLogging{false};
 
 std::string
 vformat(const char *fmt, va_list ap)
@@ -63,7 +66,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (quietLogging)
+    if (quietLogging.load(std::memory_order_relaxed))
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -75,7 +78,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (quietLogging)
+    if (quietLogging.load(std::memory_order_relaxed))
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -87,7 +90,7 @@ inform(const char *fmt, ...)
 void
 setQuietLogging(bool quiet)
 {
-    quietLogging = quiet;
+    quietLogging.store(quiet, std::memory_order_relaxed);
 }
 
 } // namespace bpsim

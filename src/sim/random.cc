@@ -131,4 +131,11 @@ Rng::fork(std::uint64_t stream_id)
     return Rng(sm.next());
 }
 
+Rng
+Rng::stream(std::uint64_t seed, std::uint64_t stream_id)
+{
+    Rng root(seed);
+    return root.fork(stream_id);
+}
+
 } // namespace bpsim

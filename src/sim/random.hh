@@ -73,6 +73,16 @@ class Rng
      */
     Rng fork(std::uint64_t stream_id);
 
+    /**
+     * The canonical per-trial stream for Monte Carlo campaigns:
+     * equivalent to `Rng(seed).fork(stream_id)`. Unlike repeated
+     * fork() calls on one parent, the result depends only on
+     * (seed, stream_id) — not on how many streams were derived
+     * before — so trials can be scheduled in any order on any number
+     * of threads and still draw bit-identical randomness.
+     */
+    static Rng stream(std::uint64_t seed, std::uint64_t stream_id);
+
   private:
     std::uint64_t s[4];
 };

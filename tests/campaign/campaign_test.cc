@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the campaign runner: strict in-order consumption,
+ * deterministic early stop, bit-identical aggregates across thread
+ * counts (the acceptance gate for the parallel engine), and — on
+ * machines with enough cores — parallel speedup.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "campaign/annual_campaign.hh"
+#include "campaign/runner.hh"
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(CampaignRunner, ConsumesInStrictTrialOrder)
+{
+    constexpr std::uint64_t kN = 500;
+    std::uint64_t expected = 0;
+    CampaignOptions opts;
+    opts.threads = 4;
+    const auto oc = runCampaign<std::uint64_t>(
+        kN, [](std::uint64_t id) { return id * 3; },
+        [&](std::uint64_t id, std::uint64_t &&r) {
+            EXPECT_EQ(id, expected++);
+            EXPECT_EQ(r, id * 3);
+            return true;
+        },
+        opts);
+    EXPECT_EQ(oc.consumed, kN);
+    EXPECT_FALSE(oc.stoppedEarly);
+}
+
+TEST(CampaignRunner, EarlyStopIsDeterministicAcrossThreadCounts)
+{
+    for (int threads : {1, 2, 4, 8}) {
+        std::vector<std::uint64_t> seen;
+        CampaignOptions opts;
+        opts.threads = threads;
+        const auto oc = runCampaign<std::uint64_t>(
+            10000, [](std::uint64_t id) { return id; },
+            [&](std::uint64_t id, std::uint64_t &&) {
+                seen.push_back(id);
+                return id != 37; // stop after consuming trial 37
+            },
+            opts);
+        ASSERT_EQ(oc.consumed, 38u) << "threads=" << threads;
+        ASSERT_TRUE(oc.stoppedEarly);
+        ASSERT_EQ(seen.size(), 38u);
+        for (std::uint64_t i = 0; i < seen.size(); ++i)
+            ASSERT_EQ(seen[i], i);
+    }
+}
+
+TEST(CampaignRunner, ProgressCallbacksAreInOrderAndSerialized)
+{
+    CampaignOptions opts;
+    opts.threads = 4;
+    opts.progressEvery = 10;
+    std::vector<std::uint64_t> ticks;
+    opts.progress = [&](const CampaignProgress &p) {
+        EXPECT_EQ(p.total, 95u);
+        ticks.push_back(p.consumed);
+    };
+    runCampaign<int>(
+        95, [](std::uint64_t) { return 0; },
+        [](std::uint64_t, int &&) { return true; }, opts);
+    // Every multiple of 10, plus the final 95.
+    const std::vector<std::uint64_t> expect{10, 20, 30, 40, 50,
+                                            60, 70, 80, 90, 95};
+    EXPECT_EQ(ticks, expect);
+}
+
+TEST(ParallelMap, PreservesOrder)
+{
+    const auto out = parallelMap<double>(
+        1000, [](std::uint64_t i) { return static_cast<double>(i) * 0.5; },
+        4);
+    ASSERT_EQ(out.size(), 1000u);
+    for (std::uint64_t i = 0; i < out.size(); ++i)
+        ASSERT_DOUBLE_EQ(out[i], static_cast<double>(i) * 0.5);
+}
+
+/** Cheap standing scenario for the real-simulation campaigns. */
+AnnualCampaignSpec
+testSpec()
+{
+    AnnualCampaignSpec spec;
+    spec.profile = specJbbProfile();
+    spec.nServers = 4;
+    spec.technique = {TechniqueKind::Throttle, 5, 0, 0, false};
+    spec.config = noDgConfig();
+    return spec;
+}
+
+/** All deterministic aggregate state, for bitwise comparison. */
+std::vector<double>
+fingerprint(const AnnualCampaignSummary &s)
+{
+    std::vector<double> v;
+    const auto metric = [&v](const MetricStats &m) {
+        v.push_back(static_cast<double>(m.summary().count()));
+        v.push_back(m.summary().mean());
+        v.push_back(m.summary().variance());
+        v.push_back(m.summary().min());
+        v.push_back(m.summary().max());
+        v.push_back(m.summary().sum());
+        v.push_back(m.p50());
+        v.push_back(m.p95());
+        v.push_back(m.p99());
+    };
+    metric(s.downtimeMin);
+    metric(s.lossesPerYear);
+    metric(s.meanPerf);
+    metric(s.batteryKwh);
+    metric(s.worstGapMin);
+    v.push_back(static_cast<double>(s.trials));
+    v.push_back(static_cast<double>(s.lossFreeTrials));
+    v.push_back(s.lossFree.fraction);
+    v.push_back(s.lossFree.lo);
+    v.push_back(s.lossFree.hi);
+    return v;
+}
+
+// The acceptance gate: a >= 64-trial campaign aggregated with 1, 4,
+// and hardware_concurrency() threads is byte-identical per seed.
+TEST(AnnualCampaign, BitIdenticalAcrossThreadCounts)
+{
+    AnnualCampaignOptions opts;
+    opts.maxTrials = 64;
+    opts.seed = 20140301;
+
+    opts.threads = 1;
+    const auto serial = fingerprint(runAnnualCampaign(testSpec(), opts));
+    ASSERT_FALSE(serial.empty());
+
+    for (int threads : {4, WorkStealingPool::hardwareThreads()}) {
+        opts.threads = threads;
+        const auto par = fingerprint(runAnnualCampaign(testSpec(), opts));
+        ASSERT_EQ(par.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            ASSERT_EQ(par[i], serial[i])
+                << "field " << i << " differs at threads=" << threads;
+        }
+    }
+}
+
+TEST(AnnualCampaign, SameSeedSameResultsSameThreads)
+{
+    AnnualCampaignOptions opts;
+    opts.maxTrials = 16;
+    opts.seed = 99;
+    opts.threads = 4;
+    const auto a = fingerprint(runAnnualCampaign(testSpec(), opts));
+    const auto b = fingerprint(runAnnualCampaign(testSpec(), opts));
+    EXPECT_EQ(a, b);
+}
+
+TEST(AnnualCampaign, DifferentSeedsDiverge)
+{
+    AnnualCampaignOptions opts;
+    opts.maxTrials = 16;
+    opts.threads = 2;
+    opts.seed = 1;
+    const auto a = runAnnualCampaign(testSpec(), opts);
+    opts.seed = 2;
+    const auto b = runAnnualCampaign(testSpec(), opts);
+    EXPECT_NE(a.downtimeMin.summary().sum(),
+              b.downtimeMin.summary().sum());
+}
+
+TEST(AnnualCampaign, EarlyStopRespectsMinTrialsAndTolerance)
+{
+    AnnualCampaignOptions opts;
+    opts.maxTrials = 200;
+    opts.seed = 5;
+    opts.threads = 2;
+    opts.minTrials = 16;
+    opts.ciRelTol = 1e9; // absurdly loose: stop at exactly minTrials
+    const auto s = runAnnualCampaign(testSpec(), opts);
+    EXPECT_EQ(s.trials, 16u);
+    EXPECT_TRUE(s.stoppedEarly);
+    EXPECT_EQ(s.planned, 200u);
+
+    // And the early-stopped prefix matches a straight 16-trial run.
+    AnnualCampaignOptions full;
+    full.maxTrials = 16;
+    full.seed = 5;
+    full.threads = 1;
+    const auto prefix = runAnnualCampaign(testSpec(), full);
+    EXPECT_EQ(fingerprint(s), fingerprint(prefix));
+}
+
+TEST(AnnualCampaign, MatchesAnnualSimulatorSummary)
+{
+    // The re-platformed AnnualSimulator::runYears and the campaign
+    // engine draw identical per-year streams, so their Welford
+    // moments agree exactly.
+    const auto spec = testSpec();
+    AnnualCampaignOptions opts;
+    opts.maxTrials = 12;
+    opts.seed = 77;
+    opts.threads = 2;
+    const auto campaign = runAnnualCampaign(spec, opts);
+
+    AnnualSimulator sim;
+    const auto years =
+        sim.runYears(spec.profile, spec.nServers, spec.technique,
+                     spec.config, 12, 77);
+    EXPECT_EQ(campaign.downtimeMin.summary().mean(),
+              years.downtimeMin.mean());
+    EXPECT_EQ(campaign.batteryKwh.summary().sum(),
+              years.batteryKwh.sum());
+    EXPECT_EQ(campaign.worstGapMin.summary().max(),
+              years.worstGapMin.max());
+    EXPECT_EQ(campaign.lossFree.fraction, years.lossFreeYears);
+}
+
+TEST(AnnualCampaign, CustomTrialBodies)
+{
+    AnnualCampaignOptions opts;
+    opts.maxTrials = 32;
+    opts.seed = 3;
+    opts.threads = 2;
+    const auto s = runAnnualCampaign(
+        [](std::uint64_t id, Rng &rng) {
+            AnnualResult r;
+            r.downtimeMin = rng.nextDouble();
+            r.losses = id % 4 == 0 ? 1 : 0;
+            return r;
+        },
+        opts);
+    EXPECT_EQ(s.trials, 32u);
+    EXPECT_EQ(s.lossFreeTrials, 24u);
+    EXPECT_DOUBLE_EQ(s.lossFree.fraction, 0.75);
+    EXPECT_GT(s.downtimeMin.summary().mean(), 0.0);
+    EXPECT_LT(s.downtimeMin.summary().mean(), 1.0);
+}
+
+// Scaling check for many-core machines. On 8+ cores the 200-trial
+// campaign must beat the serial baseline by >= 4x (the acceptance
+// bar); 4-7 cores get a proportionally lower bar; below 4 cores the
+// measurement is meaningless and the test skips.
+TEST(AnnualCampaign, ParallelSpeedupOnManyCoreHosts)
+{
+    const int hw = WorkStealingPool::hardwareThreads();
+    if (hw < 4)
+        GTEST_SKIP() << "only " << hw << " hardware threads";
+
+    AnnualCampaignOptions opts;
+    opts.maxTrials = 200;
+    opts.seed = 2014;
+
+    opts.threads = 1;
+    const auto serial = runAnnualCampaign(testSpec(), opts);
+    opts.threads = hw;
+    const auto parallel = runAnnualCampaign(testSpec(), opts);
+
+    ASSERT_GT(serial.wallSeconds, 0.0);
+    ASSERT_GT(parallel.wallSeconds, 0.0);
+    const double speedup = serial.wallSeconds / parallel.wallSeconds;
+    const double bar = hw >= 8 ? 4.0 : 2.0;
+    EXPECT_GE(speedup, bar)
+        << "serial " << serial.wallSeconds << " s vs parallel "
+        << parallel.wallSeconds << " s on " << hw << " threads";
+    EXPECT_EQ(fingerprint(serial), fingerprint(parallel));
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the online campaign statistics: P² quantile sketch,
+ * Wilson binomial intervals, and the per-metric aggregate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "campaign/online_stats.hh"
+#include "sim/random.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(P2Quantile, ExactForSmallSamples)
+{
+    P2Quantile q(0.5);
+    q.add(3.0);
+    EXPECT_DOUBLE_EQ(q.value(), 3.0);
+    q.add(1.0);
+    EXPECT_DOUBLE_EQ(q.value(), 2.0); // interpolated median of {1, 3}
+    q.add(2.0);
+    EXPECT_DOUBLE_EQ(q.value(), 2.0);
+}
+
+TEST(P2Quantile, MedianOfUniformStream)
+{
+    P2Quantile q(0.5);
+    Rng rng(42);
+    for (int i = 0; i < 100000; ++i)
+        q.add(rng.nextDouble());
+    EXPECT_NEAR(q.value(), 0.5, 0.01);
+}
+
+TEST(P2Quantile, TailQuantilesOfUniformStream)
+{
+    P2Quantile q95(0.95), q99(0.99);
+    Rng rng(7);
+    for (int i = 0; i < 100000; ++i) {
+        const double x = rng.nextDouble();
+        q95.add(x);
+        q99.add(x);
+    }
+    EXPECT_NEAR(q95.value(), 0.95, 0.01);
+    EXPECT_NEAR(q99.value(), 0.99, 0.01);
+}
+
+TEST(P2Quantile, TracksExponentialTail)
+{
+    // Heavy-tailed input: P95 of Exp(mean=10) is -10 ln(0.05) ~= 30.
+    P2Quantile q(0.95);
+    Rng rng(11);
+    for (int i = 0; i < 200000; ++i)
+        q.add(rng.exponential(10.0));
+    EXPECT_NEAR(q.value(), 29.96, 1.0);
+}
+
+TEST(P2Quantile, DeterministicForSameSequence)
+{
+    P2Quantile a(0.95), b(0.95);
+    Rng ra(3), rb(3);
+    for (int i = 0; i < 10000; ++i) {
+        a.add(ra.nextDouble());
+        b.add(rb.nextDouble());
+    }
+    EXPECT_EQ(a.value(), b.value()); // bitwise
+}
+
+TEST(Wilson, BracketsTheObservedFraction)
+{
+    const auto ci = wilsonInterval(90, 100);
+    EXPECT_DOUBLE_EQ(ci.fraction, 0.9);
+    EXPECT_LT(ci.lo, 0.9);
+    EXPECT_GT(ci.hi, 0.9);
+    EXPECT_NEAR(ci.lo, 0.825, 0.01); // textbook value for 90/100 @95%
+    EXPECT_NEAR(ci.hi, 0.944, 0.01);
+}
+
+TEST(Wilson, BehavesAtTheBoundaries)
+{
+    const auto all = wilsonInterval(50, 50);
+    EXPECT_DOUBLE_EQ(all.fraction, 1.0);
+    EXPECT_DOUBLE_EQ(all.hi, 1.0);
+    EXPECT_LT(all.lo, 1.0);
+    EXPECT_GT(all.lo, 0.9); // 50/50 is strong evidence
+
+    const auto none = wilsonInterval(0, 50);
+    EXPECT_DOUBLE_EQ(none.fraction, 0.0);
+    EXPECT_DOUBLE_EQ(none.lo, 0.0);
+    EXPECT_GT(none.hi, 0.0);
+    EXPECT_LT(none.hi, 0.1);
+
+    const auto empty = wilsonInterval(0, 0);
+    EXPECT_DOUBLE_EQ(empty.fraction, 0.0);
+    EXPECT_DOUBLE_EQ(empty.lo, 0.0);
+    EXPECT_DOUBLE_EQ(empty.hi, 0.0);
+}
+
+TEST(Wilson, NarrowsWithMoreTrials)
+{
+    const auto small = wilsonInterval(9, 10);
+    const auto large = wilsonInterval(900, 1000);
+    EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(MetricStats, CombinesMomentsAndQuantiles)
+{
+    MetricStats m;
+    for (int i = 1; i <= 1000; ++i)
+        m.add(static_cast<double>(i));
+    EXPECT_EQ(m.summary().count(), 1000u);
+    EXPECT_DOUBLE_EQ(m.summary().mean(), 500.5);
+    EXPECT_DOUBLE_EQ(m.summary().min(), 1.0);
+    EXPECT_DOUBLE_EQ(m.summary().max(), 1000.0);
+    EXPECT_NEAR(m.p50(), 500.5, 15.0);
+    EXPECT_NEAR(m.p95(), 950.0, 15.0);
+    EXPECT_NEAR(m.p99(), 990.0, 15.0);
+}
+
+TEST(MetricStats, MeanCiHalfWidthMatchesFormula)
+{
+    MetricStats m;
+    for (int i = 0; i < 100; ++i)
+        m.add(i % 2 == 0 ? 0.0 : 1.0);
+    const double expect = 1.96 * m.summary().stddev() / 10.0;
+    EXPECT_DOUBLE_EQ(m.meanCiHalfWidth(), expect);
+
+    MetricStats one;
+    one.add(5.0);
+    EXPECT_DOUBLE_EQ(one.meanCiHalfWidth(), 0.0);
+}
+
+} // namespace
+} // namespace bpsim

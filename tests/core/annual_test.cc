@@ -90,6 +90,12 @@ TEST(Annual, SummaryAggregatesAcrossYears)
     EXPECT_EQ(s.downtimeMin.count(), 20u);
     EXPECT_GT(s.meanPerf.mean(), 0.99); // outages are rare
     EXPECT_DOUBLE_EQ(s.lossFreeYears, 1.0); // sleep never crashes
+    // Battery energy and worst-gap reach the summary too.
+    EXPECT_EQ(s.batteryKwh.count(), 20u);
+    EXPECT_EQ(s.worstGapMin.count(), 20u);
+    EXPECT_GT(s.batteryKwh.max(), 0.0);    // some year saw an outage
+    EXPECT_GT(s.worstGapMin.max(), 0.0);   // sleep's downtime gaps
+    EXPECT_GE(s.worstGapMin.min(), 0.0);
 }
 
 TEST(Annual, DeterministicGivenSeed)
