@@ -189,6 +189,7 @@ main()
 
     const std::string json = writeBenchJsonFile(
         "abl_annual_availability", [&](JsonWriter &w) {
+            w.field("seed", nv.seed);
             w.field("trials", total_trials);
             w.field("wall_seconds", total_wall);
             w.field("trials_per_sec",

@@ -235,6 +235,7 @@ main()
             w.field("claims",
                     static_cast<std::uint64_t>(records.size()));
             w.field("missed", failures);
+            w.field("seed", mc.seed);
             w.field("trials", mc.trials);
             w.field("wall_seconds", mc.wallSeconds);
             w.field("trials_per_sec", mc.trialsPerSec);

@@ -120,6 +120,7 @@ main()
 
     const std::string json =
         writeBenchJsonFile("fig10_tco_crossover", [&](JsonWriter &w) {
+            w.field("seed", mc.seed);
             w.field("trials", mc.trials);
             w.field("wall_seconds", mc.wallSeconds);
             w.field("trials_per_sec", mc.trialsPerSec);

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the campaign aggregation
+ * primitives: ExactSum accumulation (the cost of bit-stable merging),
+ * t-digest add/quantile/merge, and the full MergingMetric update an
+ * annual shard performs per trial. These sit on the per-trial hot
+ * path of every sharded campaign, so regressions here scale with N.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "campaign/exact_sum.hh"
+#include "campaign/shard.hh"
+#include "campaign/tdigest.hh"
+#include "sim/random.hh"
+
+using namespace bpsim;
+
+namespace
+{
+
+std::vector<double>
+mixedSample(int n)
+{
+    Rng rng(7);
+    std::vector<double> xs(n);
+    for (auto &x : xs)
+        x = rng.exponential(90.0) - 30.0; // signed, heavy-tailed
+    return xs;
+}
+
+void
+BM_ExactSumAdd(benchmark::State &state)
+{
+    const auto xs = mixedSample(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        ExactSum s;
+        for (const double x : xs)
+            s.add(x);
+        benchmark::DoNotOptimize(s.value());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExactSumAdd)->Arg(1000)->Arg(100000);
+
+void
+BM_ExactSumMerge(benchmark::State &state)
+{
+    const auto xs = mixedSample(10000);
+    std::vector<ExactSum> parts(16);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        parts[i % parts.size()].add(xs[i]);
+    for (auto _ : state) {
+        ExactSum total;
+        for (const auto &p : parts)
+            total.merge(p);
+        benchmark::DoNotOptimize(total.value());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int>(parts.size()));
+}
+BENCHMARK(BM_ExactSumMerge);
+
+void
+BM_TDigestAdd(benchmark::State &state)
+{
+    const auto xs = mixedSample(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        TDigest td;
+        for (const double x : xs)
+            td.add(x);
+        benchmark::DoNotOptimize(td.quantile(0.99));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TDigestAdd)->Arg(1000)->Arg(100000);
+
+void
+BM_TDigestMerge(benchmark::State &state)
+{
+    const auto xs = mixedSample(160000);
+    std::vector<TDigest> parts(16, TDigest{100.0});
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        parts[i % parts.size()].add(xs[i]);
+    for (auto &p : parts)
+        benchmark::DoNotOptimize(p.centroids().size()); // pre-flush
+    for (auto _ : state) {
+        TDigest total;
+        for (const auto &p : parts)
+            total.merge(p);
+        benchmark::DoNotOptimize(total.quantile(0.5));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int>(parts.size()));
+}
+BENCHMARK(BM_TDigestMerge);
+
+void
+BM_MergingMetricAdd(benchmark::State &state)
+{
+    // The per-trial aggregation cost of a sharded campaign metric:
+    // two ExactSum folds + min/max + one t-digest insert.
+    const auto xs = mixedSample(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        MergingMetric m;
+        for (const double x : xs)
+            m.add(x);
+        benchmark::DoNotOptimize(m.meanCiHalfWidth());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MergingMetricAdd)->Arg(1000)->Arg(100000);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -13,11 +13,15 @@
 #ifndef BPSIM_BPSIM_HH
 #define BPSIM_BPSIM_HH
 
-// Campaign engine (parallel Monte Carlo with deterministic replay).
+// Campaign engine (parallel Monte Carlo with deterministic replay,
+// plus distributed sharding with mergeable aggregates).
 #include "campaign/annual_campaign.hh"
+#include "campaign/exact_sum.hh"
 #include "campaign/json.hh"
 #include "campaign/online_stats.hh"
 #include "campaign/runner.hh"
+#include "campaign/shard.hh"
+#include "campaign/tdigest.hh"
 #include "campaign/thread_pool.hh"
 
 // Simulation kernel.

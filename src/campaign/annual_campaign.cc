@@ -26,6 +26,7 @@ runAnnualCampaign(const AnnualTrialFn &trial,
 
     AnnualCampaignSummary out;
     out.planned = opts.maxTrials;
+    out.seed = opts.seed;
     const bool early_stop = opts.ciRelTol > 0.0 || opts.ciAbsTolMin > 0.0;
 
     const std::function<AnnualResult(std::uint64_t)> body =
@@ -103,6 +104,10 @@ writeMetricJson(JsonWriter &w, const std::string &name,
     w.field("p50", m.p50());
     w.field("p95", m.p95());
     w.field("p99", m.p99());
+    // Digest-based quantiles (mergeable across shards, unlike P²).
+    w.field("td_p50", m.quantile(0.50));
+    w.field("td_p95", m.quantile(0.95));
+    w.field("td_p99", m.quantile(0.99));
     w.endObject();
 }
 
@@ -111,6 +116,8 @@ writeCampaignJson(std::ostream &os, const AnnualCampaignSummary &s)
 {
     JsonWriter w(os);
     w.beginObject();
+    w.field("build", buildId());
+    w.field("seed", s.seed);
     w.field("trials", s.trials);
     w.field("planned", s.planned);
     w.field("stopped_early", s.stoppedEarly);

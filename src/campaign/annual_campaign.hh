@@ -73,6 +73,8 @@ struct AnnualCampaignSummary
     std::uint64_t trials = 0;
     /** Trial budget the campaign was launched with. */
     std::uint64_t planned = 0;
+    /** Campaign seed (provenance: trial t used Rng::stream(seed, t)). */
+    std::uint64_t seed = 0;
     /** True when the CI rule stopped the campaign early. */
     bool stoppedEarly = false;
 

@@ -1,12 +1,14 @@
 /**
  * @file
- * Minimal streaming JSON writer for campaign and bench exports.
+ * Minimal JSON layer for campaign and bench exports: a streaming
+ * writer plus a small recursive-descent reader.
  *
- * Emits syntactically valid JSON with automatic comma placement;
- * doubles are printed with %.17g so values round-trip exactly. Not a
- * general serializer — just enough for flat result objects and the
- * machine-readable BENCH_*.json files the benches emit so the perf
- * trajectory can be tracked across PRs.
+ * The writer emits syntactically valid JSON with automatic comma
+ * placement; doubles are printed with %.17g so values round-trip
+ * exactly. The reader parses what the writer (and the shard export
+ * format) produces — objects, arrays, strings, numbers, booleans and
+ * null — into a JsonValue tree so shard aggregate files can be merged
+ * back. Neither side aims to be a general-purpose JSON library.
  */
 
 #ifndef BPSIM_CAMPAIGN_JSON_HH
@@ -14,8 +16,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <ostream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace bpsim
@@ -73,9 +79,92 @@ class JsonWriter
 };
 
 /**
+ * One parsed JSON value. Objects preserve member order; numbers are
+ * stored as double (exact for every integer the exporters emit, all
+ * far below 2^53).
+ */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+
+    /** @name Typed accessors (assert on kind mismatch) */
+    ///@{
+    bool asBool() const;
+    double asDouble() const;
+    /** The number as an integer (asserts it is integral). */
+    std::int64_t asInt() const;
+    /** The number as a non-negative integer. */
+    std::uint64_t asUint() const;
+    const std::string &asString() const;
+    ///@}
+
+    /** @name Array access */
+    ///@{
+    /** Element count (arrays and objects). */
+    std::size_t size() const;
+    const JsonValue &item(std::size_t i) const;
+    ///@}
+
+    /** @name Object access */
+    ///@{
+    /** Member lookup; nullptr when absent (or not an object). */
+    const JsonValue *find(const std::string &key) const;
+    /** Member lookup; asserts presence. */
+    const JsonValue &at(const std::string &key) const;
+    ///@}
+
+    /** @name Construction (used by the parser and tests) */
+    ///@{
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double d);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray();
+    static JsonValue makeObject();
+    void append(JsonValue v);                      // array
+    void set(std::string key, JsonValue v);        // object
+    ///@}
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/**
+ * Parse one JSON document. Returns nullopt on malformed input, with a
+ * human-readable reason (including the byte offset) in @p error when
+ * provided. Trailing whitespace is allowed; trailing garbage is not.
+ */
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string *error = nullptr);
+
+/** Parse the whole contents of @p path; nullopt on I/O or parse error. */
+std::optional<JsonValue> parseJsonFile(const std::string &path,
+                                       std::string *error = nullptr);
+
+/**
+ * Build identifier stamped into exported files: `git describe
+ * --always --dirty` captured at configure time ("unknown" outside a
+ * git checkout). Ties every result file back to the binary that
+ * produced it.
+ */
+const char *buildId();
+
+/**
  * Write `BENCH_<name>.json` in the current working directory with
- * `body` filling the members of the top-level object (a "bench" member
- * is emitted first). Returns the file name, or "" on I/O failure.
+ * `body` filling the members of the top-level object ("bench" and
+ * "build" provenance members are emitted first). Returns the file
+ * name, or "" on I/O failure.
  */
 std::string writeBenchJsonFile(const std::string &name,
                                const std::function<void(JsonWriter &)> &body);

@@ -131,6 +131,7 @@ MetricStats::add(double x)
     q50.add(x);
     q95.add(x);
     q99.add(x);
+    td.add(x);
 }
 
 double

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "campaign/tdigest.hh"
 #include "sim/stats.hh"
 
 namespace bpsim
@@ -72,8 +73,10 @@ BinomialCi wilsonInterval(std::uint64_t successes, std::uint64_t trials,
                           double z = 1.96);
 
 /**
- * One campaign metric: streaming moments (Welford) plus P50/P95/P99
- * quantile sketches.
+ * One campaign metric: streaming moments (Welford), P50/P95/P99 P²
+ * sketches, and a t-digest for arbitrary (and mergeable) quantiles.
+ * The P² values remain the canonical p50/p95/p99 readouts for
+ * backward compatibility; quantile() reads the digest.
  */
 class MetricStats
 {
@@ -88,6 +91,12 @@ class MetricStats
     double p95() const { return q95.value(); }
     double p99() const { return q99.value(); }
 
+    /** Any quantile, from the t-digest (see campaign/tdigest.hh). */
+    double quantile(double q) const { return td.quantile(q); }
+
+    /** The underlying mergeable sketch. */
+    const TDigest &digest() const { return td; }
+
     /**
      * Normal-approximation half-width of the confidence interval on
      * the mean: z * stddev / sqrt(n). Zero for fewer than 2 samples.
@@ -99,6 +108,7 @@ class MetricStats
     P2Quantile q50{0.50};
     P2Quantile q95{0.95};
     P2Quantile q99{0.99};
+    TDigest td{100.0};
 };
 
 } // namespace bpsim

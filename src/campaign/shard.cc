@@ -1,0 +1,505 @@
+#include "campaign/shard.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/json.hh"
+#include "campaign/runner.hh"
+#include "outage/trace.hh"
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+constexpr Time kYear = 365LL * 24 * kHour;
+
+/** Set @p error (when wired) and return false: validation helper. */
+bool
+failMerge(std::string *error, std::string why)
+{
+    if (error)
+        *error = std::move(why);
+    return false;
+}
+
+} // namespace
+
+ShardSpec
+shardOf(std::uint64_t seed, std::uint64_t trials, std::uint64_t index,
+        std::uint64_t count)
+{
+    BPSIM_ASSERT(count >= 1 && index < count,
+                 "shard %llu of %llu is not a valid partition slot",
+                 static_cast<unsigned long long>(index),
+                 static_cast<unsigned long long>(count));
+    BPSIM_ASSERT(trials >= 1, "cannot shard an empty campaign");
+    const std::uint64_t base = trials / count;
+    const std::uint64_t extra = trials % count;
+    ShardSpec spec;
+    spec.seed = seed;
+    spec.campaignTrials = trials;
+    spec.shardIndex = index;
+    spec.shardCount = count;
+    // The first `extra` shards take base+1 trials.
+    spec.lo = index * base + std::min(index, extra);
+    spec.hi = spec.lo + base + (index < extra ? 1 : 0);
+    return spec;
+}
+
+void
+MergingMetric::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_.add(x);
+    sumSq_.add(x * x);
+    digest_.add(x);
+}
+
+void
+MergingMetric::merge(const MergingMetric &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    n_ += other.n_;
+    sum_.merge(other.sum_);
+    sumSq_.merge(other.sumSq_);
+    digest_.merge(other.digest_);
+}
+
+double
+MergingMetric::mean() const
+{
+    return n_ ? sum_.value() / static_cast<double>(n_) : 0.0;
+}
+
+double
+MergingMetric::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    const auto n = static_cast<double>(n_);
+    const double s = sum_.value();
+    return std::max(0.0, (sumSq_.value() - s * s / n) / n);
+}
+
+double
+MergingMetric::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+MergingMetric::meanCiHalfWidth(double z) const
+{
+    if (n_ < 2)
+        return 0.0;
+    return z * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void
+MergingMetric::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.field("count", n_);
+    w.field("min", min());
+    w.field("max", max());
+    w.field("mean", mean()); // derived; readers ignore it
+    w.key("sum");
+    sum_.writeJson(w);
+    w.key("sum_sq");
+    sumSq_.writeJson(w);
+    w.key("tdigest");
+    digest_.writeJson(w);
+    w.endObject();
+}
+
+MergingMetric
+MergingMetric::fromJson(const JsonValue &v)
+{
+    MergingMetric m;
+    m.n_ = v.at("count").asUint();
+    m.min_ = v.at("min").asDouble();
+    m.max_ = v.at("max").asDouble();
+    m.sum_ = ExactSum::fromJson(v.at("sum"));
+    m.sumSq_ = ExactSum::fromJson(v.at("sum_sq"));
+    m.digest_ = TDigest::fromJson(v.at("tdigest"));
+    return m;
+}
+
+ShardResult
+runAnnualShard(const AnnualTrialFn &trial, const ShardSpec &spec,
+               const ShardOptions &opts)
+{
+    BPSIM_ASSERT(spec.hi > spec.lo && spec.hi <= spec.campaignTrials,
+                 "shard range [%llu, %llu) invalid for a %llu-trial "
+                 "campaign",
+                 static_cast<unsigned long long>(spec.lo),
+                 static_cast<unsigned long long>(spec.hi),
+                 static_cast<unsigned long long>(spec.campaignTrials));
+    const auto t0 = std::chrono::steady_clock::now();
+
+    ShardResult out;
+    out.spec = spec;
+    out.build = buildId();
+    const std::uint64_t width = spec.width();
+
+    const std::function<AnnualResult(std::uint64_t)> body =
+        [&](std::uint64_t local) {
+            const std::uint64_t id = spec.lo + local;
+            Rng rng = Rng::stream(spec.seed, id);
+            return trial(id, rng);
+        };
+    const std::function<bool(std::uint64_t, AnnualResult &&)> consume =
+        [&](std::uint64_t local, AnnualResult &&r) {
+            out.downtimeMin.add(r.downtimeMin);
+            out.lossesPerYear.add(static_cast<double>(r.losses));
+            out.meanPerf.add(r.meanPerf);
+            out.batteryKwh.add(r.batteryKwh);
+            out.worstGapMin.add(r.worstGapMin);
+            if (r.losses == 0)
+                ++out.lossFreeTrials;
+            ++out.trials;
+            const bool last = local + 1 == width;
+            if (last || (opts.checkpointEvery != 0 &&
+                         (local + 1) % opts.checkpointEvery == 0)) {
+                out.checkpoints.push_back({out.trials,
+                                           out.downtimeMin.sum(),
+                                           out.downtimeMin.sumSq()});
+            }
+            return true; // shards never stop early
+        };
+
+    CampaignOptions copts;
+    copts.threads = opts.threads;
+    runCampaign<AnnualResult>(width, body, consume, copts);
+
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - t0;
+    out.wallSeconds = wall.count();
+    return out;
+}
+
+ShardResult
+runAnnualShard(const AnnualCampaignSpec &scenario, const ShardSpec &spec,
+               const ShardOptions &opts)
+{
+    const auto gen = OutageTraceGenerator::figure1();
+    const AnnualSimulator sim;
+    return runAnnualShard(
+        [&](std::uint64_t, Rng &rng) {
+            const auto events = gen.generate(rng, kYear);
+            return sim.runYear(scenario.profile, scenario.nServers,
+                               scenario.technique, scenario.config,
+                               events);
+        },
+        spec, opts);
+}
+
+void
+writeShardJson(std::ostream &os, const ShardResult &shard)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", kShardSchemaName);
+    w.field("schema_version", kShardSchemaVersion);
+    w.field("seed", shard.spec.seed);
+    w.field("campaign_trials", shard.spec.campaignTrials);
+    w.field("trial_lo", shard.spec.lo);
+    w.field("trial_hi", shard.spec.hi);
+    w.field("shard_index", shard.spec.shardIndex);
+    w.field("shard_count", shard.spec.shardCount);
+    w.field("build", shard.build);
+    w.field("wall_seconds", shard.wallSeconds);
+    w.field("trials", shard.trials);
+    w.field("loss_free_trials", shard.lossFreeTrials);
+    w.key("metrics").beginObject();
+    const auto metric = [&w](const char *name, const MergingMetric &m) {
+        w.key(name);
+        m.writeJson(w);
+    };
+    metric("downtime_min", shard.downtimeMin);
+    metric("losses_per_year", shard.lossesPerYear);
+    metric("mean_perf", shard.meanPerf);
+    metric("battery_kwh", shard.batteryKwh);
+    metric("worst_gap_min", shard.worstGapMin);
+    w.endObject();
+    w.key("checkpoints").beginArray();
+    for (const auto &c : shard.checkpoints) {
+        w.beginObject();
+        w.field("trials", c.trials);
+        w.key("sum");
+        c.sum.writeJson(w);
+        w.key("sum_sq");
+        c.sumSq.writeJson(w);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+std::optional<ShardResult>
+readShardJson(const std::string &text, std::string *error)
+{
+    const auto doc = parseJson(text, error);
+    if (!doc)
+        return std::nullopt;
+
+    const JsonValue *schema = doc->find("schema");
+    if (!schema || schema->kind() != JsonValue::Kind::String ||
+        schema->asString() != kShardSchemaName) {
+        failMerge(error, "not a campaign shard file (schema mismatch)");
+        return std::nullopt;
+    }
+    const JsonValue *version = doc->find("schema_version");
+    if (!version || version->asInt() != kShardSchemaVersion) {
+        failMerge(error,
+                  formatString("unsupported shard schema version "
+                               "(want %d)",
+                               kShardSchemaVersion));
+        return std::nullopt;
+    }
+
+    ShardResult out;
+    out.spec.seed = doc->at("seed").asUint();
+    out.spec.campaignTrials = doc->at("campaign_trials").asUint();
+    out.spec.lo = doc->at("trial_lo").asUint();
+    out.spec.hi = doc->at("trial_hi").asUint();
+    out.spec.shardIndex = doc->at("shard_index").asUint();
+    out.spec.shardCount = doc->at("shard_count").asUint();
+    out.build = doc->at("build").asString();
+    out.wallSeconds = doc->at("wall_seconds").asDouble();
+    out.trials = doc->at("trials").asUint();
+    out.lossFreeTrials = doc->at("loss_free_trials").asUint();
+
+    const JsonValue &metrics = doc->at("metrics");
+    out.downtimeMin = MergingMetric::fromJson(metrics.at("downtime_min"));
+    out.lossesPerYear =
+        MergingMetric::fromJson(metrics.at("losses_per_year"));
+    out.meanPerf = MergingMetric::fromJson(metrics.at("mean_perf"));
+    out.batteryKwh = MergingMetric::fromJson(metrics.at("battery_kwh"));
+    out.worstGapMin =
+        MergingMetric::fromJson(metrics.at("worst_gap_min"));
+
+    const JsonValue &cps = doc->at("checkpoints");
+    for (std::size_t i = 0; i < cps.size(); ++i) {
+        const JsonValue &c = cps.item(i);
+        out.checkpoints.push_back(
+            {c.at("trials").asUint(), ExactSum::fromJson(c.at("sum")),
+             ExactSum::fromJson(c.at("sum_sq"))});
+    }
+    return out;
+}
+
+std::optional<ShardResult>
+readShardFile(const std::string &path, std::string *error)
+{
+    std::ifstream is(path);
+    if (!is) {
+        failMerge(error, "cannot open " + path);
+        return std::nullopt;
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    std::string err;
+    auto out = readShardJson(ss.str(), &err);
+    if (!out)
+        failMerge(error, path + ": " + err);
+    return out;
+}
+
+EarlyStopDecision
+evaluateEarlyStop(const std::vector<ShardResult> &shards,
+                  const EarlyStopRule &rule)
+{
+    EarlyStopDecision out;
+    if (!rule.enabled())
+        return out;
+
+    // Exact running prefix over fully merged earlier shards.
+    std::uint64_t prefix_n = 0;
+    ExactSum prefix_sum, prefix_sq;
+    for (const auto &s : shards) {
+        for (const auto &c : s.checkpoints) {
+            const std::uint64_t t = prefix_n + c.trials;
+            if (t < rule.minTrials)
+                continue;
+            ExactSum sum = prefix_sum;
+            sum.merge(c.sum);
+            ExactSum sq = prefix_sq;
+            sq.merge(c.sumSq);
+            const auto n = static_cast<double>(t);
+            const double sv = sum.value();
+            const double mean = sv / n;
+            const double var =
+                t < 2 ? 0.0
+                      : std::max(0.0, (sq.value() - sv * sv / n) / n);
+            const double hw = rule.ciZ * std::sqrt(var / n);
+            const double tol = std::max(rule.ciAbsTolMin,
+                                        rule.ciRelTol * std::abs(mean));
+            if (hw <= tol) {
+                out.fired = true;
+                out.stopTrial = t;
+                out.halfWidth = hw;
+                out.mean = mean;
+                return out;
+            }
+        }
+        prefix_n += s.trials;
+        prefix_sum.merge(s.downtimeMin.sum());
+        prefix_sq.merge(s.downtimeMin.sumSq());
+    }
+    return out;
+}
+
+std::optional<MergedCampaign>
+mergeShards(std::vector<ShardResult> shards, const EarlyStopRule *rule,
+            std::string *error)
+{
+    if (shards.empty()) {
+        failMerge(error, "no shards to merge");
+        return std::nullopt;
+    }
+    std::sort(shards.begin(), shards.end(),
+              [](const ShardResult &a, const ShardResult &b) {
+                  return a.spec.lo < b.spec.lo;
+              });
+
+    const std::uint64_t seed = shards.front().spec.seed;
+    const std::uint64_t total = shards.front().spec.campaignTrials;
+    std::uint64_t next = 0;
+    for (const auto &s : shards) {
+        if (s.spec.seed != seed) {
+            failMerge(error,
+                      formatString("seed mismatch: shard [%llu, %llu) "
+                                   "has seed %llu, expected %llu",
+                                   static_cast<unsigned long long>(
+                                       s.spec.lo),
+                                   static_cast<unsigned long long>(
+                                       s.spec.hi),
+                                   static_cast<unsigned long long>(
+                                       s.spec.seed),
+                                   static_cast<unsigned long long>(
+                                       seed)));
+            return std::nullopt;
+        }
+        if (s.spec.campaignTrials != total) {
+            failMerge(error, "campaign size mismatch between shards");
+            return std::nullopt;
+        }
+        if (s.spec.lo != next || s.spec.hi <= s.spec.lo) {
+            failMerge(error,
+                      formatString("shard ranges are not contiguous at "
+                                   "trial %llu (next shard covers "
+                                   "[%llu, %llu))",
+                                   static_cast<unsigned long long>(next),
+                                   static_cast<unsigned long long>(
+                                       s.spec.lo),
+                                   static_cast<unsigned long long>(
+                                       s.spec.hi)));
+            return std::nullopt;
+        }
+        if (s.trials != s.spec.width() ||
+            s.downtimeMin.count() != s.trials) {
+            failMerge(error,
+                      formatString("shard [%llu, %llu) is incomplete",
+                                   static_cast<unsigned long long>(
+                                       s.spec.lo),
+                                   static_cast<unsigned long long>(
+                                       s.spec.hi)));
+            return std::nullopt;
+        }
+        next = s.spec.hi;
+    }
+    if (next != total) {
+        failMerge(error,
+                  formatString("shards cover only [0, %llu) of a "
+                               "%llu-trial campaign",
+                               static_cast<unsigned long long>(next),
+                               static_cast<unsigned long long>(total)));
+        return std::nullopt;
+    }
+
+    MergedCampaign m;
+    m.seed = seed;
+    m.trials = total;
+    m.shardCount = shards.size();
+    for (const auto &s : shards) {
+        m.downtimeMin.merge(s.downtimeMin);
+        m.lossesPerYear.merge(s.lossesPerYear);
+        m.meanPerf.merge(s.meanPerf);
+        m.batteryKwh.merge(s.batteryKwh);
+        m.worstGapMin.merge(s.worstGapMin);
+        m.lossFreeTrials += s.lossFreeTrials;
+    }
+    m.lossFree = wilsonInterval(m.lossFreeTrials, m.trials,
+                                rule ? rule->ciZ : 1.96);
+    if (rule)
+        m.earlyStop = evaluateEarlyStop(shards, *rule);
+    return m;
+}
+
+void
+writeMergedJson(std::ostream &os, const MergedCampaign &m)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "bpsim.campaign.merged");
+    w.field("schema_version", kShardSchemaVersion);
+    w.field("build", buildId());
+    w.field("seed", m.seed);
+    w.field("trials", m.trials);
+    w.field("shard_count", m.shardCount);
+    const auto metric = [&w](const char *name, const MergingMetric &x) {
+        w.key(name).beginObject();
+        w.field("count", x.count());
+        w.field("mean", x.mean());
+        w.field("stddev", x.stddev());
+        w.field("min", x.min());
+        w.field("max", x.max());
+        w.field("p50", x.p50());
+        w.field("p95", x.p95());
+        w.field("p99", x.p99());
+        w.endObject();
+    };
+    metric("downtime_min", m.downtimeMin);
+    metric("losses_per_year", m.lossesPerYear);
+    metric("mean_perf", m.meanPerf);
+    metric("battery_kwh", m.batteryKwh);
+    metric("worst_gap_min", m.worstGapMin);
+    w.key("loss_free").beginObject();
+    w.field("trials", m.lossFreeTrials);
+    w.field("fraction", m.lossFree.fraction);
+    w.field("ci_lo", m.lossFree.lo);
+    w.field("ci_hi", m.lossFree.hi);
+    w.endObject();
+    w.key("early_stop").beginObject();
+    w.field("fired", m.earlyStop.fired);
+    w.field("stop_trial", m.earlyStop.stopTrial);
+    w.field("half_width", m.earlyStop.halfWidth);
+    w.field("mean", m.earlyStop.mean);
+    w.endObject();
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace bpsim

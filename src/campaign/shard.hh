@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Distributed campaign sharding: split one annual campaign's trial
+ * range [0, N) into contiguous shards, run each shard independently
+ * (on separate machines — `Rng::stream(seed, id)` needs no
+ * cross-shard coordination), export a self-describing per-shard
+ * aggregate file, and merge the shard files back into campaign
+ * aggregates.
+ *
+ * The merge invariant (asserted by the `shard`-labeled ctests):
+ * count, mean, min/max, variance-derived CI half-widths and the
+ * Wilson loss-free interval of the merged campaign are bit-identical
+ * for ANY shard count and merge order — counts are integers, sums are
+ * ExactSum superaccumulators, and everything else is a deterministic
+ * function of those. Quantiles come from merged t-digests and are
+ * rank-accurate (≈0.5–1% of rank at δ=100) rather than bitwise.
+ *
+ * Early stop across shards: a campaign early-stop rule needs the
+ * in-order trial prefix, which no single shard owns. Shards therefore
+ * record cumulative checkpoints of the downtime sums at a configurable
+ * cadence; `evaluateEarlyStop` replays the merged in-order prefix at
+ * those boundaries and reports where a single-machine coordinator
+ * would have stopped. See docs/CAMPAIGN.md "Sharding".
+ */
+
+#ifndef BPSIM_CAMPAIGN_SHARD_HH
+#define BPSIM_CAMPAIGN_SHARD_HH
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "campaign/annual_campaign.hh"
+#include "campaign/exact_sum.hh"
+#include "campaign/tdigest.hh"
+
+namespace bpsim
+{
+
+/** Version stamped into every shard file; bump on format changes. */
+constexpr int kShardSchemaVersion = 1;
+/** Schema identifier stamped into every shard file. */
+constexpr const char *kShardSchemaName = "bpsim.campaign.shard";
+/** Digest compression used for shard metrics (≲1% mid-rank error). */
+constexpr double kShardDigestCompression = 100.0;
+
+/** Identity of one shard within a larger campaign. */
+struct ShardSpec
+{
+    /** Campaign seed; trial t draws from Rng::stream(seed, t). */
+    std::uint64_t seed = 1;
+    /** Total campaign size N (the union of all shards). */
+    std::uint64_t campaignTrials = 0;
+    /** This shard's global trial range [lo, hi). */
+    std::uint64_t lo = 0, hi = 0;
+    /** Position within the partition (informational). */
+    std::uint64_t shardIndex = 0, shardCount = 1;
+
+    std::uint64_t width() const { return hi - lo; }
+};
+
+/**
+ * The @p index-th of @p count balanced contiguous shards of a
+ * @p trials-trial campaign (the first `trials % count` shards get one
+ * extra trial).
+ */
+ShardSpec shardOf(std::uint64_t seed, std::uint64_t trials,
+                  std::uint64_t index, std::uint64_t count);
+
+/**
+ * One mergeable campaign metric: integer count, ExactSum sums (for
+ * bit-stable mean/variance under any partitioning), exact min/max,
+ * and a t-digest for quantiles.
+ */
+class MergingMetric
+{
+  public:
+    /** Add one per-trial observation. */
+    void add(double x);
+
+    /** Fold another metric in (exact except for digest placement). */
+    void merge(const MergingMetric &other);
+
+    std::uint64_t count() const { return n_; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    /** sum/n via ExactSum: bit-identical for any shard partition. */
+    double mean() const;
+    /** Population variance from exact sums (clamped at 0). */
+    double variance() const;
+    double stddev() const;
+    /** z * stddev / sqrt(n), as MetricStats::meanCiHalfWidth. */
+    double meanCiHalfWidth(double z = 1.96) const;
+
+    double quantile(double q) const { return digest_.quantile(q); }
+    double p50() const { return quantile(0.50); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+
+    const ExactSum &sum() const { return sum_; }
+    const ExactSum &sumSq() const { return sumSq_; }
+    const TDigest &digest() const { return digest_; }
+
+    /** Emit as a JSON object in value position. */
+    void writeJson(JsonWriter &w) const;
+    /** Rebuild from writeJson output. */
+    static MergingMetric fromJson(const JsonValue &v);
+
+  private:
+    std::uint64_t n_ = 0;
+    double min_ = 0.0, max_ = 0.0;
+    ExactSum sum_, sumSq_;
+    TDigest digest_{kShardDigestCompression};
+};
+
+/**
+ * Cumulative prefix snapshot of the early-stop metric (downtime
+ * min/yr) after the first @p trials trials *of this shard*.
+ */
+struct ShardCheckpoint
+{
+    std::uint64_t trials = 0;
+    ExactSum sum, sumSq;
+};
+
+/** Aggregates of one executed shard. */
+struct ShardResult
+{
+    ShardSpec spec;
+    /** Trials executed (== spec.width()). */
+    std::uint64_t trials = 0;
+
+    /** @name Per-metric mergeable aggregates (in trial order) */
+    ///@{
+    MergingMetric downtimeMin;
+    MergingMetric lossesPerYear;
+    MergingMetric meanPerf;
+    MergingMetric batteryKwh;
+    MergingMetric worstGapMin;
+    ///@}
+
+    /** Trials with zero abrupt power-loss events. */
+    std::uint64_t lossFreeTrials = 0;
+
+    /** Early-stop bookkeeping (cumulative downtime prefixes). */
+    std::vector<ShardCheckpoint> checkpoints;
+
+    /** Build id of the producing binary (git describe). */
+    std::string build;
+    /** Wall-clock time (informational, not merged). */
+    double wallSeconds = 0.0;
+};
+
+/** Execution knobs for one shard run. */
+struct ShardOptions
+{
+    /** Worker threads (0 = shared hardware-sized pool). */
+    int threads = 0;
+    /**
+     * Record a checkpoint every this many trials (0 = shard end
+     * only). Cadence 1 reproduces the single-machine early-stop rule
+     * exactly; coarser cadences trade file size for stop granularity.
+     */
+    std::uint64_t checkpointEvery = 0;
+};
+
+/**
+ * Run one shard of a campaign with a custom trial body. The body sees
+ * GLOBAL trial ids (spec.lo .. spec.hi-1) and the same
+ * Rng::stream(seed, id) streams as an unsharded run; results are
+ * consumed in trial order, so the shard aggregates are bit-identical
+ * for any thread count. Shards never stop early — the stop rule is
+ * the merging coordinator's call.
+ */
+ShardResult runAnnualShard(const AnnualTrialFn &trial,
+                           const ShardSpec &spec,
+                           const ShardOptions &opts = {});
+
+/** Run one shard of the standard scenario campaign. */
+ShardResult runAnnualShard(const AnnualCampaignSpec &scenario,
+                           const ShardSpec &spec,
+                           const ShardOptions &opts = {});
+
+/** Write the self-describing shard aggregate file (schema v1). */
+void writeShardJson(std::ostream &os, const ShardResult &shard);
+
+/**
+ * Parse a shard aggregate file. Returns nullopt (with a reason in
+ * @p error) on schema mismatch or malformed input rather than
+ * asserting, so a coordinator can reject foreign files gracefully.
+ */
+std::optional<ShardResult> readShardJson(const std::string &text,
+                                         std::string *error = nullptr);
+
+/** readShardJson over the contents of @p path. */
+std::optional<ShardResult> readShardFile(const std::string &path,
+                                         std::string *error = nullptr);
+
+/** The campaign early-stop rule, as AnnualCampaignOptions. */
+struct EarlyStopRule
+{
+    std::uint64_t minTrials = 64;
+    double ciRelTol = 0.0;
+    double ciAbsTolMin = 0.0;
+    double ciZ = 1.96;
+
+    bool
+    enabled() const
+    {
+        return ciRelTol > 0.0 || ciAbsTolMin > 0.0;
+    }
+};
+
+/** Where the merged in-order prefix satisfies the stop rule. */
+struct EarlyStopDecision
+{
+    /** True when some evaluated prefix satisfied the rule. */
+    bool fired = false;
+    /** Trials a coordinator would have kept (prefix length). */
+    std::uint64_t stopTrial = 0;
+    /** CI half-width and mean at the stop point. */
+    double halfWidth = 0.0;
+    double mean = 0.0;
+};
+
+/**
+ * Replay the early-stop rule over the merged in-order prefix of
+ * @p shards (which must be sorted, contiguous from trial 0). The rule
+ * is evaluated at every recorded checkpoint boundary; with
+ * checkpointEvery == 1 this is exactly the single-machine rule, and
+ * the decision is bit-identical for any sharding of the same campaign
+ * whose checkpoint boundaries align.
+ */
+EarlyStopDecision evaluateEarlyStop(const std::vector<ShardResult> &shards,
+                                    const EarlyStopRule &rule);
+
+/** Merged aggregates of a complete campaign. */
+struct MergedCampaign
+{
+    std::uint64_t seed = 0;
+    /** Campaign size N = sum of shard widths. */
+    std::uint64_t trials = 0;
+    std::uint64_t shardCount = 0;
+
+    /** @name Merged per-metric aggregates */
+    ///@{
+    MergingMetric downtimeMin;
+    MergingMetric lossesPerYear;
+    MergingMetric meanPerf;
+    MergingMetric batteryKwh;
+    MergingMetric worstGapMin;
+    ///@}
+
+    std::uint64_t lossFreeTrials = 0;
+    /** Loss-free fraction with its Wilson interval. */
+    BinomialCi lossFree;
+
+    /** Stop-rule replay (all-zero when no rule was supplied). */
+    EarlyStopDecision earlyStop;
+};
+
+/**
+ * Merge shard results into campaign aggregates. Shards are sorted by
+ * trial range and validated: same seed, same campaign size, and
+ * exactly contiguous coverage of [0, campaignTrials) — gaps, overlaps
+ * and foreign shards yield nullopt with a reason in @p error. When
+ * @p rule is non-null, the early-stop replay runs over the merged
+ * prefix (see evaluateEarlyStop).
+ */
+std::optional<MergedCampaign>
+mergeShards(std::vector<ShardResult> shards,
+            const EarlyStopRule *rule = nullptr,
+            std::string *error = nullptr);
+
+/** JSON export of the merged campaign (one object). */
+void writeMergedJson(std::ostream &os, const MergedCampaign &m);
+
+} // namespace bpsim
+
+#endif // BPSIM_CAMPAIGN_SHARD_HH

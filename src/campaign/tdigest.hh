@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Mergeable streaming quantile sketch (t-digest, Dunning & Ertl).
+ *
+ * The P² sketch tracks one quantile in O(1) memory but two P² states
+ * cannot be combined, which blocks distributed campaigns. A t-digest
+ * keeps a size-bounded list of (mean, weight) centroids whose widths
+ * follow the k1 scale function — fine near the tails, coarse in the
+ * middle — so any two digests merge into a digest of the union with
+ * bounded rank error. Campaign shards each build one digest per
+ * metric and the coordinator merges them (see campaign/shard.hh).
+ *
+ * Determinism: feeding the same observations in the same order yields
+ * bit-identical state, and merging the same digests in the same order
+ * is likewise reproducible. Merging in a *different* order changes
+ * centroid placement slightly — quantiles then agree to within the
+ * sketch's rank error, not bitwise (the exact aggregates that must be
+ * bit-stable across shardings live in ExactSum instead).
+ */
+
+#ifndef BPSIM_CAMPAIGN_TDIGEST_HH
+#define BPSIM_CAMPAIGN_TDIGEST_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace bpsim
+{
+
+class JsonWriter;
+class JsonValue;
+
+/** Mergeable quantile sketch with the k1 (arcsine) scale function. */
+class TDigest
+{
+  public:
+    /** One cluster of nearby observations. */
+    struct Centroid
+    {
+        double mean = 0.0;
+        double weight = 0.0;
+    };
+
+    /**
+     * @p compression (δ) bounds the flushed digest to about ⌈δ⌉
+     * centroids; rank error scales as O(q(1-q)/δ). 100 is a good
+     * default (≲1% mid-rank error, much tighter at the tails).
+     */
+    explicit TDigest(double compression = 100.0);
+
+    /** Add one observation with the given weight. */
+    void add(double x, double weight = 1.0);
+
+    /** Fold another digest into this one. */
+    void merge(const TDigest &other);
+
+    /**
+     * Estimated value of the @p q quantile (0 <= q <= 1); piecewise
+     * linear between centroid midpoints, anchored at the exact
+     * min/max. 0 for an empty digest.
+     */
+    double quantile(double q) const;
+
+    /** Total observations added (merges included). */
+    std::uint64_t count() const { return count_; }
+
+    double compression() const { return compression_; }
+
+    /** Exact extremes of everything added. */
+    double min() const;
+    double max() const;
+
+    /** Flushed centroids, ascending by mean. */
+    const std::vector<Centroid> &centroids() const;
+
+    /**
+     * Emit as a JSON object in value position:
+     * `{"compression":δ,"count":n,"min":m,"max":M,
+     *   "centroids":[[mean,weight],...]}`.
+     * Round-trips bit-exactly through TDigest::fromJson (the writer
+     * prints doubles with %.17g).
+     */
+    void writeJson(JsonWriter &w) const;
+
+    /** Rebuild from writeJson output (asserts on malformed input). */
+    static TDigest fromJson(const JsonValue &v);
+
+  private:
+    /** Sort the buffer into the centroid list and re-cluster. */
+    void flush() const;
+
+    double compression_;
+    std::uint64_t count_ = 0;
+    double min_ = 0.0, max_ = 0.0;
+    /** Clustered state + pending raw points; flushed lazily so the
+     * read-side accessors can stay const. */
+    mutable std::vector<Centroid> centroids_;
+    mutable std::vector<Centroid> buffer_;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_CAMPAIGN_TDIGEST_HH

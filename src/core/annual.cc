@@ -112,6 +112,9 @@ AnnualSimulator::runYears(const WorkloadProfile &profile, int n_servers,
     BPSIM_ASSERT(years >= 1, "need at least one year");
     const auto gen = OutageTraceGenerator::figure1();
     AnnualSummary summary;
+    summary.seed = seed;
+    summary.firstYear = 0;
+    summary.years = static_cast<std::uint64_t>(years);
     int loss_free = 0;
     // One independent trial per year, fanned out across the campaign
     // pool; each trial builds its own Simulator and draws from

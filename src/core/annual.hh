@@ -11,6 +11,7 @@
 #ifndef BPSIM_CORE_ANNUAL_HH
 #define BPSIM_CORE_ANNUAL_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "core/analyzer.hh"
@@ -48,6 +49,19 @@ struct AnnualSummary
     SummaryStats worstGapMin;
     /** Fraction of years with zero abrupt power-loss events. */
     double lossFreeYears = 0.0;
+
+    /**
+     * @name Provenance
+     * The (seed, trial range) that produced these aggregates: year y
+     * drew from Rng::stream(seed, y) for y in [firstYear, firstYear +
+     * years). Stamped so every exported result is traceable to its
+     * randomness.
+     */
+    ///@{
+    std::uint64_t seed = 0;
+    std::uint64_t firstYear = 0;
+    std::uint64_t years = 0;
+    ///@}
 };
 
 /** Multi-outage, year-scale simulation driver. */
