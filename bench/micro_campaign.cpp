@@ -14,7 +14,12 @@
 #include "campaign/exact_sum.hh"
 #include "campaign/shard.hh"
 #include "campaign/tdigest.hh"
+#include "core/annual.hh"
+#include "core/backup_config.hh"
+#include "obs/obs.hh"
+#include "outage/trace.hh"
 #include "sim/random.hh"
+#include "workload/profile.hh"
 
 using namespace bpsim;
 
@@ -112,6 +117,58 @@ BM_MergingMetricAdd(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_MergingMetricAdd)->Arg(1000)->Arg(100000);
+
+/**
+ * One full annual trial — the unit of work every campaign repeats N
+ * times. items_per_second IS the single-thread trials/sec figure the
+ * observability acceptance gate tracks: with tracing disabled (the
+ * default, BM_AnnualTrial) the obs hooks must cost < 2 % vs. the
+ * pre-obs baseline; BM_AnnualTrialTraced measures the enabled cost of
+ * recording + draining every power/technique event.
+ */
+void
+annualTrialLoop(benchmark::State &state, bool traced)
+{
+    constexpr Time kYear = 365LL * 24 * kHour;
+    AnnualCampaignSpec spec;
+    spec.profile = specJbbProfile();
+    spec.nServers = 4;
+    spec.technique = {TechniqueKind::Throttle, 5, 0, 0, false};
+    spec.config = noDgConfig();
+
+    const auto gen = OutageTraceGenerator::figure1();
+    const AnnualSimulator sim;
+    obs::setEnabled(traced);
+    std::uint64_t id = 0;
+    for (auto _ : state) {
+        Rng rng = Rng::stream(42, id++ % 64);
+        const auto events = gen.generate(rng, kYear);
+        const AnnualResult r = sim.runYear(spec.profile, spec.nServers,
+                                           spec.technique, spec.config,
+                                           events);
+        benchmark::DoNotOptimize(r.downtimeMin);
+        if (traced)
+            benchmark::DoNotOptimize(
+                obs::TraceSink::instance().drain().size());
+    }
+    obs::setEnabled(false);
+    obs::TraceSink::instance().clear();
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_AnnualTrial(benchmark::State &state)
+{
+    annualTrialLoop(state, false);
+}
+BENCHMARK(BM_AnnualTrial);
+
+void
+BM_AnnualTrialTraced(benchmark::State &state)
+{
+    annualTrialLoop(state, true);
+}
+BENCHMARK(BM_AnnualTrialTraced);
 
 } // namespace
 

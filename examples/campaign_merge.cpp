@@ -27,8 +27,10 @@
 #include <string>
 #include <vector>
 
+#include "campaign/json.hh"
 #include "campaign/shard.hh"
 #include "core/selector.hh"
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 
 using namespace bpsim;
@@ -45,6 +47,7 @@ usage()
         "  campaign_merge run --shard I/N [--trials T] [--seed S]\n"
         "                 [--checkpoint-every K] [--threads T]"
         " [--out FILE]\n"
+        "                 [--trace FILE] [--metrics FILE]\n"
         "  campaign_merge merge [--stop-min T] [--stop-rel R]\n"
         "                 [--stop-abs A] FILE...\n");
     return 2;
@@ -68,7 +71,7 @@ runShard(int argc, char **argv)
 {
     std::uint64_t index = 0, count = 0, trials = 200, seed = 2011;
     ShardOptions opts;
-    std::string out_path;
+    std::string out_path, trace_path, metrics_path;
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
         const char *val = i + 1 < argc ? argv[i + 1] : nullptr;
@@ -95,12 +98,20 @@ runShard(int argc, char **argv)
         } else if (arg == "--out" && val) {
             out_path = val;
             ++i;
+        } else if (arg == "--trace" && val) {
+            trace_path = val;
+            ++i;
+        } else if (arg == "--metrics" && val) {
+            metrics_path = val;
+            ++i;
         } else {
             return usage();
         }
     }
     if (count == 0 || index >= count || trials == 0)
         return usage();
+    if (!trace_path.empty() || !metrics_path.empty())
+        obs::setEnabled(true);
 
     const ShardSpec spec = shardOf(seed, trials, index, count);
     std::fprintf(stderr,
@@ -119,6 +130,27 @@ runShard(int argc, char **argv)
                  static_cast<unsigned long long>(result.trials),
                  result.wallSeconds, result.downtimeMin.mean(),
                  static_cast<unsigned long long>(result.lossFreeTrials));
+
+    if (!trace_path.empty()) {
+        // Shard traces already carry GLOBAL trial ids, so traces from
+        // different shards interleave cleanly in one Perfetto view.
+        obs::TraceExportOptions topts;
+        topts.metadata = {{"build", buildId()},
+                          {"seed", std::to_string(seed)},
+                          {"shard", std::to_string(index) + "/" +
+                                        std::to_string(count)}};
+        std::ofstream os(trace_path);
+        writeChromeTrace(os, obs::TraceSink::instance().drain(), topts);
+        std::fprintf(stderr, "[wrote trace to %s]\n", trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+        std::ofstream os(metrics_path);
+        writeMetricsJson(os, obs::Registry::global(),
+                         {{"build", buildId()},
+                          {"seed", std::to_string(seed)}});
+        std::fprintf(stderr, "[wrote metrics to %s]\n",
+                     metrics_path.c_str());
+    }
 
     if (out_path.empty()) {
         writeShardJson(std::cout, result);

@@ -23,8 +23,11 @@
 #include <algorithm>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "campaign/annual_campaign.hh"
+#include "campaign/json.hh"
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 
 using namespace bpsim;
@@ -48,9 +51,33 @@ standingDefense(const BackupConfigSpec &config)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuietLogging(true);
+
+    std::string trace_path, metrics_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *val = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (arg == "--trace" && val) {
+            trace_path = val;
+            ++i;
+        } else if (arg == "--metrics" && val) {
+            metrics_path = val;
+            ++i;
+        } else {
+            std::fprintf(stderr,
+                         "usage: campaign_sweep [--trace FILE.json] "
+                         "[--metrics FILE.json]\n");
+            return 2;
+        }
+    }
+    // Arm event recording only when an export was requested; the
+    // instrumentation costs nothing while disabled.
+    if (!trace_path.empty() || !metrics_path.empty())
+        obs::setEnabled(true);
+    std::vector<obs::TraceEvent> all_events;
+    std::uint64_t trial_base = 0;
 
     std::printf("Campaign sweep: Table 3 configurations x standing "
                 "defense, up to 400\n"
@@ -102,6 +129,35 @@ main()
         writeCampaignJson(js, s);
         std::ofstream csv(stem + ".csv");
         writeCampaignCsv(csv, s);
+
+        if (obs::enabled()) {
+            // Offset this scenario's trial ids past every earlier
+            // scenario's range so the combined trace keeps one track
+            // per simulated year.
+            auto events = obs::TraceSink::instance().drain();
+            for (auto &ev : events)
+                ev.trial += trial_base;
+            all_events.insert(all_events.end(), events.begin(),
+                              events.end());
+            trial_base += opts.maxTrials;
+        }
+    }
+
+    if (!trace_path.empty()) {
+        obs::TraceExportOptions topts;
+        topts.metadata = {{"build", buildId()}, {"seed", "2014"}};
+        std::ofstream os(trace_path);
+        writeChromeTrace(os, all_events, topts);
+        std::printf("\n[wrote %zu trace events to %s — load it in "
+                    "chrome://tracing or ui.perfetto.dev]\n",
+                    all_events.size(), trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+        std::ofstream os(metrics_path);
+        writeMetricsJson(os, obs::Registry::global(),
+                         {{"build", buildId()}, {"seed", "2014"}});
+        std::printf("[wrote metrics snapshot to %s]\n",
+                    metrics_path.c_str());
     }
 
     std::printf("\n(*) stopped early by the CI rule. Per-scenario "

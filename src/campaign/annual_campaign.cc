@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "campaign/json.hh"
+#include "obs/obs.hh"
 #include "outage/trace.hh"
 #include "sim/logging.hh"
 
@@ -23,6 +24,7 @@ runAnnualCampaign(const AnnualTrialFn &trial,
 {
     BPSIM_ASSERT(opts.maxTrials >= 1, "campaign needs at least one trial");
     const auto t0 = std::chrono::steady_clock::now();
+    const auto run_timer = obs::scope("campaign.run");
 
     AnnualCampaignSummary out;
     out.planned = opts.maxTrials;
@@ -31,6 +33,7 @@ runAnnualCampaign(const AnnualTrialFn &trial,
 
     const std::function<AnnualResult(std::uint64_t)> body =
         [&](std::uint64_t id) {
+            const obs::TrialScope trace_scope(id);
             Rng rng = Rng::stream(opts.seed, id);
             return trial(id, rng);
         };
@@ -73,6 +76,12 @@ runAnnualCampaign(const AnnualTrialFn &trial,
                            ? static_cast<double>(out.trials) /
                                  out.wallSeconds
                            : 0.0;
+    if (BPSIM_OBS_ON()) {
+        obs::Registry::global().counter("campaign.trials").add(out.trials);
+        obs::Registry::global()
+            .gauge("campaign.trials_per_sec")
+            .set(out.trialsPerSec);
+    }
     return out;
 }
 

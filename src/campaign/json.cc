@@ -214,6 +214,15 @@ JsonValue::item(std::size_t i) const
     return items_[i];
 }
 
+const std::pair<std::string, JsonValue> &
+JsonValue::member(std::size_t i) const
+{
+    BPSIM_ASSERT(kind_ == Kind::Object, "JSON value is not an object");
+    BPSIM_ASSERT(i < members_.size(),
+                 "JSON object member index %zu out of range", i);
+    return members_[i];
+}
+
 const JsonValue *
 JsonValue::find(const std::string &key) const
 {

@@ -117,6 +117,8 @@ class JsonValue
     const JsonValue *find(const std::string &key) const;
     /** Member lookup; asserts presence. */
     const JsonValue &at(const std::string &key) const;
+    /** i-th member, in parse order (for iterating dynamic keys). */
+    const std::pair<std::string, JsonValue> &member(std::size_t i) const;
     ///@}
 
     /** @name Construction (used by the parser and tests) */

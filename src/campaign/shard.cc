@@ -8,6 +8,7 @@
 
 #include "campaign/json.hh"
 #include "campaign/runner.hh"
+#include "obs/obs.hh"
 #include "outage/trace.hh"
 #include "sim/logging.hh"
 
@@ -156,6 +157,7 @@ runAnnualShard(const AnnualTrialFn &trial, const ShardSpec &spec,
                  static_cast<unsigned long long>(spec.hi),
                  static_cast<unsigned long long>(spec.campaignTrials));
     const auto t0 = std::chrono::steady_clock::now();
+    const auto counters_before = obs::Registry::global().counterSnapshot();
 
     ShardResult out;
     out.spec = spec;
@@ -165,6 +167,9 @@ runAnnualShard(const AnnualTrialFn &trial, const ShardSpec &spec,
     const std::function<AnnualResult(std::uint64_t)> body =
         [&](std::uint64_t local) {
             const std::uint64_t id = spec.lo + local;
+            // Tag every trace event with the GLOBAL trial id: (trial,
+            // seq) is the thread-count-invariant trace sort key.
+            const obs::TrialScope trace_scope(id);
             Rng rng = Rng::stream(spec.seed, id);
             return trial(id, rng);
         };
@@ -192,6 +197,8 @@ runAnnualShard(const AnnualTrialFn &trial, const ShardSpec &spec,
     copts.threads = opts.threads;
     runCampaign<AnnualResult>(width, body, consume, copts);
 
+    out.counters = obs::subtractCounters(
+        obs::Registry::global().counterSnapshot(), counters_before);
     const std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - t0;
     out.wallSeconds = wall.count();
@@ -253,6 +260,14 @@ writeShardJson(std::ostream &os, const ShardResult &shard)
         w.endObject();
     }
     w.endArray();
+    // Only present when observability produced counts: shard files
+    // from uninstrumented runs stay byte-identical to plain schema v1.
+    if (!shard.counters.empty()) {
+        w.key("counters").beginObject();
+        for (const auto &[name, v] : shard.counters)
+            w.field(name, v);
+        w.endObject();
+    }
     w.endObject();
     os << '\n';
 }
@@ -306,6 +321,12 @@ readShardJson(const std::string &text, std::string *error)
         out.checkpoints.push_back(
             {c.at("trials").asUint(), ExactSum::fromJson(c.at("sum")),
              ExactSum::fromJson(c.at("sum_sq"))});
+    }
+    if (const JsonValue *cs = doc->find("counters")) {
+        for (std::size_t i = 0; i < cs->size(); ++i) {
+            const auto &[name, v] = cs->member(i);
+            out.counters[name] = v.asUint();
+        }
     }
     return out;
 }
@@ -450,6 +471,7 @@ mergeShards(std::vector<ShardResult> shards, const EarlyStopRule *rule,
         m.batteryKwh.merge(s.batteryKwh);
         m.worstGapMin.merge(s.worstGapMin);
         m.lossFreeTrials += s.lossFreeTrials;
+        obs::mergeCounters(m.counters, s.counters);
     }
     m.lossFree = wilsonInterval(m.lossFreeTrials, m.trials,
                                 rule ? rule->ciZ : 1.96);
@@ -492,6 +514,12 @@ writeMergedJson(std::ostream &os, const MergedCampaign &m)
     w.field("ci_lo", m.lossFree.lo);
     w.field("ci_hi", m.lossFree.hi);
     w.endObject();
+    if (!m.counters.empty()) {
+        w.key("counters").beginObject();
+        for (const auto &[name, v] : m.counters)
+            w.field(name, v);
+        w.endObject();
+    }
     w.key("early_stop").beginObject();
     w.field("fired", m.earlyStop.fired);
     w.field("stop_trial", m.earlyStop.stopTrial);

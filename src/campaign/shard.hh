@@ -27,6 +27,7 @@
 #define BPSIM_CAMPAIGN_SHARD_HH
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -147,6 +148,15 @@ struct ShardResult
     /** Early-stop bookkeeping (cumulative downtime prefixes). */
     std::vector<ShardCheckpoint> checkpoints;
 
+    /**
+     * Observability counter deltas accumulated while this shard ran
+     * (obs::Registry names -> counts). Empty when observability is
+     * disabled — and then omitted from the shard file, so files from
+     * uninstrumented runs are byte-identical to schema v1 without
+     * counters. Merged key-wise (addition) by mergeShards().
+     */
+    std::map<std::string, std::uint64_t> counters;
+
     /** Build id of the producing binary (git describe). */
     std::string build;
     /** Wall-clock time (informational, not merged). */
@@ -256,6 +266,9 @@ struct MergedCampaign
     std::uint64_t lossFreeTrials = 0;
     /** Loss-free fraction with its Wilson interval. */
     BinomialCi lossFree;
+
+    /** Key-wise sum of every shard's observability counters. */
+    std::map<std::string, std::uint64_t> counters;
 
     /** Stop-rule replay (all-zero when no rule was supplied). */
     EarlyStopDecision earlyStop;

@@ -1,6 +1,7 @@
 #include "core/annual.hh"
 
 #include "campaign/runner.hh"
+#include "obs/obs.hh"
 #include "power/utility.hh"
 #include "sim/logging.hh"
 #include "workload/cluster.hh"
@@ -123,6 +124,7 @@ AnnualSimulator::runYears(const WorkloadProfile &profile, int n_servers,
     runCampaign<AnnualResult>(
         static_cast<std::uint64_t>(years),
         [&](std::uint64_t y) {
+            const obs::TrialScope trace_scope(y);
             Rng year_rng = Rng::stream(seed, y);
             const auto events = gen.generate(year_rng, kYear);
             return runYear(profile, n_servers, technique, config, events);

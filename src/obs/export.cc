@@ -1,0 +1,179 @@
+#include "obs/export.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <inttypes.h>
+
+namespace bpsim
+{
+namespace obs
+{
+
+namespace
+{
+
+/** %.17g (round-trip exact), with non-finite values clamped to 0. */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** JSON string escaping (quotes, backslashes, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeMetadataObject(
+    std::ostream &os,
+    const std::vector<std::pair<std::string, std::string>> &meta)
+{
+    os << '{';
+    bool first = true;
+    for (const auto &[k, v] : meta) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << jsonEscape(k) << "\":\"" << jsonEscape(v) << '"';
+    }
+    os << '}';
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const std::vector<TraceEvent> &events,
+                 const TraceExportOptions &opts)
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    char head[160];
+    for (const TraceEvent &ev : events) {
+        if (!first)
+            os << ",\n";
+        first = false;
+
+        // Outages render as duration spans; everything else as a
+        // thread-scoped instant on the trial's track.
+        const char *name = ev.name && ev.name[0] ? ev.name
+                                                 : kindName(ev.kind);
+        const char *ph = "i";
+        if (ev.kind == EventKind::OutageStart) {
+            name = "outage";
+            ph = "B";
+        } else if (ev.kind == EventKind::OutageEnd) {
+            name = "outage";
+            ph = "E";
+        }
+        std::snprintf(head, sizeof(head),
+                      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\","
+                      "%s\"ts\":%" PRId64 ",\"pid\":1,\"tid\":%" PRIu64,
+                      name, kindCategory(ev.kind), ph,
+                      ph[0] == 'i' ? "\"s\":\"t\"," : "",
+                      static_cast<std::int64_t>(ev.simTime), ev.trial);
+        os << head;
+        // "E" closes the matching "B"; its args live on the "B" side.
+        if (ph[0] != 'E') {
+            os << ",\"args\":{\"seq\":" << ev.seq << ",\"event\":\""
+               << kindName(ev.kind) << "\",\"a\":" << jsonNumber(ev.a)
+               << ",\"b\":" << jsonNumber(ev.b);
+            if (ev.detail[0] != '\0')
+                os << ",\"detail\":\"" << jsonEscape(ev.detail) << '"';
+            if (opts.includeWall)
+                os << ",\"wall\":" << jsonNumber(ev.wallSeconds);
+            os << '}';
+        }
+        os << '}';
+    }
+    os << "],\"displayTimeUnit\":\"ms\"";
+    if (!opts.metadata.empty()) {
+        os << ",\"metadata\":";
+        writeMetadataObject(os, opts.metadata);
+    }
+    os << "}\n";
+}
+
+void
+writeTraceCsv(std::ostream &os, const std::vector<TraceEvent> &events,
+              const TraceExportOptions &opts)
+{
+    os << "trial,seq,category,event,name,detail,sim_us";
+    if (opts.includeWall)
+        os << ",wall_s";
+    os << ",a,b\n";
+    for (const TraceEvent &ev : events) {
+        os << ev.trial << ',' << ev.seq << ',' << kindCategory(ev.kind)
+           << ',' << kindName(ev.kind) << ',' << ev.name << ','
+           << ev.detail << ',' << ev.simTime;
+        if (opts.includeWall)
+            os << ',' << jsonNumber(ev.wallSeconds);
+        os << ',' << jsonNumber(ev.a) << ',' << jsonNumber(ev.b) << '\n';
+    }
+}
+
+void
+writeMetricsJson(
+    std::ostream &os, const Registry &registry,
+    const std::vector<std::pair<std::string, std::string>> &provenance)
+{
+    os << "{\"schema\":\"bpsim.obs.metrics\",\"schema_version\":1";
+    for (const auto &[k, v] : provenance)
+        os << ",\"" << jsonEscape(k) << "\":\"" << jsonEscape(v) << '"';
+
+    os << ",\"counters\":{";
+    bool first = true;
+    for (const auto &[name, v] : registry.counterSnapshot()) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << jsonEscape(name) << "\":" << v;
+    }
+    os << "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, v] : registry.gaugeSnapshot()) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << jsonEscape(name) << "\":" << jsonNumber(v);
+    }
+    os << "},\"timers\":{";
+    first = true;
+    for (const auto &[name, t] : registry.timerSnapshot()) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << jsonEscape(name)
+           << "\":{\"seconds\":" << jsonNumber(t.seconds)
+           << ",\"count\":" << t.count << '}';
+    }
+    os << "}}\n";
+}
+
+} // namespace obs
+} // namespace bpsim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Trace and metrics exporters.
+ *
+ * writeChromeTrace() emits the Chrome trace_event JSON format that
+ * chrome://tracing and Perfetto load directly: one track (tid) per
+ * campaign trial, outages as B/E duration spans, everything else as
+ * instant events at their simulated-time timestamp (the trace_event
+ * `ts` unit is microseconds — exactly the simulator's Time unit, so
+ * timestamps transfer losslessly). writeTraceCsv() emits the same
+ * events as a flat spreadsheet-friendly table.
+ *
+ * Both exporters are deterministic: wall-clock stamps are excluded
+ * unless explicitly requested, non-finite payloads are clamped to 0,
+ * and doubles print with %.17g so values survive a JSON round trip
+ * bit-exactly. The golden-trace tests compare exporter output
+ * byte-for-byte across thread counts and against a checked-in
+ * fixture.
+ *
+ * writeMetricsJson() snapshots an obs::Registry (counters, gauges,
+ * timers, sorted by name) together with caller-supplied provenance
+ * fields such as buildId() and the campaign seed.
+ */
+
+#ifndef BPSIM_OBS_EXPORT_HH
+#define BPSIM_OBS_EXPORT_HH
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+
+namespace bpsim
+{
+namespace obs
+{
+
+/** Knobs for writeChromeTrace() / writeTraceCsv(). */
+struct TraceExportOptions
+{
+    /**
+     * Provenance fields for the top-level "metadata" object (e.g.
+     * {"build", buildId()}, {"seed", "2014"}). Emitted in the order
+     * given; the object is omitted when empty.
+     */
+    std::vector<std::pair<std::string, std::string>> metadata;
+    /**
+     * Include wall-clock stamps (args.wall / a wall column). Off by
+     * default: wall times vary run to run and would break the
+     * byte-identical determinism contract.
+     */
+    bool includeWall = false;
+};
+
+/** Write @p events as a Chrome trace_event JSON document. */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<TraceEvent> &events,
+                      const TraceExportOptions &opts = {});
+
+/** Write @p events as CSV (one header row + one row per event). */
+void writeTraceCsv(std::ostream &os,
+                   const std::vector<TraceEvent> &events,
+                   const TraceExportOptions &opts = {});
+
+/**
+ * Write a JSON snapshot of @p registry: provenance fields first, then
+ * "counters", "gauges" and "timers" objects sorted by metric name.
+ * The output re-parses with parseJson (pinned by the obs tests).
+ */
+void writeMetricsJson(
+    std::ostream &os, const Registry &registry,
+    const std::vector<std::pair<std::string, std::string>> &provenance =
+        {});
+
+} // namespace obs
+} // namespace bpsim
+
+#endif // BPSIM_OBS_EXPORT_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Umbrella header and instrumentation macros for the observability
+ * layer (obs/trace.hh, obs/registry.hh, obs/export.hh).
+ *
+ * Instrumentation sites in the simulation models go through the
+ * macros below so they cost nothing when observability is compiled
+ * out and a single relaxed atomic load when it is compiled in but
+ * disabled at runtime (the default):
+ *
+ *  - compile-time gate: configure with -DBPSIM_OBS=OFF (which defines
+ *    BPSIM_OBS_ENABLED=0) and every macro expands to a no-op
+ *    statement — no branch, no atomic, no strings in the binary;
+ *  - runtime gate: obs::setEnabled(true) arms recording; while it is
+ *    off, BPSIM_TRACE / BPSIM_OBS_COUNTER_ADD short-circuit on
+ *    obs::enabled() before touching any sink or registry state.
+ */
+
+#ifndef BPSIM_OBS_OBS_HH
+#define BPSIM_OBS_OBS_HH
+
+#include "obs/export.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+
+#ifndef BPSIM_OBS_ENABLED
+#define BPSIM_OBS_ENABLED 1
+#endif
+
+#if BPSIM_OBS_ENABLED
+
+/**
+ * The runtime gate as a compile-out-able expression, for guarding
+ * instrumentation-only work (e.g. tracking battery SoC crossings)
+ * that is more than a single BPSIM_TRACE call. Constant-folds to
+ * false when observability is compiled out.
+ */
+#define BPSIM_OBS_ON() (::bpsim::obs::enabled())
+
+/**
+ * Record a trace event; arguments are forwarded to
+ * obs::TraceSink::emit(kind, sim_time, name[, detail[, a[, b]]]).
+ */
+#define BPSIM_TRACE(...)                                                \
+    do {                                                                \
+        if (::bpsim::obs::enabled())                                    \
+            ::bpsim::obs::TraceSink::emit(__VA_ARGS__);                 \
+    } while (0)
+
+/**
+ * Bump Registry::global().counter(name) by n. The counter reference
+ * is resolved once per site (local static), so the steady-state cost
+ * is the enabled() check plus one relaxed fetch_add.
+ */
+#define BPSIM_OBS_COUNTER_ADD(name_, n_)                                \
+    do {                                                                \
+        if (::bpsim::obs::enabled()) {                                  \
+            static ::bpsim::obs::Counter &bpsim_obs_counter_ =          \
+                ::bpsim::obs::Registry::global().counter(name_);        \
+            bpsim_obs_counter_.add(n_);                                 \
+        }                                                               \
+    } while (0)
+
+#else // !BPSIM_OBS_ENABLED
+
+#define BPSIM_OBS_ON() (false)
+
+#define BPSIM_TRACE(...)                                                \
+    do {                                                                \
+    } while (0)
+
+#define BPSIM_OBS_COUNTER_ADD(name_, n_)                                \
+    do {                                                                \
+    } while (0)
+
+#endif // BPSIM_OBS_ENABLED
+
+#endif // BPSIM_OBS_OBS_HH

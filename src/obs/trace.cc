@@ -1,0 +1,255 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace bpsim
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Runtime recording gate (one relaxed load on every hot path). */
+std::atomic<bool> g_enabled{false};
+
+/** Per-trial emission cap (see TraceSink::setMaxEventsPerTrial). */
+std::atomic<std::uint32_t> g_trial_cap{65536};
+
+/** Events discarded by the cap. */
+std::atomic<std::uint64_t> g_dropped{0};
+
+/**
+ * One thread's event buffer. Only the owning thread appends;
+ * `published` is release-stored after each append so drain() (which
+ * runs with no trials in flight, after the pool's completion edge)
+ * reads a consistent prefix even from still-alive worker threads.
+ */
+struct Ring
+{
+    std::vector<TraceEvent> events;
+    std::atomic<std::size_t> published{0};
+};
+
+/**
+ * Registry of every thread's ring. The vector is heap-allocated and
+ * never destroyed: worker threads may still be alive during static
+ * destruction, and the static pointer keeps the rings reachable so
+ * LeakSanitizer does not flag them.
+ */
+std::mutex g_rings_m;
+std::vector<Ring *> &
+rings()
+{
+    static std::vector<Ring *> *const r = new std::vector<Ring *>;
+    return *r;
+}
+
+/** The calling thread's ring, registered on first use. */
+Ring *
+localRing()
+{
+    thread_local Ring *ring = [] {
+        auto *r = new Ring; // owned by rings(), never destroyed
+        std::lock_guard<std::mutex> lk(g_rings_m);
+        rings().push_back(r);
+        return r;
+    }();
+    return ring;
+}
+
+/** Per-thread trial tag + sequence counter (see TrialScope). */
+struct TrialCtx
+{
+    std::uint64_t trial = 0;
+    std::uint32_t seq = 0;
+};
+thread_local TrialCtx t_ctx;
+
+/** Process epoch for the wall-clock stamps. */
+std::chrono::steady_clock::time_point
+wallEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    if (on)
+        wallEpoch(); // pin the epoch before the first event
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+const char *
+kindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::TrialStart: return "trial-start";
+      case EventKind::OutageStart: return "outage-start";
+      case EventKind::OutageEnd: return "outage-end";
+      case EventKind::UpsDischarge: return "ups-discharge";
+      case EventKind::BackupDepleted: return "backup-depleted";
+      case EventKind::PowerLost: return "power-lost";
+      case EventKind::DgStart: return "dg-start";
+      case EventKind::DgStartFailed: return "dg-start-failed";
+      case EventKind::DgOnline: return "dg-online";
+      case EventKind::DgCarrying: return "dg-carrying";
+      case EventKind::BatterySoc: return "battery-soc";
+      case EventKind::Phase: return "phase";
+      case EventKind::Migration: return "migration";
+      case EventKind::Hibernate: return "hibernate";
+      case EventKind::Custom: return "custom";
+    }
+    return "unknown";
+}
+
+const char *
+kindCategory(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::TrialStart:
+        return "trial";
+      case EventKind::OutageStart:
+      case EventKind::OutageEnd:
+      case EventKind::UpsDischarge:
+      case EventKind::BackupDepleted:
+      case EventKind::PowerLost:
+        return "power";
+      case EventKind::DgStart:
+      case EventKind::DgStartFailed:
+      case EventKind::DgOnline:
+      case EventKind::DgCarrying:
+        return "dg";
+      case EventKind::BatterySoc:
+        return "battery";
+      case EventKind::Phase:
+      case EventKind::Migration:
+      case EventKind::Hibernate:
+        return "technique";
+      case EventKind::Custom:
+        return "custom";
+    }
+    return "unknown";
+}
+
+TraceSink &
+TraceSink::instance()
+{
+    static TraceSink sink;
+    return sink;
+}
+
+void
+TraceSink::emit(EventKind kind, Time sim_time, const char *name,
+                const char *detail, double a, double b)
+{
+    if (!enabled())
+        return;
+    TrialCtx &ctx = t_ctx;
+    const std::uint32_t seq = ctx.seq++;
+    if (seq >= g_trial_cap.load(std::memory_order_relaxed)) {
+        g_dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    Ring *ring = localRing();
+    TraceEvent ev;
+    ev.trial = ctx.trial;
+    ev.seq = seq;
+    ev.kind = kind;
+    ev.simTime = sim_time;
+    ev.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wallEpoch())
+            .count();
+    ev.name = name ? name : "";
+    ev.a = a;
+    ev.b = b;
+    ev.setDetail(detail);
+    ring->events.push_back(ev);
+    ring->published.store(ring->events.size(), std::memory_order_release);
+}
+
+std::vector<TraceEvent>
+TraceSink::drain()
+{
+    std::vector<TraceEvent> out;
+    {
+        std::lock_guard<std::mutex> lk(g_rings_m);
+        for (Ring *r : rings()) {
+            const std::size_t n =
+                r->published.load(std::memory_order_acquire);
+            out.insert(out.end(), r->events.begin(),
+                       r->events.begin() +
+                           static_cast<std::ptrdiff_t>(n));
+            r->events.clear();
+            r->published.store(0, std::memory_order_release);
+        }
+    }
+    g_dropped.store(0, std::memory_order_relaxed);
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent &x, const TraceEvent &y) {
+                  return x.trial != y.trial ? x.trial < y.trial
+                                            : x.seq < y.seq;
+              });
+    return out;
+}
+
+void
+TraceSink::clear()
+{
+    std::lock_guard<std::mutex> lk(g_rings_m);
+    for (Ring *r : rings()) {
+        r->events.clear();
+        r->published.store(0, std::memory_order_release);
+    }
+    g_dropped.store(0, std::memory_order_relaxed);
+}
+
+void
+TraceSink::setMaxEventsPerTrial(std::uint32_t cap)
+{
+    g_trial_cap.store(cap == 0 ? 1 : cap, std::memory_order_relaxed);
+}
+
+std::uint32_t
+TraceSink::maxEventsPerTrial() const
+{
+    return g_trial_cap.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+TraceSink::droppedEvents() const
+{
+    return g_dropped.load(std::memory_order_relaxed);
+}
+
+TrialScope::TrialScope(std::uint64_t trial)
+    : prevTrial(t_ctx.trial), prevSeq(t_ctx.seq)
+{
+    t_ctx.trial = trial;
+    t_ctx.seq = 0;
+    TraceSink::emit(EventKind::TrialStart, 0, "trial-start", nullptr,
+                    static_cast<double>(trial));
+}
+
+TrialScope::~TrialScope()
+{
+    t_ctx.trial = prevTrial;
+    t_ctx.seq = prevSeq;
+}
+
+} // namespace obs
+} // namespace bpsim

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Event tracing for simulation runs: a process-wide TraceSink that
+ * records typed, timestamped simulation events (outage start/end, DG
+ * start success/failure, UPS discharge/depletion, technique phase
+ * transitions, migration/hibernate progress, battery state-of-charge
+ * crossings) into lock-free per-thread ring buffers.
+ *
+ * Determinism contract: every event carries (trial, seq) where `seq`
+ * is a per-trial emission counter. A trial is a pure function of its
+ * id and runs on exactly one worker thread, so sorting the drained
+ * events by (trial, seq) yields a sequence that is bit-identical for
+ * any thread count — the property the golden-trace tests pin. Wall
+ * times ride along for profiling but are excluded from deterministic
+ * exports.
+ *
+ * Cost contract: when tracing is disabled (the default) every
+ * instrumentation site reduces to one relaxed atomic load and a
+ * predictable branch; compiling with BPSIM_OBS_ENABLED=0 removes the
+ * sites entirely (see obs.hh).
+ */
+
+#ifndef BPSIM_OBS_TRACE_HH
+#define BPSIM_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace bpsim
+{
+namespace obs
+{
+
+/** What happened (drives the category/rendering of exporters). */
+enum class EventKind : std::uint8_t
+{
+    /** A campaign trial began (a = trial id). */
+    TrialStart,
+    /** Utility failed; backup path engaging (a = load watts). */
+    OutageStart,
+    /** Utility restored. */
+    OutageEnd,
+    /** UPS battery began carrying load (a = battery share watts). */
+    UpsDischarge,
+    /** A backup source ran dry while needed (battery or fuel). */
+    BackupDepleted,
+    /** The IT load abruptly lost power (a = load watts). */
+    PowerLost,
+    /** DG start requested (crank begins). */
+    DgStart,
+    /** DG start failed (empty tank). */
+    DgStartFailed,
+    /** DG finished its startup delay and began ramping. */
+    DgOnline,
+    /** DG fully carrying the load. */
+    DgCarrying,
+    /** Battery SoC crossed a 10 % boundary (a = soc, b = boundary). */
+    BatterySoc,
+    /** Technique Table 4 phase transition (detail = technique name). */
+    Phase,
+    /** Migration/consolidation progress (detail = technique name). */
+    Migration,
+    /** Hibernate/sleep save-state progress (a = server index). */
+    Hibernate,
+    /** Anything else (examples, tests). */
+    Custom,
+};
+
+/** Stable lowercase identifier of @p kind ("outage-start", ...). */
+const char *kindName(EventKind kind);
+
+/** Coarse grouping of @p kind ("power", "dg", "technique", ...). */
+const char *kindCategory(EventKind kind);
+
+/** One recorded simulation event. */
+struct TraceEvent
+{
+    /** Campaign trial id the event belongs to (0 outside campaigns). */
+    std::uint64_t trial = 0;
+    /** Emission index within the trial (the determinism sort key). */
+    std::uint32_t seq = 0;
+    EventKind kind = EventKind::Custom;
+    /** Simulated timestamp (microseconds within the trial). */
+    Time simTime = 0;
+    /** Wall-clock seconds since the process first emitted an event
+     *  (profiling only; excluded from deterministic exports). */
+    double wallSeconds = 0.0;
+    /** Interned event name; must be a string literal. */
+    const char *name = "";
+    /** Kind-specific payload. */
+    double a = 0.0, b = 0.0;
+    /** Short free-form annotation (e.g. the technique name). */
+    char detail[32] = {};
+
+    /** Copy (and truncate) @p s into detail. */
+    void
+    setDetail(const char *s)
+    {
+        if (!s)
+            return;
+        std::strncpy(detail, s, sizeof(detail) - 1);
+        detail[sizeof(detail) - 1] = '\0';
+    }
+};
+
+/** True when observability recording is switched on at runtime. */
+bool enabled();
+
+/** Flip the process-wide runtime recording gate. */
+void setEnabled(bool on);
+
+/**
+ * Process-wide trace collector. Threads append to private ring
+ * buffers without locking; drain()/clear() must only be called while
+ * no simulation trials are in flight (e.g. between campaigns).
+ */
+class TraceSink
+{
+  public:
+    static TraceSink &instance();
+
+    /**
+     * Record one event on the calling thread (no-op while disabled).
+     * @p name and the strings reachable from it must outlive the sink
+     * (pass string literals); @p detail is copied (truncated to 31
+     * chars).
+     */
+    static void emit(EventKind kind, Time sim_time, const char *name,
+                     const char *detail = nullptr, double a = 0.0,
+                     double b = 0.0);
+
+    /**
+     * Remove and return every recorded event, sorted by (trial, seq)
+     * — a deterministic order for any thread count.
+     */
+    std::vector<TraceEvent> drain();
+
+    /** Discard everything recorded so far. */
+    void clear();
+
+    /**
+     * Cap on events recorded per trial; later emissions are counted
+     * as dropped. Because `seq` keeps advancing, the set of surviving
+     * events stays deterministic. Default 65536.
+     */
+    void setMaxEventsPerTrial(std::uint32_t cap);
+    std::uint32_t maxEventsPerTrial() const;
+
+    /** Events discarded by the per-trial cap since the last clear(). */
+    std::uint64_t droppedEvents() const;
+
+  private:
+    TraceSink() = default;
+};
+
+/**
+ * RAII trial context: tags events emitted by the calling thread with
+ * @p trial and restarts the per-trial sequence counter. Instantiated
+ * by the campaign runners around each trial body; nests correctly
+ * (restores the previous context on destruction).
+ */
+class TrialScope
+{
+  public:
+    explicit TrialScope(std::uint64_t trial);
+    ~TrialScope();
+
+    TrialScope(const TrialScope &) = delete;
+    TrialScope &operator=(const TrialScope &) = delete;
+
+  private:
+    std::uint64_t prevTrial;
+    std::uint32_t prevSeq;
+};
+
+} // namespace obs
+} // namespace bpsim
+
+#endif // BPSIM_OBS_TRACE_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 
 namespace bpsim
@@ -25,8 +26,14 @@ DieselGenerator::start()
         return;
     if (fuelExhausted()) {
         warn("DG start requested with an empty tank");
+        BPSIM_TRACE(obs::EventKind::DgStartFailed, sim.now(),
+                    "dg-start-failed", "empty-tank");
+        BPSIM_OBS_COUNTER_ADD("dg.starts_failed", 1);
         return;
     }
+    BPSIM_TRACE(obs::EventKind::DgStart, sim.now(), "dg-start", nullptr,
+                p.startupDelaySec);
+    BPSIM_OBS_COUNTER_ADD("dg.starts", 1);
     st = State::Starting;
     pendingEvent = sim.schedule(fromSeconds(p.startupDelaySec),
                                 [this] { becomeOnline(); }, "dg-online",
@@ -47,6 +54,7 @@ DieselGenerator::becomeOnline()
 {
     BPSIM_ASSERT(st == State::Starting, "DG came online from state %d",
                  static_cast<int>(st));
+    BPSIM_TRACE(obs::EventKind::DgOnline, sim.now(), "dg-online");
     st = State::Online;
     stepsDone = 0;
     advanceRamp();

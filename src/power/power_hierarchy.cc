@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 
 namespace bpsim
@@ -83,6 +84,8 @@ PowerHierarchy::sync()
       case Mode::Dead:
         break;
     }
+    if (ups_ && BPSIM_OBS_ON())
+        noteBatterySoc();
     lastSync = now;
 }
 
@@ -175,6 +178,9 @@ PowerHierarchy::losePower()
     batteryShare = 0.0;
     dgShare = 0.0;
     ++losses;
+    BPSIM_TRACE(obs::EventKind::PowerLost, sim.now(), "power-lost",
+                nullptr, load_);
+    BPSIM_OBS_COUNTER_ADD("power.losses", 1);
     meter_.record(sim.now(), load_, 0.0, 0.0, 0.0);
     for (auto *l : listeners)
         l->powerLost(sim.now());
@@ -184,6 +190,9 @@ void
 PowerHierarchy::utilityFailed()
 {
     sync();
+    BPSIM_TRACE(obs::EventKind::OutageStart, sim.now(), "outage",
+                nullptr, load_);
+    BPSIM_OBS_COUNTER_ADD("power.outages", 1);
     mode_ = Mode::RideThrough;
     recomputeMix();
     ats.utilityFailed();
@@ -208,6 +217,11 @@ PowerHierarchy::afterRideThrough()
     }
     mode_ = Mode::OnBattery;
     recomputeMix();
+    if (mode_ == Mode::OnBattery) {
+        BPSIM_TRACE(obs::EventKind::UpsDischarge, sim.now(),
+                    "ups-discharge", nullptr, batteryShare);
+        BPSIM_OBS_COUNTER_ADD("ups.discharges", 1);
+    }
 }
 
 void
@@ -223,6 +237,9 @@ PowerHierarchy::onBatteryEmpty()
     }
     if (mode_ != Mode::OnBattery)
         return;
+    BPSIM_TRACE(obs::EventKind::BackupDepleted, sim.now(),
+                "backup-depleted", "battery");
+    BPSIM_OBS_COUNTER_ADD("power.backup_depleted", 1);
     for (auto *l : listeners)
         l->backupDepleted(sim.now());
     // The DG may be able to pick up the whole load even before the ramp
@@ -232,8 +249,7 @@ PowerHierarchy::onBatteryEmpty()
         !dg_->fuelExhausted()) {
         mode_ = Mode::OnDg;
         recomputeMix();
-        for (auto *l : listeners)
-            l->dgCarrying(sim.now());
+        notifyDgCarrying();
         return;
     }
     losePower();
@@ -245,6 +261,9 @@ PowerHierarchy::onFuelExhausted()
     sync();
     if (mode_ != Mode::OnDg)
         return;
+    BPSIM_TRACE(obs::EventKind::BackupDepleted, sim.now(),
+                "backup-depleted", "fuel");
+    BPSIM_OBS_COUNTER_ADD("power.backup_depleted", 1);
     for (auto *l : listeners)
         l->backupDepleted(sim.now());
     // The battery (if any charge remains) is the only source left.
@@ -265,8 +284,7 @@ PowerHierarchy::onDgRampChange()
             load_ <= dg_->params().powerCapacityW * (1.0 + 1e-9)) {
             mode_ = Mode::OnDg;
             recomputeMix();
-            for (auto *l : listeners)
-                l->dgCarrying(sim.now());
+            notifyDgCarrying();
         } else {
             recomputeMix();
         }
@@ -276,8 +294,7 @@ PowerHierarchy::onDgRampChange()
         if (dg_->transferFraction() >= 1.0 && !dg_->fuelExhausted()) {
             mode_ = Mode::OnDg;
             recomputeMix();
-            for (auto *l : listeners)
-                l->dgCarrying(sim.now());
+            notifyDgCarrying();
         }
     }
 }
@@ -286,6 +303,7 @@ void
 PowerHierarchy::utilityRestored()
 {
     sync();
+    BPSIM_TRACE(obs::EventKind::OutageEnd, sim.now(), "outage");
     rideThroughEv.cancel();
     depletionEv.cancel();
     if (dg_)
@@ -308,6 +326,32 @@ PowerHierarchy::notifyRestored()
 {
     for (auto *l : listeners)
         l->utilityRestored(sim.now());
+}
+
+void
+PowerHierarchy::notifyDgCarrying()
+{
+    BPSIM_TRACE(obs::EventKind::DgCarrying, sim.now(), "dg-carrying",
+                nullptr, load_);
+    BPSIM_OBS_COUNTER_ADD("dg.carrying", 1);
+    for (auto *l : listeners)
+        l->dgCarrying(sim.now());
+}
+
+void
+PowerHierarchy::noteBatterySoc()
+{
+    const double soc = ups_->battery().soc();
+    // Decile 9 covers [0.9, 1.0] so a full battery does not flap.
+    const int decile = std::min(9, static_cast<int>(soc * 10.0));
+    if (decile == socDecile_)
+        return;
+    // The first sync only latches the starting decile; crossings are
+    // what the trace reports.
+    if (socDecile_ >= 0)
+        BPSIM_TRACE(obs::EventKind::BatterySoc, sim.now(), "battery-soc",
+                    nullptr, soc, static_cast<double>(decile) / 10.0);
+    socDecile_ = decile;
 }
 
 } // namespace bpsim

@@ -149,6 +149,10 @@ class PowerHierarchy
 
     void notifyOutage();
     void notifyRestored();
+    /** Trace the DG takeover and tell every listener. */
+    void notifyDgCarrying();
+    /** Trace battery state-of-charge decile crossings (tracing only). */
+    void noteBatterySoc();
 
     Simulator &sim;
     Utility &utility;
@@ -165,6 +169,8 @@ class PowerHierarchy
     Watts dgShare = 0.0;
     Time lastSync = 0;
     int losses = 0;
+    /** Last battery SoC decile seen by noteBatterySoc (-1 = unseen). */
+    int socDecile_ = -1;
     EventHandle rideThroughEv;
     EventHandle depletionEv;
     EventHandle fuelEv;

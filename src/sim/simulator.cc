@@ -1,5 +1,6 @@
 #include "sim/simulator.hh"
 
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 
 namespace bpsim
@@ -37,6 +38,7 @@ Simulator::runUntil(Time limit)
     BPSIM_ASSERT(!running, "re-entrant Simulator::run()");
     running = true;
     stopping = false;
+    const std::uint64_t executed_before = executed;
     while (!stopping && !queue.empty()) {
         Time next = queue.nextTime();
         if (next > limit)
@@ -51,6 +53,7 @@ Simulator::runUntil(Time limit)
     if (limit != kTimeNever && now_ < limit && !stopping)
         now_ = limit;
     running = false;
+    BPSIM_OBS_COUNTER_ADD("sim.events_processed", executed - executed_before);
 }
 
 } // namespace bpsim

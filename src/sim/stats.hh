@@ -17,7 +17,13 @@
 namespace bpsim
 {
 
-/** Streaming count/mean/variance/min/max via Welford's algorithm. */
+/**
+ * Streaming count/mean/variance/min/max via Welford's algorithm.
+ *
+ * Empty-state contract: every accessor of an empty collector returns
+ * exactly 0 (never NaN or a sentinel), so zero-sample windows and
+ * zero-trial shards serialize and merge without special-casing.
+ */
 class SummaryStats
 {
   public:

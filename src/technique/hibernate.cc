@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hh"
 #include "server/dirty_pages.hh"
 
 namespace bpsim
@@ -90,7 +91,11 @@ HibernationTechnique::onOutage(Time)
             continue;
         if (lowPower)
             srv.setPState(pstateForPowerFraction(srv.model(), 0.5));
-        srv.saveToDisk(saveTimeFor(*cluster, i));
+        const Time save = saveTimeFor(*cluster, i);
+        BPSIM_TRACE(obs::EventKind::Hibernate, sim->now(), "save-to-disk",
+                    name().c_str(), i, toSeconds(save));
+        BPSIM_OBS_COUNTER_ADD("technique.hibernate_saves", 1);
+        srv.saveToDisk(save);
     }
 }
 
@@ -115,6 +120,9 @@ HibernationTechnique::resumeAll()
         const Time resume = resumeTimeFor(*cluster, i);
         switch (srv.state()) {
           case ServerState::Hibernated:
+            BPSIM_TRACE(obs::EventKind::Hibernate, sim->now(),
+                        "resume-from-disk", name().c_str(), i,
+                        toSeconds(resume));
             srv.resumeFromDisk(resume);
             break;
           case ServerState::SavingToDisk: {

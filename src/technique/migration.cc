@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hh"
 #include "server/dirty_pages.hh"
 #include "sim/logging.hh"
 
@@ -112,6 +113,9 @@ MigrationTechnique::onOutage(Time)
             continue; // already consolidated / in flight
         const Plan plan = migrationPlanFor(*cluster, i);
         app.beginMigration();
+        BPSIM_TRACE(obs::EventKind::Migration, sim->now(),
+                    "consolidate-start", name().c_str(), i,
+                    toSeconds(plan.precopy + plan.blackout));
         ++pendingMigrations;
         const int src_id = i;
         sim->schedule(plan.precopy,
@@ -149,6 +153,9 @@ MigrationTechnique::finishPair(int src)
         return;
     }
     app.completeMigration(&host, 0.5);
+    BPSIM_TRACE(obs::EventKind::Migration, sim->now(), "consolidate-done",
+                name().c_str(), src);
+    BPSIM_OBS_COUNTER_ADD("technique.migrations", 1);
     cluster->app(src - 1).setShare(0.5);
     source.shutdown();
     consolidatedSources.push_back(src);
@@ -159,6 +166,9 @@ MigrationTechnique::finishPair(int src)
 void
 MigrationTechnique::allConsolidated()
 {
+    BPSIM_TRACE(obs::EventKind::Migration, sim->now(), "consolidated",
+                name().c_str(),
+                static_cast<double>(consolidatedSources.size()));
     const auto &model = cluster->serverModel();
     if (opt.sleepAfter) {
         const int p_low = pstateForPowerFraction(model, 0.5);
@@ -273,6 +283,10 @@ MigrationTechnique::migrateBack()
         }
         const Plan plan = migrationPlanFor(*cluster, src);
         app.beginMigration();
+        BPSIM_TRACE(obs::EventKind::Migration, sim->now(), "migrate-back",
+                    name().c_str(), src,
+                    toSeconds(plan.precopy + plan.blackout));
+        BPSIM_OBS_COUNTER_ADD("technique.migrations", 1);
         const int src_id = src;
         sim->schedule(plan.precopy,
                       [this, e, src_id] {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 
 namespace bpsim
@@ -23,6 +24,11 @@ Technique::outageStarted(Time now)
 {
     BPSIM_ASSERT(sim != nullptr, "technique '%s' not attached",
                  name_.c_str());
+    // The Table 4 phase structure every technique follows: reaction at
+    // the start of the outage, steady state once the DG carries the
+    // load, recovery after restoration (or abrupt loss).
+    BPSIM_TRACE(obs::EventKind::Phase, now, "start-of-outage",
+                name_.c_str());
     onOutage(now);
 }
 
@@ -30,6 +36,8 @@ void
 Technique::utilityRestored(Time now)
 {
     ++epoch;
+    BPSIM_TRACE(obs::EventKind::Phase, now, "after-restoration",
+                name_.c_str());
     onRestore(now);
 }
 
@@ -37,12 +45,15 @@ void
 Technique::powerLost(Time now)
 {
     ++epoch;
+    BPSIM_TRACE(obs::EventKind::Phase, now, "power-lost", name_.c_str());
     onPowerLost(now);
 }
 
 void
 Technique::dgCarrying(Time now)
 {
+    BPSIM_TRACE(obs::EventKind::Phase, now, "during-outage",
+                name_.c_str());
     onDgCarrying(now);
 }
 

@@ -38,6 +38,47 @@ TEST(PowerMeter, WindowedQueries)
     EXPECT_DOUBLE_EQ(m.peakLoadW(0, 2 * kMinute), 800.0);
 }
 
+// A meter with no recordings answers every window query with the
+// timelines' initial value (0): no samples is not an error state.
+TEST(PowerMeter, EmptyTimelineQueriesReturnZero)
+{
+    const PowerMeter m;
+    EXPECT_DOUBLE_EQ(m.peakLoadW(0, kMinute), 0.0);
+    EXPECT_DOUBLE_EQ(m.batteryEnergyJ(0, kMinute), 0.0);
+    EXPECT_DOUBLE_EQ(m.dgEnergyJ(0, kMinute), 0.0);
+    EXPECT_DOUBLE_EQ(m.load().valueAt(kMinute), 0.0);
+    EXPECT_DOUBLE_EQ(m.load().average(0, kMinute), 0.0);
+}
+
+// A zero-length window [t, t) contains no time: integrals are 0 and
+// the extremum degenerates to the instantaneous value at t.
+TEST(PowerMeter, ZeroLengthWindowHasNoEnergy)
+{
+    PowerMeter m;
+    m.record(0, 500.0, 0.0, 500.0, 0.0);
+    m.record(kMinute, 800.0, 0.0, 800.0, 0.0);
+    EXPECT_DOUBLE_EQ(m.batteryEnergyJ(kMinute, kMinute), 0.0);
+    EXPECT_DOUBLE_EQ(m.batteryEnergyJ(30 * kSecond, 30 * kSecond), 0.0);
+    EXPECT_DOUBLE_EQ(m.peakLoadW(30 * kSecond, 30 * kSecond), 500.0);
+    EXPECT_DOUBLE_EQ(m.peakLoadW(kMinute, kMinute), 800.0);
+}
+
+// Windows past the last recording extrapolate the final step: a
+// piecewise-constant signal holds its last value forever.
+TEST(PowerMeter, QueriesPastLastRecordHoldTheFinalValue)
+{
+    PowerMeter m;
+    m.record(0, 500.0, 500.0, 0.0, 0.0);
+    m.record(kMinute, 800.0, 0.0, 0.0, 800.0);
+    EXPECT_DOUBLE_EQ(m.peakLoadW(5 * kMinute, 10 * kMinute), 800.0);
+    EXPECT_DOUBLE_EQ(m.dgEnergyJ(5 * kMinute, 10 * kMinute),
+                     800.0 * 5.0 * 60.0);
+    // A window straddling the last record integrates the recorded
+    // prefix plus the held tail.
+    EXPECT_DOUBLE_EQ(m.dgEnergyJ(0, 3 * kMinute), 800.0 * 2.0 * 60.0);
+    EXPECT_DOUBLE_EQ(m.load().valueAt(100 * kMinute), 800.0);
+}
+
 /**
  * Fuzz: random load changes and random outages; at every instant the
  * hierarchy claims to be powered, utility + battery + DG must equal

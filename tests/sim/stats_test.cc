@@ -12,14 +12,19 @@ namespace bpsim
 namespace
 {
 
+// Pins the documented empty-state contract: EVERY accessor of an
+// empty collector returns exactly 0 (not NaN, not a sentinel), so
+// zero-trial shards and empty analyzer windows serialize cleanly.
 TEST(SummaryStats, EmptyIsAllZero)
 {
     SummaryStats s;
     EXPECT_EQ(s.count(), 0u);
     EXPECT_DOUBLE_EQ(s.mean(), 0.0);
     EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
     EXPECT_DOUBLE_EQ(s.min(), 0.0);
     EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
 }
 
 TEST(SummaryStats, SingleSample)
