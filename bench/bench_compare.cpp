@@ -1,0 +1,117 @@
+/**
+ * @file
+ * CI perf gate: diff a fresh google-benchmark JSON file against a
+ * committed baseline (bench/baselines/) and fail on regressions above
+ * a noise threshold.
+ *
+ *   bench_compare BASELINE.json CURRENT.json
+ *       [--warn-over FRAC]          default 0.10 (warn above +10%)
+ *       [--fail-over FRAC]          default 0.25 (fail above +25%)
+ *       [--inject-regression PCT]   CI self-test: pretend current is
+ *                                   PCT percent slower
+ *
+ * Exit status: 0 when no benchmark regressed past --fail-over,
+ * 1 when at least one did, 2 on usage or parse errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "campaign/benchdiff.hh"
+
+using namespace bpsim;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s BASELINE.json CURRENT.json"
+                 " [--warn-over FRAC] [--fail-over FRAC]"
+                 " [--inject-regression PCT]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baseline_path, current_path;
+    BenchCompareOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--warn-over") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            opts.warnOver = std::atof(v);
+        } else if (arg == "--fail-over") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            opts.failOver = std::atof(v);
+        } else if (arg == "--inject-regression") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            opts.injectRegression = std::atof(v) / 100.0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else if (baseline_path.empty()) {
+            baseline_path = arg;
+        } else if (current_path.empty()) {
+            current_path = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (baseline_path.empty() || current_path.empty())
+        return usage(argv[0]);
+
+    std::string error;
+    const auto baseline = readBenchmarkFile(baseline_path, &error);
+    if (!baseline) {
+        std::fprintf(stderr, "bench_compare: %s: %s\n",
+                     baseline_path.c_str(), error.c_str());
+        return 2;
+    }
+    const auto current = readBenchmarkFile(current_path, &error);
+    if (!current) {
+        std::fprintf(stderr, "bench_compare: %s: %s\n",
+                     current_path.c_str(), error.c_str());
+        return 2;
+    }
+
+    if (opts.injectRegression != 0.0)
+        std::printf("note: injecting a synthetic %+.0f%% regression "
+                    "(gate self-test)\n",
+                    opts.injectRegression * 100.0);
+
+    const BenchCompareReport report =
+        compareBenchRuns(*baseline, *current, opts);
+    writeBenchCompareReport(std::cout, report);
+
+    if (report.anyFail) {
+        std::printf("\nperf gate: FAIL (regression above %.0f%%)\n",
+                    opts.failOver * 100.0);
+        return 1;
+    }
+    if (report.anyWarn)
+        std::printf("\nperf gate: ok with warnings (above %.0f%% or "
+                    "missing benchmarks)\n",
+                    opts.warnOver * 100.0);
+    else
+        std::printf("\nperf gate: ok\n");
+    return 0;
+}

@@ -14,11 +14,24 @@
 #include <string>
 #include <vector>
 
+#include "campaign/json.hh"
 #include "core/selector.hh"
 #include "sim/logging.hh"
 
 namespace bpsim::bench
 {
+
+/**
+ * One-line provenance header (build id, CPU model, core count) so a
+ * pasted bench transcript is comparable across hosts. Prints once per
+ * process, from the first panel.
+ */
+inline void
+printProvenance()
+{
+    std::printf("build %s | host: %s (%u cores)\n", buildId(),
+                hostCpuModel().c_str(), hostCoreCount());
+}
 
 /** A plotted technique: one label, one or more parameterizations. */
 struct TechRow
@@ -169,6 +182,12 @@ inline void
 printPanel(const Analyzer &analyzer, const WorkloadProfile &profile,
            int n_servers, Time duration)
 {
+    static const bool provenance_printed = [] {
+        printProvenance();
+        return true;
+    }();
+    (void)provenance_printed;
+
     Scenario base;
     base.profile = profile;
     base.nServers = n_servers;

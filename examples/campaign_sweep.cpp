@@ -11,7 +11,11 @@
  *   - the CI early-stop rule (stop once E[downtime] is pinned down to
  *     +-10% or +-1 min/yr, whichever is looser);
  *   - progress callbacks, streamed as trials complete in order;
- *   - writeCampaignJson() / writeCampaignCsv() exports per scenario.
+ *   - writeCampaignJson() / writeCampaignCsv() exports per scenario;
+ *   - per-scenario observability deltas (counters + histograms
+ *     snapshot/subtracted around each campaign, so one scenario's
+ *     metrics never bleed into the next) and, with --sample, signal
+ *     time series rendered as Perfetto counter tracks.
  *
  * Build and run:
  *     cmake -B build -G Ninja && cmake --build build
@@ -19,6 +23,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 
 #include <algorithm>
 #include <fstream>
@@ -48,6 +53,89 @@ standingDefense(const BackupConfigSpec &config)
             fromSeconds(std::max(180.0, config.upsRuntimeSec * 0.5)), true};
 }
 
+/** LTTB budget per (trial, signal) channel kept in memory. */
+constexpr std::size_t kSamplePointsPerChannel = 512;
+
+/**
+ * Trials per scenario whose signal lanes reach the trace. The sweep
+ * runs hundreds of trials per scenario; exporting a counter lane for
+ * every (trial, signal) pair would produce a multi-gigabyte trace no
+ * viewer can load, and a handful of representative years is what a
+ * human actually inspects.
+ */
+constexpr std::uint64_t kSampledTrialsPerConfig = 4;
+
+/**
+ * Write one scenario's observability delta — the counters and
+ * histogram buckets accumulated by THIS campaign only, obtained by
+ * snapshotting the process-wide registry around the run and
+ * subtracting. Without the subtraction, scenario N's file would
+ * contain the running totals of scenarios 0..N (the cross-config
+ * bleed this example used to have).
+ */
+void
+writeScenarioMetrics(const std::string &path, const std::string &config,
+                     const std::map<std::string, std::uint64_t> &counters,
+                     const std::map<std::string, obs::HistogramSnapshot>
+                         &histograms)
+{
+    std::ofstream os(path);
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("build", buildId());
+    w.field("seed", "2014");
+    w.field("config", config);
+    w.key("counters").beginObject();
+    for (const auto &[name, v] : counters)
+        w.field(name, v);
+    w.endObject();
+    w.key("histograms").beginObject();
+    for (const auto &[name, h] : histograms) {
+        w.key(name).beginObject();
+        w.field("count", h.count());
+        w.field("sum", h.sum());
+        w.field("p50", h.quantile(0.50));
+        w.field("p99", h.quantile(0.99));
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    os << '\n';
+}
+
+/**
+ * Drain the sample sink, keep the first kSampledTrialsPerConfig
+ * trials, shift trial ids by @p trial_base (so the combined trace
+ * keeps one lane set per simulated year across scenarios) and append
+ * a per-channel LTTB-downsampled copy to @p out. The filter plus the
+ * downsample bound sweep memory and trace size: a year at hourly
+ * cadence is ~8760 samples per signal per trial, and the sweep runs
+ * hundreds of trials.
+ */
+void
+collectSamples(std::uint64_t trial_base,
+               std::vector<obs::SignalSample> &out)
+{
+    auto rows = obs::TimeSeriesSink::instance().drain();
+    rows.erase(std::remove_if(rows.begin(), rows.end(),
+                              [](const obs::SignalSample &r) {
+                                  return r.trial >=
+                                         kSampledTrialsPerConfig;
+                              }),
+               rows.end());
+    for (auto &r : rows)
+        r.trial += trial_base;
+    const auto store = obs::TimeSeriesStore::fromSamples(std::move(rows));
+    for (const auto &ch : store.channels()) {
+        std::vector<obs::SeriesPoint> pts;
+        pts.reserve(ch.end - ch.begin);
+        for (std::size_t i = ch.begin; i < ch.end; ++i)
+            pts.push_back({store.times()[i], store.values()[i]});
+        for (const auto &p : obs::lttb(pts, kSamplePointsPerChannel))
+            out.push_back({ch.trial, p.t, ch.signal, p.value});
+    }
+}
+
 } // namespace
 
 int
@@ -56,6 +144,7 @@ main(int argc, char **argv)
     setQuietLogging(true);
 
     std::string trace_path, metrics_path;
+    double sample_seconds = 0.0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const char *val = i + 1 < argc ? argv[i + 1] : nullptr;
@@ -65,18 +154,25 @@ main(int argc, char **argv)
         } else if (arg == "--metrics" && val) {
             metrics_path = val;
             ++i;
+        } else if (arg == "--sample" && val) {
+            sample_seconds = std::atof(val);
+            ++i;
         } else {
             std::fprintf(stderr,
                          "usage: campaign_sweep [--trace FILE.json] "
-                         "[--metrics FILE.json]\n");
+                         "[--metrics FILE.json] [--sample SECONDS]\n");
             return 2;
         }
     }
     // Arm event recording only when an export was requested; the
     // instrumentation costs nothing while disabled.
-    if (!trace_path.empty() || !metrics_path.empty())
+    if (!trace_path.empty() || !metrics_path.empty() ||
+        sample_seconds > 0.0)
         obs::setEnabled(true);
+    if (sample_seconds > 0.0)
+        obs::setSampleCadence(fromSeconds(sample_seconds));
     std::vector<obs::TraceEvent> all_events;
+    std::vector<obs::SignalSample> all_samples;
     std::uint64_t trial_base = 0;
 
     std::printf("Campaign sweep: Table 3 configurations x standing "
@@ -112,6 +208,13 @@ main(int argc, char **argv)
                          p.stopped ? " (early stop)" : "");
         };
 
+        // Registry snapshots bracketing the run: the difference is
+        // exactly this scenario's contribution.
+        const auto counters_before =
+            obs::Registry::global().counterSnapshot();
+        const auto histograms_before =
+            obs::Registry::global().histogramSnapshot();
+
         const auto s = runAnnualCampaign(spec, opts);
         std::fprintf(stderr, "%*s\r", 60, ""); // clear the progress line
         std::printf("%-20s %6llu%s %16.1f %10.1f %8.0f%% [%2.0f,%3.0f] "
@@ -131,6 +234,15 @@ main(int argc, char **argv)
         writeCampaignCsv(csv, s);
 
         if (obs::enabled()) {
+            writeScenarioMetrics(
+                stem + "_metrics.json", config.name,
+                obs::subtractCounters(
+                    obs::Registry::global().counterSnapshot(),
+                    counters_before),
+                obs::subtractHistograms(
+                    obs::Registry::global().histogramSnapshot(),
+                    histograms_before));
+
             // Offset this scenario's trial ids past every earlier
             // scenario's range so the combined trace keeps one track
             // per simulated year.
@@ -139,6 +251,7 @@ main(int argc, char **argv)
                 ev.trial += trial_base;
             all_events.insert(all_events.end(), events.begin(),
                               events.end());
+            collectSamples(trial_base, all_samples);
             trial_base += opts.maxTrials;
         }
     }
@@ -147,16 +260,24 @@ main(int argc, char **argv)
         obs::TraceExportOptions topts;
         topts.metadata = {{"build", buildId()}, {"seed", "2014"}};
         std::ofstream os(trace_path);
-        writeChromeTrace(os, all_events, topts);
-        std::printf("\n[wrote %zu trace events to %s — load it in "
-                    "chrome://tracing or ui.perfetto.dev]\n",
-                    all_events.size(), trace_path.c_str());
+        const auto series =
+            obs::TimeSeriesStore::fromSamples(std::move(all_samples));
+        if (series.empty())
+            writeChromeTrace(os, all_events, topts);
+        else
+            writeChromeTrace(os, all_events, series, topts);
+        std::printf("\n[wrote %zu trace events and %zu counter samples "
+                    "to %s — load it in chrome://tracing or "
+                    "ui.perfetto.dev]\n",
+                    all_events.size(), series.rows(), trace_path.c_str());
     }
     if (!metrics_path.empty()) {
         std::ofstream os(metrics_path);
         writeMetricsJson(os, obs::Registry::global(),
                          {{"build", buildId()}, {"seed", "2014"}});
-        std::printf("[wrote metrics snapshot to %s]\n",
+        std::printf("[wrote whole-sweep metrics snapshot to %s; "
+                    "per-scenario deltas are in "
+                    "campaign_<config>_metrics.json]\n",
                     metrics_path.c_str());
     }
 

@@ -44,6 +44,12 @@ runAnnualCampaign(const AnnualTrialFn &trial,
             out.meanPerf.add(r.meanPerf);
             out.batteryKwh.add(r.batteryKwh);
             out.worstGapMin.add(r.worstGapMin);
+            // Per-trial distribution metrics (consume runs in trial
+            // order, so the bucket counts are thread-count invariant).
+            BPSIM_OBS_HISTOGRAM_RECORD("campaign.trial_downtime_min",
+                                       r.downtimeMin);
+            BPSIM_OBS_HISTOGRAM_RECORD("campaign.trial_worst_gap_min",
+                                       r.worstGapMin);
             if (r.losses == 0)
                 ++out.lossFreeTrials;
             ++out.trials;

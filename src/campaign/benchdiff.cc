@@ -1,0 +1,231 @@
+#include "campaign/benchdiff.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+/** google-benchmark time_unit -> ns multiplier. */
+double
+unitToNs(const std::string &unit)
+{
+    if (unit == "ns")
+        return 1.0;
+    if (unit == "us")
+        return 1e3;
+    if (unit == "ms")
+        return 1e6;
+    if (unit == "s")
+        return 1e9;
+    return 1.0;
+}
+
+double
+numberOr(const JsonValue &obj, const char *key, double fallback)
+{
+    const JsonValue *v = obj.find(key);
+    return v && v->kind() == JsonValue::Kind::Number ? v->asDouble()
+                                                     : fallback;
+}
+
+std::string
+stringOr(const JsonValue &obj, const char *key, const std::string &fallback)
+{
+    const JsonValue *v = obj.find(key);
+    return v && v->kind() == JsonValue::Kind::String ? v->asString()
+                                                     : fallback;
+}
+
+/**
+ * Source priority of one benchmark entry: aggregate median beats
+ * aggregate mean beats plain iteration rows; other aggregates
+ * (stddev, cv, ...) are not timings and are skipped.
+ */
+int
+entryPriority(const JsonValue &entry)
+{
+    const std::string run_type = stringOr(entry, "run_type", "iteration");
+    if (run_type != "aggregate")
+        return 0;
+    const std::string agg = stringOr(entry, "aggregate_name", "");
+    if (agg == "median")
+        return 2;
+    if (agg == "mean")
+        return 1;
+    return -1;
+}
+
+/** Accumulates iteration rows so repetitions average cleanly. */
+struct RunAccum
+{
+    int priority = -1;
+    double cpuSum = 0.0, realSum = 0.0, itemsSum = 0.0;
+    std::uint64_t n = 0;
+
+    BenchRun
+    finish(const std::string &name) const
+    {
+        BenchRun r;
+        r.name = name;
+        if (n) {
+            const double inv = 1.0 / static_cast<double>(n);
+            r.cpuTimeNs = cpuSum * inv;
+            r.realTimeNs = realSum * inv;
+            r.itemsPerSec = itemsSum * inv;
+        }
+        return r;
+    }
+};
+
+} // namespace
+
+std::optional<std::map<std::string, BenchRun>>
+readBenchmarkJson(const JsonValue &doc, std::string *error)
+{
+    const JsonValue *benches =
+        doc.kind() == JsonValue::Kind::Object ? doc.find("benchmarks")
+                                              : nullptr;
+    if (!benches || benches->kind() != JsonValue::Kind::Array) {
+        if (error)
+            *error = "not a google-benchmark file: no \"benchmarks\" array";
+        return std::nullopt;
+    }
+
+    std::map<std::string, RunAccum> accums;
+    for (std::size_t i = 0; i < benches->size(); ++i) {
+        const JsonValue &entry = benches->item(i);
+        if (entry.kind() != JsonValue::Kind::Object)
+            continue;
+        const int prio = entryPriority(entry);
+        if (prio < 0)
+            continue;
+        const std::string name =
+            stringOr(entry, "run_name", stringOr(entry, "name", ""));
+        if (name.empty())
+            continue;
+        const double to_ns = unitToNs(stringOr(entry, "time_unit", "ns"));
+        RunAccum &acc = accums[name];
+        if (prio > acc.priority) {
+            // A better source supersedes everything seen so far.
+            acc = RunAccum{};
+            acc.priority = prio;
+        } else if (prio < acc.priority) {
+            continue;
+        }
+        acc.cpuSum += numberOr(entry, "cpu_time", 0.0) * to_ns;
+        acc.realSum += numberOr(entry, "real_time", 0.0) * to_ns;
+        acc.itemsSum += numberOr(entry, "items_per_second", 0.0);
+        ++acc.n;
+    }
+
+    std::map<std::string, BenchRun> out;
+    for (const auto &[name, acc] : accums)
+        out.emplace(name, acc.finish(name));
+    return out;
+}
+
+std::optional<std::map<std::string, BenchRun>>
+readBenchmarkFile(const std::string &path, std::string *error)
+{
+    const auto doc = parseJsonFile(path, error);
+    if (!doc)
+        return std::nullopt;
+    return readBenchmarkJson(*doc, error);
+}
+
+const char *
+benchVerdictName(BenchVerdict v)
+{
+    switch (v) {
+    case BenchVerdict::Ok:
+        return "ok";
+    case BenchVerdict::Warn:
+        return "warn";
+    case BenchVerdict::Fail:
+        return "FAIL";
+    case BenchVerdict::Missing:
+        return "missing";
+    }
+    return "?";
+}
+
+BenchCompareReport
+compareBenchRuns(const std::map<std::string, BenchRun> &baseline,
+                 const std::map<std::string, BenchRun> &current,
+                 const BenchCompareOptions &opts)
+{
+    BenchCompareReport report;
+
+    // Union of names, baseline order first (std::map keeps both
+    // sorted, so the report order is deterministic).
+    std::vector<std::string> names;
+    for (const auto &[name, run] : baseline)
+        names.push_back(name);
+    for (const auto &[name, run] : current)
+        if (!baseline.count(name))
+            names.push_back(name);
+
+    for (const std::string &name : names) {
+        const auto b = baseline.find(name);
+        const auto c = current.find(name);
+        BenchDelta d;
+        d.name = name;
+        if (b == baseline.end() || c == current.end()) {
+            d.verdict = BenchVerdict::Missing;
+            if (b != baseline.end())
+                d.baselineNs = b->second.cpuTimeNs;
+            if (c != current.end())
+                d.currentNs = c->second.cpuTimeNs;
+            report.anyWarn = true;
+            report.deltas.push_back(d);
+            continue;
+        }
+        d.baselineNs = b->second.cpuTimeNs;
+        d.currentNs =
+            c->second.cpuTimeNs * (1.0 + opts.injectRegression);
+        if (d.baselineNs > 0.0)
+            d.change = d.currentNs / d.baselineNs - 1.0;
+        if (d.change > opts.failOver) {
+            d.verdict = BenchVerdict::Fail;
+            report.anyFail = true;
+        } else if (d.change > opts.warnOver) {
+            d.verdict = BenchVerdict::Warn;
+            report.anyWarn = true;
+        }
+        report.deltas.push_back(d);
+    }
+    return report;
+}
+
+void
+writeBenchCompareReport(std::ostream &os, const BenchCompareReport &report)
+{
+    char line[256];
+    std::snprintf(line, sizeof(line), "%-40s %14s %14s %9s %8s\n",
+                  "benchmark", "baseline (ns)", "current (ns)", "change",
+                  "verdict");
+    os << line;
+    for (const BenchDelta &d : report.deltas) {
+        if (d.verdict == BenchVerdict::Missing) {
+            std::snprintf(line, sizeof(line),
+                          "%-40s %14.0f %14.0f %9s %8s\n", d.name.c_str(),
+                          d.baselineNs, d.currentNs, "-",
+                          benchVerdictName(d.verdict));
+        } else {
+            std::snprintf(line, sizeof(line),
+                          "%-40s %14.0f %14.0f %+8.1f%% %8s\n",
+                          d.name.c_str(), d.baselineNs, d.currentNs,
+                          d.change * 100.0, benchVerdictName(d.verdict));
+        }
+        os << line;
+    }
+}
+
+} // namespace bpsim

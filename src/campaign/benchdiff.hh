@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Benchmark regression comparison: parse google-benchmark
+ * `--benchmark_out` JSON files and diff a fresh run against a
+ * committed baseline with a noise threshold, producing per-benchmark
+ * verdicts a CI perf gate can act on.
+ *
+ * Comparison is on cpu_time (wall time is too noisy on shared CI
+ * runners). When a file carries repetition aggregates, the `median`
+ * row is preferred, then `mean`; otherwise iteration rows are
+ * averaged. Benchmarks present on only one side get a `Missing`
+ * verdict, which warns rather than fails — renames should not brick
+ * the gate, they should prompt a baseline refresh.
+ */
+
+#ifndef BPSIM_CAMPAIGN_BENCHDIFF_HH
+#define BPSIM_CAMPAIGN_BENCHDIFF_HH
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "campaign/json.hh"
+
+namespace bpsim
+{
+
+/** One benchmark's representative timings, normalized to ns. */
+struct BenchRun
+{
+    std::string name;
+    double cpuTimeNs = 0.0;
+    double realTimeNs = 0.0;
+    /** 0 when the benchmark does not report a throughput counter. */
+    double itemsPerSec = 0.0;
+};
+
+/**
+ * Extract one BenchRun per benchmark from a parsed google-benchmark
+ * JSON document (keyed by run_name). Returns nullopt (with a reason
+ * in @p error) when the document lacks a "benchmarks" array.
+ */
+std::optional<std::map<std::string, BenchRun>>
+readBenchmarkJson(const JsonValue &doc, std::string *error = nullptr);
+
+/** readBenchmarkJson over the contents of @p path. */
+std::optional<std::map<std::string, BenchRun>>
+readBenchmarkFile(const std::string &path, std::string *error = nullptr);
+
+/** Thresholds of the perf gate (fractions, not percent). */
+struct BenchCompareOptions
+{
+    /** Regressions above this warn (default 10%). */
+    double warnOver = 0.10;
+    /** Regressions above this fail the gate (default 25%). */
+    double failOver = 0.25;
+    /**
+     * Synthetic slowdown injected into every current cpu_time before
+     * comparing (0.5 = +50%). CI uses this to prove the gate actually
+     * fails on a regression; never set it in a real comparison.
+     */
+    double injectRegression = 0.0;
+};
+
+enum class BenchVerdict { Ok, Warn, Fail, Missing };
+
+const char *benchVerdictName(BenchVerdict v);
+
+/** One benchmark's comparison outcome. */
+struct BenchDelta
+{
+    std::string name;
+    /** cpu_time in ns; 0 on the side the benchmark is missing from. */
+    double baselineNs = 0.0;
+    double currentNs = 0.0;
+    /** current/baseline - 1 (positive = regression); 0 when Missing. */
+    double change = 0.0;
+    BenchVerdict verdict = BenchVerdict::Ok;
+};
+
+/** Gate outcome over all benchmarks (union of both sides' names). */
+struct BenchCompareReport
+{
+    std::vector<BenchDelta> deltas;
+    bool anyWarn = false;
+    bool anyFail = false;
+};
+
+BenchCompareReport
+compareBenchRuns(const std::map<std::string, BenchRun> &baseline,
+                 const std::map<std::string, BenchRun> &current,
+                 const BenchCompareOptions &opts = {});
+
+/** Human-readable table of a comparison (one line per benchmark). */
+void writeBenchCompareReport(std::ostream &os,
+                             const BenchCompareReport &report);
+
+} // namespace bpsim
+
+#endif // BPSIM_CAMPAIGN_BENCHDIFF_HH

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "sim/logging.hh"
 
@@ -606,6 +607,35 @@ buildId()
 #endif
 }
 
+const std::string &
+hostCpuModel()
+{
+    static const std::string model = [] {
+        std::ifstream is("/proc/cpuinfo");
+        std::string line;
+        while (std::getline(is, line)) {
+            const auto colon = line.find(':');
+            if (colon == std::string::npos)
+                continue;
+            if (line.compare(0, 10, "model name") != 0)
+                continue;
+            std::size_t start = colon + 1;
+            while (start < line.size() && line[start] == ' ')
+                ++start;
+            return line.substr(start);
+        }
+        return std::string("unknown");
+    }();
+    return model;
+}
+
+unsigned
+hostCoreCount()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
 std::string
 writeBenchJsonFile(const std::string &name,
                    const std::function<void(JsonWriter &)> &body)
@@ -620,6 +650,8 @@ writeBenchJsonFile(const std::string &name,
     w.beginObject();
     w.field("bench", name);
     w.field("build", buildId());
+    w.field("host_cpu", hostCpuModel());
+    w.field("host_cores", static_cast<std::uint64_t>(hostCoreCount()));
     body(w);
     w.endObject();
     os << '\n';

@@ -162,11 +162,19 @@ std::optional<JsonValue> parseJsonFile(const std::string &path,
  */
 const char *buildId();
 
+/** @name Host provenance (for bench trajectory comparability) */
+///@{
+/** CPU model string from /proc/cpuinfo ("unknown" elsewhere). */
+const std::string &hostCpuModel();
+/** Hardware concurrency of this host. */
+unsigned hostCoreCount();
+///@}
+
 /**
  * Write `BENCH_<name>.json` in the current working directory with
- * `body` filling the members of the top-level object ("bench" and
- * "build" provenance members are emitted first). Returns the file
- * name, or "" on I/O failure.
+ * `body` filling the members of the top-level object ("bench",
+ * "build" and host-provenance members are emitted first). Returns
+ * the file name, or "" on I/O failure.
  */
 std::string writeBenchJsonFile(const std::string &name,
                                const std::function<void(JsonWriter &)> &body);

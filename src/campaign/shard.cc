@@ -29,6 +29,30 @@ failMerge(std::string *error, std::string why)
     return false;
 }
 
+/**
+ * Emit the optional "histograms" member: name -> sparse bucket map.
+ * Omitted entirely when empty, so files from uninstrumented runs stay
+ * byte-identical to plain schema v1 (the counters-sidecar contract).
+ */
+void
+writeHistogramsObject(
+    JsonWriter &w,
+    const std::map<std::string, obs::HistogramSnapshot> &histograms)
+{
+    if (histograms.empty())
+        return;
+    w.key("histograms").beginObject();
+    for (const auto &[name, h] : histograms) {
+        w.key(name).beginObject();
+        w.key("buckets").beginObject();
+        for (const auto &[i, c] : h.buckets)
+            w.field(std::to_string(i), c);
+        w.endObject();
+        w.endObject();
+    }
+    w.endObject();
+}
+
 } // namespace
 
 ShardSpec
@@ -158,6 +182,8 @@ runAnnualShard(const AnnualTrialFn &trial, const ShardSpec &spec,
                  static_cast<unsigned long long>(spec.campaignTrials));
     const auto t0 = std::chrono::steady_clock::now();
     const auto counters_before = obs::Registry::global().counterSnapshot();
+    const auto histograms_before =
+        obs::Registry::global().histogramSnapshot();
 
     ShardResult out;
     out.spec = spec;
@@ -180,6 +206,12 @@ runAnnualShard(const AnnualTrialFn &trial, const ShardSpec &spec,
             out.meanPerf.add(r.meanPerf);
             out.batteryKwh.add(r.batteryKwh);
             out.worstGapMin.add(r.worstGapMin);
+            // Per-trial distribution metrics (consume runs in trial
+            // order, so the bucket counts are thread-count invariant).
+            BPSIM_OBS_HISTOGRAM_RECORD("campaign.trial_downtime_min",
+                                       r.downtimeMin);
+            BPSIM_OBS_HISTOGRAM_RECORD("campaign.trial_worst_gap_min",
+                                       r.worstGapMin);
             if (r.losses == 0)
                 ++out.lossFreeTrials;
             ++out.trials;
@@ -199,6 +231,8 @@ runAnnualShard(const AnnualTrialFn &trial, const ShardSpec &spec,
 
     out.counters = obs::subtractCounters(
         obs::Registry::global().counterSnapshot(), counters_before);
+    out.histograms = obs::subtractHistograms(
+        obs::Registry::global().histogramSnapshot(), histograms_before);
     const std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - t0;
     out.wallSeconds = wall.count();
@@ -268,6 +302,7 @@ writeShardJson(std::ostream &os, const ShardResult &shard)
             w.field(name, v);
         w.endObject();
     }
+    writeHistogramsObject(w, shard.histograms);
     w.endObject();
     os << '\n';
 }
@@ -326,6 +361,19 @@ readShardJson(const std::string &text, std::string *error)
         for (std::size_t i = 0; i < cs->size(); ++i) {
             const auto &[name, v] = cs->member(i);
             out.counters[name] = v.asUint();
+        }
+    }
+    if (const JsonValue *hs = doc->find("histograms")) {
+        for (std::size_t i = 0; i < hs->size(); ++i) {
+            const auto &[name, h] = hs->member(i);
+            obs::HistogramSnapshot snap;
+            const JsonValue &buckets = h.at("buckets");
+            for (std::size_t j = 0; j < buckets.size(); ++j) {
+                const auto &[idx, c] = buckets.member(j);
+                snap.buckets[static_cast<std::uint32_t>(
+                    std::stoul(idx))] = c.asUint();
+            }
+            out.histograms[name] = std::move(snap);
         }
     }
     return out;
@@ -472,6 +520,7 @@ mergeShards(std::vector<ShardResult> shards, const EarlyStopRule *rule,
         m.worstGapMin.merge(s.worstGapMin);
         m.lossFreeTrials += s.lossFreeTrials;
         obs::mergeCounters(m.counters, s.counters);
+        obs::mergeHistograms(m.histograms, s.histograms);
     }
     m.lossFree = wilsonInterval(m.lossFreeTrials, m.trials,
                                 rule ? rule->ciZ : 1.96);
@@ -520,6 +569,7 @@ writeMergedJson(std::ostream &os, const MergedCampaign &m)
             w.field(name, v);
         w.endObject();
     }
+    writeHistogramsObject(w, m.histograms);
     w.key("early_stop").beginObject();
     w.field("fired", m.earlyStop.fired);
     w.field("stop_trial", m.earlyStop.stopTrial);

@@ -36,6 +36,7 @@
 #include "campaign/annual_campaign.hh"
 #include "campaign/exact_sum.hh"
 #include "campaign/tdigest.hh"
+#include "obs/histogram.hh"
 
 namespace bpsim
 {
@@ -157,6 +158,15 @@ struct ShardResult
      */
     std::map<std::string, std::uint64_t> counters;
 
+    /**
+     * Observability histogram deltas (sparse bucket counts) captured
+     * the same way as `counters` and with the same invariants: empty
+     * (and omitted from the file — schema v1 bytes unchanged) when
+     * observability is disabled; merged bucket-wise by mergeShards(),
+     * bit-identical for any shard partition or merge order.
+     */
+    std::map<std::string, obs::HistogramSnapshot> histograms;
+
     /** Build id of the producing binary (git describe). */
     std::string build;
     /** Wall-clock time (informational, not merged). */
@@ -269,6 +279,9 @@ struct MergedCampaign
 
     /** Key-wise sum of every shard's observability counters. */
     std::map<std::string, std::uint64_t> counters;
+
+    /** Bucket-wise sum of every shard's observability histograms. */
+    std::map<std::string, obs::HistogramSnapshot> histograms;
 
     /** Stop-rule replay (all-zero when no rule was supplied). */
     EarlyStopDecision earlyStop;

@@ -37,6 +37,50 @@ AnnualSimulator::runYear(const WorkloadProfile &profile, int n_servers,
         BPSIM_ASSERT(ev.end() <= kYear, "outage beyond the year");
         utility.scheduleOutage(ev.start, ev.duration);
     }
+
+#if BPSIM_OBS_ENABLED
+    // Time-series sampler: an ordinary self-rescheduling event on the
+    // sim-time cadence grid (Stats priority, so the state at each
+    // instant has settled). Purely read-only — enabling sampling
+    // never perturbs simulation results — and keyed to simulated
+    // time, so the sample stream is deterministic by construction.
+    std::function<void()> sampler;
+    const Time cadence = obs::sampleCadence();
+    if (BPSIM_OBS_ON() && cadence > 0) {
+        sampler = [&sampler, &sim, &hierarchy, &cluster, &tech,
+                   cadence] {
+            using obs::SignalId;
+            using obs::TimeSeriesSink;
+            const Time now = sim.now();
+            TimeSeriesSink::emit(SignalId::LoadW, now,
+                                 hierarchy.load());
+            TimeSeriesSink::emit(SignalId::UtilityW, now,
+                                 hierarchy.utilityShareW());
+            TimeSeriesSink::emit(SignalId::BatteryW, now,
+                                 hierarchy.batteryShareW());
+            TimeSeriesSink::emit(SignalId::DgW, now,
+                                 hierarchy.dgShareW());
+            TimeSeriesSink::emit(SignalId::BatterySoc, now,
+                                 hierarchy.batterySoc());
+            TimeSeriesSink::emit(
+                SignalId::ServersActive, now,
+                static_cast<double>(cluster.activeServers()));
+            TimeSeriesSink::emit(
+                SignalId::TechPhase, now,
+                static_cast<double>(tech->currentPhase()));
+            TimeSeriesSink::emit(SignalId::ClusterPowerW, now,
+                                 cluster.totalPowerW());
+            TimeSeriesSink::emit(
+                SignalId::QueueDepth, now,
+                static_cast<double>(sim.queueDepth()));
+            if (now + cadence <= kYear)
+                sim.schedule(cadence, sampler, "obs-sample",
+                             EventPriority::Stats);
+        };
+        sim.at(0, sampler, "obs-sample", EventPriority::Stats);
+    }
+#endif
+
     sim.runUntil(kYear);
 
     AnnualResult r;

@@ -65,14 +65,12 @@ writeMetadataObject(
     os << '}';
 }
 
-} // namespace
-
+/** The trace_event objects for @p events, ",\n"-separated. */
 void
-writeChromeTrace(std::ostream &os, const std::vector<TraceEvent> &events,
-                 const TraceExportOptions &opts)
+writeTraceEventObjects(std::ostream &os,
+                       const std::vector<TraceEvent> &events,
+                       const TraceExportOptions &opts, bool &first)
 {
-    os << "{\"traceEvents\":[";
-    bool first = true;
     char head[160];
     for (const TraceEvent &ev : events) {
         if (!first)
@@ -111,12 +109,125 @@ writeChromeTrace(std::ostream &os, const std::vector<TraceEvent> &events,
         }
         os << '}';
     }
+}
+
+/** Counter-sample ("ph":"C") objects for every series channel. */
+void
+writeCounterTrackObjects(std::ostream &os, const TimeSeriesStore &series,
+                         const TraceExportOptions &opts, bool &first)
+{
+    const auto &chans = series.channels();
+    const bool multi_trial =
+        !chans.empty() && chans.front().trial != chans.back().trial;
+    for (const TimeSeriesStore::Channel &c : chans) {
+        const char *signal = signalName(c.signal);
+        std::string name = signal;
+        if (multi_trial)
+            name = "t" + std::to_string(c.trial) + "/" + signal;
+
+        std::vector<SeriesPoint> pts;
+        pts.reserve(c.end - c.begin);
+        for (std::size_t i = c.begin; i < c.end; ++i)
+            pts.push_back({series.times()[i], series.values()[i]});
+        if (opts.maxPointsPerSeries != 0)
+            pts = lttb(pts, opts.maxPointsPerSeries);
+
+        for (const SeriesPoint &p : pts) {
+            if (!first)
+                os << ",\n";
+            first = false;
+            os << "{\"name\":\"" << name
+               << "\",\"cat\":\"series\",\"ph\":\"C\",\"ts\":" << p.t
+               << ",\"pid\":1,\"tid\":" << c.trial << ",\"args\":{\""
+               << signal << "\":" << jsonNumber(p.value) << "}}";
+        }
+    }
+}
+
+void
+writeChromeTraceTail(std::ostream &os, const TraceExportOptions &opts)
+{
     os << "],\"displayTimeUnit\":\"ms\"";
     if (!opts.metadata.empty()) {
         os << ",\"metadata\":";
         writeMetadataObject(os, opts.metadata);
     }
     os << "}\n";
+}
+
+/** Prometheus/OpenMetrics metric-name sanitization ("dg.starts" ->
+ *  "bpsim_dg_starts"). */
+std::string
+openMetricsName(const std::string &name)
+{
+    std::string out = "bpsim_";
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+/** Label-value escaping per the exposition format. */
+std::string
+labelEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '\\' || c == '"')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+/** Rendered label set "{k=\"v\",...}" with @p extra appended last;
+ *  empty string when there are no labels at all. */
+std::string
+labelSet(const std::vector<std::pair<std::string, std::string>> &labels,
+         const std::string &extra = {})
+{
+    std::string out;
+    for (const auto &[k, v] : labels) {
+        out += out.empty() ? "{" : ",";
+        out += k + "=\"" + labelEscape(v) + "\"";
+    }
+    if (!extra.empty()) {
+        out += out.empty() ? "{" : ",";
+        out += extra;
+    }
+    return out.empty() ? out : out + "}";
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const std::vector<TraceEvent> &events,
+                 const TraceExportOptions &opts)
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    writeTraceEventObjects(os, events, opts, first);
+    writeChromeTraceTail(os, opts);
+}
+
+void
+writeChromeTrace(std::ostream &os, const std::vector<TraceEvent> &events,
+                 const TimeSeriesStore &series,
+                 const TraceExportOptions &opts)
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    writeTraceEventObjects(os, events, opts, first);
+    writeCounterTrackObjects(os, series, opts, first);
+    writeChromeTraceTail(os, opts);
 }
 
 void
@@ -172,7 +283,85 @@ writeMetricsJson(
            << "\":{\"seconds\":" << jsonNumber(t.seconds)
            << ",\"count\":" << t.count << '}';
     }
+    os << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : registry.histogramSnapshot()) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << jsonEscape(name)
+           << "\":{\"count\":" << h.count()
+           << ",\"sum\":" << jsonNumber(h.sum())
+           << ",\"p50\":" << jsonNumber(h.quantile(0.50))
+           << ",\"p99\":" << jsonNumber(h.quantile(0.99))
+           << ",\"buckets\":{";
+        bool bfirst = true;
+        for (const auto &[i, c] : h.buckets) {
+            if (!bfirst)
+                os << ',';
+            bfirst = false;
+            os << '"' << i << "\":" << c;
+        }
+        os << "}}";
+    }
     os << "}}\n";
+}
+
+void
+writeTimeSeriesCsv(std::ostream &os, const TimeSeriesStore &series)
+{
+    os << "trial,signal,sim_us,value\n";
+    for (std::size_t i = 0; i < series.rows(); ++i) {
+        os << series.trials()[i] << ','
+           << signalName(series.signals()[i]) << ','
+           << series.times()[i] << ','
+           << jsonNumber(series.values()[i]) << '\n';
+    }
+}
+
+void
+writeOpenMetrics(
+    std::ostream &os, const Registry &registry,
+    const std::vector<std::pair<std::string, std::string>> &labels)
+{
+    const std::string ls = labelSet(labels);
+
+    for (const auto &[name, v] : registry.counterSnapshot()) {
+        const std::string m = openMetricsName(name);
+        os << "# TYPE " << m << " counter\n";
+        os << m << "_total" << ls << ' ' << v << '\n';
+    }
+    for (const auto &[name, v] : registry.gaugeSnapshot()) {
+        const std::string m = openMetricsName(name);
+        os << "# TYPE " << m << " gauge\n";
+        os << m << ls << ' ' << jsonNumber(v) << '\n';
+    }
+    for (const auto &[name, h] : registry.histogramSnapshot()) {
+        const std::string m = openMetricsName(name);
+        os << "# TYPE " << m << " histogram\n";
+        std::uint64_t cum = 0;
+        for (const auto &[i, c] : h.buckets) {
+            if (i >= Histogram::kBuckets - 1)
+                break; // overflow counts land on the +Inf line below
+            cum += c;
+            const std::string le =
+                jsonNumber(Histogram::bucketUpperBound(i));
+            os << m << "_bucket"
+               << labelSet(labels, "le=\"" + le + "\"") << ' ' << cum
+               << '\n';
+        }
+        os << m << "_bucket" << labelSet(labels, "le=\"+Inf\"") << ' '
+           << h.count() << '\n';
+        os << m << "_sum" << ls << ' ' << jsonNumber(h.sum()) << '\n';
+        os << m << "_count" << ls << ' ' << h.count() << '\n';
+    }
+    for (const auto &[name, t] : registry.timerSnapshot()) {
+        const std::string m = openMetricsName(name) + "_seconds";
+        os << "# TYPE " << m << " summary\n";
+        os << m << "_count" << ls << ' ' << t.count << '\n';
+        os << m << "_sum" << ls << ' ' << jsonNumber(t.seconds) << '\n';
+    }
+    os << "# EOF\n";
 }
 
 } // namespace obs

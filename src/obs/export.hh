@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "obs/registry.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 
 namespace bpsim
@@ -53,6 +54,12 @@ struct TraceExportOptions
      * byte-identical determinism contract.
      */
     bool includeWall = false;
+    /**
+     * LTTB budget per time-series channel in the counter-track
+     * export (0 = emit every sample). Downsampling is deterministic,
+     * so capped exports stay byte-identical across thread counts.
+     */
+    std::size_t maxPointsPerSeries = 0;
 };
 
 /** Write @p events as a Chrome trace_event JSON document. */
@@ -60,10 +67,26 @@ void writeChromeTrace(std::ostream &os,
                       const std::vector<TraceEvent> &events,
                       const TraceExportOptions &opts = {});
 
+/**
+ * Write @p events plus @p series as one Chrome trace_event JSON
+ * document: the event spans/instants first, then every time-series
+ * channel as counter samples ("ph":"C"), so Perfetto renders SoC and
+ * power lanes beside the outage spans. Counter names are the signal
+ * names, prefixed with "t<trial>/" when the store spans more than
+ * one trial so lanes do not merge across trials.
+ */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<TraceEvent> &events,
+                      const TimeSeriesStore &series,
+                      const TraceExportOptions &opts = {});
+
 /** Write @p events as CSV (one header row + one row per event). */
 void writeTraceCsv(std::ostream &os,
                    const std::vector<TraceEvent> &events,
                    const TraceExportOptions &opts = {});
+
+/** Write @p series as CSV: trial,signal,sim_us,value. */
+void writeTimeSeriesCsv(std::ostream &os, const TimeSeriesStore &series);
 
 /**
  * Write a JSON snapshot of @p registry: provenance fields first, then
@@ -74,6 +97,20 @@ void writeMetricsJson(
     std::ostream &os, const Registry &registry,
     const std::vector<std::pair<std::string, std::string>> &provenance =
         {});
+
+/**
+ * OpenMetrics / Prometheus text exposition of @p registry: counters
+ * as `<name>_total`, gauges as-is, timers as summary `_sum`/`_count`
+ * pairs, histograms as cumulative `_bucket{le="..."}` series plus
+ * `_sum`/`_count`, terminated by `# EOF`. Metric names are prefixed
+ * with "bpsim_" and sanitized (dots become underscores); @p labels
+ * are rendered on every sample line (e.g. {{"build", buildId()}}).
+ * Output is deterministic (sorted names, %.17g numbers), so it can
+ * be pinned byte-for-byte by golden-fixture tests.
+ */
+void writeOpenMetrics(
+    std::ostream &os, const Registry &registry,
+    const std::vector<std::pair<std::string, std::string>> &labels = {});
 
 } // namespace obs
 } // namespace bpsim

@@ -20,7 +20,9 @@
 #define BPSIM_OBS_OBS_HH
 
 #include "obs/export.hh"
+#include "obs/histogram.hh"
 #include "obs/registry.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 
 #ifndef BPSIM_OBS_ENABLED
@@ -61,6 +63,21 @@
         }                                                               \
     } while (0)
 
+/**
+ * Record value v into Registry::global().histogram(name). Same cost
+ * model as BPSIM_OBS_COUNTER_ADD: the histogram reference is resolved
+ * once per site, so the steady-state cost is the enabled() check plus
+ * one relaxed fetch_add on the target bucket.
+ */
+#define BPSIM_OBS_HISTOGRAM_RECORD(name_, v_)                           \
+    do {                                                                \
+        if (::bpsim::obs::enabled()) {                                  \
+            static ::bpsim::obs::Histogram &bpsim_obs_hist_ =           \
+                ::bpsim::obs::Registry::global().histogram(name_);      \
+            bpsim_obs_hist_.record(v_);                                 \
+        }                                                               \
+    } while (0)
+
 #else // !BPSIM_OBS_ENABLED
 
 #define BPSIM_OBS_ON() (false)
@@ -70,6 +87,10 @@
     } while (0)
 
 #define BPSIM_OBS_COUNTER_ADD(name_, n_)                                \
+    do {                                                                \
+    } while (0)
+
+#define BPSIM_OBS_HISTOGRAM_RECORD(name_, v_)                           \
     do {                                                                \
     } while (0)
 

@@ -77,6 +77,16 @@ Registry::timer(const std::string &name)
     return *slot;
 }
 
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
 std::map<std::string, std::uint64_t>
 Registry::counterSnapshot() const
 {
@@ -107,6 +117,19 @@ Registry::timerSnapshot() const
     return out;
 }
 
+std::map<std::string, HistogramSnapshot>
+Registry::histogramSnapshot() const
+{
+    std::map<std::string, HistogramSnapshot> out;
+    std::lock_guard<std::mutex> lk(m_);
+    for (const auto &[name, h] : histograms_) {
+        HistogramSnapshot s = h->snapshot();
+        if (!s.buckets.empty())
+            out.emplace(name, std::move(s));
+    }
+    return out;
+}
+
 void
 Registry::reset()
 {
@@ -117,6 +140,8 @@ Registry::reset()
         g->reset();
     for (auto &[name, t] : timers_)
         t->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
 }
 
 void

@@ -29,6 +29,8 @@
 #include <mutex>
 #include <string>
 
+#include "obs/histogram.hh"
+
 namespace bpsim
 {
 namespace obs
@@ -98,22 +100,30 @@ struct TimerSnapshot
     std::uint64_t count = 0;
 };
 
-/** Process-wide named metric registry. */
+/**
+ * Named metric registry. Instrumentation goes through the process-wide
+ * global(); free-standing instances exist for hermetic exporter tests
+ * (a local registry's content is exactly what the test put there).
+ */
 class Registry
 {
   public:
+    Registry() = default;
+
     static Registry &global();
 
     /** Find-or-create; the reference is valid forever. */
     Counter &counter(const std::string &name);
     Gauge &gauge(const std::string &name);
     TimerStat &timer(const std::string &name);
+    Histogram &histogram(const std::string &name);
 
     /** @name Snapshots (sorted by name; stable for exports) */
     ///@{
     std::map<std::string, std::uint64_t> counterSnapshot() const;
     std::map<std::string, double> gaugeSnapshot() const;
     std::map<std::string, TimerSnapshot> timerSnapshot() const;
+    std::map<std::string, HistogramSnapshot> histogramSnapshot() const;
     ///@}
 
     /** Zero every value, keeping registrations (cached refs stay
@@ -121,12 +131,11 @@ class Registry
     void reset();
 
   private:
-    Registry() = default;
-
     mutable std::mutex m_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<TimerStat>> timers_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 /**

@@ -93,6 +93,12 @@ setEnabled(bool on)
     g_enabled.store(on, std::memory_order_relaxed);
 }
 
+std::uint64_t
+currentTrial()
+{
+    return t_ctx.trial;
+}
+
 const char *
 kindName(EventKind kind)
 {

@@ -114,6 +114,13 @@ bool enabled();
 void setEnabled(bool on);
 
 /**
+ * The calling thread's active trial id (0 outside a TrialScope).
+ * Shared by TraceSink and TimeSeriesSink so every observability
+ * stream tags rows with the same trial key.
+ */
+std::uint64_t currentTrial();
+
+/**
  * Process-wide trace collector. Threads append to private ring
  * buffers without locking; drain()/clear() must only be called while
  * no simulation trials are in flight (e.g. between campaigns).

@@ -34,6 +34,7 @@ DieselGenerator::start()
     BPSIM_TRACE(obs::EventKind::DgStart, sim.now(), "dg-start", nullptr,
                 p.startupDelaySec);
     BPSIM_OBS_COUNTER_ADD("dg.starts", 1);
+    startedAt_ = sim.now();
     st = State::Starting;
     pendingEvent = sim.schedule(fromSeconds(p.startupDelaySec),
                                 [this] { becomeOnline(); }, "dg-online",

@@ -87,6 +87,10 @@ class DieselGenerator
     /** Register a callback for when the ramp fraction changes. */
     void onRampChange(std::function<void()> fn) { rampFn = std::move(fn); }
 
+    /** When the last start command was issued (-1 = never started);
+     *  feeds the dg.start_to_carrying_s histogram. */
+    Time startedAt() const { return startedAt_; }
+
   private:
     void becomeOnline();
     void advanceRamp();
@@ -96,6 +100,7 @@ class DieselGenerator
     State st = State::Off;
     double fraction = 0.0;
     int stepsDone = 0;
+    Time startedAt_ = -1;
     Joules fuel;
     EventHandle pendingEvent;
     std::function<void()> rampFn;

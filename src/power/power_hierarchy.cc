@@ -32,6 +32,29 @@ PowerHierarchy::powered() const
     return mode_ != Mode::Dead;
 }
 
+double
+PowerHierarchy::batterySoc() const
+{
+    if (!ups_)
+        return 0.0;
+    // The battery is only integrated at power events (sync()); for a
+    // between-events read project the drain forward under the current
+    // constant mix. Under constant power the Peukert model drains soc
+    // linearly, so the projection soc * (1 - dt/tte) is exact.
+    // Read-only: sampling must never perturb simulation state.
+    double soc = ups_->battery().soc();
+    if (batteryShare > 0.0 && sim.now() > lastSync) {
+        const Time tte = ups_->timeToEmpty(batteryShare);
+        if (tte != kTimeNever && tte > 0) {
+            const double dt =
+                static_cast<double>(sim.now() - lastSync);
+            soc = std::max(
+                0.0, soc * (1.0 - dt / static_cast<double>(tte)));
+        }
+    }
+    return soc;
+}
+
 void
 PowerHierarchy::setLoad(Watts w)
 {
@@ -193,6 +216,7 @@ PowerHierarchy::utilityFailed()
     BPSIM_TRACE(obs::EventKind::OutageStart, sim.now(), "outage",
                 nullptr, load_);
     BPSIM_OBS_COUNTER_ADD("power.outages", 1);
+    outageStartedAt_ = sim.now();
     mode_ = Mode::RideThrough;
     recomputeMix();
     ats.utilityFailed();
@@ -304,6 +328,14 @@ PowerHierarchy::utilityRestored()
 {
     sync();
     BPSIM_TRACE(obs::EventKind::OutageEnd, sim.now(), "outage");
+    if (BPSIM_OBS_ON() && outageStartedAt_ >= 0) {
+        BPSIM_OBS_HISTOGRAM_RECORD(
+            "power.outage_duration_s",
+            toSeconds(sim.now() - outageStartedAt_));
+        if (ups_)
+            BPSIM_OBS_HISTOGRAM_RECORD("battery.soc_at_restore",
+                                       ups_->battery().soc());
+    }
     rideThroughEv.cancel();
     depletionEv.cancel();
     if (dg_)
@@ -334,6 +366,10 @@ PowerHierarchy::notifyDgCarrying()
     BPSIM_TRACE(obs::EventKind::DgCarrying, sim.now(), "dg-carrying",
                 nullptr, load_);
     BPSIM_OBS_COUNTER_ADD("dg.carrying", 1);
+    if (BPSIM_OBS_ON() && dg_ && dg_->startedAt() >= 0)
+        BPSIM_OBS_HISTOGRAM_RECORD(
+            "dg.start_to_carrying_s",
+            toSeconds(sim.now() - dg_->startedAt()));
     for (auto *l : listeners)
         l->dgCarrying(sim.now());
 }

@@ -121,6 +121,23 @@ class PowerHierarchy
     /** Metered supply history. */
     const PowerMeter &meter() const { return meter_; }
 
+    /** @name Instantaneous source mix (the obs time-series signals) */
+    ///@{
+    /** Watts currently served from the UPS battery. */
+    Watts batteryShareW() const { return batteryShare; }
+    /** Watts currently served from the DG. */
+    Watts dgShareW() const { return dgShare; }
+    /** Watts currently served from utility (matches the meter's
+     *  convention: the non-shaved remainder while on utility, 0 in
+     *  every other mode). */
+    Watts utilityShareW() const
+    {
+        return mode_ == Mode::OnUtility ? load_ - batteryShare : 0.0;
+    }
+    /** Battery state of charge in [0, 1]; 0 when no UPS fitted. */
+    double batterySoc() const;
+    ///@}
+
     /** Remaining battery time at the present mix; kTimeNever if idle. */
     Time timeToBatteryEmpty() const;
 
@@ -171,6 +188,9 @@ class PowerHierarchy
     int losses = 0;
     /** Last battery SoC decile seen by noteBatterySoc (-1 = unseen). */
     int socDecile_ = -1;
+    /** When the current outage began (-1 = no outage yet); feeds the
+     *  power.outage_duration_s histogram. */
+    Time outageStartedAt_ = -1;
     EventHandle rideThroughEv;
     EventHandle depletionEv;
     EventHandle fuelEv;

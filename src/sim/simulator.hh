@@ -65,6 +65,10 @@ class Simulator
     /** Number of events executed so far (for tests and micro-benches). */
     std::uint64_t executedEvents() const { return executed; }
 
+    /** Pending (scheduled, not yet cancelled-and-compacted) events —
+     *  the obs time-series "queue_depth" signal. */
+    std::size_t queueDepth() const { return queue.rawSize(); }
+
   private:
     EventQueue queue;
     Time now_ = 0;

@@ -29,6 +29,7 @@ Technique::outageStarted(Time now)
     // load, recovery after restoration (or abrupt loss).
     BPSIM_TRACE(obs::EventKind::Phase, now, "start-of-outage",
                 name_.c_str());
+    phase_ = TechPhase::StartOfOutage;
     onOutage(now);
 }
 
@@ -38,6 +39,7 @@ Technique::utilityRestored(Time now)
     ++epoch;
     BPSIM_TRACE(obs::EventKind::Phase, now, "after-restoration",
                 name_.c_str());
+    phase_ = TechPhase::AfterRestoration;
     onRestore(now);
 }
 
@@ -46,6 +48,7 @@ Technique::powerLost(Time now)
 {
     ++epoch;
     BPSIM_TRACE(obs::EventKind::Phase, now, "power-lost", name_.c_str());
+    phase_ = TechPhase::PowerLost;
     onPowerLost(now);
 }
 
@@ -54,6 +57,7 @@ Technique::dgCarrying(Time now)
 {
     BPSIM_TRACE(obs::EventKind::Phase, now, "during-outage",
                 name_.c_str());
+    phase_ = TechPhase::DuringOutage;
     onDgCarrying(now);
 }
 

@@ -36,6 +36,19 @@ enum class TechniqueFamily
     None,
 };
 
+/**
+ * Table 4 operational phase a technique is currently in (numeric
+ * values feed the obs time-series "tech_phase" signal).
+ */
+enum class TechPhase
+{
+    Normal = 0,
+    StartOfOutage = 1,
+    DuringOutage = 2,
+    AfterRestoration = 3,
+    PowerLost = 4,
+};
+
 /** Base outage-handling technique. */
 class Technique : public PowerHierarchy::Listener
 {
@@ -54,6 +67,10 @@ class Technique : public PowerHierarchy::Listener
 
     /** Time for the technique to take effect after a failure (Table 5). */
     virtual Time takeEffectTime(const Cluster &cluster) const = 0;
+
+    /** The Table 4 phase last entered (tracked by the final listener
+     *  methods below; sampled by the obs time-series). */
+    TechPhase currentPhase() const { return phase_; }
 
     /** @name PowerHierarchy::Listener */
     ///@{
@@ -103,6 +120,7 @@ class Technique : public PowerHierarchy::Listener
   private:
     std::string name_;
     TechniqueFamily family_;
+    TechPhase phase_ = TechPhase::Normal;
 };
 
 /** A technique that does nothing (MaxPerf / MinCost baselines). */

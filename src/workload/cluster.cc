@@ -84,6 +84,17 @@ Cluster::availability() const
     return up / static_cast<double>(apps_.size());
 }
 
+int
+Cluster::activeServers() const
+{
+    int n = 0;
+    for (const auto &s : servers_) {
+        if (s->state() == ServerState::Active)
+            ++n;
+    }
+    return n;
+}
+
 double
 Cluster::aggregatePerf() const
 {

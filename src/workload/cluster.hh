@@ -93,6 +93,10 @@ class Cluster : public PowerHierarchy::Listener
     /** Fraction of applications currently available. */
     double availability() const;
 
+    /** Servers currently in the Active state (the obs time-series
+     *  "servers_active" signal). */
+    int activeServers() const;
+
     /** History of the available fraction (downtime accounting). */
     const Timeline &availabilityTimeline() const { return availTl; }
 

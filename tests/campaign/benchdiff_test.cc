@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Perf-gate tests: readBenchmarkJson understands the google-benchmark
+ * --benchmark_out format (aggregate preference, repetition averaging,
+ * time-unit normalization) and compareBenchRuns applies the
+ * warn/fail thresholds — including the --inject-regression self-test
+ * path CI uses to prove the gate can actually fail.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "campaign/benchdiff.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+std::map<std::string, BenchRun>
+parseBenches(const std::string &benchmarks_json)
+{
+    const std::string text =
+        "{\"context\": {\"date\": \"x\"}, \"benchmarks\": [" +
+        benchmarks_json + "]}";
+    std::string err;
+    const auto doc = parseJson(text, &err);
+    EXPECT_TRUE(doc.has_value()) << err;
+    const auto runs = readBenchmarkJson(*doc, &err);
+    EXPECT_TRUE(runs.has_value()) << err;
+    return *runs;
+}
+
+std::string
+entry(const std::string &name, const std::string &run_type,
+      const std::string &aggregate, double real, double cpu,
+      const std::string &unit = "ns")
+{
+    std::ostringstream os;
+    os << "{\"name\": \"" << name << (aggregate.empty() ? "" : "_")
+       << aggregate << "\", \"run_name\": \"" << name
+       << "\", \"run_type\": \"" << run_type << "\"";
+    if (!aggregate.empty())
+        os << ", \"aggregate_name\": \"" << aggregate << "\"";
+    os << ", \"real_time\": " << real << ", \"cpu_time\": " << cpu
+       << ", \"time_unit\": \"" << unit << "\"}";
+    return os.str();
+}
+
+TEST(ReadBenchmarkJson, PlainIterationRows)
+{
+    const auto runs = parseBenches(
+        entry("BM_A", "iteration", "", 120.0, 100.0) + "," +
+        entry("BM_B/1000", "iteration", "", 3.5, 3.0, "us"));
+    ASSERT_EQ(runs.size(), 2u);
+    EXPECT_EQ(runs.at("BM_A").cpuTimeNs, 100.0);
+    EXPECT_EQ(runs.at("BM_A").realTimeNs, 120.0);
+    // us rows normalize to ns.
+    EXPECT_EQ(runs.at("BM_B/1000").cpuTimeNs, 3000.0);
+}
+
+TEST(ReadBenchmarkJson, RepetitionsAverage)
+{
+    const auto runs =
+        parseBenches(entry("BM_A", "iteration", "", 100.0, 90.0) + "," +
+                     entry("BM_A", "iteration", "", 110.0, 110.0));
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs.at("BM_A").cpuTimeNs, 100.0);
+    EXPECT_EQ(runs.at("BM_A").realTimeNs, 105.0);
+}
+
+TEST(ReadBenchmarkJson, AggregatesBeatIterationsMedianBeatsMean)
+{
+    const auto runs = parseBenches(
+        entry("BM_A", "iteration", "", 1.0, 500.0) + "," +
+        entry("BM_A", "aggregate", "mean", 1.0, 105.0) + "," +
+        entry("BM_A", "aggregate", "median", 1.0, 100.0) + "," +
+        entry("BM_A", "aggregate", "stddev", 1.0, 9999.0));
+    ASSERT_EQ(runs.size(), 1u);
+    // median wins; stddev is not a timing and is ignored.
+    EXPECT_EQ(runs.at("BM_A").cpuTimeNs, 100.0);
+}
+
+TEST(ReadBenchmarkJson, RejectsNonBenchmarkDocuments)
+{
+    std::string err;
+    const auto doc = parseJson("{\"foo\": 1}", &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    EXPECT_FALSE(readBenchmarkJson(*doc, &err).has_value());
+    EXPECT_NE(err.find("benchmarks"), std::string::npos);
+}
+
+std::map<std::string, BenchRun>
+runsOf(std::initializer_list<std::pair<const char *, double>> items)
+{
+    std::map<std::string, BenchRun> out;
+    for (const auto &[name, cpu] : items) {
+        BenchRun r;
+        r.name = name;
+        r.cpuTimeNs = cpu;
+        out.emplace(name, r);
+    }
+    return out;
+}
+
+TEST(CompareBenchRuns, VerdictsFollowTheThresholds)
+{
+    const auto baseline = runsOf(
+        {{"ok", 100.0}, {"warn", 100.0}, {"fail", 100.0}, {"fast", 100.0}});
+    const auto current = runsOf(
+        {{"ok", 105.0}, {"warn", 115.0}, {"fail", 130.0}, {"fast", 60.0}});
+    const auto report = compareBenchRuns(baseline, current);
+
+    ASSERT_EQ(report.deltas.size(), 4u);
+    std::map<std::string, BenchVerdict> verdicts;
+    for (const auto &d : report.deltas)
+        verdicts[d.name] = d.verdict;
+    EXPECT_EQ(verdicts.at("ok"), BenchVerdict::Ok);
+    EXPECT_EQ(verdicts.at("warn"), BenchVerdict::Warn);
+    EXPECT_EQ(verdicts.at("fail"), BenchVerdict::Fail);
+    // Speedups never warn.
+    EXPECT_EQ(verdicts.at("fast"), BenchVerdict::Ok);
+    EXPECT_TRUE(report.anyWarn);
+    EXPECT_TRUE(report.anyFail);
+}
+
+TEST(CompareBenchRuns, MissingBenchmarksWarnInsteadOfFailing)
+{
+    const auto baseline = runsOf({{"renamed_away", 100.0}, {"ok", 100.0}});
+    const auto current = runsOf({{"renamed_to", 100.0}, {"ok", 100.0}});
+    const auto report = compareBenchRuns(baseline, current);
+
+    ASSERT_EQ(report.deltas.size(), 3u);
+    int missing = 0;
+    for (const auto &d : report.deltas)
+        if (d.verdict == BenchVerdict::Missing)
+            ++missing;
+    EXPECT_EQ(missing, 2);
+    EXPECT_TRUE(report.anyWarn);
+    EXPECT_FALSE(report.anyFail);
+}
+
+TEST(CompareBenchRuns, InjectedRegressionFailsTheGate)
+{
+    // The CI self-test path: identical runs pass clean, and the same
+    // runs with a +50% synthetic regression must fail.
+    const auto runs = runsOf({{"BM_A", 100.0}, {"BM_B", 2000.0}});
+    EXPECT_FALSE(compareBenchRuns(runs, runs).anyFail);
+
+    BenchCompareOptions opts;
+    opts.injectRegression = 0.50;
+    const auto report = compareBenchRuns(runs, runs, opts);
+    EXPECT_TRUE(report.anyFail);
+    for (const auto &d : report.deltas) {
+        EXPECT_EQ(d.verdict, BenchVerdict::Fail) << d.name;
+        EXPECT_NEAR(d.change, 0.50, 1e-12);
+    }
+}
+
+TEST(CompareBenchRuns, CustomThresholds)
+{
+    const auto baseline = runsOf({{"a", 100.0}});
+    const auto current = runsOf({{"a", 108.0}});
+    BenchCompareOptions strict;
+    strict.warnOver = 0.02;
+    strict.failOver = 0.05;
+    const auto report = compareBenchRuns(baseline, current, strict);
+    ASSERT_EQ(report.deltas.size(), 1u);
+    EXPECT_EQ(report.deltas[0].verdict, BenchVerdict::Fail);
+}
+
+TEST(WriteBenchCompareReport, OneLinePerBenchmark)
+{
+    const auto baseline = runsOf({{"a", 100.0}, {"gone", 5.0}});
+    const auto current = runsOf({{"a", 130.0}});
+    std::ostringstream os;
+    writeBenchCompareReport(os, compareBenchRuns(baseline, current));
+    const std::string text = os.str();
+    EXPECT_NE(text.find("FAIL"), std::string::npos);
+    EXPECT_NE(text.find("missing"), std::string::npos);
+    EXPECT_NE(text.find("+30.0%"), std::string::npos);
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Exporter tests: the OpenMetrics text exposition is byte-stable
+ * against a checked-in golden fixture (regenerate with
+ * BPSIM_WRITE_FIXTURES=1), structurally valid (cumulative buckets,
+ * `# EOF` terminator), and the Chrome counter-track export re-parses
+ * as JSON with one "ph":"C" sample per time-series row.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/json.hh"
+#include "obs/obs.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+/**
+ * A fully deterministic registry: every value is hand-placed, so the
+ * exposition is a pure function of this function (timers included —
+ * TimerStat::add takes nanoseconds directly, no wall clock involved).
+ */
+void
+populateFixture(obs::Registry &reg)
+{
+    reg.counter("power.outages").add(42);
+    reg.counter("dg.starts").add(7);
+    reg.gauge("campaign.trials_per_sec").set(51234.5);
+    reg.timer("campaign.run").add(1500000000); // 1.5 s
+    reg.timer("campaign.run").add(500000000);  // +0.5 s
+    auto &h = reg.histogram("power.outage_duration_s");
+    for (const double v : {30.0, 30.0, 65.0, 120.0, 600.0, 1e9})
+        h.record(v);
+    reg.histogram("dg.start_to_carrying_s").record(12.5);
+}
+
+std::string
+fixtureString()
+{
+    obs::Registry reg;
+    populateFixture(reg);
+    std::ostringstream os;
+    writeOpenMetrics(os, reg, {{"build", "golden-fixture"}});
+    return os.str();
+}
+
+TEST(OpenMetrics, ByteStableAgainstFixture)
+{
+    const std::string path =
+        std::string(BPSIM_FIXTURE_DIR) + "/openmetrics_v1.txt";
+    const std::string got = fixtureString();
+
+    if (std::getenv("BPSIM_WRITE_FIXTURES") != nullptr) {
+        std::ofstream f(path);
+        ASSERT_TRUE(f.good()) << path;
+        f << got;
+        GTEST_SKIP() << "fixture regenerated: " << path;
+    }
+
+    std::ifstream f(path);
+    ASSERT_TRUE(f.good()) << "missing fixture " << path;
+    std::ostringstream want;
+    want << f.rdbuf();
+    EXPECT_EQ(got, want.str())
+        << "OpenMetrics output drifted from the golden fixture: "
+           "regenerate with BPSIM_WRITE_FIXTURES=1 if the change is "
+           "intentional";
+}
+
+TEST(OpenMetrics, ExpositionIsStructurallyValid)
+{
+    const std::string text = fixtureString();
+
+    // Terminated by exactly one "# EOF" line at the end.
+    ASSERT_GE(text.size(), 6u);
+    EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+
+    // Counters carry the _total suffix and the label set.
+    EXPECT_NE(text.find("# TYPE bpsim_power_outages counter\n"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("bpsim_power_outages_total{build=\"golden-fixture\"}"
+                  " 42\n"),
+        std::string::npos);
+
+    // Timers expose seconds summaries.
+    EXPECT_NE(text.find("bpsim_campaign_run_seconds_sum"),
+              std::string::npos);
+    EXPECT_NE(text.find("bpsim_campaign_run_seconds_count"),
+              std::string::npos);
+
+    // Histogram: a +Inf bucket equal to _count, and no sample line
+    // after # EOF.
+    EXPECT_NE(text.find("le=\"+Inf\"} 6\n"), std::string::npos);
+    EXPECT_NE(
+        text.find("bpsim_power_outage_duration_s_count"
+                  "{build=\"golden-fixture\"} 6\n"),
+        std::string::npos);
+}
+
+TEST(OpenMetrics, HistogramBucketsAreCumulative)
+{
+    const std::string text = fixtureString();
+    std::istringstream is(text);
+    std::string line;
+    double prev = 0.0;
+    int bucket_lines = 0;
+    while (std::getline(is, line)) {
+        if (line.rfind("bpsim_power_outage_duration_s_bucket", 0) != 0)
+            continue;
+        ++bucket_lines;
+        const auto space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos);
+        const double v = std::atof(line.c_str() + space + 1);
+        EXPECT_GE(v, prev) << line;
+        prev = v;
+    }
+    ASSERT_GT(bucket_lines, 1);
+    EXPECT_EQ(prev, 6.0); // the +Inf bucket holds the total count
+}
+
+TEST(OpenMetrics, EmptyRegistryIsJustEof)
+{
+    const obs::Registry reg;
+    std::ostringstream os;
+    writeOpenMetrics(os, reg);
+    EXPECT_EQ(os.str(), "# EOF\n");
+}
+
+// ---------------------------------------------------------------------
+// Chrome counter tracks
+
+TEST(CounterTracks, ReparseAsJsonWithOneSamplePerRow)
+{
+    std::vector<obs::SignalSample> rows = {
+        {3, 0, obs::SignalId::LoadW, 1000.0},
+        {3, 1000000, obs::SignalId::LoadW, 1500.0},
+        {3, 0, obs::SignalId::BatterySoc, 1.0},
+        {3, 1000000, obs::SignalId::BatterySoc, 0.75},
+    };
+    const auto store = obs::TimeSeriesStore::fromSamples(rows);
+
+    std::ostringstream os;
+    obs::TraceExportOptions opts;
+    opts.metadata = {{"build", "test"}};
+    writeChromeTrace(os, {}, store, opts);
+
+    std::string err;
+    const auto doc = parseJson(os.str(), &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    const JsonValue &events = doc->at("traceEvents");
+    ASSERT_EQ(events.size(), rows.size());
+
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const JsonValue &ev = events.item(i);
+        EXPECT_EQ(ev.at("ph").asString(), "C");
+        EXPECT_EQ(ev.at("cat").asString(), "series");
+        EXPECT_EQ(ev.at("pid").asInt(), 1);
+        EXPECT_EQ(ev.at("tid").asUint(), 3u);
+        // One counter value keyed by the signal name.
+        const JsonValue &args = ev.at("args");
+        ASSERT_EQ(args.size(), 1u);
+    }
+    // Single-trial store: lanes carry the bare signal name.
+    EXPECT_EQ(events.item(0).at("name").asString(), "load_w");
+    EXPECT_EQ(events.item(0).at("args").at("load_w").asDouble(), 1000.0);
+    EXPECT_EQ(events.item(2).at("name").asString(), "battery_soc");
+    EXPECT_EQ(events.item(3).at("args").at("battery_soc").asDouble(),
+              0.75);
+}
+
+TEST(CounterTracks, MultiTrialStoresPrefixLanesWithTheTrial)
+{
+    std::vector<obs::SignalSample> rows = {
+        {0, 0, obs::SignalId::LoadW, 1.0},
+        {1, 0, obs::SignalId::LoadW, 2.0},
+    };
+    std::ostringstream os;
+    writeChromeTrace(os, {}, obs::TimeSeriesStore::fromSamples(rows), {});
+    std::string err;
+    const auto doc = parseJson(os.str(), &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    const JsonValue &events = doc->at("traceEvents");
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events.item(0).at("name").asString(), "t0/load_w");
+    EXPECT_EQ(events.item(1).at("name").asString(), "t1/load_w");
+}
+
+TEST(CounterTracks, LttbBudgetCapsSamplesDeterministically)
+{
+    std::vector<obs::SignalSample> rows;
+    for (int i = 0; i < 1000; ++i)
+        rows.push_back({0, static_cast<Time>(i) * 1000,
+                        obs::SignalId::LoadW,
+                        static_cast<double>(i % 97)});
+    const auto store = obs::TimeSeriesStore::fromSamples(rows);
+
+    obs::TraceExportOptions opts;
+    opts.maxPointsPerSeries = 64;
+    std::ostringstream a, b;
+    writeChromeTrace(a, {}, store, opts);
+    writeChromeTrace(b, {}, store, opts);
+    EXPECT_EQ(a.str(), b.str());
+
+    std::string err;
+    const auto doc = parseJson(a.str(), &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    EXPECT_EQ(doc->at("traceEvents").size(), 64u);
+}
+
+} // namespace
+} // namespace bpsim
