@@ -33,6 +33,7 @@
 #include "campaign/annual_campaign.hh"
 #include "campaign/json.hh"
 #include "obs/obs.hh"
+#include "obs/report.hh"
 #include "sim/logging.hh"
 
 using namespace bpsim;
@@ -104,17 +105,13 @@ writeScenarioMetrics(const std::string &path, const std::string &config,
 }
 
 /**
- * Drain the sample sink, keep the first kSampledTrialsPerConfig
- * trials, shift trial ids by @p trial_base (so the combined trace
- * keeps one lane set per simulated year across scenarios) and append
- * a per-channel LTTB-downsampled copy to @p out. The filter plus the
- * downsample bound sweep memory and trace size: a year at hourly
- * cadence is ~8760 samples per signal per trial, and the sweep runs
- * hundreds of trials.
+ * Drain the sample sink, keeping only the first
+ * kSampledTrialsPerConfig trials. The filter bounds sweep memory: a
+ * year at hourly cadence is ~8760 samples per signal per trial, and
+ * the sweep runs hundreds of trials.
  */
-void
-collectSamples(std::uint64_t trial_base,
-               std::vector<obs::SignalSample> &out)
+std::vector<obs::SignalSample>
+drainScenarioSamples()
 {
     auto rows = obs::TimeSeriesSink::instance().drain();
     rows.erase(std::remove_if(rows.begin(), rows.end(),
@@ -123,16 +120,28 @@ collectSamples(std::uint64_t trial_base,
                                          kSampledTrialsPerConfig;
                               }),
                rows.end());
-    for (auto &r : rows)
-        r.trial += trial_base;
-    const auto store = obs::TimeSeriesStore::fromSamples(std::move(rows));
+    return rows;
+}
+
+/**
+ * Shift this scenario's sampled trial ids by @p trial_base (so the
+ * combined trace keeps one lane set per simulated year across
+ * scenarios) and append a per-channel LTTB-downsampled copy to
+ * @p out. The downsample bounds trace size.
+ */
+void
+collectSamples(const obs::TimeSeriesStore &store,
+               std::uint64_t trial_base,
+               std::vector<obs::SignalSample> &out)
+{
     for (const auto &ch : store.channels()) {
         std::vector<obs::SeriesPoint> pts;
         pts.reserve(ch.end - ch.begin);
         for (std::size_t i = ch.begin; i < ch.end; ++i)
             pts.push_back({store.times()[i], store.values()[i]});
         for (const auto &p : obs::lttb(pts, kSamplePointsPerChannel))
-            out.push_back({ch.trial, p.t, ch.signal, p.value});
+            out.push_back({ch.trial + trial_base, p.t, ch.signal,
+                           p.value});
     }
 }
 
@@ -143,7 +152,7 @@ main(int argc, char **argv)
 {
     setQuietLogging(true);
 
-    std::string trace_path, metrics_path;
+    std::string trace_path, metrics_path, report_path;
     double sample_seconds = 0.0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -157,23 +166,36 @@ main(int argc, char **argv)
         } else if (arg == "--sample" && val) {
             sample_seconds = std::atof(val);
             ++i;
+        } else if (arg == "--report" && val) {
+            report_path = val;
+            ++i;
         } else {
             std::fprintf(stderr,
                          "usage: campaign_sweep [--trace FILE.json] "
-                         "[--metrics FILE.json] [--sample SECONDS]\n");
+                         "[--metrics FILE.json] [--sample SECONDS] "
+                         "[--report FILE.html]\n");
             return 2;
         }
     }
+    // The report's signal lanes come from the sampler; default it to
+    // hourly cadence when a report was asked for without --sample.
+    if (!report_path.empty() && sample_seconds <= 0.0)
+        sample_seconds = 3600.0;
     // Arm event recording only when an export was requested; the
     // instrumentation costs nothing while disabled.
     if (!trace_path.empty() || !metrics_path.empty() ||
-        sample_seconds > 0.0)
+        !report_path.empty() || sample_seconds > 0.0)
         obs::setEnabled(true);
     if (sample_seconds > 0.0)
         obs::setSampleCadence(fromSeconds(sample_seconds));
     std::vector<obs::TraceEvent> all_events;
     std::vector<obs::SignalSample> all_samples;
     std::uint64_t trial_base = 0;
+    obs::CampaignReport report;
+    report.provenance = {{"build", buildId()},
+                         {"seed", "2014"},
+                         {"defense", "ThrottleSleep"},
+                         {"servers", "8 x specjbb"}};
 
     std::printf("Campaign sweep: Table 3 configurations x standing "
                 "defense, up to 400\n"
@@ -243,15 +265,49 @@ main(int argc, char **argv)
                     obs::Registry::global().histogramSnapshot(),
                     histograms_before));
 
+            auto events = obs::TraceSink::instance().drain();
+            const auto store = obs::TimeSeriesStore::fromSamples(
+                drainScenarioSamples());
+
+            // Forensics run on the raw events (trial id == simulated
+            // year), before the combined-trace id shift below.
+            if (!report_path.empty()) {
+                obs::ReportScenario rs;
+                rs.name = config.name;
+                rs.trials = s.trials;
+                rs.stoppedEarly = s.stoppedEarly;
+                rs.meanDowntimeMin = s.downtimeMin.summary().mean();
+                rs.p99DowntimeMin = s.downtimeMin.p99();
+                rs.lossFreeFraction = s.lossFree.fraction;
+                rs.lossFreeLo = s.lossFree.lo;
+                rs.lossFreeHi = s.lossFree.hi;
+                rs.forensics = obs::buildIncidentReport(events);
+                rs.health =
+                    obs::checkHealth(events, &store, &rs.forensics);
+                for (const auto &ch : store.channels()) {
+                    obs::ReportLane lane;
+                    lane.trial = ch.trial;
+                    lane.signal = ch.signal;
+                    std::vector<obs::SeriesPoint> pts;
+                    pts.reserve(ch.end - ch.begin);
+                    for (std::size_t i = ch.begin; i < ch.end; ++i)
+                        pts.push_back(
+                            {store.times()[i], store.values()[i]});
+                    lane.points =
+                        obs::lttb(pts, kSamplePointsPerChannel);
+                    rs.lanes.push_back(std::move(lane));
+                }
+                report.scenarios.push_back(std::move(rs));
+            }
+
             // Offset this scenario's trial ids past every earlier
             // scenario's range so the combined trace keeps one track
             // per simulated year.
-            auto events = obs::TraceSink::instance().drain();
             for (auto &ev : events)
                 ev.trial += trial_base;
             all_events.insert(all_events.end(), events.begin(),
                               events.end());
-            collectSamples(trial_base, all_samples);
+            collectSamples(store, trial_base, all_samples);
             trial_base += opts.maxTrials;
         }
     }
@@ -279,6 +335,14 @@ main(int argc, char **argv)
                     "per-scenario deltas are in "
                     "campaign_<config>_metrics.json]\n",
                     metrics_path.c_str());
+    }
+    if (!report_path.empty()) {
+        std::ofstream os(report_path);
+        obs::writeHtmlReport(os, report);
+        std::printf("[wrote self-contained HTML campaign report "
+                    "(%zu scenarios) to %s — open it in any browser, "
+                    "no assets needed]\n",
+                    report.scenarios.size(), report_path.c_str());
     }
 
     std::printf("\n(*) stopped early by the CI rule. Per-scenario "

@@ -184,6 +184,10 @@ runAnnualShard(const AnnualTrialFn &trial, const ShardSpec &spec,
     const auto counters_before = obs::Registry::global().counterSnapshot();
     const auto histograms_before =
         obs::Registry::global().histogramSnapshot();
+    // Bookmark (not drain) the trace: the incident engine folds this
+    // shard's events below while leaving them in place for the
+    // caller's own drain()-based export.
+    const auto trace_mark = obs::TraceSink::instance().mark();
 
     ShardResult out;
     out.spec = spec;
@@ -233,6 +237,11 @@ runAnnualShard(const AnnualTrialFn &trial, const ShardSpec &spec,
         obs::Registry::global().counterSnapshot(), counters_before);
     out.histograms = obs::subtractHistograms(
         obs::Registry::global().histogramSnapshot(), histograms_before);
+    if (obs::enabled())
+        out.incidents =
+            obs::buildIncidentReport(
+                obs::TraceSink::instance().eventsSince(trace_mark))
+                .aggregate;
     const std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - t0;
     out.wallSeconds = wall.count();
@@ -303,6 +312,11 @@ writeShardJson(std::ostream &os, const ShardResult &shard)
         w.endObject();
     }
     writeHistogramsObject(w, shard.histograms);
+    // Same omitted-when-empty contract as counters/histograms.
+    if (!shard.incidents.empty()) {
+        w.key("incidents");
+        shard.incidents.writeJson(w);
+    }
     w.endObject();
     os << '\n';
 }
@@ -376,6 +390,10 @@ readShardJson(const std::string &text, std::string *error)
             out.histograms[name] = std::move(snap);
         }
     }
+    // Pre-forensics shard files have no "incidents" member; they
+    // parse (and merge) with an empty aggregate.
+    if (const JsonValue *inc = doc->find("incidents"))
+        out.incidents = obs::IncidentAggregate::fromJson(*inc);
     return out;
 }
 
@@ -521,6 +539,7 @@ mergeShards(std::vector<ShardResult> shards, const EarlyStopRule *rule,
         m.lossFreeTrials += s.lossFreeTrials;
         obs::mergeCounters(m.counters, s.counters);
         obs::mergeHistograms(m.histograms, s.histograms);
+        m.incidents.merge(s.incidents);
     }
     m.lossFree = wilsonInterval(m.lossFreeTrials, m.trials,
                                 rule ? rule->ciZ : 1.96);
@@ -570,6 +589,10 @@ writeMergedJson(std::ostream &os, const MergedCampaign &m)
         w.endObject();
     }
     writeHistogramsObject(w, m.histograms);
+    if (!m.incidents.empty()) {
+        w.key("incidents");
+        m.incidents.writeJson(w);
+    }
     w.key("early_stop").beginObject();
     w.field("fired", m.earlyStop.fired);
     w.field("stop_trial", m.earlyStop.stopTrial);

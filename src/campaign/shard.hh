@@ -37,6 +37,7 @@
 #include "campaign/exact_sum.hh"
 #include "campaign/tdigest.hh"
 #include "obs/histogram.hh"
+#include "obs/incident.hh"
 
 namespace bpsim
 {
@@ -167,6 +168,16 @@ struct ShardResult
      */
     std::map<std::string, obs::HistogramSnapshot> histograms;
 
+    /**
+     * Incident forensics rollup (downtime attribution by root cause)
+     * folded from this shard's trace by the incident engine. Same
+     * contract as `counters`/`histograms`: empty — and omitted from
+     * the shard file, keeping schema-v1 bytes — when observability is
+     * off; merged exactly (ExactSum) by mergeShards(), bit-identical
+     * for any shard partition or merge order.
+     */
+    obs::IncidentAggregate incidents;
+
     /** Build id of the producing binary (git describe). */
     std::string build;
     /** Wall-clock time (informational, not merged). */
@@ -282,6 +293,9 @@ struct MergedCampaign
 
     /** Bucket-wise sum of every shard's observability histograms. */
     std::map<std::string, obs::HistogramSnapshot> histograms;
+
+    /** Exact merge of every shard's incident forensics rollup. */
+    obs::IncidentAggregate incidents;
 
     /** Stop-rule replay (all-zero when no rule was supplied). */
     EarlyStopDecision earlyStop;

@@ -109,6 +109,11 @@ AnnualSimulator::runYear(const WorkloadProfile &profile, int n_servers,
     if (cur == 0.0 && gap_start >= 0)
         worst = std::max(worst, kYear - gap_start);
     r.worstGapMin = toMinutes(worst);
+    // Closes the trial for the incident engine: fixes the attribution
+    // horizon at kYear (truncating any still-open outage) and carries
+    // the simulator's own downtime total for residual checks.
+    BPSIM_TRACE(obs::EventKind::TrialEnd, kYear, "trial-end", nullptr,
+                r.downtimeMin, r.batteryKwh);
     return r;
 }
 

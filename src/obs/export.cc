@@ -98,7 +98,10 @@ writeTraceEventObjects(std::ostream &os,
         os << head;
         // "E" closes the matching "B"; its args live on the "B" side.
         if (ph[0] != 'E') {
-            os << ",\"args\":{\"seq\":" << ev.seq << ",\"event\":\""
+            os << ",\"args\":{\"seq\":" << ev.seq;
+            if (ev.incident != 0)
+                os << ",\"incident\":" << ev.incident;
+            os << ",\"event\":\""
                << kindName(ev.kind) << "\",\"a\":" << jsonNumber(ev.a)
                << ",\"b\":" << jsonNumber(ev.b);
             if (ev.detail[0] != '\0')
@@ -234,12 +237,13 @@ void
 writeTraceCsv(std::ostream &os, const std::vector<TraceEvent> &events,
               const TraceExportOptions &opts)
 {
-    os << "trial,seq,category,event,name,detail,sim_us";
+    os << "trial,seq,incident,category,event,name,detail,sim_us";
     if (opts.includeWall)
         os << ",wall_s";
     os << ",a,b\n";
     for (const TraceEvent &ev : events) {
-        os << ev.trial << ',' << ev.seq << ',' << kindCategory(ev.kind)
+        os << ev.trial << ',' << ev.seq << ',' << ev.incident << ','
+           << kindCategory(ev.kind)
            << ',' << kindName(ev.kind) << ',' << ev.name << ','
            << ev.detail << ',' << ev.simTime;
         if (opts.includeWall)

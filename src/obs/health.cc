@@ -1,0 +1,361 @@
+#include "obs/health.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace bpsim
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Indices into healthRules() (kept adjacent so they cannot drift). */
+enum RuleIx : std::size_t
+{
+    kSocBounds,
+    kSocMonotone,
+    kDgStateMachine,
+    kOutagePairing,
+    kIncidentIds,
+    kPowerBalance,
+    kTrialInvariants,
+    kAttributionResidual,
+};
+
+const std::vector<HealthRule> &
+rules()
+{
+    static const std::vector<HealthRule> r = {
+        {"soc-bounds", Severity::Critical,
+         "battery state of charge stays within [0, 1] in every traced "
+         "event and sampled signal"},
+        {"soc-monotone-on-battery", Severity::Warning,
+         "SoC never rises while the battery alone carries the load "
+         "(between ups-discharge and DG pickup / restoration)"},
+        {"dg-state-machine", Severity::Critical,
+         "DG events follow the legal state machine: start -> online "
+         "-> carrying, reset by restoration"},
+        {"outage-pairing", Severity::Critical,
+         "outage-start/outage-end events pair up and power is only "
+         "lost inside an outage"},
+        {"incident-ids", Severity::Critical,
+         "causal incident ids on outage-start are 1-based and "
+         "strictly sequential within a trial"},
+        {"power-balance", Severity::Critical,
+         "the supply mix (utility + battery + DG) never exceeds the "
+         "load it claims to carry (energy conservation per level)"},
+        {"trial-invariants", Severity::Warning,
+         "per-trial totals are physical: downtime within [0, minutes "
+         "per year], battery energy non-negative"},
+        {"attribution-residual", Severity::Warning,
+         "per-cause attributed downtime reconciles with the "
+         "simulator's own per-trial total"},
+    };
+    return r;
+}
+
+/** Collects findings with the cap + counting bookkeeping. */
+class Collector
+{
+  public:
+    Collector(HealthReport &report, const HealthOptions &opts)
+        : report(report), opts(opts)
+    {
+    }
+
+    void
+    add(RuleIx ix, std::uint64_t trial, Time t, double value,
+        std::string message)
+    {
+        const HealthRule &rule = rules()[ix];
+        ++report.totalFindings;
+        ++report.bySeverity[static_cast<std::size_t>(rule.severity)];
+        ++report.byRule[rule.name];
+        if (report.findings.size() >= opts.maxFindings)
+            return;
+        HealthFinding f;
+        f.rule = rule.name;
+        f.severity = rule.severity;
+        f.trial = trial;
+        f.t = t;
+        f.value = value;
+        f.message = std::move(message);
+        report.findings.push_back(std::move(f));
+    }
+
+  private:
+    HealthReport &report;
+    const HealthOptions &opts;
+};
+
+std::string
+format(const char *fmt, double a, double b = 0.0)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), fmt, a, b);
+    return buf;
+}
+
+/** Event-stream rules, replayed one trial at a time. */
+void
+checkEvents(const std::vector<TraceEvent> &events, Collector &out)
+{
+    enum class DgState { Off, Starting, Online };
+
+    std::size_t i = 0;
+    while (i < events.size()) {
+        const std::uint64_t trial = events[i].trial;
+        bool outage_open = false;
+        bool on_battery = false;
+        double last_soc = -1.0;
+        DgState dg = DgState::Off;
+        std::uint32_t last_incident = 0;
+
+        for (; i < events.size() && events[i].trial == trial; ++i) {
+            const TraceEvent &ev = events[i];
+            switch (ev.kind) {
+              case EventKind::OutageStart:
+                if (outage_open)
+                    out.add(kOutagePairing, trial, ev.simTime, 0.0,
+                            "outage-start while an outage is open");
+                outage_open = true;
+                if (ev.incident != 0) {
+                    if (ev.incident != last_incident + 1)
+                        out.add(kIncidentIds, trial, ev.simTime,
+                                ev.incident,
+                                format("incident id %.0f after %.0f "
+                                       "(expected sequential)",
+                                       ev.incident, last_incident));
+                    last_incident = ev.incident;
+                }
+                break;
+              case EventKind::OutageEnd:
+                if (!outage_open)
+                    out.add(kOutagePairing, trial, ev.simTime, 0.0,
+                            "outage-end without a matching "
+                            "outage-start");
+                outage_open = false;
+                on_battery = false;
+                dg = DgState::Off;
+                last_soc = -1.0;
+                break;
+              case EventKind::PowerLost:
+                if (!outage_open)
+                    out.add(kOutagePairing, trial, ev.simTime, 0.0,
+                            "power lost outside any outage");
+                on_battery = false;
+                break;
+              case EventKind::UpsDischarge:
+                on_battery = true;
+                last_soc = -1.0;
+                break;
+              case EventKind::DgStart:
+                if (dg != DgState::Off)
+                    out.add(kDgStateMachine, trial, ev.simTime, 0.0,
+                            "dg-start while the DG is already "
+                            "starting or online");
+                dg = DgState::Starting;
+                break;
+              case EventKind::DgStartFailed:
+                break; // a failed attempt leaves the DG off
+              case EventKind::DgOnline:
+                if (dg != DgState::Starting)
+                    out.add(kDgStateMachine, trial, ev.simTime, 0.0,
+                            "dg-online without a preceding dg-start");
+                dg = DgState::Online;
+                break;
+              case EventKind::DgCarrying:
+                if (dg != DgState::Online)
+                    out.add(kDgStateMachine, trial, ev.simTime, 0.0,
+                            "dg-carrying while the DG is not online");
+                on_battery = false;
+                break;
+              case EventKind::BatterySoc:
+                if (ev.a < 0.0 || ev.a > 1.0)
+                    out.add(kSocBounds, trial, ev.simTime, ev.a,
+                            format("traced SoC %.6g outside [0, 1]",
+                                   ev.a));
+                if (on_battery && last_soc >= 0.0 &&
+                    ev.a > last_soc + 1e-9)
+                    out.add(kSocMonotone, trial, ev.simTime, ev.a,
+                            format("SoC rose %.6g -> %.6g while on "
+                                   "battery",
+                                   last_soc, ev.a));
+                if (on_battery)
+                    last_soc = ev.a;
+                break;
+              case EventKind::TrialEnd: {
+                constexpr double kYearMin = 365.0 * 24.0 * 60.0;
+                if (ev.a < 0.0 || ev.a > kYearMin)
+                    out.add(kTrialInvariants, trial, ev.simTime, ev.a,
+                            format("trial downtime %.6g min outside "
+                                   "[0, %.0f]",
+                                   ev.a, kYearMin));
+                if (ev.b < 0.0)
+                    out.add(kTrialInvariants, trial, ev.simTime, ev.b,
+                            format("battery energy %.6g kWh is "
+                                   "negative",
+                                   ev.b));
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    }
+}
+
+/**
+ * Power-balance over sampled signals: at every sample instant the
+ * supply mix must not exceed the load (surplus = conjured energy,
+ * Critical). Deficits are legal inside an outage — ride-through,
+ * transfer gaps and dark floors all starve the load by design — but
+ * a deficit on healthy utility is a Warning.
+ */
+void
+checkPowerBalance(const std::vector<TraceEvent> &events,
+                  const TimeSeriesStore &series,
+                  const HealthOptions &opts, Collector &out)
+{
+    // Outage windows per trial, from the event stream. A still-open
+    // window extends to the end of the trial.
+    struct Window
+    {
+        Time lo, hi;
+    };
+    std::map<std::uint64_t, std::vector<Window>> outages;
+    for (const TraceEvent &ev : events) {
+        auto &w = outages[ev.trial];
+        if (ev.kind == EventKind::OutageStart)
+            w.push_back({ev.simTime, kTimeNever});
+        else if (ev.kind == EventKind::OutageEnd && !w.empty() &&
+                 w.back().hi == kTimeNever)
+            w.back().hi = ev.simTime;
+    }
+    const auto inOutage = [&](std::uint64_t trial, Time t) {
+        const auto it = outages.find(trial);
+        if (it == outages.end())
+            return false;
+        for (const Window &w : it->second)
+            if (t >= w.lo && (w.hi == kTimeNever || t <= w.hi))
+                return true;
+        return false;
+    };
+
+    // Channels are contiguous and sorted (trial, signal, t); the
+    // sampler emits every signal at every tick, so the per-trial
+    // channels of the four power signals are parallel arrays.
+    const auto &chans = series.channels();
+    const auto chanFor = [&](std::uint64_t trial, SignalId sig)
+        -> const TimeSeriesStore::Channel * {
+        for (const auto &c : chans)
+            if (c.trial == trial && c.signal == sig)
+                return &c;
+        return nullptr;
+    };
+    for (const auto &load_ch : chans) {
+        if (load_ch.signal != SignalId::LoadW)
+            continue;
+        const auto *util = chanFor(load_ch.trial, SignalId::UtilityW);
+        const auto *batt = chanFor(load_ch.trial, SignalId::BatteryW);
+        const auto *dg = chanFor(load_ch.trial, SignalId::DgW);
+        if (!util || !batt || !dg)
+            continue;
+        const std::size_t n = load_ch.end - load_ch.begin;
+        if (util->end - util->begin != n ||
+            batt->end - batt->begin != n || dg->end - dg->begin != n)
+            continue; // unparallel channels: nothing sound to check
+        for (std::size_t k = 0; k < n; ++k) {
+            const Time t = series.times()[load_ch.begin + k];
+            const double load = series.values()[load_ch.begin + k];
+            const double supply = series.values()[util->begin + k] +
+                                  series.values()[batt->begin + k] +
+                                  series.values()[dg->begin + k];
+            const double tol =
+                opts.powerBalanceRelTol * std::max(1.0, load);
+            if (supply > load + tol)
+                out.add(kPowerBalance, load_ch.trial, t,
+                        supply - load,
+                        format("supply %.6g W exceeds load %.6g W",
+                               supply, load));
+            else if (supply < load - tol &&
+                     !inOutage(load_ch.trial, t))
+                out.add(kPowerBalance, load_ch.trial, t,
+                        supply - load,
+                        format("load %.6g W starved (supply %.6g W) "
+                               "on healthy utility",
+                               load, supply));
+        }
+    }
+
+    // Sampled SoC obeys the same bounds as traced SoC.
+    for (const auto &c : chans) {
+        if (c.signal != SignalId::BatterySoc)
+            continue;
+        for (std::size_t k = c.begin; k < c.end; ++k) {
+            const double soc = series.values()[k];
+            if (soc < 0.0 || soc > 1.0)
+                out.add(kSocBounds, c.trial, series.times()[k], soc,
+                        format("sampled SoC %.6g outside [0, 1]",
+                               soc));
+        }
+    }
+}
+
+void
+checkAttribution(const IncidentReport &incidents,
+                 const HealthOptions &opts, Collector &out)
+{
+    for (const TrialForensics &t : incidents.trials) {
+        if (!t.hasTrialEnd)
+            continue;
+        const double tol =
+            opts.residualRelTol *
+            std::max(1.0, std::fabs(t.reportedDowntimeMin));
+        if (std::fabs(t.residualMin()) > tol)
+            out.add(kAttributionResidual, t.trial, 0, t.residualMin(),
+                    format("attributed %.6g min vs reported %.6g min",
+                           t.attributedTotalMin(),
+                           t.reportedDowntimeMin));
+    }
+}
+
+} // namespace
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Info: return "info";
+      case Severity::Warning: return "warning";
+      case Severity::Critical: return "critical";
+    }
+    return "unknown";
+}
+
+const std::vector<HealthRule> &
+healthRules()
+{
+    return rules();
+}
+
+HealthReport
+checkHealth(const std::vector<TraceEvent> &events,
+            const TimeSeriesStore *series,
+            const IncidentReport *incidents, const HealthOptions &opts)
+{
+    HealthReport report;
+    Collector out(report, opts);
+    checkEvents(events, out);
+    if (series)
+        checkPowerBalance(events, *series, opts, out);
+    if (incidents)
+        checkAttribution(*incidents, opts, out);
+    return report;
+}
+
+} // namespace obs
+} // namespace bpsim

@@ -1,0 +1,384 @@
+#include "obs/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace bpsim
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Per-cause accent colors (categorical, color-blind-safe-ish). */
+const char *
+causeColor(RootCause cause)
+{
+    switch (cause) {
+      case RootCause::UpsExhaustedBeforeDg: return "#b5493b";
+      case RootCause::DgStartFailure: return "#d08a2e";
+      case RootCause::TechniqueTransitionGap: return "#3d6f9e";
+      case RootCause::CapacityShortfall: return "#7b5ca6";
+      case RootCause::Unattributed: return "#8c8c8c";
+    }
+    return "#8c8c8c";
+}
+
+const char *
+severityColor(Severity severity)
+{
+    switch (severity) {
+      case Severity::Critical: return "#b5493b";
+      case Severity::Warning: return "#d08a2e";
+      case Severity::Info: return "#6b7680";
+    }
+    return "#6b7680";
+}
+
+std::string
+htmlEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '&': out += "&amp;"; break;
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '"': out += "&quot;"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+/** Compact human number: %.4g with non-finite clamped. */
+std::string
+num(double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+    return buf;
+}
+
+/** Simulated instant as "d12 03:41" (day-of-year, hh:mm). */
+std::string
+simStamp(Time t)
+{
+    const auto total_min =
+        static_cast<long long>(toMinutes(t));
+    const long long day = total_min / (24 * 60);
+    const long long hh = (total_min / 60) % 24;
+    const long long mm = total_min % 60;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "d%03lld %02lld:%02lld", day, hh,
+                  mm);
+    return buf;
+}
+
+/** Duration as minutes with a sensible unit ("3.2 min", "45 s"). */
+std::string
+durStamp(Time t)
+{
+    const double sec = toSeconds(t);
+    if (sec < 120.0)
+        return num(sec) + " s";
+    if (sec < 2.0 * 3600.0)
+        return num(sec / 60.0) + " min";
+    return num(sec / 3600.0) + " h";
+}
+
+void
+writeStyles(std::ostream &os)
+{
+    os << "<style>\n"
+          "body{font:14px/1.45 -apple-system,'Segoe UI',Roboto,"
+          "sans-serif;color:#24292f;margin:2rem auto;max-width:70rem;"
+          "padding:0 1rem;background:#fff}\n"
+          "h1{font-size:1.5rem;border-bottom:2px solid #d0d7de;"
+          "padding-bottom:.4rem}\n"
+          "h2{font-size:1.2rem;margin-top:2.2rem;border-bottom:1px "
+          "solid #d0d7de;padding-bottom:.3rem}\n"
+          "h3{font-size:1rem;margin-top:1.4rem;color:#57606a}\n"
+          "table{border-collapse:collapse;margin:.6rem 0;width:100%}\n"
+          "th,td{border:1px solid #d0d7de;padding:.3rem .55rem;"
+          "text-align:left;font-variant-numeric:tabular-nums}\n"
+          "th{background:#f6f8fa;font-weight:600}\n"
+          "td.r,th.r{text-align:right}\n"
+          ".prov{color:#57606a;font-size:.85rem}\n"
+          ".prov span{margin-right:1.2rem}\n"
+          ".tiles{display:flex;flex-wrap:wrap;gap:.8rem;margin:.8rem "
+          "0}\n"
+          ".tile{border:1px solid #d0d7de;border-radius:6px;padding:"
+          ".5rem .9rem;min-width:8rem;background:#f6f8fa}\n"
+          ".tile b{display:block;font-size:1.25rem}\n"
+          ".tile span{color:#57606a;font-size:.8rem}\n"
+          ".bar{display:inline-block;height:.7rem;border-radius:2px;"
+          "vertical-align:middle}\n"
+          ".sw{display:inline-block;width:.7rem;height:.7rem;"
+          "border-radius:2px;margin-right:.35rem;vertical-align:"
+          "baseline}\n"
+          ".sev{font-weight:600}\n"
+          ".ok{color:#2b7a3d;font-weight:600}\n"
+          ".lane{margin:.35rem 0}\n"
+          ".lane svg{display:block}\n"
+          ".foot{margin-top:2.5rem;color:#57606a;font-size:.85rem;"
+          "border-top:1px solid #d0d7de;padding-top:.5rem}\n"
+          "</style>\n";
+}
+
+/** One signal lane as an inline SVG polyline. */
+void
+writeLane(std::ostream &os, const ReportLane &lane)
+{
+    constexpr double kW = 640.0, kH = 56.0, kPad = 4.0;
+    double lo = 0.0, hi = 1.0;
+    if (!lane.points.empty()) {
+        lo = hi = lane.points.front().value;
+        for (const SeriesPoint &p : lane.points) {
+            lo = std::min(lo, p.value);
+            hi = std::max(hi, p.value);
+        }
+    }
+    if (hi <= lo)
+        hi = lo + 1.0;
+    const Time t0 = lane.points.empty() ? 0 : lane.points.front().t;
+    const Time t1 =
+        lane.points.empty() ? 1 : lane.points.back().t;
+    const double span =
+        static_cast<double>(t1 > t0 ? t1 - t0 : Time{1});
+
+    os << "<div class=\"lane\"><span class=\"prov\">t"
+       << lane.trial << " · " << signalName(lane.signal) << " · ["
+       << num(lo) << ", " << num(hi) << "]</span>";
+    os << "<svg width=\"" << static_cast<int>(kW) << "\" height=\""
+       << static_cast<int>(kH)
+       << "\" role=\"img\" aria-label=\""
+       << signalName(lane.signal) << "\">";
+    os << "<rect x=\"0\" y=\"0\" width=\"" << static_cast<int>(kW)
+       << "\" height=\"" << static_cast<int>(kH)
+       << "\" fill=\"#f6f8fa\" stroke=\"#d0d7de\"/>";
+    if (!lane.points.empty()) {
+        os << "<polyline fill=\"none\" stroke=\"#3d6f9e\" "
+              "stroke-width=\"1.2\" points=\"";
+        char buf[48];
+        for (const SeriesPoint &p : lane.points) {
+            const double x =
+                kPad + (kW - 2 * kPad) *
+                           (static_cast<double>(p.t - t0) / span);
+            const double y =
+                kH - kPad -
+                (kH - 2 * kPad) * ((p.value - lo) / (hi - lo));
+            std::snprintf(buf, sizeof(buf), "%.1f,%.1f ", x, y);
+            os << buf;
+        }
+        os << "\"/>";
+    }
+    os << "</svg></div>\n";
+}
+
+void
+writeAttribution(std::ostream &os, const ReportScenario &sc)
+{
+    const IncidentAggregate &agg = sc.forensics.aggregate;
+    const double total = agg.attributedTotalMin();
+    os << "<h3>Downtime attribution</h3>\n";
+    os << "<table><tr><th>root cause</th><th class=\"r\">minutes"
+          "</th><th class=\"r\">share</th><th class=\"r\">incidents "
+          "(primary)</th><th>share of attributed downtime</th></tr>\n";
+    for (std::size_t c = 0; c < kRootCauseCount; ++c) {
+        const auto cause = static_cast<RootCause>(c);
+        const double min = agg.attributedMin(cause);
+        const double share = total > 0.0 ? min / total : 0.0;
+        os << "<tr><td><span class=\"sw\" style=\"background:"
+           << causeColor(cause) << "\"></span>"
+           << rootCauseName(cause) << "</td><td class=\"r\">"
+           << num(min) << "</td><td class=\"r\">"
+           << num(share * 100.0) << "%</td><td class=\"r\">"
+           << agg.incidentsByPrimaryCause(cause)
+           << "</td><td><span class=\"bar\" style=\"width:"
+           << num(std::max(share * 240.0, min > 0.0 ? 2.0 : 0.0))
+           << "px;background:" << causeColor(cause)
+           << "\"></span></td></tr>\n";
+    }
+    os << "<tr><th>total attributed</th><th class=\"r\">" << num(total)
+       << "</th><th class=\"r\">100%</th><th class=\"r\">"
+       << agg.incidents() << "</th><th></th></tr>\n";
+    os << "</table>\n";
+    os << "<p class=\"prov\">simulator-reported downtime across "
+       << agg.trials() << " trials: " << num(agg.reportedMin())
+       << " min (residual " << num(agg.reportedMin() - total)
+       << " min); " << agg.lossIncidents()
+       << " incidents saw a full power loss, "
+       << agg.truncatedIncidents()
+       << " were still open at a trial boundary.</p>\n";
+}
+
+void
+writeIncidentTable(std::ostream &os, const ReportScenario &sc,
+                   std::size_t max_rows)
+{
+    os << "<h3>Incident timeline (worst first)</h3>\n";
+    std::vector<const Incident *> rows;
+    rows.reserve(sc.forensics.incidents.size());
+    for (const Incident &inc : sc.forensics.incidents)
+        rows.push_back(&inc);
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Incident *x, const Incident *y) {
+                         return x->downtimeMin() > y->downtimeMin();
+                     });
+    os << "<table><tr><th class=\"r\">trial</th><th class=\"r\">id"
+          "</th><th>start</th><th class=\"r\">outage</th><th "
+          "class=\"r\">dark</th><th class=\"r\">downtime</th><th>"
+          "primary cause</th><th class=\"r\">DG starts</th><th>"
+          "flags</th></tr>\n";
+    std::size_t shown = 0;
+    for (const Incident *inc : rows) {
+        if (shown++ >= max_rows)
+            break;
+        const Time outage_len =
+            (inc->outageEnd == kTimeNever ? inc->windowEnd
+                                          : inc->outageEnd) -
+            inc->outageStart;
+        std::string flags;
+        if (inc->upsDischarged)
+            flags += "ups ";
+        if (inc->dgCarried)
+            flags += "dg-carried ";
+        if (inc->backupDepleted)
+            flags += "depleted ";
+        if (inc->truncated)
+            flags += "truncated ";
+        if (inc->powerLosses > 0)
+            flags += "power-lost ";
+        os << "<tr><td class=\"r\">" << inc->trial
+           << "</td><td class=\"r\">#" << inc->id << "</td><td>"
+           << simStamp(inc->outageStart) << "</td><td class=\"r\">"
+           << durStamp(outage_len) << "</td><td class=\"r\">"
+           << durStamp(inc->darkTime) << "</td><td class=\"r\">"
+           << num(inc->downtimeMin()) << " min</td><td>"
+           << "<span class=\"sw\" style=\"background:"
+           << causeColor(inc->primaryCause()) << "\"></span>"
+           << rootCauseName(inc->primaryCause())
+           << "</td><td class=\"r\">" << inc->dgStarts
+           << (inc->dgStartFailures > 0
+                   ? " (+" + std::to_string(inc->dgStartFailures) +
+                         " failed)"
+                   : "")
+           << "</td><td>" << flags << "</td></tr>\n";
+    }
+    os << "</table>\n";
+    if (rows.size() > shown)
+        os << "<p class=\"prov\">… and " << rows.size() - shown
+           << " more incidents (see the trace export).</p>\n";
+}
+
+void
+writeHealth(std::ostream &os, const ReportScenario &sc,
+            std::size_t max_rows)
+{
+    const HealthReport &h = sc.health;
+    os << "<h3>Health findings</h3>\n";
+    if (h.totalFindings == 0) {
+        os << "<p class=\"ok\">All " << healthRules().size()
+           << " invariant rules passed.</p>\n";
+        return;
+    }
+    os << "<table><tr><th>severity</th><th>rule</th><th "
+          "class=\"r\">trial</th><th>at</th><th>detail</th></tr>\n";
+    std::size_t shown = 0;
+    for (const HealthFinding &f : h.findings) {
+        if (shown++ >= max_rows)
+            break;
+        os << "<tr><td class=\"sev\" style=\"color:"
+           << severityColor(f.severity) << "\">"
+           << severityName(f.severity) << "</td><td>"
+           << htmlEscape(f.rule) << "</td><td class=\"r\">" << f.trial
+           << "</td><td>" << simStamp(f.t) << "</td><td>"
+           << htmlEscape(f.message) << "</td></tr>\n";
+    }
+    os << "</table>\n";
+    if (h.totalFindings > shown)
+        os << "<p class=\"prov\">… " << h.totalFindings - shown
+           << " further findings counted.</p>\n";
+}
+
+void
+writeScenario(std::ostream &os, const ReportScenario &sc,
+              const CampaignReport &report)
+{
+    os << "<h2>" << htmlEscape(sc.name) << "</h2>\n";
+    os << "<div class=\"tiles\">\n";
+    os << "<div class=\"tile\"><b>" << sc.trials
+       << (sc.stoppedEarly ? "*" : "")
+       << "</b><span>simulated years"
+       << (sc.stoppedEarly ? " (early stop)" : "") << "</span></div>\n";
+    os << "<div class=\"tile\"><b>" << num(sc.meanDowntimeMin)
+       << "</b><span>E[downtime] min/yr</span></div>\n";
+    os << "<div class=\"tile\"><b>" << num(sc.p99DowntimeMin)
+       << "</b><span>P99 downtime min/yr</span></div>\n";
+    os << "<div class=\"tile\"><b>"
+       << num(sc.lossFreeFraction * 100.0)
+       << "%</b><span>loss-free years [" << num(sc.lossFreeLo * 100.0)
+       << ", " << num(sc.lossFreeHi * 100.0) << "]</span></div>\n";
+    os << "<div class=\"tile\"><b>"
+       << sc.forensics.aggregate.incidents()
+       << "</b><span>incidents reconstructed</span></div>\n";
+    os << "</div>\n";
+
+    writeAttribution(os, sc);
+    writeIncidentTable(os, sc, report.maxIncidentRows);
+    writeHealth(os, sc, report.maxFindingRows);
+
+    if (!sc.lanes.empty()) {
+        os << "<h3>Signal lanes (sampled trials)</h3>\n";
+        for (const ReportLane &lane : sc.lanes)
+            writeLane(os, lane);
+    }
+}
+
+} // namespace
+
+void
+writeHtmlReport(std::ostream &os, const CampaignReport &report)
+{
+    os << "<!doctype html>\n<html lang=\"en\">\n<head>\n"
+          "<meta charset=\"utf-8\">\n<title>"
+       << htmlEscape(report.title) << "</title>\n";
+    writeStyles(os);
+    os << "</head>\n<body>\n";
+    os << "<h1>" << htmlEscape(report.title) << "</h1>\n";
+    if (!report.provenance.empty()) {
+        os << "<p class=\"prov\">";
+        for (const auto &[k, v] : report.provenance)
+            os << "<span>" << htmlEscape(k) << " = <b>"
+               << htmlEscape(v) << "</b></span>";
+        os << "</p>\n";
+    }
+
+    for (const ReportScenario &sc : report.scenarios)
+        writeScenario(os, sc, report);
+
+    os << "<h2>Rule book</h2>\n"
+          "<table><tr><th>rule</th><th>severity</th><th>invariant"
+          "</th></tr>\n";
+    for (const HealthRule &r : healthRules())
+        os << "<tr><td>" << r.name << "</td><td class=\"sev\" "
+           << "style=\"color:" << severityColor(r.severity) << "\">"
+           << severityName(r.severity) << "</td><td>" << r.description
+           << "</td></tr>\n";
+    os << "</table>\n";
+
+    os << "<p class=\"foot\">Self-contained report — no scripts, no "
+          "external assets. Attribution minutes accumulate in exact "
+          "superaccumulators and are bit-identical for any worker "
+          "thread count or shard partition.</p>\n";
+    os << "</body>\n</html>\n";
+}
+
+} // namespace obs
+} // namespace bpsim

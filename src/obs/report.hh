@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Outage forensics stage 3: a single-file HTML campaign report. Every
+ * byte — styles, tables, SVG signal lanes — is embedded in the one
+ * output stream; there are no external assets, scripts or network
+ * references, so the file can be archived with the shard JSON it
+ * summarizes, attached to a CI run, or mailed around, and will render
+ * identically anywhere.
+ *
+ * Per scenario (one Table 3 configuration of the sweep) the report
+ * shows: campaign headline numbers, the downtime-attribution
+ * breakdown by root cause, an incident timeline table (worst
+ * episodes first), health findings, and LTTB-downsampled signal
+ * lanes drawn as inline SVG. The writer is a pure function of its
+ * inputs, so report bytes are deterministic.
+ */
+
+#ifndef BPSIM_OBS_REPORT_HH
+#define BPSIM_OBS_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/health.hh"
+#include "obs/incident.hh"
+#include "obs/timeseries.hh"
+
+namespace bpsim
+{
+namespace obs
+{
+
+/** One downsampled signal lane ((trial, signal) channel). */
+struct ReportLane
+{
+    std::uint64_t trial = 0;
+    SignalId signal = SignalId::LoadW;
+    std::vector<SeriesPoint> points;
+};
+
+/** Everything the report renders for one campaign scenario. */
+struct ReportScenario
+{
+    /** Configuration name ("DG+UPS_small", ...). */
+    std::string name;
+    /** @name Campaign headline numbers */
+    ///@{
+    std::uint64_t trials = 0;
+    bool stoppedEarly = false;
+    double meanDowntimeMin = 0.0;
+    double p99DowntimeMin = 0.0;
+    /** Fraction of loss-free years with its Wilson interval. */
+    double lossFreeFraction = 0.0;
+    double lossFreeLo = 0.0;
+    double lossFreeHi = 0.0;
+    ///@}
+    /** Reconstructed incidents + attribution for this scenario. */
+    IncidentReport forensics;
+    /** Health findings for this scenario. */
+    HealthReport health;
+    /** Signal lanes (pre-downsampled; rendered as inline SVG). */
+    std::vector<ReportLane> lanes;
+};
+
+/** The whole report. */
+struct CampaignReport
+{
+    std::string title = "Backup-power campaign report";
+    /** Provenance rows (build id, seed, ...) shown in the header. */
+    std::vector<std::pair<std::string, std::string>> provenance;
+    std::vector<ReportScenario> scenarios;
+    /** Row caps keeping worst-case reports readable. */
+    std::size_t maxIncidentRows = 40;
+    std::size_t maxFindingRows = 40;
+};
+
+/** Render @p report as one self-contained HTML document. */
+void writeHtmlReport(std::ostream &os, const CampaignReport &report);
+
+} // namespace obs
+} // namespace bpsim
+
+#endif // BPSIM_OBS_REPORT_HH

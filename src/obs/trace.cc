@@ -66,6 +66,9 @@ struct TrialCtx
 {
     std::uint64_t trial = 0;
     std::uint32_t seq = 0;
+    /** Open incident id (0 = none) and per-trial incident counter. */
+    std::uint32_t incident = 0;
+    std::uint32_t incidentCount = 0;
 };
 thread_local TrialCtx t_ctx;
 
@@ -99,6 +102,25 @@ currentTrial()
     return t_ctx.trial;
 }
 
+std::uint32_t
+beginIncident()
+{
+    t_ctx.incident = ++t_ctx.incidentCount;
+    return t_ctx.incident;
+}
+
+void
+endIncident()
+{
+    t_ctx.incident = 0;
+}
+
+std::uint32_t
+currentIncident()
+{
+    return t_ctx.incident;
+}
+
 const char *
 kindName(EventKind kind)
 {
@@ -117,6 +139,9 @@ kindName(EventKind kind)
       case EventKind::Phase: return "phase";
       case EventKind::Migration: return "migration";
       case EventKind::Hibernate: return "hibernate";
+      case EventKind::Availability: return "availability";
+      case EventKind::Recompute: return "recompute-debt";
+      case EventKind::TrialEnd: return "trial-end";
       case EventKind::Custom: return "custom";
     }
     return "unknown";
@@ -127,6 +152,7 @@ kindCategory(EventKind kind)
 {
     switch (kind) {
       case EventKind::TrialStart:
+      case EventKind::TrialEnd:
         return "trial";
       case EventKind::OutageStart:
       case EventKind::OutageEnd:
@@ -145,6 +171,9 @@ kindCategory(EventKind kind)
       case EventKind::Migration:
       case EventKind::Hibernate:
         return "technique";
+      case EventKind::Availability:
+      case EventKind::Recompute:
+        return "workload";
       case EventKind::Custom:
         return "custom";
     }
@@ -174,6 +203,7 @@ TraceSink::emit(EventKind kind, Time sim_time, const char *name,
     TraceEvent ev;
     ev.trial = ctx.trial;
     ev.seq = seq;
+    ev.incident = ctx.incident;
     ev.kind = kind;
     ev.simTime = sim_time;
     ev.wallSeconds =
@@ -213,6 +243,51 @@ TraceSink::drain()
     return out;
 }
 
+TraceSink::Mark
+TraceSink::mark() const
+{
+    Mark m;
+    std::lock_guard<std::mutex> lk(g_rings_m);
+    m.counts.reserve(rings().size());
+    for (Ring *r : rings())
+        m.counts.emplace_back(
+            r, r->published.load(std::memory_order_acquire));
+    return m;
+}
+
+std::vector<TraceEvent>
+TraceSink::eventsSince(const Mark &m) const
+{
+    std::vector<TraceEvent> out;
+    {
+        std::lock_guard<std::mutex> lk(g_rings_m);
+        for (Ring *r : rings()) {
+            std::size_t from = 0;
+            for (const auto &[ring, count] : m.counts)
+                if (ring == r) {
+                    from = count;
+                    break;
+                }
+            const std::size_t n =
+                r->published.load(std::memory_order_acquire);
+            // A drain() since the mark rewinds rings; clamp so a
+            // stale mark degrades to "everything now present".
+            from = std::min(from, n);
+            out.insert(out.end(),
+                       r->events.begin() +
+                           static_cast<std::ptrdiff_t>(from),
+                       r->events.begin() +
+                           static_cast<std::ptrdiff_t>(n));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent &x, const TraceEvent &y) {
+                  return x.trial != y.trial ? x.trial < y.trial
+                                            : x.seq < y.seq;
+              });
+    return out;
+}
+
 void
 TraceSink::clear()
 {
@@ -243,10 +318,13 @@ TraceSink::droppedEvents() const
 }
 
 TrialScope::TrialScope(std::uint64_t trial)
-    : prevTrial(t_ctx.trial), prevSeq(t_ctx.seq)
+    : prevTrial(t_ctx.trial), prevSeq(t_ctx.seq),
+      prevIncident(t_ctx.incident), prevIncidentCount(t_ctx.incidentCount)
 {
     t_ctx.trial = trial;
     t_ctx.seq = 0;
+    t_ctx.incident = 0;
+    t_ctx.incidentCount = 0;
     TraceSink::emit(EventKind::TrialStart, 0, "trial-start", nullptr,
                     static_cast<double>(trial));
 }
@@ -255,6 +333,8 @@ TrialScope::~TrialScope()
 {
     t_ctx.trial = prevTrial;
     t_ctx.seq = prevSeq;
+    t_ctx.incident = prevIncident;
+    t_ctx.incidentCount = prevIncidentCount;
 }
 
 } // namespace obs

@@ -24,8 +24,10 @@
 #define BPSIM_OBS_TRACE_HH
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -66,9 +68,19 @@ enum class EventKind : std::uint8_t
     Migration,
     /** Hibernate/sleep save-state progress (a = server index). */
     Hibernate,
+    /** Cluster availability changed (a = available fraction 0..1). */
+    Availability,
+    /** Batch recompute debt charged (a = extra downtime seconds). */
+    Recompute,
+    /** A campaign trial ended (a = downtime min, b = battery kWh). */
+    TrialEnd,
     /** Anything else (examples, tests). */
     Custom,
 };
+
+/** Number of EventKind enumerators (Custom is last). */
+constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::Custom) + 1;
 
 /** Stable lowercase identifier of @p kind ("outage-start", ...). */
 const char *kindName(EventKind kind);
@@ -83,6 +95,15 @@ struct TraceEvent
     std::uint64_t trial = 0;
     /** Emission index within the trial (the determinism sort key). */
     std::uint32_t seq = 0;
+    /**
+     * Causal incident id: 1-based per-trial counter of the grid-outage
+     * episode the event belongs to, 0 outside any incident. Every
+     * event emitted between beginIncident() and endIncident() — UPS
+     * discharge, DG start attempts, technique phase changes,
+     * restoration — carries the same id, threading one outage into a
+     * single span tree the incident engine can fold.
+     */
+    std::uint32_t incident = 0;
     EventKind kind = EventKind::Custom;
     /** Simulated timestamp (microseconds within the trial). */
     Time simTime = 0;
@@ -121,6 +142,20 @@ void setEnabled(bool on);
 std::uint64_t currentTrial();
 
 /**
+ * Open a new causal incident on the calling thread and return its
+ * 1-based per-trial id; subsequently emitted events carry it. Called
+ * by PowerHierarchy when the utility fails. Counters reset with each
+ * TrialScope, so ids are deterministic per trial.
+ */
+std::uint32_t beginIncident();
+
+/** Close the calling thread's open incident (id returns to 0). */
+void endIncident();
+
+/** The calling thread's open incident id (0 when none). */
+std::uint32_t currentIncident();
+
+/**
  * Process-wide trace collector. Threads append to private ring
  * buffers without locking; drain()/clear() must only be called while
  * no simulation trials are in flight (e.g. between campaigns).
@@ -145,6 +180,27 @@ class TraceSink
      * — a deterministic order for any thread count.
      */
     std::vector<TraceEvent> drain();
+
+    /**
+     * Opaque position bookmark for eventsSince(). Valid until the
+     * next drain()/clear() (which rewind the rings).
+     */
+    struct Mark
+    {
+        std::vector<std::pair<const void *, std::size_t>> counts;
+    };
+
+    /** Bookmark the current end of every thread's ring. */
+    Mark mark() const;
+
+    /**
+     * Copy (without consuming) every event recorded after @p m,
+     * sorted by (trial, seq). Same caller contract as drain(): only
+     * while no trials are in flight. Lets the shard runner fold
+     * incidents out of the trace while leaving the events in place
+     * for a later drain()-based export.
+     */
+    std::vector<TraceEvent> eventsSince(const Mark &m) const;
 
     /** Discard everything recorded so far. */
     void clear();
@@ -182,6 +238,8 @@ class TrialScope
   private:
     std::uint64_t prevTrial;
     std::uint32_t prevSeq;
+    std::uint32_t prevIncident;
+    std::uint32_t prevIncidentCount;
 };
 
 } // namespace obs

@@ -213,6 +213,10 @@ void
 PowerHierarchy::utilityFailed()
 {
     sync();
+    // One grid-outage episode = one causal incident: every event until
+    // restoration (UPS discharge, DG attempts, phases) carries the id.
+    if (BPSIM_OBS_ON())
+        obs::beginIncident();
     BPSIM_TRACE(obs::EventKind::OutageStart, sim.now(), "outage",
                 nullptr, load_);
     BPSIM_OBS_COUNTER_ADD("power.outages", 1);
@@ -344,6 +348,10 @@ PowerHierarchy::utilityRestored()
     mode_ = Mode::OnUtility;
     recomputeMix();
     notifyRestored();
+    // Close after notifyRestored() so after-restoration phase events
+    // still thread into the incident's span tree.
+    if (BPSIM_OBS_ON())
+        obs::endIncident();
 }
 
 void

@@ -1,5 +1,6 @@
 #include "workload/cluster.hh"
 
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 
 namespace bpsim
@@ -134,6 +135,24 @@ Cluster::recompute()
         availTl.record(sim.now(), availability());
     } while (dirty);
     inRecompute = false;
+    if (BPSIM_OBS_ON()) {
+        // Availability steps and recompute-debt charges are what the
+        // incident engine integrates into attributed downtime; emit
+        // only on change so quiet periods cost nothing.
+        const double avail = availability();
+        if (avail != lastTracedAvail_) {
+            lastTracedAvail_ = avail;
+            BPSIM_TRACE(obs::EventKind::Availability, sim.now(),
+                        "availability", nullptr, avail);
+        }
+        const double extra = extraDowntimeSec();
+        if (extra != lastTracedExtra_) {
+            BPSIM_TRACE(obs::EventKind::Recompute, sim.now(),
+                        "recompute-debt", nullptr,
+                        extra - lastTracedExtra_);
+            lastTracedExtra_ = extra;
+        }
+    }
 }
 
 void

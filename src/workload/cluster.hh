@@ -137,6 +137,10 @@ class Cluster : public PowerHierarchy::Listener
     bool autoReboot = true;
     bool inRecompute = false;
     bool dirty = false;
+    /** Last traced availability / recompute debt (change detection;
+     *  -1 forces an initial Availability event at prime time). */
+    double lastTracedAvail_ = -1.0;
+    double lastTracedExtra_ = 0.0;
 };
 
 } // namespace bpsim

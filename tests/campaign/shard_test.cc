@@ -296,6 +296,52 @@ TEST(ShardIo, GoldenFileIsByteStable)
     EXPECT_EQ(back->build, "golden-fixture");
 }
 
+TEST(ShardIo, LegacyFileWithoutIncidentsParsesAndMerges)
+{
+    // Shard files written before the incident-forensics rollup carry
+    // no "incidents" key. They must keep their schema-v1 bytes (the
+    // golden test above pins that), parse back with an empty
+    // aggregate, and merge cleanly with newer shards that do carry
+    // forensics.
+    std::ostringstream os;
+    writeShardJson(os, goldenShard());
+    const std::string text = os.str();
+    ASSERT_EQ(text.find("\"incidents\""), std::string::npos)
+        << "uninstrumented shard files must not grow an incidents key";
+
+    std::string err;
+    const auto legacy = readShardJson(text, &err);
+    ASSERT_TRUE(legacy.has_value()) << err;
+    EXPECT_TRUE(legacy->incidents.empty());
+
+    // The other half of the same campaign, written by a newer binary
+    // with forensics enabled.
+    ShardResult upper = goldenShard();
+    upper.spec.lo = 2;
+    upper.spec.hi = 4;
+    upper.spec.shardIndex = 1;
+    upper.checkpoints.clear();
+    obs::TrialForensics t;
+    t.trial = 2;
+    t.reportedDowntimeMin = 1.5;
+    t.attributedMin[static_cast<std::size_t>(
+        obs::RootCause::CapacityShortfall)] = 1.5;
+    t.hasTrialEnd = true;
+    upper.incidents.addTrial(t);
+
+    std::ostringstream os2;
+    writeShardJson(os2, upper);
+    EXPECT_NE(os2.str().find("\"incidents\""), std::string::npos);
+    const auto newer = readShardJson(os2.str(), &err);
+    ASSERT_TRUE(newer.has_value()) << err;
+
+    const auto merged = mergeShards({*legacy, *newer}, nullptr, &err);
+    ASSERT_TRUE(merged.has_value()) << err;
+    EXPECT_EQ(merged->trials, 4u);
+    EXPECT_EQ(merged->incidents.trials(), 1u);
+    EXPECT_DOUBLE_EQ(merged->incidents.attributedTotalMin(), 1.5);
+}
+
 TEST(ShardIo, RejectsForeignSchema)
 {
     std::ostringstream os;

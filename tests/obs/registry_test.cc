@@ -212,8 +212,8 @@ TEST(TraceCsv, OneHeaderAndOneRowPerEvent)
     while (std::getline(is, line))
         lines.push_back(line);
     ASSERT_EQ(lines.size(), 4u);
-    EXPECT_EQ(lines[0], "trial,seq,category,event,name,detail,sim_us,a,b");
-    EXPECT_EQ(lines[2], "1,1,custom,custom,row,,10,0,0");
+    EXPECT_EQ(lines[0], "trial,seq,incident,category,event,name,detail,sim_us,a,b");
+    EXPECT_EQ(lines[2], "1,1,0,custom,custom,row,,10,0,0");
 }
 
 TEST(ShardCounters, RideShardFilesAndMergeKeyWise)

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * HTML report tests: the writer emits one self-contained document
+ * (no scripts, no external references), renders every section the
+ * docs promise, escapes untrusted strings, and is byte-deterministic
+ * — a pure function of the CampaignReport it is handed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/health.hh"
+#include "obs/incident.hh"
+#include "obs/report.hh"
+#include "sim/types.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+/** The annual-trial horizon (same constant the shard runner uses). */
+constexpr Time kYear = 365LL * 24 * kHour;
+
+obs::TraceEvent
+ev(std::uint32_t seq, obs::EventKind kind, Time t, double a = 0.0,
+   double b = 0.0, std::uint32_t incident = 0)
+{
+    obs::TraceEvent e;
+    e.trial = 0;
+    e.seq = seq;
+    e.incident = incident;
+    e.kind = kind;
+    e.simTime = t;
+    e.a = a;
+    e.b = b;
+    return e;
+}
+
+/** A small report with one scenario carrying real forensics. */
+obs::CampaignReport
+sampleReport()
+{
+    const std::vector<obs::TraceEvent> events = {
+        ev(0, obs::EventKind::Availability, 0, 1.0),
+        ev(1, obs::EventKind::OutageStart, fromMinutes(10.0), 1000.0,
+           0.0, 1),
+        ev(2, obs::EventKind::PowerLost, fromMinutes(10.0), 1000.0, 0.0,
+           1),
+        ev(3, obs::EventKind::Availability, fromMinutes(10.0), 0.0, 0.0,
+           1),
+        ev(4, obs::EventKind::OutageEnd, fromMinutes(20.0), 0.0, 0.0, 1),
+        ev(5, obs::EventKind::Availability, fromMinutes(20.0), 1.0, 0.0,
+           1),
+        ev(6, obs::EventKind::TrialEnd, kYear, 10.0, 4.2),
+    };
+
+    obs::CampaignReport report;
+    report.provenance = {{"build", "report-test"}, {"seed", "2014"}};
+
+    obs::ReportScenario rs;
+    rs.name = "DG-SmallPUPS";
+    rs.trials = 8;
+    rs.meanDowntimeMin = 10.0;
+    rs.p99DowntimeMin = 10.0;
+    rs.lossFreeFraction = 0.875;
+    rs.lossFreeLo = 0.5;
+    rs.lossFreeHi = 0.99;
+    rs.forensics = obs::buildIncidentReport(events);
+    rs.health = obs::checkHealth(events, nullptr, &rs.forensics);
+
+    obs::ReportLane lane;
+    lane.trial = 0;
+    lane.signal = obs::SignalId::BatterySoc;
+    lane.points = {{0, 1.0}, {fromMinutes(10.0), 0.4}, {kYear, 1.0}};
+    rs.lanes.push_back(lane);
+
+    report.scenarios.push_back(std::move(rs));
+    return report;
+}
+
+std::string
+render(const obs::CampaignReport &report)
+{
+    std::ostringstream os;
+    obs::writeHtmlReport(os, report);
+    return os.str();
+}
+
+TEST(HtmlReport, RendersEverySection)
+{
+    const std::string html = render(sampleReport());
+
+    EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+    EXPECT_NE(html.find("<style>"), std::string::npos);
+    EXPECT_NE(html.find("Backup-power campaign report"),
+              std::string::npos);
+    // Provenance, scenario, attribution, incidents, health, lanes,
+    // rule book, footer.
+    EXPECT_NE(html.find("report-test"), std::string::npos);
+    EXPECT_NE(html.find("DG-SmallPUPS"), std::string::npos);
+    EXPECT_NE(html.find("capacity-shortfall"), std::string::npos);
+    EXPECT_NE(html.find("battery_soc"), std::string::npos);
+    EXPECT_NE(html.find("<svg"), std::string::npos);
+    EXPECT_NE(html.find("Rule book"), std::string::npos);
+    EXPECT_NE(html.find("Self-contained report"), std::string::npos);
+    // Every declared health rule appears in the rule book.
+    for (const auto &rule : obs::healthRules())
+        EXPECT_NE(html.find(rule.name), std::string::npos) << rule.name;
+}
+
+TEST(HtmlReport, IsSelfContained)
+{
+    const std::string html = render(sampleReport());
+    EXPECT_EQ(html.find("<script"), std::string::npos);
+    EXPECT_EQ(html.find("http://"), std::string::npos);
+    EXPECT_EQ(html.find("https://"), std::string::npos);
+    EXPECT_EQ(html.find("src="), std::string::npos);
+    EXPECT_EQ(html.find("@import"), std::string::npos);
+}
+
+TEST(HtmlReport, BytesAreDeterministic)
+{
+    const auto report = sampleReport();
+    const std::string first = render(report);
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(first, render(report));
+}
+
+TEST(HtmlReport, EscapesUntrustedStrings)
+{
+    auto report = sampleReport();
+    report.title = "<script>alert(1)</script> & co";
+    report.scenarios[0].name = "a<b>&\"c\"";
+    const std::string html = render(report);
+    EXPECT_EQ(html.find("<script>alert"), std::string::npos);
+    EXPECT_NE(html.find("&lt;script&gt;"), std::string::npos);
+    EXPECT_EQ(html.find("a<b>"), std::string::npos);
+}
+
+TEST(HtmlReport, EmptyReportStillRenders)
+{
+    obs::CampaignReport report;
+    const std::string html = render(report);
+    EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+    EXPECT_NE(html.find("Rule book"), std::string::npos);
+}
+
+} // namespace
+} // namespace bpsim

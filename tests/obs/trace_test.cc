@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -255,6 +256,29 @@ TEST(TrialScope, NestsAndTagsEvents)
     EXPECT_EQ(events[3].trial, 7u); // trial-start(7)
     EXPECT_EQ(events[4].trial, 7u); // inner
     EXPECT_EQ(events[4].seq, 1u);
+}
+
+TEST(EventVocabulary, NamesAndCategoriesAreExhaustive)
+{
+    // Every EventKind — including ones added later — must carry a
+    // real name and category: exporters and the forensics report
+    // render these strings, and "unknown" in a trace means someone
+    // extended the enum without teaching the vocabulary functions.
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < obs::kEventKindCount; ++i) {
+        const auto kind = static_cast<obs::EventKind>(i);
+        const char *name = obs::kindName(kind);
+        ASSERT_NE(name, nullptr) << "kind " << i;
+        EXPECT_STRNE(name, "") << "kind " << i;
+        EXPECT_STRNE(name, "unknown") << "kind " << i;
+        names.insert(name);
+        const char *category = obs::kindCategory(kind);
+        ASSERT_NE(category, nullptr) << "kind " << i;
+        EXPECT_STRNE(category, "") << "kind " << i;
+        EXPECT_STRNE(category, "unknown") << "kind " << i;
+    }
+    EXPECT_EQ(names.size(), obs::kEventKindCount)
+        << "kind names must be pairwise distinct";
 }
 
 TEST(TraceSink, EmitIsANoOpWhileDisabled)
