@@ -39,10 +39,10 @@ namespace
 {
 
 int
-usage()
+usage(std::FILE *to = stderr)
 {
     std::fprintf(
-        stderr,
+        to,
         "usage:\n"
         "  campaign_merge run --shard I/N [--trials T] [--seed S]\n"
         "                 [--checkpoint-every K] [--threads T]"
@@ -50,7 +50,7 @@ usage()
         "                 [--trace FILE] [--metrics FILE]\n"
         "  campaign_merge merge [--stop-min T] [--stop-rel R]\n"
         "                 [--stop-abs A] FILE...\n");
-    return 2;
+    return to == stdout ? 0 : 2;
 }
 
 /** The standing claims-headline scenario every shard simulates. */
@@ -246,6 +246,8 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage();
     const std::string mode = argv[1];
+    if (mode == "--help" || mode == "-h")
+        return usage(stdout);
     if (mode == "run")
         return runShard(argc - 2, argv + 2);
     if (mode == "merge")

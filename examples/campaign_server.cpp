@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The resident what-if server: campaign_sweep turned into a
+ * long-running service. Start it, then ask availability questions
+ * over HTTP — repeated questions are answered from the
+ * content-addressed result cache without re-simulating, and the
+ * alert rule book watches every run's live signals.
+ *
+ *     ./build/examples/campaign_server --port 8080 &
+ *     curl -XPOST localhost:8080/v1/whatif \
+ *         -d '{"config":"LargeEUPS","trials":200,"seed":2014}'
+ *     curl localhost:8080/v1/alerts
+ *     curl localhost:8080/metrics
+ *     curl -XPOST localhost:8080/v1/shutdown
+ *
+ * See docs/SERVICE.md for the endpoint and schema contract.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "service/service.hh"
+#include "sim/logging.hh"
+
+using namespace bpsim;
+
+namespace
+{
+
+/** Set by SIGINT/SIGTERM; polled by the wait loop below. */
+volatile std::sig_atomic_t g_signalled = 0;
+
+void
+onSignal(int)
+{
+    g_signalled = 1;
+}
+
+int
+usage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: campaign_server [--port N] [--bind ADDR]\n"
+        "                       [--port-file FILE] [--cache-entries N]\n"
+        "                       [--max-trials N] [--sample-seconds S]\n"
+        "                       [--no-alerts] [--help]\n"
+        "\n"
+        "Resident what-if query server (see docs/SERVICE.md):\n"
+        "  POST /v1/whatif    scenario JSON -> campaign summary JSON\n"
+        "  GET  /v1/alerts    alert-rule states\n"
+        "  GET  /metrics      OpenMetrics exposition\n"
+        "  GET  /healthz      liveness probe\n"
+        "  POST /v1/shutdown  graceful stop\n"
+        "\n"
+        "  --port N           listen port (default 0 = ephemeral)\n"
+        "  --bind ADDR        bind address (default 127.0.0.1)\n"
+        "  --port-file FILE   write the bound port to FILE once "
+        "listening\n"
+        "  --cache-entries N  result-cache bound (default 256)\n"
+        "  --max-trials N     per-query trial budget cap (default "
+        "100000)\n"
+        "  --sample-seconds S alert-signal sample cadence (default "
+        "3600)\n"
+        "  --no-alerts        disable the alert-rule engine\n");
+    return to == stdout ? 0 : 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuietLogging(true);
+
+    service::ServiceOptions opts;
+    std::string port_file;
+    double sample_seconds = 0.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *val = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (arg == "--help" || arg == "-h") {
+            return usage(stdout);
+        } else if (arg == "--port" && val) {
+            opts.http.port =
+                static_cast<std::uint16_t>(std::atoi(val));
+            ++i;
+        } else if (arg == "--bind" && val) {
+            opts.http.bindAddress = val;
+            ++i;
+        } else if (arg == "--port-file" && val) {
+            port_file = val;
+            ++i;
+        } else if (arg == "--cache-entries" && val) {
+            opts.cacheEntries =
+                static_cast<std::size_t>(std::strtoull(val, nullptr, 10));
+            ++i;
+        } else if (arg == "--max-trials" && val) {
+            opts.limits.maxTrials = std::strtoull(val, nullptr, 10);
+            ++i;
+        } else if (arg == "--sample-seconds" && val) {
+            sample_seconds = std::atof(val);
+            ++i;
+        } else if (arg == "--no-alerts") {
+            opts.evaluateAlerts = false;
+        } else {
+            std::fprintf(stderr, "campaign_server: unknown argument "
+                                 "\"%s\"\n",
+                         arg.c_str());
+            return usage(stderr);
+        }
+    }
+    if (sample_seconds > 0.0)
+        obs::setSampleCadence(fromSeconds(sample_seconds));
+
+    service::CampaignService server(opts);
+    std::string err;
+    if (!server.start(&err)) {
+        std::fprintf(stderr, "campaign_server: %s\n", err.c_str());
+        return 1;
+    }
+    std::printf("campaign_server listening on %s:%u (build %s, %d "
+                "worker threads)\n",
+                opts.http.bindAddress.c_str(), server.port(), buildId(),
+                WorkStealingPool::hardwareThreads());
+    std::fflush(stdout);
+    if (!port_file.empty()) {
+        std::ofstream os(port_file);
+        os << server.port() << '\n';
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    // Wait for either a POST /v1/shutdown (running() flips) or a
+    // signal; both end with a drain of in-flight connections.
+    while (server.running() && g_signalled == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    server.stop();
+    std::printf("campaign_server: stopped\n");
+    return 0;
+}

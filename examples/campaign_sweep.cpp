@@ -145,6 +145,26 @@ collectSamples(const obs::TimeSeriesStore &store,
     }
 }
 
+int
+usage(std::FILE *to)
+{
+    std::fprintf(to,
+                 "usage: campaign_sweep [--trace FILE.json] "
+                 "[--metrics FILE.json] [--sample SECONDS] "
+                 "[--report FILE.html] [--deterministic] [--help]\n"
+                 "\n"
+                 "Runs every Table 3 backup configuration against the "
+                 "standing defense and\n"
+                 "exports campaign_<config>.json/.csv per scenario.\n"
+                 "  --deterministic  omit wall-clock fields from the "
+                 "JSON exports, so the\n"
+                 "                   files are a pure function of "
+                 "(config, seed, buildId) and\n"
+                 "                   byte-identical to the what-if "
+                 "server's responses\n");
+    return to == stdout ? 0 : 2;
+}
+
 } // namespace
 
 int
@@ -154,10 +174,13 @@ main(int argc, char **argv)
 
     std::string trace_path, metrics_path, report_path;
     double sample_seconds = 0.0;
+    bool deterministic = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const char *val = i + 1 < argc ? argv[i + 1] : nullptr;
-        if (arg == "--trace" && val) {
+        if (arg == "--help" || arg == "-h") {
+            return usage(stdout);
+        } else if (arg == "--trace" && val) {
             trace_path = val;
             ++i;
         } else if (arg == "--metrics" && val) {
@@ -169,12 +192,13 @@ main(int argc, char **argv)
         } else if (arg == "--report" && val) {
             report_path = val;
             ++i;
+        } else if (arg == "--deterministic") {
+            deterministic = true;
         } else {
             std::fprintf(stderr,
-                         "usage: campaign_sweep [--trace FILE.json] "
-                         "[--metrics FILE.json] [--sample SECONDS] "
-                         "[--report FILE.html]\n");
-            return 2;
+                         "campaign_sweep: unknown argument \"%s\"\n",
+                         arg.c_str());
+            return usage(stderr);
         }
     }
     // The report's signal lanes come from the sampler; default it to
@@ -250,8 +274,10 @@ main(int argc, char **argv)
 
         // Per-scenario machine-readable exports.
         const std::string stem = "campaign_" + config.name;
+        CampaignJsonOptions jopts;
+        jopts.includeTiming = !deterministic;
         std::ofstream js(stem + ".json");
-        writeCampaignJson(js, s);
+        writeCampaignJson(js, s, jopts);
         std::ofstream csv(stem + ".csv");
         writeCampaignCsv(csv, s);
 

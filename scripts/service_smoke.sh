@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the resident what-if server (campaign_server):
+# start on an ephemeral loopback port, probe /healthz, ask the same
+# what-if twice (the second answer must be a byte-identical cache hit),
+# check the cache counters and alert gauges on /metrics, then shut
+# down gracefully and require a clean exit.
+#
+# Usage: scripts/service_smoke.sh [path/to/campaign_server]
+# (defaults to build/examples/campaign_server). CI runs this against
+# both the regular and the TSan build.
+set -euo pipefail
+
+SERVER=${1:-build/examples/campaign_server}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"; [ -n "${SERVER_PID:-}" ] && kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+fail() { echo "service_smoke: FAIL: $*" >&2; exit 1; }
+
+[ -x "$SERVER" ] || fail "no server binary at $SERVER"
+
+"$SERVER" --port 0 --port-file "$WORK/port" --cache-entries 32 &
+SERVER_PID=$!
+
+# Wait for the listener (the port file is written once bound).
+for _ in $(seq 1 100); do
+    [ -s "$WORK/port" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server died during startup"
+    sleep 0.1
+done
+[ -s "$WORK/port" ] || fail "port file never appeared"
+PORT=$(cat "$WORK/port")
+BASE="http://127.0.0.1:$PORT"
+echo "service_smoke: server up on port $PORT (pid $SERVER_PID)"
+
+# Liveness.
+curl -sSf "$BASE/healthz" | grep -q '"status":"ok"' \
+    || fail "healthz not ok"
+
+# The same what-if twice: first a miss, then a byte-identical hit.
+BODY='{"config":"LargeEUPS","trials":40,"seed":2014,
+       "technique":{"kind":"throttle_sleep","pstate":5,
+                    "serve_for_min":10.0,"low_power":true}}'
+curl -sSf -D "$WORK/h1" -o "$WORK/r1" -XPOST "$BASE/v1/whatif" -d "$BODY"
+curl -sSf -D "$WORK/h2" -o "$WORK/r2" -XPOST "$BASE/v1/whatif" -d "$BODY"
+grep -qi '^x-bpsim-cache: miss' "$WORK/h1" || fail "first query not a miss"
+grep -qi '^x-bpsim-cache: hit' "$WORK/h2" || fail "second query not a hit"
+cmp -s "$WORK/r1" "$WORK/r2" || fail "cached reply differs from computed"
+grep -q '"downtime_min"' "$WORK/r1" || fail "campaign summary missing"
+echo "service_smoke: repeat query served from cache, bodies identical"
+
+# A malformed body must 400, not crash.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -XPOST "$BASE/v1/whatif" \
+       -d '{nope')
+[ "$CODE" = 400 ] || fail "malformed body gave $CODE, want 400"
+
+# Alert rules report on both surfaces.
+curl -sSf "$BASE/v1/alerts" | grep -q '"rule":"ups_charge_low"' \
+    || fail "alerts JSON missing rule book"
+curl -sSf "$BASE/metrics" > "$WORK/metrics"
+grep -q '^bpsim_service_cache_hits_total{[^}]*} 1$' "$WORK/metrics" \
+    || fail "metrics missing the cache hit"
+grep -q '^bpsim_alert_ups_charge_low_state' "$WORK/metrics" \
+    || fail "metrics missing alert gauges"
+grep -q '^# EOF' "$WORK/metrics" || fail "metrics not OpenMetrics-terminated"
+echo "service_smoke: metrics expose cache counters and alert gauges"
+
+# Graceful shutdown: POST, then the process must exit 0 on its own.
+curl -sSf -XPOST "$BASE/v1/shutdown" | grep -q 'shutting down' \
+    || fail "shutdown endpoint"
+RC=0
+wait "$SERVER_PID" || RC=$?
+SERVER_PID=
+[ "$RC" = 0 ] || fail "server exited $RC after shutdown"
+echo "service_smoke: PASS"

@@ -127,7 +127,8 @@ writeMetricJson(JsonWriter &w, const std::string &name,
 }
 
 void
-writeCampaignJson(std::ostream &os, const AnnualCampaignSummary &s)
+writeCampaignJson(std::ostream &os, const AnnualCampaignSummary &s,
+                  const CampaignJsonOptions &opts)
 {
     JsonWriter w(os);
     w.beginObject();
@@ -136,8 +137,10 @@ writeCampaignJson(std::ostream &os, const AnnualCampaignSummary &s)
     w.field("trials", s.trials);
     w.field("planned", s.planned);
     w.field("stopped_early", s.stoppedEarly);
-    w.field("wall_seconds", s.wallSeconds);
-    w.field("trials_per_sec", s.trialsPerSec);
+    if (opts.includeTiming) {
+        w.field("wall_seconds", s.wallSeconds);
+        w.field("trials_per_sec", s.trialsPerSec);
+    }
     writeMetricJson(w, "downtime_min", s.downtimeMin);
     writeMetricJson(w, "losses_per_year", s.lossesPerYear);
     writeMetricJson(w, "mean_perf", s.meanPerf);

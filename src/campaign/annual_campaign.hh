@@ -119,8 +119,22 @@ AnnualCampaignSummary runAnnualCampaign(const AnnualTrialFn &trial,
 AnnualCampaignSummary runAnnualCampaign(const AnnualCampaignSpec &spec,
                                         const AnnualCampaignOptions &opts);
 
+/** Export knobs for writeCampaignJson(). */
+struct CampaignJsonOptions
+{
+    /**
+     * Emit the wall-clock fields (wall_seconds, trials_per_sec).
+     * Disable for deterministic exports: without them the document is
+     * a pure function of (spec, seed, trial count, buildId), which is
+     * what lets the what-if server cache responses and still promise
+     * byte-identical replies across runs (see docs/SERVICE.md).
+     */
+    bool includeTiming = true;
+};
+
 /** JSON export (one object; campaign + per-metric stats). */
-void writeCampaignJson(std::ostream &os, const AnnualCampaignSummary &s);
+void writeCampaignJson(std::ostream &os, const AnnualCampaignSummary &s,
+                       const CampaignJsonOptions &opts = {});
 
 /** CSV export: one `metric,count,mean,...` row per metric. */
 void writeCampaignCsv(std::ostream &os, const AnnualCampaignSummary &s);

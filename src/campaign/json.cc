@@ -399,11 +399,14 @@ class JsonParser
     bool
     parseObject(JsonValue &out)
     {
+        if (++depth > kJsonMaxDepth)
+            return fail("nesting too deep");
         ++pos; // '{'
         out = JsonValue::makeObject();
         skipSpace();
         if (pos < text.size() && text[pos] == '}') {
             ++pos;
+            --depth;
             return true;
         }
         while (true) {
@@ -428,6 +431,7 @@ class JsonParser
             }
             if (text[pos] == '}') {
                 ++pos;
+                --depth;
                 return true;
             }
             return fail("expected ',' or '}'");
@@ -437,11 +441,14 @@ class JsonParser
     bool
     parseArray(JsonValue &out)
     {
+        if (++depth > kJsonMaxDepth)
+            return fail("nesting too deep");
         ++pos; // '['
         out = JsonValue::makeArray();
         skipSpace();
         if (pos < text.size() && text[pos] == ']') {
             ++pos;
+            --depth;
             return true;
         }
         while (true) {
@@ -458,6 +465,7 @@ class JsonParser
             }
             if (text[pos] == ']') {
                 ++pos;
+                --depth;
                 return true;
             }
             return fail("expected ',' or ']'");
@@ -553,6 +561,11 @@ class JsonParser
         const std::size_t start = pos;
         if (pos < text.size() && text[pos] == '-')
             ++pos;
+        // JSON requires a digit here: no leading '+', '.', or 'e'
+        // (strtod below would happily take "+1" or ".5").
+        if (pos >= text.size() ||
+            !std::isdigit(static_cast<unsigned char>(text[pos])))
+            return fail("expected value");
         while (pos < text.size() &&
                (std::isdigit(static_cast<unsigned char>(text[pos])) ||
                 text[pos] == '.' || text[pos] == 'e' ||
@@ -572,6 +585,8 @@ class JsonParser
 
     std::string_view text;
     std::size_t pos = 0;
+    /** Current container nesting (bounded by kJsonMaxDepth). */
+    int depth = 0;
     std::string err;
 };
 

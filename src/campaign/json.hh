@@ -143,7 +143,17 @@ class JsonValue
 };
 
 /**
- * Parse one JSON document. Returns nullopt on malformed input, with a
+ * Maximum container nesting depth parseJson() accepts. The parser is
+ * recursive-descent, so untrusted input (the what-if server feeds it
+ * raw request bodies) could otherwise drive unbounded stack growth
+ * with a few kilobytes of '['. Every document the exporters emit is
+ * fewer than ten levels deep; 64 leaves generous headroom.
+ */
+constexpr int kJsonMaxDepth = 64;
+
+/**
+ * Parse one JSON document. Returns nullopt on malformed input —
+ * including container nesting beyond kJsonMaxDepth — with a
  * human-readable reason (including the byte offset) in @p error when
  * provided. Trailing whitespace is allowed; trailing garbage is not.
  */

@@ -1,0 +1,104 @@
+#include "service/cache.hh"
+
+namespace bpsim
+{
+namespace service
+{
+
+std::uint64_t
+fnv1a64(std::string_view bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+ResultCache::ResultCache(std::size_t maxEntries, obs::Registry *registry)
+    : maxEntries_(maxEntries == 0 ? 1 : maxEntries),
+      registry_(registry != nullptr ? registry : &obs::Registry::global())
+{
+}
+
+std::optional<std::string>
+ResultCache::get(const std::string &key)
+{
+    const std::uint64_t h = fnv1a64(key);
+    std::lock_guard<std::mutex> lk(m_);
+    const auto it = index_.find(h);
+    if (it == index_.end() || it->second->key != key) {
+        ++stats_.misses;
+        registry_->counter("service.cache.misses").add(1);
+        return std::nullopt;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.hits;
+    registry_->counter("service.cache.hits").add(1);
+    return it->second->value;
+}
+
+void
+ResultCache::put(const std::string &key, std::string value)
+{
+    const std::uint64_t h = fnv1a64(key);
+    std::lock_guard<std::mutex> lk(m_);
+    const auto it = index_.find(h);
+    if (it != index_.end()) {
+        // Overwrite (also the hash-collision path: the colliding old
+        // entry is replaced, keeping at most one entry per address).
+        stats_.valueBytes -= it->second->value.size();
+        stats_.valueBytes += value.size();
+        it->second->key = key;
+        it->second->value = std::move(value);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        touchCounters();
+        return;
+    }
+    while (lru_.size() >= maxEntries_) {
+        const Entry &victim = lru_.back();
+        stats_.valueBytes -= victim.value.size();
+        index_.erase(victim.hash);
+        lru_.pop_back();
+        ++stats_.evictions;
+        registry_->counter("service.cache.evictions").add(1);
+    }
+    stats_.valueBytes += value.size();
+    lru_.push_front(Entry{h, key, std::move(value)});
+    index_[h] = lru_.begin();
+    ++stats_.insertions;
+    registry_->counter("service.cache.insertions").add(1);
+    touchCounters();
+}
+
+void
+ResultCache::clear()
+{
+    std::lock_guard<std::mutex> lk(m_);
+    lru_.clear();
+    index_.clear();
+    stats_.valueBytes = 0;
+    touchCounters();
+}
+
+CacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    CacheStats s = stats_;
+    s.entries = lru_.size();
+    return s;
+}
+
+void
+ResultCache::touchCounters()
+{
+    registry_->gauge("service.cache.entries")
+        .set(static_cast<double>(lru_.size()));
+    registry_->gauge("service.cache.value_bytes")
+        .set(static_cast<double>(stats_.valueBytes));
+}
+
+} // namespace service
+} // namespace bpsim

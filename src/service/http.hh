@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Minimal dependency-free HTTP/1.1 front end for the resident
+ * campaign service: blocking POSIX sockets, one detached worker
+ * thread per accepted connection, `Connection: close` semantics.
+ *
+ * Scope: exactly what the what-if server needs — request-line +
+ * headers + Content-Length body parsing, bounded input sizes (the
+ * body reaches parseJson, which is why both layers cap untrusted
+ * input), and deterministic response rendering. Chunked encoding,
+ * keep-alive, TLS and HTTP/2 are deliberately out of scope; a real
+ * deployment would sit this behind a reverse proxy.
+ *
+ * Threading model: the accept loop runs on one thread and polls the
+ * listener with a short timeout so stop() needs no signal tricks.
+ * Each connection is served on its own thread (requests are
+ * independent; the expensive part — the campaign itself — fans out
+ * over the shared WorkStealingPool inside the handler, so connection
+ * threads spend their time blocked, not computing). stop() closes the
+ * listener and waits for in-flight connections to drain.
+ */
+
+#ifndef BPSIM_SERVICE_HTTP_HH
+#define BPSIM_SERVICE_HTTP_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace bpsim
+{
+namespace service
+{
+
+/** One parsed request. */
+struct HttpRequest
+{
+    std::string method;  // "GET", "POST", ...
+    std::string target;  // request target, e.g. "/v1/whatif"
+    std::string version; // "HTTP/1.1"
+    /** Headers in arrival order (names lowercased). */
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** Case-insensitive header lookup; nullptr when absent. */
+    const std::string *header(std::string_view name) const;
+};
+
+/** One response to render. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "application/json";
+    /** Extra headers (e.g. X-Bpsim-Cache) rendered verbatim. */
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+};
+
+/** The standard reason phrase for @p status ("OK", "Not Found"...). */
+const char *httpStatusText(int status);
+
+/** Convenience: a JSON error document {"error": reason}. */
+HttpResponse httpError(int status, const std::string &reason);
+
+/**
+ * Parse one complete request (start line, headers, body already
+ * joined). Returns false with a reason in @p error on malformed
+ * input. Exposed separately from the socket loop so the parser is
+ * testable without a network.
+ */
+bool parseHttpRequest(std::string_view text, HttpRequest &out,
+                      std::string *error = nullptr);
+
+/** Render @p r as an HTTP/1.1 response (Connection: close). */
+std::string renderHttpResponse(const HttpResponse &r);
+
+/** Listener configuration. */
+struct HttpServerOptions
+{
+    /** Bind address (loopback by default: this is an operator tool,
+     *  not an internet-facing daemon). */
+    std::string bindAddress = "127.0.0.1";
+    /** TCP port; 0 picks an ephemeral port (see HttpServer::port()). */
+    std::uint16_t port = 0;
+    /** Reject request heads (start line + headers) beyond this. */
+    std::size_t maxHeaderBytes = 64 * 1024;
+    /** Reject bodies beyond this (the body reaches parseJson). */
+    std::size_t maxBodyBytes = 1 << 20;
+    /** listen(2) backlog. */
+    int backlog = 16;
+};
+
+/**
+ * The server: start() binds + listens + spawns the accept loop;
+ * handler runs once per request on the connection's thread.
+ */
+class HttpServer
+{
+  public:
+    using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+    explicit HttpServer(Handler handler, HttpServerOptions opts = {});
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** Bind, listen and start accepting. False (with @p error) on
+     *  socket failure; idempotent once running. */
+    bool start(std::string *error = nullptr);
+
+    /**
+     * Ask the accept loop to wind down without blocking — safe to
+     * call from inside a handler (a POST /v1/shutdown body cannot
+     * wait for its own connection to finish).
+     */
+    void requestStop();
+
+    /** requestStop() + wait for the loop and every connection. */
+    void stop();
+
+    /** Block until the accept loop has exited and connections have
+     *  drained (pair with requestStop()). */
+    void waitUntilStopped();
+
+    /** True from successful start() until the accept loop exits. */
+    bool running() const;
+
+    /** The bound port (resolves port 0 to the kernel's choice). */
+    std::uint16_t port() const { return port_; }
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+    void connectionDone();
+
+    Handler handler_;
+    HttpServerOptions opts_;
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread acceptThread_;
+    std::atomic<bool> stopRequested_{false};
+    std::atomic<bool> running_{false};
+
+    /** Guards activeConnections_ / wakes stop(). */
+    std::mutex m_;
+    std::condition_variable cv_;
+    int activeConnections_ = 0;
+};
+
+} // namespace service
+} // namespace bpsim
+
+#endif // BPSIM_SERVICE_HTTP_HH

@@ -1,0 +1,208 @@
+#include "service/service.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/obs.hh"
+
+namespace bpsim
+{
+namespace service
+{
+
+CampaignService::CampaignService(ServiceOptions opts)
+    : opts_(opts),
+      cache_(opts.cacheEntries),
+      alerts_(defaultAlertRules()),
+      http_([this](const HttpRequest &req) { return handle(req); },
+            opts.http)
+{
+    if (opts_.evaluateAlerts) {
+        // Signal rules need sampled signals: arm the runtime gate and
+        // default the cadence to hourly when nothing set one (a year
+        // at hourly cadence is ~8.8k samples per signal per trial).
+        obs::setEnabled(true);
+        if (obs::sampleCadence() == 0)
+            obs::setSampleCadence(fromHours(1.0));
+    }
+}
+
+bool
+CampaignService::start(std::string *error)
+{
+    return http_.start(error);
+}
+
+void
+CampaignService::stop()
+{
+    http_.stop();
+}
+
+void
+CampaignService::waitUntilStopped()
+{
+    http_.waitUntilStopped();
+}
+
+HttpResponse
+CampaignService::handle(const HttpRequest &req)
+{
+    requestsServed_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::global().counter("service.requests").add(1);
+
+    if (req.target == "/v1/whatif") {
+        if (req.method != "POST")
+            return httpError(405, "use POST for /v1/whatif");
+        return handleWhatIf(req);
+    }
+    if (req.target == "/v1/alerts") {
+        if (req.method != "GET")
+            return httpError(405, "use GET for /v1/alerts");
+        return handleAlerts();
+    }
+    if (req.target == "/metrics") {
+        if (req.method != "GET")
+            return httpError(405, "use GET for /metrics");
+        return handleMetrics();
+    }
+    if (req.target == "/healthz") {
+        if (req.method != "GET")
+            return httpError(405, "use GET for /healthz");
+        return handleHealthz();
+    }
+    if (req.target == "/v1/shutdown") {
+        if (req.method != "POST")
+            return httpError(405, "use POST for /v1/shutdown");
+        return handleShutdown();
+    }
+    obs::Registry::global().counter("service.errors").add(1);
+    return httpError(404, "no such endpoint: " + req.target);
+}
+
+HttpResponse
+CampaignService::handleWhatIf(const HttpRequest &req)
+{
+    std::string err;
+    const auto body = parseJson(req.body, &err);
+    if (!body) {
+        obs::Registry::global().counter("service.errors").add(1);
+        return httpError(400, "malformed JSON: " + err);
+    }
+    const auto request = parseWhatIfRequest(*body, &err, opts_.limits);
+    if (!request) {
+        obs::Registry::global().counter("service.errors").add(1);
+        return httpError(400, err);
+    }
+
+    const std::string key = canonicalCacheKey(*request);
+    char keyhex[24];
+    std::snprintf(keyhex, sizeof keyhex, "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(key)));
+
+    HttpResponse resp;
+    resp.headers.emplace_back("X-Bpsim-Key", keyhex);
+
+    std::lock_guard<std::mutex> lk(campaign_m_);
+    if (auto hit = cache_.get(key)) {
+        resp.headers.emplace_back("X-Bpsim-Cache", "hit");
+        resp.body = std::move(*hit);
+        return resp;
+    }
+
+    const bool with_alerts = opts_.evaluateAlerts && BPSIM_OBS_ON();
+    std::map<std::string, std::uint64_t> counters_before;
+    if (with_alerts) {
+        // Discard sink residue so the alert evidence is exactly this
+        // campaign's; safe here because campaign_m_ guarantees no
+        // trials are in flight.
+        obs::TraceSink::instance().clear();
+        obs::TimeSeriesSink::instance().clear();
+        counters_before = obs::Registry::global().counterSnapshot();
+    }
+
+    resp.body = runWhatIf(*request);
+    cache_.put(key, resp.body);
+    resp.headers.emplace_back("X-Bpsim-Cache", "miss");
+
+    if (with_alerts) {
+        const auto events = obs::TraceSink::instance().drain();
+        auto samples = obs::TimeSeriesSink::instance().drain();
+        samples.erase(
+            std::remove_if(samples.begin(), samples.end(),
+                           [this](const obs::SignalSample &s) {
+                               return s.trial >=
+                                      opts_.alertSampleTrials;
+                           }),
+            samples.end());
+        const auto store =
+            obs::TimeSeriesStore::fromSamples(std::move(samples));
+        const auto incidents = obs::buildIncidentReport(events);
+        const auto counters_delta = obs::subtractCounters(
+            obs::Registry::global().counterSnapshot(), counters_before);
+        const auto fired =
+            alerts_.evaluate(&store, &counters_delta, &incidents);
+        alerts_.exportTo(obs::Registry::global());
+        if (!fired.empty())
+            obs::Registry::global()
+                .counter("service.alerts.transitions")
+                .add(fired.size());
+    }
+    return resp;
+}
+
+HttpResponse
+CampaignService::handleAlerts() const
+{
+    HttpResponse resp;
+    resp.body = alerts_.toJson();
+    return resp;
+}
+
+HttpResponse
+CampaignService::handleMetrics() const
+{
+    // Refresh the ALERTS-style gauges so a scrape always sees the
+    // current rule states, then render the whole registry.
+    alerts_.exportTo(obs::Registry::global());
+    std::ostringstream os;
+    writeOpenMetrics(os, obs::Registry::global(),
+                     {{"build", buildId()}});
+    HttpResponse resp;
+    resp.contentType =
+        "application/openmetrics-text; version=1.0.0; charset=utf-8";
+    resp.body = os.str();
+    return resp;
+}
+
+HttpResponse
+CampaignService::handleHealthz() const
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("status", "ok");
+    w.field("build", buildId());
+    w.field("requests",
+            requestsServed_.load(std::memory_order_relaxed));
+    w.field("cache_entries",
+            static_cast<std::uint64_t>(cache_.stats().entries));
+    w.endObject();
+    os << '\n';
+    HttpResponse resp;
+    resp.body = os.str();
+    return resp;
+}
+
+HttpResponse
+CampaignService::handleShutdown()
+{
+    http_.requestStop();
+    HttpResponse resp;
+    resp.body = "{\"status\":\"shutting down\"}\n";
+    return resp;
+}
+
+} // namespace service
+} // namespace bpsim

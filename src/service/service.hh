@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The resident campaign service: what-if queries, result cache,
+ * live metrics and alert rules behind the HTTP front end.
+ *
+ * Endpoints (see docs/SERVICE.md for the full contract):
+ *
+ *   POST /v1/whatif    scenario JSON in, deterministic campaign
+ *                      summary JSON out. Responses are served from
+ *                      the content-addressed cache when the
+ *                      (config, seed, trials, buildId) tuple has
+ *                      been computed before; the X-Bpsim-Cache
+ *                      header says "hit" or "miss".
+ *   GET  /v1/alerts    current alert-rule states as JSON.
+ *   GET  /metrics      OpenMetrics exposition of the process-wide
+ *                      registry, including the ALERTS-style
+ *                      alert.<rule>.state gauges.
+ *   GET  /healthz      liveness probe.
+ *   POST /v1/shutdown  graceful stop (used by the CI smoke test).
+ *
+ * Campaign execution is serialized: one what-if runs at a time (the
+ * campaign itself already fans out across every core via the shared
+ * WorkStealingPool, so concurrent campaigns would only fight over
+ * the same cores — and serializing keeps the drain of the
+ * trace/sample sinks, which must not race in-flight trials, trivially
+ * correct). Cache lookups share that lock, so each request counts
+ * exactly one hit or miss; metrics scrapes, alert reads and health
+ * probes never wait on a running campaign.
+ */
+
+#ifndef BPSIM_SERVICE_SERVICE_HH
+#define BPSIM_SERVICE_SERVICE_HH
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "service/alerts.hh"
+#include "service/cache.hh"
+#include "service/http.hh"
+#include "service/whatif.hh"
+
+namespace bpsim
+{
+namespace service
+{
+
+/** Service configuration. */
+struct ServiceOptions
+{
+    HttpServerOptions http;
+    /** Result-cache bound (entries). */
+    std::size_t cacheEntries = 256;
+    /** Request sizing guard-rails. */
+    WhatIfLimits limits;
+    /**
+     * Evaluate the alert rule book after every uncached what-if.
+     * Requires obs to be enabled; when the sample cadence is zero it
+     * is set to hourly so Signal rules have data.
+     */
+    bool evaluateAlerts = true;
+    /** Trials per campaign whose signals feed the alert engine (the
+     *  sink records every trial; this caps memory, like the sweep's
+     *  sampled-trial filter). */
+    std::uint64_t alertSampleTrials = 4;
+};
+
+/** The resident server (construct, start(), waitUntilStopped()). */
+class CampaignService
+{
+  public:
+    explicit CampaignService(ServiceOptions opts = {});
+
+    /** Start listening; false (with @p error) on socket failure. */
+    bool start(std::string *error = nullptr);
+
+    /** Graceful stop: finish in-flight requests, then return. */
+    void stop();
+
+    /** Block until a shutdown request (or stop()) lands. */
+    void waitUntilStopped();
+
+    bool running() const { return http_.running(); }
+    std::uint16_t port() const { return http_.port(); }
+
+    /**
+     * Route one request (the HTTP handler; public so tests can
+     * exercise the full service without a socket).
+     */
+    HttpResponse handle(const HttpRequest &req);
+
+    ResultCache &cache() { return cache_; }
+    AlertEngine &alerts() { return alerts_; }
+
+  private:
+    HttpResponse handleWhatIf(const HttpRequest &req);
+    HttpResponse handleAlerts() const;
+    HttpResponse handleMetrics() const;
+    HttpResponse handleHealthz() const;
+    HttpResponse handleShutdown();
+
+    ServiceOptions opts_;
+    ResultCache cache_;
+    AlertEngine alerts_;
+    /** Serializes campaign execution + sink drains. */
+    std::mutex campaign_m_;
+    std::atomic<std::uint64_t> requestsServed_{0};
+    HttpServer http_;
+};
+
+} // namespace service
+} // namespace bpsim
+
+#endif // BPSIM_SERVICE_SERVICE_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * What-if queries: the JSON request schema of POST /v1/whatif, its
+ * validation into an AnnualCampaignSpec + AnnualCampaignOptions, the
+ * canonical cache key, and the deterministic runner.
+ *
+ * Request schema (every field except "config" optional):
+ *
+ *     {
+ *       "config": "LargeEUPS"            // Table 3 name, or object:
+ *                 {"name": "...", "has_dg": ..., "dg_power_frac": ...,
+ *                  "has_ups": ..., "ups_power_frac": ...,
+ *                  "ups_runtime_sec": ...},
+ *       "technique": {"kind": "throttle_sleep", "pstate": 5,
+ *                     "tstate": 0, "serve_for_min": 10.0,
+ *                     "low_power": true, "host_pstate": 0,
+ *                     "remote_perf": 0.7, "risk": 0.3},
+ *       "servers": 8,
+ *       "trials": 200, "seed": 2014,
+ *       "min_trials": 64, "ci_rel_tol": 0.10, "ci_abs_tol_min": 1.0
+ *     }
+ *
+ * Parsing is defensive: the body is untrusted network input, so every
+ * field is type- and range-checked and errors are returned, never
+ * asserted (JsonValue's checked accessors abort on mismatch and are
+ * not used here).
+ *
+ * Determinism: the response of a what-if is a pure function of
+ * (spec, seed, trial budget, early-stop rule, buildId) — that tuple,
+ * serialized canonically by canonicalCacheKey(), is the cache's
+ * content address, and runWhatIf() serializes the campaign summary
+ * without wall-clock fields so a cached reply is byte-identical to a
+ * fresh run (and to `campaign_sweep --deterministic` batch output).
+ */
+
+#ifndef BPSIM_SERVICE_WHATIF_HH
+#define BPSIM_SERVICE_WHATIF_HH
+
+#include <optional>
+#include <string>
+
+#include "campaign/annual_campaign.hh"
+#include "campaign/json.hh"
+
+namespace bpsim
+{
+namespace service
+{
+
+/** One validated what-if query. */
+struct WhatIfRequest
+{
+    AnnualCampaignSpec spec;
+    AnnualCampaignOptions opts;
+};
+
+/** Sizing guard-rails applied during parsing. */
+struct WhatIfLimits
+{
+    /** Reject trial budgets beyond this (one resident server should
+     *  not be wedged for hours by one query). */
+    std::uint64_t maxTrials = 100000;
+    /** Reject server counts beyond this. */
+    int maxServers = 4096;
+};
+
+/**
+ * Validate one parsed request body. Returns nullopt with a
+ * human-readable reason in @p error on any schema violation.
+ */
+std::optional<WhatIfRequest> parseWhatIfRequest(
+    const JsonValue &body, std::string *error = nullptr,
+    const WhatIfLimits &limits = {});
+
+/**
+ * The canonical cache key: every result-determining field in fixed
+ * order, terminated by buildId (a new binary never serves a stale
+ * cache line, even across identical configs).
+ */
+std::string canonicalCacheKey(const WhatIfRequest &req);
+
+/**
+ * Run the campaign and serialize its summary as the deterministic
+ * (timing-free) campaign JSON document — the /v1/whatif response
+ * body, and byte-for-byte the `campaign_sweep --deterministic`
+ * export for the same scenario.
+ */
+std::string runWhatIf(const WhatIfRequest &req);
+
+/** Stable lowercase name of @p kind ("throttle_sleep", ...). */
+const char *techniqueKindName(TechniqueKind kind);
+
+/** Inverse of techniqueKindName(); nullopt for unknown names. */
+std::optional<TechniqueKind> techniqueKindFromName(
+    const std::string &name);
+
+} // namespace service
+} // namespace bpsim
+
+#endif // BPSIM_SERVICE_WHATIF_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Malformed-input corpus for parseJson(): every entry must produce
+ * an error, never a crash or an accept — the parser fronts the
+ * what-if server, so its inputs are untrusted network bytes. Also
+ * pins the recursion depth limit that keeps a nesting bomb from
+ * overflowing the parser's stack.
+ */
+
+#include "campaign/json.hh"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+using namespace bpsim;
+
+namespace
+{
+
+/** Nested arrays: depth 3 -> "[[[]]]". */
+std::string
+nestedArrays(int depth)
+{
+    return std::string(depth, '[') + std::string(depth, ']');
+}
+
+} // namespace
+
+TEST(JsonCorpus, MalformedInputsErrorCleanly)
+{
+    const char *const corpus[] = {
+        "",
+        "   ",
+        "{",
+        "[",
+        "}",
+        "]",
+        "[1,2",
+        "[1,,2]",
+        "{\"a\":}",
+        "{\"a\" 1}",
+        "{\"a\":1",
+        "{1:2}",
+        "\"unterminated",
+        "\"bad \\q escape\"",
+        "\"trunc \\u12\"",
+        "\"bad \\uZZZZ\"",
+        "nul",
+        "tru",
+        "falsehood",
+        "+1",
+        ".5",
+        "-.5",
+        "1.2.3",
+        "1e",
+        "--5",
+        "{} trailing",
+        "[1] [2]",
+        "{\"a\":1}{",
+    };
+    for (const char *text : corpus) {
+        std::string err;
+        const auto v = parseJson(text, &err);
+        EXPECT_FALSE(v.has_value())
+            << "accepted malformed input: " << text;
+        EXPECT_FALSE(err.empty()) << text;
+    }
+}
+
+TEST(JsonCorpus, ValidInputsStillParse)
+{
+    for (const char *text :
+         {"null", "true", "false", "0", "-1.5e3", "\"s\"", "[]", "{}",
+          "[1,2,3]", "{\"a\":{\"b\":[1,\"two\",null]}}",
+          " { \"k\" : 1 } "}) {
+        std::string err;
+        EXPECT_TRUE(parseJson(text, &err).has_value())
+            << text << ": " << err;
+    }
+}
+
+TEST(JsonCorpus, NestingDepthIsBounded)
+{
+    // At the limit: fine.
+    EXPECT_TRUE(parseJson(nestedArrays(kJsonMaxDepth)).has_value());
+    // One past: a clean error, not a stack overflow.
+    std::string err;
+    EXPECT_FALSE(
+        parseJson(nestedArrays(kJsonMaxDepth + 1), &err).has_value());
+    EXPECT_NE(err.find("nesting too deep"), std::string::npos);
+    // A serious bomb still answers promptly.
+    EXPECT_FALSE(parseJson(nestedArrays(100000), &err).has_value());
+    // Mixed object/array nesting counts every level.
+    std::string mixed;
+    for (int i = 0; i < kJsonMaxDepth; ++i)
+        mixed += "{\"a\":[";
+    EXPECT_FALSE(parseJson(mixed, &err).has_value());
+}
+
+TEST(JsonCorpus, DepthErrorsSurfaceThroughObjects)
+{
+    std::string deep = "{\"payload\":";
+    deep += nestedArrays(kJsonMaxDepth);
+    deep += "}";
+    std::string err;
+    // The object itself consumes one level, pushing the arrays over.
+    EXPECT_FALSE(parseJson(deep, &err).has_value());
+    EXPECT_NE(err.find("nesting too deep"), std::string::npos);
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * CLI contract tests for the campaign executables: --help exits 0
+ * and prints usage, an unknown flag exits nonzero with usage on
+ * stderr, and a missing input file names the path in the error.
+ * Binary locations arrive via compile definitions resolved from
+ * $<TARGET_FILE:...> so the tests track the build layout.
+ */
+
+#include <cstdio>
+
+#include <sys/wait.h>
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+struct RunResult
+{
+    int exitCode = -1;
+    std::string output; // stdout + stderr interleaved
+};
+
+/** Run @p command with stderr folded into stdout. */
+RunResult
+run(const std::string &command)
+{
+    RunResult r;
+    FILE *pipe = ::popen((command + " 2>&1").c_str(), "r");
+    if (pipe == nullptr)
+        return r;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0)
+        r.output.append(buf, n);
+    const int status = ::pclose(pipe);
+    r.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return r;
+}
+
+} // namespace
+
+TEST(CliContract, SweepHelpExitsZeroWithUsage)
+{
+    const RunResult r = run(std::string(BPSIM_CAMPAIGN_SWEEP_BIN) +
+                            " --help");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("usage: campaign_sweep"),
+              std::string::npos);
+    EXPECT_NE(r.output.find("--deterministic"), std::string::npos);
+}
+
+TEST(CliContract, SweepUnknownFlagExitsNonzeroWithUsage)
+{
+    const RunResult r = run(std::string(BPSIM_CAMPAIGN_SWEEP_BIN) +
+                            " --frobnicate");
+    EXPECT_EQ(r.exitCode, 2) << r.output;
+    EXPECT_NE(r.output.find("unknown argument \"--frobnicate\""),
+              std::string::npos);
+    EXPECT_NE(r.output.find("usage: campaign_sweep"),
+              std::string::npos);
+}
+
+TEST(CliContract, MergeHelpExitsZeroWithUsage)
+{
+    const RunResult r = run(std::string(BPSIM_CAMPAIGN_MERGE_BIN) +
+                            " --help");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+    EXPECT_NE(r.output.find("campaign_merge merge"), std::string::npos);
+}
+
+TEST(CliContract, MergeUnknownFlagExitsNonzero)
+{
+    const RunResult r = run(std::string(BPSIM_CAMPAIGN_MERGE_BIN) +
+                            " merge --frobnicate x.json");
+    EXPECT_EQ(r.exitCode, 2) << r.output;
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(CliContract, MergeMissingInputNamesThePath)
+{
+    const RunResult r =
+        run(std::string(BPSIM_CAMPAIGN_MERGE_BIN) +
+            " merge /nonexistent/shard42.json");
+    EXPECT_NE(r.exitCode, 0);
+    EXPECT_NE(r.output.find("/nonexistent/shard42.json"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(CliContract, ServerHelpExitsZeroWithUsage)
+{
+    const RunResult r = run(std::string(BPSIM_CAMPAIGN_SERVER_BIN) +
+                            " --help");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("usage: campaign_server"),
+              std::string::npos);
+    EXPECT_NE(r.output.find("/v1/whatif"), std::string::npos);
+}
+
+TEST(CliContract, ServerUnknownFlagExitsNonzero)
+{
+    const RunResult r = run(std::string(BPSIM_CAMPAIGN_SERVER_BIN) +
+                            " --frobnicate");
+    EXPECT_EQ(r.exitCode, 2) << r.output;
+    EXPECT_NE(r.output.find("unknown argument"), std::string::npos);
+}

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * HTTP front-end tests: the request parser and response renderer
+ * (pure functions, no network) plus one real loopback round trip
+ * through HttpServer's accept loop and connection threads.
+ */
+
+#include "service/http.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+using namespace bpsim::service;
+
+namespace
+{
+
+/** One blocking loopback HTTP exchange: connect, send, read to EOF. */
+std::string
+roundTrip(std::uint16_t port, const std::string &request)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0) << std::strerror(errno);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr),
+              0)
+        << std::strerror(errno);
+    std::size_t off = 0;
+    while (off < request.size()) {
+        const ssize_t n =
+            ::send(fd, request.data() + off, request.size() - off, 0);
+        EXPECT_GT(n, 0);
+        off += static_cast<std::size_t>(n);
+    }
+    ::shutdown(fd, SHUT_WR);
+    std::string reply;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0)
+        reply.append(buf, static_cast<std::size_t>(n));
+    ::close(fd);
+    return reply;
+}
+
+} // namespace
+
+TEST(HttpParse, RequestLineHeadersAndBody)
+{
+    HttpRequest req;
+    std::string err;
+    ASSERT_TRUE(parseHttpRequest("POST /v1/whatif HTTP/1.1\r\n"
+                                 "Content-Type: application/json\r\n"
+                                 "Content-Length: 2\r\n"
+                                 "\r\n"
+                                 "{}",
+                                 req, &err))
+        << err;
+    EXPECT_EQ(req.method, "POST");
+    EXPECT_EQ(req.target, "/v1/whatif");
+    EXPECT_EQ(req.version, "HTTP/1.1");
+    EXPECT_EQ(req.body, "{}");
+    ASSERT_EQ(req.headers.size(), 2u);
+    // Names are lowercased on parse; values keep their bytes.
+    EXPECT_EQ(req.headers[0].first, "content-type");
+    EXPECT_EQ(req.headers[0].second, "application/json");
+}
+
+TEST(HttpParse, HeaderLookupIsCaseInsensitive)
+{
+    HttpRequest req;
+    ASSERT_TRUE(parseHttpRequest(
+        "GET / HTTP/1.1\r\nX-Custom-Header:  spaced value \r\n\r\n",
+        req));
+    const std::string *v = req.header("x-cUSTOM-hEADER");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, "spaced value"); // surrounding whitespace trimmed
+    EXPECT_EQ(req.header("absent"), nullptr);
+}
+
+TEST(HttpParse, RejectsMalformedInput)
+{
+    HttpRequest req;
+    std::string err;
+    // No blank line terminating the head.
+    EXPECT_FALSE(parseHttpRequest("GET / HTTP/1.1\r\n", req, &err));
+    EXPECT_FALSE(err.empty());
+    // Request line with too few tokens.
+    EXPECT_FALSE(parseHttpRequest("GET /\r\n\r\n", req, &err));
+    // Version must be HTTP/*.
+    EXPECT_FALSE(parseHttpRequest("GET / SPDY/1\r\n\r\n", req, &err));
+    // Header field without a colon.
+    EXPECT_FALSE(
+        parseHttpRequest("GET / HTTP/1.1\r\nbogus\r\n\r\n", req, &err));
+}
+
+TEST(HttpRender, ResponseIsByteStable)
+{
+    HttpResponse r;
+    r.status = 200;
+    r.body = "hi";
+    r.headers.emplace_back("X-Bpsim-Cache", "hit");
+    EXPECT_EQ(renderHttpResponse(r),
+              "HTTP/1.1 200 OK\r\n"
+              "Content-Type: application/json\r\n"
+              "Content-Length: 2\r\n"
+              "X-Bpsim-Cache: hit\r\n"
+              "Connection: close\r\n"
+              "\r\n"
+              "hi");
+}
+
+TEST(HttpRender, ErrorBodyEscapesQuotes)
+{
+    const HttpResponse r = httpError(400, "bad \"field\"");
+    EXPECT_EQ(r.status, 400);
+    EXPECT_EQ(r.body, "{\"error\":\"bad \\\"field\\\"\"}\n");
+}
+
+TEST(HttpRender, StatusTextCoversServiceCodes)
+{
+    EXPECT_STREQ(httpStatusText(200), "OK");
+    EXPECT_STREQ(httpStatusText(400), "Bad Request");
+    EXPECT_STREQ(httpStatusText(404), "Not Found");
+    EXPECT_STREQ(httpStatusText(405), "Method Not Allowed");
+    EXPECT_STREQ(httpStatusText(413), "Payload Too Large");
+    EXPECT_STREQ(httpStatusText(500), "Internal Server Error");
+}
+
+TEST(HttpServerTest, LoopbackRoundTrip)
+{
+    HttpServer server([](const HttpRequest &req) {
+        HttpResponse r;
+        r.body = req.method + " " + req.target + " [" + req.body + "]";
+        return r;
+    });
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    ASSERT_NE(server.port(), 0); // port 0 resolved to the kernel pick
+
+    const std::string reply =
+        roundTrip(server.port(), "POST /echo HTTP/1.1\r\n"
+                                 "Content-Length: 4\r\n"
+                                 "\r\n"
+                                 "ping");
+    EXPECT_NE(reply.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+    EXPECT_NE(reply.find("POST /echo [ping]"), std::string::npos);
+
+    // A second connection on the same listener.
+    const std::string reply2 =
+        roundTrip(server.port(), "GET /again HTTP/1.1\r\n\r\n");
+    EXPECT_NE(reply2.find("GET /again []"), std::string::npos);
+
+    server.stop();
+    EXPECT_FALSE(server.running());
+    server.stop(); // idempotent
+}
+
+TEST(HttpServerTest, HandlerExceptionBecomes500)
+{
+    HttpServer server([](const HttpRequest &) -> HttpResponse {
+        throw std::runtime_error("boom");
+    });
+    ASSERT_TRUE(server.start());
+    const std::string reply =
+        roundTrip(server.port(), "GET / HTTP/1.1\r\n\r\n");
+    EXPECT_NE(reply.find("HTTP/1.1 500 Internal Server Error"),
+              std::string::npos);
+    EXPECT_NE(reply.find("boom"), std::string::npos);
+    server.stop();
+}
+
+TEST(HttpServerTest, OversizedBodyIsRejected)
+{
+    HttpServerOptions opts;
+    opts.maxBodyBytes = 16;
+    HttpServer server(
+        [](const HttpRequest &) { return HttpResponse{}; }, opts);
+    ASSERT_TRUE(server.start());
+    const std::string reply = roundTrip(
+        server.port(),
+        "POST / HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n");
+    EXPECT_NE(reply.find("HTTP/1.1 413 Payload Too Large"),
+              std::string::npos);
+    server.stop();
+}
