@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Scalar vs batched annual-trial lanes, on the same scenario the
+ * campaign micro benchmark tracks (specjbb x 4 servers, Throttle
+ * defense, NoDG configuration — fast-path eligible). items_per_second
+ * is the single-thread trials/sec figure in both lanes, so the
+ * batched-kernel speedup is the ratio of the two: the acceptance gate
+ * for campaign/batch_kernel is >= 5x on BM_BatchedAnnualTrials vs
+ * BM_ScalarAnnualTrial (see bench/baselines/BENCH_micro_batch.json
+ * for the committed reference run). BM_TraceGeneration isolates the
+ * shared per-trial cost both lanes pay, bounding what any replay
+ * optimization can recover.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "campaign/annual_campaign.hh"
+#include "campaign/batch_kernel.hh"
+#include "core/annual.hh"
+#include "core/backup_config.hh"
+#include "outage/trace.hh"
+#include "sim/random.hh"
+#include "workload/profile.hh"
+
+using namespace bpsim;
+
+namespace
+{
+
+constexpr Time kYear = 365LL * 24 * kHour;
+
+AnnualCampaignSpec
+benchSpec()
+{
+    AnnualCampaignSpec spec;
+    spec.profile = specJbbProfile();
+    spec.nServers = 4;
+    spec.technique = {TechniqueKind::Throttle, 5, 0, 0, false};
+    spec.config = noDgConfig();
+    return spec;
+}
+
+/** The shared per-trial cost: stream setup + outage trace sampling. */
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const auto gen = OutageTraceGenerator::figure1();
+    std::uint64_t id = 0;
+    for (auto _ : state) {
+        Rng rng = Rng::stream(42, id++ % 64);
+        const auto events = gen.generate(rng, kYear);
+        benchmark::DoNotOptimize(events.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration);
+
+/** The scalar reference lane: one event-driven simulated year. */
+void
+BM_ScalarAnnualTrial(benchmark::State &state)
+{
+    const auto spec = benchSpec();
+    const auto gen = OutageTraceGenerator::figure1();
+    const AnnualSimulator sim;
+    std::uint64_t id = 0;
+    for (auto _ : state) {
+        Rng rng = Rng::stream(42, id++ % 64);
+        const auto events = gen.generate(rng, kYear);
+        const AnnualResult r = sim.runYear(spec.profile, spec.nServers,
+                                           spec.technique, spec.config,
+                                           events);
+        benchmark::DoNotOptimize(r.downtimeMin);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScalarAnnualTrial);
+
+/** The batched SoA lane, at the campaign drivers' chunk sizes. */
+void
+BM_BatchedAnnualTrials(benchmark::State &state)
+{
+    const auto spec = benchSpec();
+    const BatchAnnualKernel kernel(spec.profile, spec.nServers,
+                                   spec.technique, spec.config);
+    if (!kernel.fastPathEligible()) {
+        state.SkipWithError("bench scenario lost fast-path eligibility");
+        return;
+    }
+    const auto batch = static_cast<std::uint64_t>(state.range(0));
+    std::vector<AnnualResult> out(static_cast<std::size_t>(batch));
+    std::uint64_t base = 0;
+    for (auto _ : state) {
+        kernel.runBatch(42, base, base + batch, out.data());
+        benchmark::DoNotOptimize(out.front().downtimeMin);
+        base = (base + batch) % 4096;
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_BatchedAnnualTrials)->Arg(8)->Arg(64)->Arg(256);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,8 +1,11 @@
 #include "campaign/annual_campaign.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <vector>
 
+#include "campaign/batch_kernel.hh"
 #include "campaign/json.hh"
 #include "obs/obs.hh"
 #include "outage/trace.hh"
@@ -15,6 +18,131 @@ namespace
 {
 
 constexpr Time kYear = 365LL * 24 * kHour;
+
+/**
+ * Aggregate one trial into the summary, in trial order; returns false
+ * when the early-stop rule fires. Shared verbatim between the scalar
+ * and batched drivers so their aggregates cannot diverge.
+ */
+bool
+aggregateTrial(AnnualCampaignSummary &out,
+               const AnnualCampaignOptions &opts, bool early_stop,
+               const AnnualResult &r)
+{
+    out.downtimeMin.add(r.downtimeMin);
+    out.lossesPerYear.add(static_cast<double>(r.losses));
+    out.meanPerf.add(r.meanPerf);
+    out.batteryKwh.add(r.batteryKwh);
+    out.worstGapMin.add(r.worstGapMin);
+    // Per-trial distribution metrics (consume runs in trial
+    // order, so the bucket counts are thread-count invariant).
+    BPSIM_OBS_HISTOGRAM_RECORD("campaign.trial_downtime_min",
+                               r.downtimeMin);
+    BPSIM_OBS_HISTOGRAM_RECORD("campaign.trial_worst_gap_min",
+                               r.worstGapMin);
+    if (r.losses == 0)
+        ++out.lossFreeTrials;
+    ++out.trials;
+    if (early_stop && out.trials >= opts.minTrials) {
+        const double hw = out.downtimeMin.meanCiHalfWidth(opts.ciZ);
+        const double tol =
+            std::max(opts.ciAbsTolMin,
+                     opts.ciRelTol *
+                         std::abs(out.downtimeMin.summary().mean()));
+        if (hw <= tol)
+            return false;
+    }
+    return true;
+}
+
+/** Wall-clock + loss-free tail shared by both campaign drivers. */
+void
+finalizeCampaign(AnnualCampaignSummary &out,
+                 const AnnualCampaignOptions &opts,
+                 std::chrono::steady_clock::time_point t0)
+{
+    out.lossFree = wilsonInterval(out.lossFreeTrials, out.trials, opts.ciZ);
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - t0;
+    out.wallSeconds = wall.count();
+    out.trialsPerSec = out.wallSeconds > 0.0
+                           ? static_cast<double>(out.trials) /
+                                 out.wallSeconds
+                           : 0.0;
+    if (BPSIM_OBS_ON()) {
+        obs::Registry::global().counter("campaign.trials").add(out.trials);
+        obs::Registry::global()
+            .gauge("campaign.trials_per_sec")
+            .set(out.trialsPerSec);
+    }
+}
+
+/**
+ * Batched scenario driver: fans lane batches (not single trials)
+ * across the pool, then unpacks each chunk through the same in-order
+ * per-trial aggregation — including the early-stop rule and the
+ * progress cadence evaluated on *global* trial ids — so the summary
+ * is bit-identical to the scalar driver for any (batch, threads).
+ */
+AnnualCampaignSummary
+runBatchedCampaign(const AnnualCampaignSpec &spec,
+                   const AnnualCampaignOptions &opts)
+{
+    BPSIM_ASSERT(opts.maxTrials >= 1, "campaign needs at least one trial");
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto run_timer = obs::scope("campaign.run");
+
+    AnnualCampaignSummary out;
+    out.planned = opts.maxTrials;
+    out.seed = opts.seed;
+    const bool early_stop = opts.ciRelTol > 0.0 || opts.ciAbsTolMin > 0.0;
+
+    const BatchAnnualKernel kernel(spec.profile, spec.nServers,
+                                   spec.technique, spec.config);
+    const std::uint64_t batch = opts.batch;
+    const std::uint64_t chunks = (opts.maxTrials + batch - 1) / batch;
+    bool stopped = false;
+
+    const std::function<std::vector<AnnualResult>(std::uint64_t)> body =
+        [&](std::uint64_t chunk) {
+            const std::uint64_t lo = chunk * batch;
+            const std::uint64_t hi =
+                std::min(lo + batch, opts.maxTrials);
+            std::vector<AnnualResult> results(
+                static_cast<std::size_t>(hi - lo));
+            kernel.runBatch(opts.seed, lo, hi, results.data());
+            return results;
+        };
+    const std::function<bool(std::uint64_t, std::vector<AnnualResult> &&)>
+        consume = [&](std::uint64_t chunk,
+                      std::vector<AnnualResult> &&results) {
+            const std::uint64_t lo = chunk * batch;
+            for (std::size_t i = 0; i < results.size(); ++i) {
+                const std::uint64_t id = lo + i;
+                const bool more =
+                    aggregateTrial(out, opts, early_stop, results[i]);
+                if (opts.progress && opts.progressEvery != 0 &&
+                    (id + 1 == opts.maxTrials || !more ||
+                     (id + 1) % opts.progressEvery == 0)) {
+                    opts.progress({id + 1, opts.maxTrials, !more});
+                }
+                if (!more) {
+                    stopped = true;
+                    return false;
+                }
+            }
+            return true;
+        };
+
+    CampaignOptions copts;
+    copts.threads = opts.threads;
+    runCampaign<std::vector<AnnualResult>>(chunks, body, consume, copts);
+    // The chunk-level outcome can't see a stop on the last trial of
+    // the last chunk; recover the scalar semantics from trial counts.
+    out.stoppedEarly = stopped && out.trials < opts.maxTrials;
+    finalizeCampaign(out, opts, t0);
+    return out;
+}
 
 } // namespace
 
@@ -39,31 +167,7 @@ runAnnualCampaign(const AnnualTrialFn &trial,
         };
     const std::function<bool(std::uint64_t, AnnualResult &&)> consume =
         [&](std::uint64_t, AnnualResult &&r) {
-            out.downtimeMin.add(r.downtimeMin);
-            out.lossesPerYear.add(static_cast<double>(r.losses));
-            out.meanPerf.add(r.meanPerf);
-            out.batteryKwh.add(r.batteryKwh);
-            out.worstGapMin.add(r.worstGapMin);
-            // Per-trial distribution metrics (consume runs in trial
-            // order, so the bucket counts are thread-count invariant).
-            BPSIM_OBS_HISTOGRAM_RECORD("campaign.trial_downtime_min",
-                                       r.downtimeMin);
-            BPSIM_OBS_HISTOGRAM_RECORD("campaign.trial_worst_gap_min",
-                                       r.worstGapMin);
-            if (r.losses == 0)
-                ++out.lossFreeTrials;
-            ++out.trials;
-            if (early_stop && out.trials >= opts.minTrials) {
-                const double hw =
-                    out.downtimeMin.meanCiHalfWidth(opts.ciZ);
-                const double tol = std::max(
-                    opts.ciAbsTolMin,
-                    opts.ciRelTol *
-                        std::abs(out.downtimeMin.summary().mean()));
-                if (hw <= tol)
-                    return false;
-            }
-            return true;
+            return aggregateTrial(out, opts, early_stop, r);
         };
 
     CampaignOptions copts;
@@ -73,21 +177,7 @@ runAnnualCampaign(const AnnualTrialFn &trial,
     const CampaignOutcome oc =
         runCampaign<AnnualResult>(opts.maxTrials, body, consume, copts);
     out.stoppedEarly = oc.stoppedEarly;
-    out.lossFree = wilsonInterval(out.lossFreeTrials, out.trials, opts.ciZ);
-
-    const std::chrono::duration<double> wall =
-        std::chrono::steady_clock::now() - t0;
-    out.wallSeconds = wall.count();
-    out.trialsPerSec = out.wallSeconds > 0.0
-                           ? static_cast<double>(out.trials) /
-                                 out.wallSeconds
-                           : 0.0;
-    if (BPSIM_OBS_ON()) {
-        obs::Registry::global().counter("campaign.trials").add(out.trials);
-        obs::Registry::global()
-            .gauge("campaign.trials_per_sec")
-            .set(out.trialsPerSec);
-    }
+    finalizeCampaign(out, opts, t0);
     return out;
 }
 
@@ -95,6 +185,8 @@ AnnualCampaignSummary
 runAnnualCampaign(const AnnualCampaignSpec &spec,
                   const AnnualCampaignOptions &opts)
 {
+    if (opts.batch != 0)
+        return runBatchedCampaign(spec, opts);
     const auto gen = OutageTraceGenerator::figure1();
     const AnnualSimulator sim;
     return runAnnualCampaign(

@@ -64,6 +64,15 @@ struct AnnualCampaignOptions
     /** Progress callback cadence in trials (0 = no callbacks). */
     std::uint64_t progressEvery = 0;
     std::function<void(const CampaignProgress &)> progress;
+
+    /**
+     * Trials per batched-kernel lane batch (0 = scalar per-trial
+     * path). Any nonzero batch routes scenario campaigns through
+     * campaign/batch_kernel; results are bit-identical to the scalar
+     * path for every batch size and thread count, so this is purely a
+     * throughput knob. Ignored by the custom-trial-body overload.
+     */
+    std::uint64_t batch = 0;
 };
 
 /** Aggregates of one annual campaign. */

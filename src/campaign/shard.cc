@@ -5,7 +5,9 @@
 #include <cmath>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
+#include "campaign/batch_kernel.hh"
 #include "campaign/json.hh"
 #include "campaign/runner.hh"
 #include "obs/obs.hh"
@@ -51,6 +53,82 @@ writeHistogramsObject(
         w.endObject();
     }
     w.endObject();
+}
+
+/**
+ * Aggregate one trial into the shard, in local-trial order; identical
+ * between the scalar and batched drivers by construction.
+ */
+void
+aggregateShardTrial(ShardResult &out, const ShardOptions &opts,
+                    std::uint64_t local, std::uint64_t width,
+                    const AnnualResult &r)
+{
+    out.downtimeMin.add(r.downtimeMin);
+    out.lossesPerYear.add(static_cast<double>(r.losses));
+    out.meanPerf.add(r.meanPerf);
+    out.batteryKwh.add(r.batteryKwh);
+    out.worstGapMin.add(r.worstGapMin);
+    // Per-trial distribution metrics (consume runs in trial
+    // order, so the bucket counts are thread-count invariant).
+    BPSIM_OBS_HISTOGRAM_RECORD("campaign.trial_downtime_min",
+                               r.downtimeMin);
+    BPSIM_OBS_HISTOGRAM_RECORD("campaign.trial_worst_gap_min",
+                               r.worstGapMin);
+    if (r.losses == 0)
+        ++out.lossFreeTrials;
+    ++out.trials;
+    const bool last = local + 1 == width;
+    if (last || (opts.checkpointEvery != 0 &&
+                 (local + 1) % opts.checkpointEvery == 0)) {
+        out.checkpoints.push_back(
+            {out.trials, out.downtimeMin.sum(), out.downtimeMin.sumSq()});
+    }
+}
+
+/**
+ * Shared bracket around both shard drivers: obs counter/histogram
+ * deltas, the trace bookmark for the incident fold, provenance, and
+ * wall-clock — everything a shard file carries besides the trial
+ * aggregates that @p run produces.
+ */
+template <typename RunFn>
+ShardResult
+runShardWithBrackets(const ShardSpec &spec, RunFn &&run)
+{
+    BPSIM_ASSERT(spec.hi > spec.lo && spec.hi <= spec.campaignTrials,
+                 "shard range [%llu, %llu) invalid for a %llu-trial "
+                 "campaign",
+                 static_cast<unsigned long long>(spec.lo),
+                 static_cast<unsigned long long>(spec.hi),
+                 static_cast<unsigned long long>(spec.campaignTrials));
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto counters_before = obs::Registry::global().counterSnapshot();
+    const auto histograms_before =
+        obs::Registry::global().histogramSnapshot();
+    // Bookmark (not drain) the trace: the incident engine folds this
+    // shard's events below while leaving them in place for the
+    // caller's own drain()-based export.
+    const auto trace_mark = obs::TraceSink::instance().mark();
+
+    ShardResult out;
+    out.spec = spec;
+    out.build = buildId();
+    run(out);
+
+    out.counters = obs::subtractCounters(
+        obs::Registry::global().counterSnapshot(), counters_before);
+    out.histograms = obs::subtractHistograms(
+        obs::Registry::global().histogramSnapshot(), histograms_before);
+    if (obs::enabled())
+        out.incidents =
+            obs::buildIncidentReport(
+                obs::TraceSink::instance().eventsSince(trace_mark))
+                .aggregate;
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - t0;
+    out.wallSeconds = wall.count();
+    return out;
 }
 
 } // namespace
@@ -174,84 +252,89 @@ ShardResult
 runAnnualShard(const AnnualTrialFn &trial, const ShardSpec &spec,
                const ShardOptions &opts)
 {
-    BPSIM_ASSERT(spec.hi > spec.lo && spec.hi <= spec.campaignTrials,
-                 "shard range [%llu, %llu) invalid for a %llu-trial "
-                 "campaign",
-                 static_cast<unsigned long long>(spec.lo),
-                 static_cast<unsigned long long>(spec.hi),
-                 static_cast<unsigned long long>(spec.campaignTrials));
-    const auto t0 = std::chrono::steady_clock::now();
-    const auto counters_before = obs::Registry::global().counterSnapshot();
-    const auto histograms_before =
-        obs::Registry::global().histogramSnapshot();
-    // Bookmark (not drain) the trace: the incident engine folds this
-    // shard's events below while leaving them in place for the
-    // caller's own drain()-based export.
-    const auto trace_mark = obs::TraceSink::instance().mark();
+    return runShardWithBrackets(spec, [&](ShardResult &out) {
+        const std::uint64_t width = spec.width();
 
-    ShardResult out;
-    out.spec = spec;
-    out.build = buildId();
-    const std::uint64_t width = spec.width();
+        const std::function<AnnualResult(std::uint64_t)> body =
+            [&](std::uint64_t local) {
+                const std::uint64_t id = spec.lo + local;
+                // Tag every trace event with the GLOBAL trial id:
+                // (trial, seq) is the thread-count-invariant trace
+                // sort key.
+                const obs::TrialScope trace_scope(id);
+                Rng rng = Rng::stream(spec.seed, id);
+                return trial(id, rng);
+            };
+        const std::function<bool(std::uint64_t, AnnualResult &&)>
+            consume = [&](std::uint64_t local, AnnualResult &&r) {
+                aggregateShardTrial(out, opts, local, width, r);
+                return true; // shards never stop early
+            };
 
-    const std::function<AnnualResult(std::uint64_t)> body =
-        [&](std::uint64_t local) {
-            const std::uint64_t id = spec.lo + local;
-            // Tag every trace event with the GLOBAL trial id: (trial,
-            // seq) is the thread-count-invariant trace sort key.
-            const obs::TrialScope trace_scope(id);
-            Rng rng = Rng::stream(spec.seed, id);
-            return trial(id, rng);
-        };
-    const std::function<bool(std::uint64_t, AnnualResult &&)> consume =
-        [&](std::uint64_t local, AnnualResult &&r) {
-            out.downtimeMin.add(r.downtimeMin);
-            out.lossesPerYear.add(static_cast<double>(r.losses));
-            out.meanPerf.add(r.meanPerf);
-            out.batteryKwh.add(r.batteryKwh);
-            out.worstGapMin.add(r.worstGapMin);
-            // Per-trial distribution metrics (consume runs in trial
-            // order, so the bucket counts are thread-count invariant).
-            BPSIM_OBS_HISTOGRAM_RECORD("campaign.trial_downtime_min",
-                                       r.downtimeMin);
-            BPSIM_OBS_HISTOGRAM_RECORD("campaign.trial_worst_gap_min",
-                                       r.worstGapMin);
-            if (r.losses == 0)
-                ++out.lossFreeTrials;
-            ++out.trials;
-            const bool last = local + 1 == width;
-            if (last || (opts.checkpointEvery != 0 &&
-                         (local + 1) % opts.checkpointEvery == 0)) {
-                out.checkpoints.push_back({out.trials,
-                                           out.downtimeMin.sum(),
-                                           out.downtimeMin.sumSq()});
-            }
-            return true; // shards never stop early
-        };
-
-    CampaignOptions copts;
-    copts.threads = opts.threads;
-    runCampaign<AnnualResult>(width, body, consume, copts);
-
-    out.counters = obs::subtractCounters(
-        obs::Registry::global().counterSnapshot(), counters_before);
-    out.histograms = obs::subtractHistograms(
-        obs::Registry::global().histogramSnapshot(), histograms_before);
-    if (obs::enabled())
-        out.incidents =
-            obs::buildIncidentReport(
-                obs::TraceSink::instance().eventsSince(trace_mark))
-                .aggregate;
-    const std::chrono::duration<double> wall =
-        std::chrono::steady_clock::now() - t0;
-    out.wallSeconds = wall.count();
-    return out;
+        CampaignOptions copts;
+        copts.threads = opts.threads;
+        runCampaign<AnnualResult>(width, body, consume, copts);
+    });
 }
+
+namespace
+{
+
+/**
+ * Batched shard driver: lane batches across the pool, unpacked through
+ * the same local-trial-order aggregation (including the checkpoint
+ * cadence), so shard files are byte-identical to the scalar driver's
+ * for any (batch, threads).
+ */
+ShardResult
+runBatchedShard(const AnnualCampaignSpec &scenario, const ShardSpec &spec,
+                const ShardOptions &opts)
+{
+    return runShardWithBrackets(spec, [&](ShardResult &out) {
+        const std::uint64_t width = spec.width();
+        const BatchAnnualKernel kernel(scenario.profile,
+                                       scenario.nServers,
+                                       scenario.technique,
+                                       scenario.config);
+        const std::uint64_t batch = opts.batch;
+        const std::uint64_t chunks = (width + batch - 1) / batch;
+
+        const std::function<std::vector<AnnualResult>(std::uint64_t)>
+            body = [&](std::uint64_t chunk) {
+                const std::uint64_t lo = spec.lo + chunk * batch;
+                const std::uint64_t hi =
+                    std::min(lo + batch, spec.hi);
+                std::vector<AnnualResult> results(
+                    static_cast<std::size_t>(hi - lo));
+                kernel.runBatch(spec.seed, lo, hi, results.data());
+                return results;
+            };
+        const std::function<bool(std::uint64_t,
+                                 std::vector<AnnualResult> &&)>
+            consume = [&](std::uint64_t chunk,
+                          std::vector<AnnualResult> &&results) {
+                const std::uint64_t first = chunk * batch;
+                for (std::size_t i = 0; i < results.size(); ++i)
+                    aggregateShardTrial(out, opts, first + i, width,
+                                        results[i]);
+                return true; // shards never stop early
+            };
+
+        CampaignOptions copts;
+        copts.threads = opts.threads;
+        runCampaign<std::vector<AnnualResult>>(chunks, body, consume,
+                                               copts);
+    });
+}
+
+} // namespace
 
 ShardResult
 runAnnualShard(const AnnualCampaignSpec &scenario, const ShardSpec &spec,
                const ShardOptions &opts)
 {
+    if (opts.batch != 0)
+        return runBatchedShard(scenario, spec, opts);
     const auto gen = OutageTraceGenerator::figure1();
     const AnnualSimulator sim;
     return runAnnualShard(

@@ -195,6 +195,13 @@ struct ShardOptions
      * exactly; coarser cadences trade file size for stop granularity.
      */
     std::uint64_t checkpointEvery = 0;
+    /**
+     * Trials per batched-kernel lane batch (0 = scalar per-trial
+     * path). Routes the scenario overload through
+     * campaign/batch_kernel; shard files stay byte-identical for any
+     * batch size. Ignored by the custom-trial-body overload.
+     */
+    std::uint64_t batch = 0;
 };
 
 /**

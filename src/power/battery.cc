@@ -36,15 +36,50 @@ PeukertBattery::nominalEnergyJ() const
 }
 
 Time
-PeukertBattery::runtimeAtLoad(Watts load) const
+PeukertBattery::runtimeAtLoadFor(const Params &params, Watts load)
 {
     if (load <= 0.0)
         return kTimeNever;
-    BPSIM_ASSERT(load <= p.ratedPowerW * (1.0 + 1e-9),
-                 "load %g W exceeds rated power %g W", load, p.ratedPowerW);
-    const double f = std::min(load / p.ratedPowerW, 1.0);
-    const double t = p.runtimeAtRatedSec * std::pow(f, -p.peukertExponent);
+    BPSIM_ASSERT(load <= params.ratedPowerW * (1.0 + 1e-9),
+                 "load %g W exceeds rated power %g W", load,
+                 params.ratedPowerW);
+    const double k = params.peukertExponent > 0.0
+                         ? params.peukertExponent
+                         : figure3PeukertExponent();
+    const double f = std::min(load / params.ratedPowerW, 1.0);
+    const double t = params.runtimeAtRatedSec * std::pow(f, -k);
     return fromSeconds(t);
+}
+
+Time
+PeukertBattery::timeToEmptyFrom(double soc, Time full_runtime)
+{
+    if (soc <= 0.0)
+        return 0;
+    if (full_runtime == kTimeNever)
+        return kTimeNever;
+    return static_cast<Time>(static_cast<double>(full_runtime) * soc);
+}
+
+double
+PeukertBattery::dischargedSoc(double soc, Time dt, Time full_runtime)
+{
+    if (dt == 0)
+        return soc;
+    const double used = toSeconds(dt) / toSeconds(full_runtime);
+    return std::max(0.0, soc - used);
+}
+
+double
+PeukertBattery::rechargedSoc(const Params &params, double soc, Time dt)
+{
+    return std::min(1.0, soc + toSeconds(dt) / params.rechargeTimeSec);
+}
+
+Time
+PeukertBattery::runtimeAtLoad(Watts load) const
+{
+    return runtimeAtLoadFor(p, load);
 }
 
 Time
@@ -54,10 +89,7 @@ PeukertBattery::timeToEmpty(Watts load) const
         return kTimeNever;
     if (soc_ <= 0.0)
         return 0;
-    const Time full = runtimeAtLoad(load);
-    if (full == kTimeNever)
-        return kTimeNever;
-    return static_cast<Time>(static_cast<double>(full) * soc_);
+    return timeToEmptyFrom(soc_, runtimeAtLoad(load));
 }
 
 namespace
@@ -93,7 +125,7 @@ PeukertBattery::discharge(Watts load, Time dt)
     // single discharge to depth D integrates to D^k / C_full = 1 /
     // cycleLife(D), and partial cycles compose.
     const double d0 = 1.0 - soc_;
-    soc_ = std::max(0.0, soc_ - used);
+    soc_ = dischargedSoc(soc_, dt, full);
     const double d1 = 1.0 - soc_;
     lifeUsed += (std::pow(d1, kWearExponent) -
                  std::pow(d0, kWearExponent)) /
@@ -106,7 +138,7 @@ void
 PeukertBattery::recharge(Time dt)
 {
     BPSIM_ASSERT(dt >= 0, "negative recharge interval");
-    soc_ = std::min(1.0, soc_ + toSeconds(dt) / p.rechargeTimeSec);
+    soc_ = rechargedSoc(p, soc_, dt);
 }
 
 } // namespace bpsim

@@ -114,6 +114,33 @@ class PeukertBattery
     /** Reset to fully charged (new string / maintenance swap). */
     void resetFull() { soc_ = 1.0; }
 
+    /**
+     * @name Pure state math (SoA batch kernels)
+     * Stateless forms of the charge arithmetic, shared between the
+     * member mutators above and the batched trial kernel
+     * (`campaign/batch_kernel`). Having one implementation is what
+     * makes the batched path bit-identical to the scalar one by
+     * construction: both sides execute the same floating-point
+     * expressions in the same order.
+     */
+    ///@{
+    /** runtimeAtLoad() as a pure function of @p params (a zero or
+     *  negative Peukert exponent selects the Figure 3 fit, as the
+     *  constructor does). */
+    static Time runtimeAtLoadFor(const Params &params, Watts load);
+
+    /** timeToEmpty() given the state of charge and the full-charge
+     *  runtime at the prevailing load. */
+    static Time timeToEmptyFrom(double soc, Time full_runtime);
+
+    /** State of charge after sourcing the load behind @p full_runtime
+     *  for @p dt (clamped at empty). */
+    static double dischargedSoc(double soc, Time dt, Time full_runtime);
+
+    /** State of charge after recharging for @p dt (capped at full). */
+    static double rechargedSoc(const Params &params, double soc, Time dt);
+    ///@}
+
   private:
     Params p;
     double soc_ = 1.0;

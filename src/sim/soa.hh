@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Struct-of-arrays state for batched trial kernels.
+ *
+ * A lane is one Monte Carlo trial; a TrialLanes holds the mutable
+ * state of a whole batch as parallel contiguous arrays, so a kernel
+ * pass walks flat vectors instead of chasing per-trial object graphs.
+ * The piecewise-constant series accumulator (stepRecord/stepFinish)
+ * mirrors Timeline exactly: it drops equal-value and zero-length
+ * updates the same way Timeline::record()/integrate() do, so a lane
+ * that replays the scalar simulator's settled values in the same order
+ * produces a bit-identical integral.
+ */
+
+#ifndef BPSIM_SIM_SOA_HH
+#define BPSIM_SIM_SOA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace bpsim
+{
+
+/**
+ * Advance one piecewise-constant series to value @p v at time @p at.
+ * Equivalent to Timeline::record(at, v) followed eventually by
+ * integrate(): equal values are skipped (Timeline collapses them) and
+ * zero-length segments contribute nothing (Timeline's segment walk
+ * skips them), so the accumulated integral matches bit for bit.
+ */
+inline void
+stepRecord(double &integral, double &value, Time &since, Time at, double v)
+{
+    if (v == value)
+        return;
+    if (at > since)
+        integral += value * toSeconds(at - since);
+    value = v;
+    since = at;
+}
+
+/** Close a series at @p end and return its completed integral. */
+inline double
+stepFinish(double integral, double value, Time since, Time end)
+{
+    if (end > since)
+        integral += value * toSeconds(end - since);
+    return integral;
+}
+
+/**
+ * Mutable per-trial state of a lane batch, one array element per lane.
+ * Series fields come in (integral, value, since) triples consumed by
+ * stepRecord()/stepFinish().
+ */
+struct TrialLanes
+{
+    /** @name Battery string */
+    ///@{
+    /** State of charge in [0, 1]. */
+    std::vector<double> soc;
+    /** Energy sourced from the string so far (joules). */
+    std::vector<double> batteryJ;
+    ///@}
+
+    /** @name Aggregate performance series (Timeline mirror) */
+    ///@{
+    std::vector<double> perfIntegral;
+    std::vector<double> perfValue;
+    std::vector<Time> perfSince;
+    ///@}
+
+    /** @name Availability series (Timeline mirror) */
+    ///@{
+    std::vector<double> availIntegral;
+    std::vector<double> availValue;
+    std::vector<Time> availSince;
+    ///@}
+
+    /** Per-application recompute debt (seconds; HPC profiles). */
+    std::vector<double> appExtraSec;
+    /** Longest fully-dark stretch so far. */
+    std::vector<Time> worstGap;
+    /** Abrupt power-loss events. */
+    std::vector<std::int32_t> losses;
+
+    /** Size and reset every lane to primed steady state at t = 0. */
+    void
+    assign(std::size_t n, double perf0, double avail0)
+    {
+        soc.assign(n, 1.0);
+        batteryJ.assign(n, 0.0);
+        perfIntegral.assign(n, 0.0);
+        perfValue.assign(n, perf0);
+        perfSince.assign(n, 0);
+        availIntegral.assign(n, 0.0);
+        availValue.assign(n, avail0);
+        availSince.assign(n, 0);
+        appExtraSec.assign(n, 0.0);
+        worstGap.assign(n, 0);
+        losses.assign(n, 0);
+    }
+
+    std::size_t size() const { return soc.size(); }
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_SIM_SOA_HH

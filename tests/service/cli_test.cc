@@ -64,6 +64,51 @@ TEST(CliContract, SweepUnknownFlagExitsNonzeroWithUsage)
               std::string::npos);
 }
 
+TEST(CliContract, SweepBatchFlagDocumentedAndAccepted)
+{
+    // --help after a valid --batch value proves the flag parsed
+    // without running the (multi-second) sweep itself.
+    const RunResult r = run(std::string(BPSIM_CAMPAIGN_SWEEP_BIN) +
+                            " --batch 8 --help");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("usage: campaign_sweep"),
+              std::string::npos);
+    EXPECT_NE(r.output.find("--batch N"), std::string::npos);
+    EXPECT_NE(r.output.find("bit-identical"), std::string::npos);
+}
+
+TEST(CliContract, SweepBatchZeroRejectedWithUsage)
+{
+    const RunResult r = run(std::string(BPSIM_CAMPAIGN_SWEEP_BIN) +
+                            " --batch 0");
+    EXPECT_EQ(r.exitCode, 2) << r.output;
+    EXPECT_NE(r.output.find("--batch needs a positive integer"),
+              std::string::npos);
+    EXPECT_NE(r.output.find("usage: campaign_sweep"),
+              std::string::npos);
+}
+
+TEST(CliContract, SweepBatchNonNumericRejectedWithUsage)
+{
+    for (const char *bad : {"banana", "8x", "-3", ""}) {
+        const RunResult r = run(std::string(BPSIM_CAMPAIGN_SWEEP_BIN) +
+                                " --batch \"" + bad + "\"");
+        EXPECT_EQ(r.exitCode, 2) << "--batch " << bad << ": " << r.output;
+        EXPECT_NE(r.output.find("usage: campaign_sweep"),
+                  std::string::npos)
+            << "--batch " << bad;
+    }
+}
+
+TEST(CliContract, SweepBatchMissingValueRejected)
+{
+    const RunResult r = run(std::string(BPSIM_CAMPAIGN_SWEEP_BIN) +
+                            " --batch");
+    EXPECT_EQ(r.exitCode, 2) << r.output;
+    EXPECT_NE(r.output.find("usage: campaign_sweep"),
+              std::string::npos);
+}
+
 TEST(CliContract, MergeHelpExitsZeroWithUsage)
 {
     const RunResult r = run(std::string(BPSIM_CAMPAIGN_MERGE_BIN) +
