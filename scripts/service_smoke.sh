@@ -3,7 +3,10 @@
 # start on an ephemeral loopback port, probe /healthz, ask the same
 # what-if twice (the second answer must be a byte-identical cache hit),
 # check the cache counters and alert gauges on /metrics, then shut
-# down gracefully and require a clean exit.
+# down gracefully and require a clean exit. A second phase starts the
+# server with --cache-dir, kills it with SIGKILL, restarts it on the
+# same directory, and requires the warm answer from disk plus an
+# incremental resume from the spilled checkpoint.
 #
 # Usage: scripts/service_smoke.sh [path/to/campaign_server]
 # (defaults to build/examples/campaign_server). CI runs this against
@@ -18,18 +21,22 @@ fail() { echo "service_smoke: FAIL: $*" >&2; exit 1; }
 
 [ -x "$SERVER" ] || fail "no server binary at $SERVER"
 
+# Wait for the listener (the port file is written once bound).
+wait_for_port() {
+    for _ in $(seq 1 100); do
+        [ -s "$WORK/port" ] && break
+        kill -0 "$SERVER_PID" 2>/dev/null \
+            || fail "server died during startup"
+        sleep 0.1
+    done
+    [ -s "$WORK/port" ] || fail "port file never appeared"
+    PORT=$(cat "$WORK/port")
+    BASE="http://127.0.0.1:$PORT"
+}
+
 "$SERVER" --port 0 --port-file "$WORK/port" --cache-entries 32 &
 SERVER_PID=$!
-
-# Wait for the listener (the port file is written once bound).
-for _ in $(seq 1 100); do
-    [ -s "$WORK/port" ] && break
-    kill -0 "$SERVER_PID" 2>/dev/null || fail "server died during startup"
-    sleep 0.1
-done
-[ -s "$WORK/port" ] || fail "port file never appeared"
-PORT=$(cat "$WORK/port")
-BASE="http://127.0.0.1:$PORT"
+wait_for_port
 echo "service_smoke: server up on port $PORT (pid $SERVER_PID)"
 
 # Liveness.
@@ -71,4 +78,52 @@ RC=0
 wait "$SERVER_PID" || RC=$?
 SERVER_PID=
 [ "$RC" = 0 ] || fail "server exited $RC after shutdown"
+echo "service_smoke: graceful shutdown clean"
+
+# --- Phase 2: kill-and-restart warm-cache round trip -----------------
+# The persistent cache must survive an unclean death: SIGKILL the
+# server mid-life, restart it on the same --cache-dir, and the same
+# question must come back byte-identical from disk without a campaign.
+rm -f "$WORK/port"
+"$SERVER" --port 0 --port-file "$WORK/port" --cache-dir "$WORK/cache" &
+SERVER_PID=$!
+wait_for_port
+curl -sSf -D "$WORK/h3" -o "$WORK/r3" -XPOST "$BASE/v1/whatif" -d "$BODY"
+grep -qi '^x-bpsim-cache: miss' "$WORK/h3" \
+    || fail "cold persistent query not a miss"
+kill -9 "$SERVER_PID" 2>/dev/null
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=
+echo "service_smoke: server killed (SIGKILL), restarting on same cache dir"
+
+rm -f "$WORK/port"
+"$SERVER" --port 0 --port-file "$WORK/port" --cache-dir "$WORK/cache" &
+SERVER_PID=$!
+wait_for_port
+curl -sSf -D "$WORK/h4" -o "$WORK/r4" -XPOST "$BASE/v1/whatif" -d "$BODY"
+grep -qi '^x-bpsim-cache: hit' "$WORK/h4" \
+    || fail "warm restart query not a hit"
+grep -qi '^x-bpsim-cache-tier: disk' "$WORK/h4" \
+    || fail "warm restart hit not served from disk"
+cmp -s "$WORK/r3" "$WORK/r4" \
+    || fail "disk-served reply differs from pre-kill reply"
+echo "service_smoke: warm restart served the pre-kill answer from disk"
+
+# Incremental reuse across the restart: a larger budget for the same
+# scenario resumes from the spilled 40-trial checkpoint.
+BIG_BODY=${BODY/\"trials\":40/\"trials\":80}
+curl -sSf -D "$WORK/h5" -o "$WORK/r5" -XPOST "$BASE/v1/whatif" \
+    -d "$BIG_BODY"
+grep -qi '^x-bpsim-cache: miss' "$WORK/h5" \
+    || fail "bigger budget unexpectedly cached"
+grep -qi '^x-bpsim-resumed-from: 40' "$WORK/h5" \
+    || fail "bigger budget did not resume from the spilled checkpoint"
+echo "service_smoke: larger budget resumed from trial 40 after restart"
+
+curl -sSf -XPOST "$BASE/v1/shutdown" > /dev/null \
+    || fail "second shutdown endpoint"
+RC=0
+wait "$SERVER_PID" || RC=$?
+SERVER_PID=
+[ "$RC" = 0 ] || fail "restarted server exited $RC after shutdown"
 echo "service_smoke: PASS"

@@ -20,6 +20,22 @@ namespace
 constexpr Time kYear = 365LL * 24 * kHour;
 
 /**
+ * The CI stop rule on the current in-order aggregation state. Shared
+ * between aggregateTrial and resumeAnnualCampaign's boundary
+ * re-evaluation so the two can never diverge.
+ */
+bool
+earlyStopSatisfied(const AnnualCampaignSummary &out,
+                   const AnnualCampaignOptions &opts)
+{
+    const double hw = out.downtimeMin.meanCiHalfWidth(opts.ciZ);
+    const double tol =
+        std::max(opts.ciAbsTolMin,
+                 opts.ciRelTol * std::abs(out.downtimeMin.summary().mean()));
+    return hw <= tol;
+}
+
+/**
  * Aggregate one trial into the summary, in trial order; returns false
  * when the early-stop rule fires. Shared verbatim between the scalar
  * and batched drivers so their aggregates cannot diverge.
@@ -43,34 +59,36 @@ aggregateTrial(AnnualCampaignSummary &out,
     if (r.losses == 0)
         ++out.lossFreeTrials;
     ++out.trials;
-    if (early_stop && out.trials >= opts.minTrials) {
-        const double hw = out.downtimeMin.meanCiHalfWidth(opts.ciZ);
-        const double tol =
-            std::max(opts.ciAbsTolMin,
-                     opts.ciRelTol *
-                         std::abs(out.downtimeMin.summary().mean()));
-        if (hw <= tol)
-            return false;
-    }
+    if (early_stop && out.trials >= opts.minTrials &&
+        earlyStopSatisfied(out, opts))
+        return false;
     return true;
 }
 
-/** Wall-clock + loss-free tail shared by both campaign drivers. */
+/**
+ * Wall-clock + loss-free tail shared by every campaign driver.
+ * @p executed is the number of trials this *run* simulated — equal to
+ * out.trials for the fresh drivers, but only the extension width for
+ * resumeAnnualCampaign, so the obs "campaign.trials" counter stays
+ * additive: a checkpointed run plus its extension reports exactly what
+ * one fresh run of the full budget would.
+ */
 void
 finalizeCampaign(AnnualCampaignSummary &out,
                  const AnnualCampaignOptions &opts,
-                 std::chrono::steady_clock::time_point t0)
+                 std::chrono::steady_clock::time_point t0,
+                 std::uint64_t executed)
 {
     out.lossFree = wilsonInterval(out.lossFreeTrials, out.trials, opts.ciZ);
     const std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - t0;
     out.wallSeconds = wall.count();
     out.trialsPerSec = out.wallSeconds > 0.0
-                           ? static_cast<double>(out.trials) /
+                           ? static_cast<double>(executed) /
                                  out.wallSeconds
                            : 0.0;
     if (BPSIM_OBS_ON()) {
-        obs::Registry::global().counter("campaign.trials").add(out.trials);
+        obs::Registry::global().counter("campaign.trials").add(executed);
         obs::Registry::global()
             .gauge("campaign.trials_per_sec")
             .set(out.trialsPerSec);
@@ -140,7 +158,7 @@ runBatchedCampaign(const AnnualCampaignSpec &spec,
     // The chunk-level outcome can't see a stop on the last trial of
     // the last chunk; recover the scalar semantics from trial counts.
     out.stoppedEarly = stopped && out.trials < opts.maxTrials;
-    finalizeCampaign(out, opts, t0);
+    finalizeCampaign(out, opts, t0, out.trials);
     return out;
 }
 
@@ -177,7 +195,7 @@ runAnnualCampaign(const AnnualTrialFn &trial,
     const CampaignOutcome oc =
         runCampaign<AnnualResult>(opts.maxTrials, body, consume, copts);
     out.stoppedEarly = oc.stoppedEarly;
-    finalizeCampaign(out, opts, t0);
+    finalizeCampaign(out, opts, t0, out.trials);
     return out;
 }
 
@@ -196,6 +214,123 @@ runAnnualCampaign(const AnnualCampaignSpec &spec,
                                spec.config, events);
         },
         opts);
+}
+
+AnnualCampaignSummary
+resumeAnnualCampaign(const AnnualCampaignSpec &spec,
+                     const AnnualCampaignOptions &opts,
+                     const AnnualCampaignSummary &from)
+{
+    BPSIM_ASSERT(from.trials >= 1, "cannot resume an empty campaign");
+    BPSIM_ASSERT(from.trials <= opts.maxTrials,
+                 "resume boundary %llu beyond the %llu-trial budget",
+                 static_cast<unsigned long long>(from.trials),
+                 static_cast<unsigned long long>(opts.maxTrials));
+    BPSIM_ASSERT(from.seed == opts.seed,
+                 "resume seed %llu does not match campaign seed %llu",
+                 static_cast<unsigned long long>(from.seed),
+                 static_cast<unsigned long long>(opts.seed));
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto run_timer = obs::scope("campaign.run");
+
+    AnnualCampaignSummary out = from;
+    out.planned = opts.maxTrials;
+    const bool early_stop = opts.ciRelTol > 0.0 || opts.ciAbsTolMin > 0.0;
+    const std::uint64_t start = from.trials;
+
+    // Replay paths: the cached run already stopped early, or the CI
+    // rule holds right at the boundary (a run whose budget equals its
+    // stopping point masks the stop: stoppedEarly stays false, so the
+    // decision must be re-derived from the restored state), or there
+    // is simply nothing left to run. A fresh opts.maxTrials-trial run
+    // would aggregate exactly these trials.
+    const bool stop_at_boundary =
+        from.stoppedEarly ||
+        (early_stop && start >= opts.minTrials &&
+         earlyStopSatisfied(out, opts));
+    if (stop_at_boundary || start == opts.maxTrials) {
+        out.stoppedEarly = stop_at_boundary && out.trials < opts.maxTrials;
+        finalizeCampaign(out, opts, t0, 0);
+        return out;
+    }
+
+    bool stopped = false;
+    const auto progress = [&](std::uint64_t id, bool more) {
+        if (opts.progress && opts.progressEvery != 0 &&
+            (id + 1 == opts.maxTrials || !more ||
+             (id + 1) % opts.progressEvery == 0))
+            opts.progress({id + 1, opts.maxTrials, !more});
+    };
+    CampaignOptions copts;
+    copts.threads = opts.threads;
+
+    if (opts.batch != 0) {
+        // Batched extension. Chunk boundaries start at the resume
+        // point rather than trial 0 — harmless, because every trial's
+        // result is a pure function of (seed, id) regardless of which
+        // lane batch computed it, and aggregation stays in id order.
+        const BatchAnnualKernel kernel(spec.profile, spec.nServers,
+                                       spec.technique, spec.config);
+        const std::uint64_t batch = opts.batch;
+        const std::uint64_t width = opts.maxTrials - start;
+        const std::uint64_t chunks = (width + batch - 1) / batch;
+
+        const std::function<std::vector<AnnualResult>(std::uint64_t)>
+            body = [&](std::uint64_t chunk) {
+                const std::uint64_t lo = start + chunk * batch;
+                const std::uint64_t hi =
+                    std::min(lo + batch, opts.maxTrials);
+                std::vector<AnnualResult> results(
+                    static_cast<std::size_t>(hi - lo));
+                kernel.runBatch(opts.seed, lo, hi, results.data());
+                return results;
+            };
+        const std::function<bool(std::uint64_t,
+                                 std::vector<AnnualResult> &&)>
+            consume = [&](std::uint64_t chunk,
+                          std::vector<AnnualResult> &&results) {
+                const std::uint64_t lo = start + chunk * batch;
+                for (std::size_t i = 0; i < results.size(); ++i) {
+                    const std::uint64_t id = lo + i;
+                    const bool more =
+                        aggregateTrial(out, opts, early_stop, results[i]);
+                    progress(id, more);
+                    if (!more) {
+                        stopped = true;
+                        return false;
+                    }
+                }
+                return true;
+            };
+        runCampaign<std::vector<AnnualResult>>(chunks, body, consume,
+                                               copts);
+    } else {
+        const auto gen = OutageTraceGenerator::figure1();
+        const AnnualSimulator sim;
+        const std::function<AnnualResult(std::uint64_t)> body =
+            [&](std::uint64_t local) {
+                const std::uint64_t id = start + local;
+                const obs::TrialScope trace_scope(id);
+                Rng rng = Rng::stream(opts.seed, id);
+                const auto events = gen.generate(rng, kYear);
+                return sim.runYear(spec.profile, spec.nServers,
+                                   spec.technique, spec.config, events);
+            };
+        const std::function<bool(std::uint64_t, AnnualResult &&)>
+            consume = [&](std::uint64_t local, AnnualResult &&r) {
+                const bool more =
+                    aggregateTrial(out, opts, early_stop, r);
+                progress(start + local, more);
+                if (!more)
+                    stopped = true;
+                return more;
+            };
+        runCampaign<AnnualResult>(opts.maxTrials - start, body, consume,
+                                  copts);
+    }
+    out.stoppedEarly = stopped && out.trials < opts.maxTrials;
+    finalizeCampaign(out, opts, t0, out.trials - start);
+    return out;
 }
 
 void

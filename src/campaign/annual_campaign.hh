@@ -128,6 +128,32 @@ AnnualCampaignSummary runAnnualCampaign(const AnnualTrialFn &trial,
 AnnualCampaignSummary runAnnualCampaign(const AnnualCampaignSpec &spec,
                                         const AnnualCampaignOptions &opts);
 
+/**
+ * Extend a finished campaign: resume the standard scenario campaign
+ * from the exact aggregation state of a previous run and execute only
+ * trials [from.trials, opts.maxTrials).
+ *
+ * Contract: @p from must come from the same (spec, seed, batch-or-not
+ * irrelevant) with identical early-stop options and
+ * from.trials <= opts.maxTrials. Each trial is a pure function of
+ * (seed, trial id) and aggregation is strictly in trial order, so the
+ * returned summary — including the early-stop trajectory — is
+ * bit-identical to a fresh opts.maxTrials-trial run, for any batch
+ * size and thread count on either side of the boundary (see
+ * campaign/checkpoint.hh and tests/service/incremental_test.cc).
+ *
+ * Early-stop boundary semantics: before running anything the CI rule
+ * is re-evaluated on the restored state, because a cached run whose
+ * budget was exactly its stopping point records stoppedEarly == false
+ * (the stop is masked at the budget boundary); a longer fresh run
+ * would stop right there. If @p from had already stopped early, or the
+ * rule holds at the boundary, no trials run and the summary is the
+ * replayed fresh-run outcome (planned rewritten to opts.maxTrials).
+ */
+AnnualCampaignSummary resumeAnnualCampaign(const AnnualCampaignSpec &spec,
+                                           const AnnualCampaignOptions &opts,
+                                           const AnnualCampaignSummary &from);
+
 /** Export knobs for writeCampaignJson(). */
 struct CampaignJsonOptions
 {

@@ -144,6 +144,37 @@ ExactSum::writeJson(JsonWriter &w) const
     w.endObject();
 }
 
+bool
+ExactSum::validJson(const JsonValue &v)
+{
+    if (v.kind() != JsonValue::Kind::Object)
+        return false;
+    const auto integral = [](const JsonValue *x) {
+        return x && x->kind() == JsonValue::Kind::Number &&
+               x->asDouble() == std::floor(x->asDouble());
+    };
+    const JsonValue *sign = v.find("sign");
+    const JsonValue *lo = v.find("lo");
+    const JsonValue *limbs = v.find("limbs");
+    if (!integral(sign) || sign->asDouble() < -1.0 ||
+        sign->asDouble() > 1.0)
+        return false;
+    if (!integral(lo) || lo->asDouble() < 0.0)
+        return false;
+    if (!limbs || limbs->kind() != JsonValue::Kind::Array)
+        return false;
+    if (lo->asDouble() + static_cast<double>(limbs->size()) >
+        static_cast<double>(kLimbs))
+        return false;
+    for (std::size_t i = 0; i < limbs->size(); ++i) {
+        const JsonValue &d = limbs->item(i);
+        if (!integral(&d) || d.asDouble() < 0.0 ||
+            d.asDouble() >= static_cast<double>(kBase))
+            return false;
+    }
+    return true;
+}
+
 ExactSum
 ExactSum::fromJson(const JsonValue &v)
 {

@@ -62,6 +62,14 @@ class ExactSum
     /** Rebuild from writeJson output (asserts on malformed input). */
     static ExactSum fromJson(const JsonValue &v);
 
+    /**
+     * True when @p v is a well-formed writeJson document that
+     * fromJson would accept without asserting. Checkpoint readers
+     * validate untrusted payloads with this first, so a corrupt file
+     * degrades to a cache miss instead of aborting the server.
+     */
+    static bool validJson(const JsonValue &v);
+
   private:
     static constexpr int kLimbBits = 30;
     /** Lowest representable bit: 2^-1074 (subnormal ulp). */

@@ -102,6 +102,21 @@ P2Quantile::value() const
     return q[2];
 }
 
+P2Quantile
+P2Quantile::restore(double probability, const double heights[5],
+                    const double positions[5], const double desired[5],
+                    std::uint64_t count)
+{
+    P2Quantile s(probability); // recomputes dn from the probability
+    for (int i = 0; i < 5; ++i) {
+        s.q[i] = heights[i];
+        s.n_[i] = positions[i];
+        s.np[i] = desired[i];
+    }
+    s.count_ = count;
+    return s;
+}
+
 BinomialCi
 wilsonInterval(std::uint64_t successes, std::uint64_t trials, double z)
 {
@@ -140,6 +155,20 @@ MetricStats::meanCiHalfWidth(double z) const
     if (s.count() < 2)
         return 0.0;
     return z * s.stddev() / std::sqrt(static_cast<double>(s.count()));
+}
+
+MetricStats
+MetricStats::restore(const SummaryStats &summary, const P2Quantile &p50,
+                     const P2Quantile &p95, const P2Quantile &p99,
+                     TDigest digest)
+{
+    MetricStats m;
+    m.s = summary;
+    m.q50 = p50;
+    m.q95 = p95;
+    m.q99 = p99;
+    m.td = std::move(digest);
+    return m;
 }
 
 } // namespace bpsim

@@ -47,6 +47,26 @@ class P2Quantile
     /** The tracked probability. */
     double probability() const { return p; }
 
+    /**
+     * @name Checkpoint state access
+     * The exact marker state, for campaign checkpoints that resume a
+     * stream bit-identically (campaign/checkpoint.hh). The desired
+     * position increments are a pure function of the probability, so
+     * only the heights, positions and desired positions need to ride
+     * the checkpoint.
+     */
+    ///@{
+    const double *markerHeights() const { return q; }       // q[5]
+    const double *markerPositions() const { return n_; }    // n_[5]
+    const double *desiredPositions() const { return np; }   // np[5]
+    /** Rebuild a sketch mid-stream from checkpointed marker state. */
+    static P2Quantile restore(double probability,
+                              const double heights[5],
+                              const double positions[5],
+                              const double desired[5],
+                              std::uint64_t count);
+    ///@}
+
   private:
     double p;
     double q[5];  // marker heights
@@ -102,6 +122,24 @@ class MetricStats
      * the mean: z * stddev / sqrt(n). Zero for fewer than 2 samples.
      */
     double meanCiHalfWidth(double z = 1.96) const;
+
+    /**
+     * @name Checkpoint state access
+     * The P² sketches behind p50/p95/p99, and a restore factory that
+     * rebuilds the whole per-metric aggregate mid-stream. Feeding the
+     * same tail of observations to a restored metric yields state (and
+     * serialized bytes) identical to never having checkpointed — the
+     * invariant campaign/checkpoint.hh is built on.
+     */
+    ///@{
+    const P2Quantile &sketch50() const { return q50; }
+    const P2Quantile &sketch95() const { return q95; }
+    const P2Quantile &sketch99() const { return q99; }
+    static MetricStats restore(const SummaryStats &summary,
+                               const P2Quantile &p50,
+                               const P2Quantile &p95,
+                               const P2Quantile &p99, TDigest digest);
+    ///@}
 
   private:
     SummaryStats s;

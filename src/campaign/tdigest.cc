@@ -208,6 +208,81 @@ TDigest::writeJson(JsonWriter &w) const
     w.endObject();
 }
 
+void
+TDigest::writeStateJson(JsonWriter &w) const
+{
+    const auto points = [&w](const std::vector<Centroid> &list) {
+        w.beginArray();
+        for (const auto &c : list) {
+            w.beginArray();
+            w.value(c.mean);
+            w.value(c.weight);
+            w.endArray();
+        }
+        w.endArray();
+    };
+    w.beginObject();
+    w.field("compression", compression_);
+    w.field("count", count_);
+    w.field("min", min_);
+    w.field("max", max_);
+    w.key("centroids");
+    points(centroids_);
+    w.key("buffer");
+    points(buffer_);
+    w.endObject();
+}
+
+std::optional<TDigest>
+TDigest::fromStateJson(const JsonValue &v)
+{
+    if (v.kind() != JsonValue::Kind::Object)
+        return std::nullopt;
+    const JsonValue *compression = v.find("compression");
+    const JsonValue *count = v.find("count");
+    const JsonValue *min = v.find("min");
+    const JsonValue *max = v.find("max");
+    if (!compression || compression->kind() != JsonValue::Kind::Number ||
+        compression->asDouble() < 10.0 || !count ||
+        count->kind() != JsonValue::Kind::Number ||
+        count->asDouble() < 0 ||
+        count->asDouble() != std::floor(count->asDouble()) || !min ||
+        min->kind() != JsonValue::Kind::Number || !max ||
+        max->kind() != JsonValue::Kind::Number)
+        return std::nullopt;
+
+    TDigest d(compression->asDouble());
+    d.count_ = count->asUint();
+    d.min_ = min->asDouble();
+    d.max_ = max->asDouble();
+    // Both lists are restored verbatim (order included): the buffer's
+    // insertion order feeds the next flush's stable sort, so it is
+    // part of the bit-exactness contract.
+    const auto points = [&v](const char *key,
+                             std::vector<Centroid> &into) {
+        const JsonValue *list = v.find(key);
+        if (!list || list->kind() != JsonValue::Kind::Array)
+            return false;
+        for (std::size_t i = 0; i < list->size(); ++i) {
+            const JsonValue &c = list->item(i);
+            if (c.kind() != JsonValue::Kind::Array || c.size() != 2 ||
+                c.item(0).kind() != JsonValue::Kind::Number ||
+                c.item(1).kind() != JsonValue::Kind::Number)
+                return false;
+            const double mean = c.item(0).asDouble();
+            const double weight = c.item(1).asDouble();
+            if (!std::isfinite(mean) || !(weight > 0.0))
+                return false;
+            into.push_back({mean, weight});
+        }
+        return true;
+    };
+    if (!points("centroids", d.centroids_) ||
+        !points("buffer", d.buffer_))
+        return std::nullopt;
+    return d;
+}
+
 TDigest
 TDigest::fromJson(const JsonValue &v)
 {

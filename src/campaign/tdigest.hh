@@ -22,6 +22,7 @@
 #define BPSIM_CAMPAIGN_TDIGEST_HH
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace bpsim
@@ -84,6 +85,27 @@ class TDigest
 
     /** Rebuild from writeJson output (asserts on malformed input). */
     static TDigest fromJson(const JsonValue &v);
+
+    /**
+     * @name Exact-state checkpointing
+     * writeJson() flushes first, which is right for *merging* but
+     * changes the future clustering trajectory: a digest flushed at
+     * trial K and then fed trials K..M-1 clusters differently from
+     * one fed 0..M-1 straight through. Campaign checkpoints that must
+     * resume bit-identically (campaign/checkpoint.hh) therefore
+     * serialize the raw internal state — the flushed centroids AND
+     * the pending buffer, verbatim, with no flush.
+     */
+    ///@{
+    /** Emit the exact internal state as a JSON object (no flush). */
+    void writeStateJson(JsonWriter &w) const;
+    /**
+     * Rebuild from writeStateJson output. Returns nullopt on
+     * malformed input (checkpoint payloads arrive from disk, so this
+     * validates instead of asserting).
+     */
+    static std::optional<TDigest> fromStateJson(const JsonValue &v);
+    ///@}
 
   private:
     /** Sort the buffer into the centroid list and re-cluster. */

@@ -1,5 +1,7 @@
 #include "service/cache.hh"
 
+#include <utility>
+
 namespace bpsim
 {
 namespace service
@@ -16,9 +18,11 @@ fnv1a64(std::string_view bytes)
     return h;
 }
 
-ResultCache::ResultCache(std::size_t maxEntries, obs::Registry *registry)
+ResultCache::ResultCache(std::size_t maxEntries, obs::Registry *registry,
+                         std::string prefix)
     : maxEntries_(maxEntries == 0 ? 1 : maxEntries),
-      registry_(registry != nullptr ? registry : &obs::Registry::global())
+      registry_(registry != nullptr ? registry : &obs::Registry::global()),
+      prefix_(std::move(prefix))
 {
 }
 
@@ -30,12 +34,12 @@ ResultCache::get(const std::string &key)
     const auto it = index_.find(h);
     if (it == index_.end() || it->second->key != key) {
         ++stats_.misses;
-        registry_->counter("service.cache.misses").add(1);
+        registry_->counter(prefix_ + ".misses").add(1);
         return std::nullopt;
     }
     lru_.splice(lru_.begin(), lru_, it->second);
     ++stats_.hits;
-    registry_->counter("service.cache.hits").add(1);
+    registry_->counter(prefix_ + ".hits").add(1);
     return it->second->value;
 }
 
@@ -62,13 +66,13 @@ ResultCache::put(const std::string &key, std::string value)
         index_.erase(victim.hash);
         lru_.pop_back();
         ++stats_.evictions;
-        registry_->counter("service.cache.evictions").add(1);
+        registry_->counter(prefix_ + ".evictions").add(1);
     }
     stats_.valueBytes += value.size();
     lru_.push_front(Entry{h, key, std::move(value)});
     index_[h] = lru_.begin();
     ++stats_.insertions;
-    registry_->counter("service.cache.insertions").add(1);
+    registry_->counter(prefix_ + ".insertions").add(1);
     touchCounters();
 }
 
@@ -94,9 +98,9 @@ ResultCache::stats() const
 void
 ResultCache::touchCounters()
 {
-    registry_->gauge("service.cache.entries")
+    registry_->gauge(prefix_ + ".entries")
         .set(static_cast<double>(lru_.size()));
-    registry_->gauge("service.cache.value_bytes")
+    registry_->gauge(prefix_ + ".value_bytes")
         .set(static_cast<double>(stats_.valueBytes));
 }
 

@@ -58,11 +58,15 @@ class ResultCache
   public:
     /**
      * @p maxEntries bounds the cache (>= 1). @p registry receives the
-     * `service.cache.*` counters/gauges; defaults to the process-wide
-     * registry, tests pass a local one.
+     * `<prefix>.*` counters/gauges; defaults to the process-wide
+     * registry, tests pass a local one. @p prefix names this
+     * instance's metrics — the what-if result cache keeps the
+     * historical "service.cache", the checkpoint cache uses
+     * "service.ckpt.cache" so the two hit rates stay separable.
      */
     explicit ResultCache(std::size_t maxEntries = 256,
-                         obs::Registry *registry = nullptr);
+                         obs::Registry *registry = nullptr,
+                         std::string prefix = "service.cache");
 
     /** Look up the canonical @p key; copies the stored value out and
      *  marks the entry most-recently used. */
@@ -89,6 +93,7 @@ class ResultCache
 
     const std::size_t maxEntries_;
     obs::Registry *const registry_;
+    const std::string prefix_;
 
     mutable std::mutex m_;
     /** Front = most recently used. */

@@ -1,0 +1,185 @@
+#include "service/disk_store.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "campaign/json.hh"
+#include "service/cache.hh"
+
+namespace bpsim
+{
+namespace service
+{
+
+namespace
+{
+
+/**
+ * On-disk entry layout (format "bpsim.store.v1"): a line-oriented
+ * header terminated by one blank line, then the raw key bytes
+ * immediately followed by the raw value bytes. Lengths and FNV-1a
+ * checksums in the header authenticate both payloads; the buildId
+ * line scopes every entry to the binary that wrote it.
+ */
+constexpr const char *kMagic = "bpsim.store.v1";
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** One "name=value\n" header line; false on any deviation. */
+bool
+readHeaderLine(std::istringstream &is, const char *name,
+               std::string &value)
+{
+    std::string line;
+    if (!std::getline(is, line))
+        return false;
+    const std::string prefix = std::string(name) + "=";
+    if (line.rfind(prefix, 0) != 0)
+        return false;
+    value = line.substr(prefix.size());
+    return true;
+}
+
+bool
+parseLen(const std::string &s, std::size_t &out)
+{
+    if (s.empty() || s.size() > 15)
+        return false;
+    std::size_t v = 0;
+    for (const char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + static_cast<std::size_t>(c - '0');
+    }
+    out = v;
+    return true;
+}
+
+} // namespace
+
+DiskStore::DiskStore(std::string dir, obs::Registry *registry)
+    : dir_(std::move(dir)),
+      registry_(registry != nullptr ? registry : &obs::Registry::global())
+{
+    if (dir_.empty())
+        return;
+    if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+        registry_->counter("service.disk.errors").add(1);
+        dir_.clear(); // degrade to a memory-only server
+    }
+}
+
+std::string
+DiskStore::pathFor(const std::string &key) const
+{
+    return dir_ + "/" + hex16(fnv1a64(key)) + ".bpsim";
+}
+
+std::optional<std::string>
+DiskStore::load(const std::string &key) const
+{
+    if (!enabled())
+        return std::nullopt;
+    std::ifstream is(pathFor(key), std::ios::binary);
+    if (!is) {
+        registry_->counter("service.disk.misses").add(1);
+        return std::nullopt;
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    const std::string file = ss.str();
+
+    // Validate the header line by line; everything after the blank
+    // line is payload. Any deviation at all is a corrupt entry.
+    const auto corrupt = [this]() -> std::optional<std::string> {
+        registry_->counter("service.disk.corrupt").add(1);
+        return std::nullopt;
+    };
+    const std::size_t header_end = file.find("\n\n");
+    if (header_end == std::string::npos)
+        return corrupt();
+    std::istringstream header(file.substr(0, header_end + 1));
+    std::string magic, build, key_len_s, value_len_s, key_fnv, value_fnv;
+    if (!readHeaderLine(header, "magic", magic) || magic != kMagic)
+        return corrupt();
+    if (!readHeaderLine(header, "build", build) || build != buildId())
+        return corrupt(); // foreign binary: trajectories not comparable
+    std::size_t key_len = 0, value_len = 0;
+    if (!readHeaderLine(header, "key_len", key_len_s) ||
+        !parseLen(key_len_s, key_len) ||
+        !readHeaderLine(header, "value_len", value_len_s) ||
+        !parseLen(value_len_s, value_len) ||
+        !readHeaderLine(header, "key_fnv", key_fnv) ||
+        !readHeaderLine(header, "value_fnv", value_fnv))
+        return corrupt();
+
+    const std::size_t payload = header_end + 2;
+    if (file.size() != payload + key_len + value_len)
+        return corrupt(); // truncated (or padded) payload
+    const std::string stored_key = file.substr(payload, key_len);
+    std::string value = file.substr(payload + key_len, value_len);
+    if (hex16(fnv1a64(stored_key)) != key_fnv ||
+        hex16(fnv1a64(value)) != value_fnv)
+        return corrupt();
+    if (stored_key != key) {
+        // 64-bit address collision: the file is healthy but belongs
+        // to a different key. A miss, not corruption.
+        registry_->counter("service.disk.misses").add(1);
+        return std::nullopt;
+    }
+    registry_->counter("service.disk.loads").add(1);
+    return value;
+}
+
+bool
+DiskStore::store(const std::string &key, const std::string &value) const
+{
+    if (!enabled())
+        return false;
+    const std::string path = pathFor(key);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            registry_->counter("service.disk.errors").add(1);
+            return false;
+        }
+        os << "magic=" << kMagic << '\n'
+           << "build=" << buildId() << '\n'
+           << "key_len=" << key.size() << '\n'
+           << "value_len=" << value.size() << '\n'
+           << "key_fnv=" << hex16(fnv1a64(key)) << '\n'
+           << "value_fnv=" << hex16(fnv1a64(value)) << '\n'
+           << '\n'
+           << key << value;
+        os.flush();
+        if (!os) {
+            registry_->counter("service.disk.errors").add(1);
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        registry_->counter("service.disk.errors").add(1);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    registry_->counter("service.disk.stores").add(1);
+    return true;
+}
+
+} // namespace service
+} // namespace bpsim

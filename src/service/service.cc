@@ -14,6 +14,8 @@ namespace service
 CampaignService::CampaignService(ServiceOptions opts)
     : opts_(opts),
       cache_(opts.cacheEntries),
+      ckptCache_(opts.cacheEntries, nullptr, "service.ckpt.cache"),
+      disk_(opts.cacheDir),
       alerts_(defaultAlertRules()),
       http_([this](const HttpRequest &req) { return handle(req); },
             opts.http)
@@ -101,14 +103,93 @@ CampaignService::handleWhatIf(const HttpRequest &req)
     std::snprintf(keyhex, sizeof keyhex, "%016llx",
                   static_cast<unsigned long long>(fnv1a64(key)));
 
+    if (!opts_.coalesce)
+        return computeWhatIf(*request, key, keyhex);
+
+    // Single-flight: the first request for a key leads and executes;
+    // identical concurrent requests park on the flight and copy its
+    // response. Parse errors never get here (no key, nothing to
+    // share), so every flight publishes a well-formed response.
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+    {
+        std::lock_guard<std::mutex> lk(inflight_m_);
+        auto it = inflight_.find(key);
+        if (it == inflight_.end()) {
+            flight = std::make_shared<Flight>();
+            inflight_.emplace(key, flight);
+            leader = true;
+        } else {
+            flight = it->second;
+        }
+    }
+
+    if (!leader) {
+        obs::Registry::global().counter("service.coalesced").add(1);
+        std::unique_lock<std::mutex> lk(inflight_m_);
+        coalesceWaiters_.fetch_add(1, std::memory_order_acq_rel);
+        inflight_cv_.wait(lk, [&flight] { return flight->done; });
+        coalesceWaiters_.fetch_sub(1, std::memory_order_acq_rel);
+        HttpResponse resp;
+        resp.status = flight->status;
+        if (!flight->contentType.empty())
+            resp.contentType = flight->contentType;
+        resp.headers.emplace_back("X-Bpsim-Key", keyhex);
+        resp.headers.emplace_back("X-Bpsim-Cache", "coalesced");
+        resp.body = flight->body;
+        return resp;
+    }
+
+    if (opts_.testBeforeCampaign)
+        opts_.testBeforeCampaign();
+    const HttpResponse resp = computeWhatIf(*request, key, keyhex);
+    {
+        std::lock_guard<std::mutex> lk(inflight_m_);
+        flight->status = resp.status;
+        flight->contentType = resp.contentType;
+        flight->body = resp.body;
+        flight->done = true;
+        inflight_.erase(key);
+    }
+    inflight_cv_.notify_all();
+    return resp;
+}
+
+HttpResponse
+CampaignService::computeWhatIf(const WhatIfRequest &request,
+                               const std::string &key,
+                               const char *keyhex)
+{
     HttpResponse resp;
     resp.headers.emplace_back("X-Bpsim-Key", keyhex);
 
     std::lock_guard<std::mutex> lk(campaign_m_);
     if (auto hit = cache_.get(key)) {
         resp.headers.emplace_back("X-Bpsim-Cache", "hit");
+        resp.headers.emplace_back("X-Bpsim-Cache-Tier", "memory");
         resp.body = std::move(*hit);
         return resp;
+    }
+    if (auto spilled = disk_.load(key)) {
+        // Warm restart: promote the spilled result so the next hit is
+        // a map lookup again.
+        cache_.put(key, *spilled);
+        resp.headers.emplace_back("X-Bpsim-Cache", "hit");
+        resp.headers.emplace_back("X-Bpsim-Cache-Tier", "disk");
+        resp.body = std::move(*spilled);
+        return resp;
+    }
+
+    // A full miss still need not simulate from trial 0: a checkpoint
+    // stored under the budget-wildcarded base key covers any earlier
+    // budget for this exact scenario.
+    const std::string ckpt_key = "ckpt|" + canonicalBaseKey(request);
+    std::optional<CampaignCheckpoint> from;
+    if (auto text = ckptCache_.get(ckpt_key)) {
+        from = readCheckpointJson(*text);
+    } else if (auto spilled = disk_.load(ckpt_key)) {
+        if ((from = readCheckpointJson(*spilled)))
+            ckptCache_.put(ckpt_key, *spilled);
     }
 
     const bool with_alerts = opts_.evaluateAlerts && BPSIM_OBS_ON();
@@ -122,18 +203,49 @@ CampaignService::handleWhatIf(const HttpRequest &req)
         counters_before = obs::Registry::global().counterSnapshot();
     }
 
-    resp.body = runWhatIf(*request);
-    cache_.put(key, resp.body);
+    const WhatIfExecution ex =
+        executeWhatIf(request, from ? &*from : nullptr);
+    obs::Registry::global().counter("service.whatif.campaigns").add(1);
+    cache_.put(key, ex.body);
+    disk_.store(key, ex.body);
     resp.headers.emplace_back("X-Bpsim-Cache", "miss");
+    if (ex.resumed) {
+        obs::Registry::global().counter("service.whatif.resumed").add(1);
+        resp.headers.emplace_back("X-Bpsim-Resumed-From",
+                                  std::to_string(ex.startTrial));
+    }
+    resp.body = ex.body;
+
+    // Persist the checkpoint only when it extends what is already
+    // stored — a smaller-budget request must never clobber a deeper
+    // trajectory another request paid for.
+    if (!from || ex.checkpoint.summary.trials > from->summary.trials) {
+        std::ostringstream ck;
+        writeCheckpointJson(ck, ex.checkpoint);
+        std::string text = ck.str();
+        if (text.size() <= opts_.checkpointMaxBytes) {
+            disk_.store(ckpt_key, text);
+            ckptCache_.put(ckpt_key, std::move(text));
+        } else {
+            obs::Registry::global()
+                .counter("service.ckpt.oversize")
+                .add(1);
+        }
+    }
 
     if (with_alerts) {
         const auto events = obs::TraceSink::instance().drain();
         auto samples = obs::TimeSeriesSink::instance().drain();
+        // The warm-up sample window is relative to the trials this
+        // call simulated: a resumed campaign's first fresh trial is
+        // ex.startTrial, not 0.
+        const std::uint64_t start = ex.startTrial;
         samples.erase(
             std::remove_if(samples.begin(), samples.end(),
-                           [this](const obs::SignalSample &s) {
-                               return s.trial >=
-                                      opts_.alertSampleTrials;
+                           [this, start](const obs::SignalSample &s) {
+                               return s.trial < start ||
+                                      s.trial - start >=
+                                          opts_.alertSampleTrials;
                            }),
             samples.end());
         const auto store =

@@ -26,18 +26,37 @@
  * correct). Cache lookups share that lock, so each request counts
  * exactly one hit or miss; metrics scrapes, alert reads and health
  * probes never wait on a running campaign.
+ *
+ * Three layers sit in front of the campaign (docs/SERVICE.md):
+ *
+ *   - Single-flight coalescing: identical concurrent what-ifs share
+ *     one execution. The first request leads; the rest park on the
+ *     flight and copy its response ("X-Bpsim-Cache: coalesced",
+ *     counter service.coalesced).
+ *   - Incremental trial reuse: every campaign leaves a serialized
+ *     CampaignCheckpoint behind, keyed by the budget-wildcarded base
+ *     key. A later request for the same scenario with a larger budget
+ *     resumes from it, simulating only the remaining trials —
+ *     bit-identical to a fresh run (campaign/checkpoint.hh).
+ *   - Persistent cache: results and checkpoints spill to --cache-dir
+ *     (DiskStore) and are lazily reloaded after a restart; any
+ *     corruption degrades to a miss.
  */
 
 #ifndef BPSIM_SERVICE_SERVICE_HH
 #define BPSIM_SERVICE_SERVICE_HH
 
 #include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "service/alerts.hh"
 #include "service/cache.hh"
+#include "service/disk_store.hh"
 #include "service/http.hh"
 #include "service/whatif.hh"
 
@@ -64,6 +83,20 @@ struct ServiceOptions
      *  sink records every trial; this caps memory, like the sweep's
      *  sampled-trial filter). */
     std::uint64_t alertSampleTrials = 4;
+    /** Coalesce identical in-flight what-ifs into one execution. */
+    bool coalesce = true;
+    /** Spill results and checkpoints here; empty = memory only. */
+    std::string cacheDir;
+    /** Checkpoints whose serialized form exceeds this are not stored
+     *  (the campaign still runs; only reuse is forfeited). */
+    std::size_t checkpointMaxBytes = 1u << 20;
+    /**
+     * Test hook: invoked by a coalescing leader after it has claimed
+     * the flight and before it executes. Lets the concurrency test
+     * hold the leader until every follower is parked. Never set in
+     * production.
+     */
+    std::function<void()> testBeforeCampaign;
 };
 
 /** The resident server (construct, start(), waitUntilStopped()). */
@@ -91,10 +124,33 @@ class CampaignService
     HttpResponse handle(const HttpRequest &req);
 
     ResultCache &cache() { return cache_; }
+    ResultCache &checkpointCache() { return ckptCache_; }
+    const DiskStore &disk() const { return disk_; }
     AlertEngine &alerts() { return alerts_; }
 
+    /** Followers currently parked on in-flight executions (the
+     *  coalescing test uses this to sequence leader vs. followers). */
+    std::uint64_t coalesceWaiters() const
+    {
+        return coalesceWaiters_.load(std::memory_order_acquire);
+    }
+
   private:
+    /** One coalesced execution in flight for a canonical key. */
+    struct Flight
+    {
+        bool done = false;
+        int status = 200;
+        std::string contentType;
+        std::string body;
+    };
+
     HttpResponse handleWhatIf(const HttpRequest &req);
+    /** Cache lookup + (possibly resumed) campaign for a valid,
+     *  already-parsed request; the coalescing leader's work. */
+    HttpResponse computeWhatIf(const WhatIfRequest &request,
+                               const std::string &key,
+                               const char *keyhex);
     HttpResponse handleAlerts() const;
     HttpResponse handleMetrics() const;
     HttpResponse handleHealthz() const;
@@ -102,9 +158,17 @@ class CampaignService
 
     ServiceOptions opts_;
     ResultCache cache_;
+    /** Serialized CampaignCheckpoints keyed by "ckpt|" + base key. */
+    ResultCache ckptCache_;
+    DiskStore disk_;
     AlertEngine alerts_;
     /** Serializes campaign execution + sink drains. */
     std::mutex campaign_m_;
+    /** Guards inflight_; inflight_cv_ wakes parked followers. */
+    std::mutex inflight_m_;
+    std::condition_variable inflight_cv_;
+    std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_;
+    std::atomic<std::uint64_t> coalesceWaiters_{0};
     std::atomic<std::uint64_t> requestsServed_{0};
     HttpServer http_;
 };

@@ -272,8 +272,13 @@ parseWhatIfRequest(const JsonValue &body, std::string *error,
     return req;
 }
 
+namespace
+{
+
+/** Shared body of canonicalCacheKey()/canonicalBaseKey(): the trial
+ *  budget is the only field the two spell differently. */
 std::string
-canonicalCacheKey(const WhatIfRequest &req)
+canonicalKeyWithTrials(const WhatIfRequest &req, const std::string &trials)
 {
     // Fixed field order, %.17g doubles (the same print precision the
     // JSON layer round-trips), '|' separators. Any field that can
@@ -299,7 +304,7 @@ canonicalCacheKey(const WhatIfRequest &req)
     num(t.remotePerf);
     num(t.risk);
     os << "servers=" << req.spec.nServers << '|'
-       << "trials=" << req.opts.maxTrials << '|'
+       << "trials=" << trials << '|'
        << "seed=" << req.opts.seed << '|'
        << "min_trials=" << req.opts.minTrials << '|';
     os << "ci=";
@@ -310,15 +315,54 @@ canonicalCacheKey(const WhatIfRequest &req)
     return os.str();
 }
 
+} // namespace
+
+std::string
+canonicalCacheKey(const WhatIfRequest &req)
+{
+    return canonicalKeyWithTrials(
+        req, std::to_string(req.opts.maxTrials));
+}
+
+std::string
+canonicalBaseKey(const WhatIfRequest &req)
+{
+    return canonicalKeyWithTrials(req, "*");
+}
+
 std::string
 runWhatIf(const WhatIfRequest &req)
 {
-    const AnnualCampaignSummary s = runAnnualCampaign(req.spec, req.opts);
+    return executeWhatIf(req).body;
+}
+
+WhatIfExecution
+executeWhatIf(const WhatIfRequest &req, const CampaignCheckpoint *from)
+{
+    // A checkpoint only seeds the run when resuming from it is
+    // guaranteed bit-identical to running fresh: same seed (the RNG
+    // stream family), a trial count within this request's budget, and
+    // the same binary. Anything else is silently ignored — resume is
+    // an accelerator, never a behavior change.
+    const bool compatible = from != nullptr &&
+                            from->summary.seed == req.opts.seed &&
+                            from->summary.trials >= 1 &&
+                            from->summary.trials <= req.opts.maxTrials &&
+                            from->build == buildId();
+
+    WhatIfExecution out;
+    out.resumed = compatible;
+    out.startTrial = compatible ? from->summary.trials : 0;
+    const ResumableOutcome run = runResumableCampaign(
+        req.spec, req.opts, compatible ? from : nullptr);
+    out.executedTrials = run.executedTrials;
+    out.checkpoint = run.checkpoint;
     std::ostringstream os;
     CampaignJsonOptions jopts;
     jopts.includeTiming = false;
-    writeCampaignJson(os, s, jopts);
-    return os.str();
+    writeCampaignJson(os, run.summary, jopts);
+    out.body = os.str();
+    return out;
 }
 
 } // namespace service

@@ -36,10 +36,12 @@
 #ifndef BPSIM_SERVICE_WHATIF_HH
 #define BPSIM_SERVICE_WHATIF_HH
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
 #include "campaign/annual_campaign.hh"
+#include "campaign/checkpoint.hh"
 #include "campaign/json.hh"
 
 namespace bpsim
@@ -80,12 +82,51 @@ std::optional<WhatIfRequest> parseWhatIfRequest(
 std::string canonicalCacheKey(const WhatIfRequest &req);
 
 /**
+ * The *base* key: canonicalCacheKey() with the trial budget
+ * wildcarded (`trials=*`). Two requests that differ only in budget
+ * share a base key, which is exactly the condition under which a
+ * stored campaign checkpoint for one can seed the other — same
+ * scenario, same seed, same early-stop rule, same build.
+ */
+std::string canonicalBaseKey(const WhatIfRequest &req);
+
+/**
  * Run the campaign and serialize its summary as the deterministic
  * (timing-free) campaign JSON document — the /v1/whatif response
  * body, and byte-for-byte the `campaign_sweep --deterministic`
  * export for the same scenario.
  */
 std::string runWhatIf(const WhatIfRequest &req);
+
+/** Everything one what-if execution produced. */
+struct WhatIfExecution
+{
+    /** The deterministic response body (timing-free campaign JSON). */
+    std::string body;
+    /** Exact aggregation state after the run, resumable to a larger
+     *  budget later. */
+    CampaignCheckpoint checkpoint;
+    /** Trials actually simulated by this call (0 for a pure replay of
+     *  an early-stopped checkpoint). */
+    std::uint64_t executedTrials = 0;
+    /** True when @p from was compatible and seeded the run. */
+    bool resumed = false;
+    /** First trial id simulated this call (the checkpoint's trial
+     *  count when resuming, else 0). Alert evaluation uses it to keep
+     *  warm-up sample filtering relative to this call's work. */
+    std::uint64_t startTrial = 0;
+};
+
+/**
+ * Run (or resume) the campaign for @p req. When @p from is non-null
+ * and compatible — same seed, trials <= the request's budget, same
+ * buildId — the campaign resumes from it, simulating only the
+ * remaining trials; the result is bit-identical to a fresh run (see
+ * campaign/checkpoint.hh). An incompatible checkpoint is ignored and
+ * the campaign runs fresh.
+ */
+WhatIfExecution executeWhatIf(const WhatIfRequest &req,
+                              const CampaignCheckpoint *from = nullptr);
 
 /** Stable lowercase name of @p kind ("throttle_sleep", ...). */
 const char *techniqueKindName(TechniqueKind kind);

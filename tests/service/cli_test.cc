@@ -154,3 +154,52 @@ TEST(CliContract, ServerUnknownFlagExitsNonzero)
     EXPECT_EQ(r.exitCode, 2) << r.output;
     EXPECT_NE(r.output.find("unknown argument"), std::string::npos);
 }
+
+TEST(CliContract, ServerHelpDocumentsPersistenceFlags)
+{
+    const RunResult r = run(std::string(BPSIM_CAMPAIGN_SERVER_BIN) +
+                            " --help");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("--cache-dir DIR"), std::string::npos);
+    EXPECT_NE(r.output.find("--coalesce on|off"), std::string::npos);
+    EXPECT_NE(r.output.find("--ckpt-max-bytes N"), std::string::npos);
+}
+
+TEST(CliContract, ServerPersistenceFlagsParseBeforeHelp)
+{
+    // --help after valid values proves the flags parsed without
+    // actually starting a listener.
+    for (const char *flags :
+         {" --coalesce on", " --coalesce off",
+          " --cache-dir /tmp/bpsim-cli-test-unused",
+          " --ckpt-max-bytes 1024"}) {
+        const RunResult r = run(std::string(BPSIM_CAMPAIGN_SERVER_BIN) +
+                                flags + " --help");
+        EXPECT_EQ(r.exitCode, 0) << flags << ": " << r.output;
+        EXPECT_NE(r.output.find("usage: campaign_server"),
+                  std::string::npos)
+            << flags;
+    }
+}
+
+TEST(CliContract, ServerCoalesceRejectsAnythingButOnOrOff)
+{
+    for (const char *bad : {"sometimes", "ON", "1", "true", ""}) {
+        const RunResult r = run(std::string(BPSIM_CAMPAIGN_SERVER_BIN) +
+                                " --coalesce \"" + bad + "\"");
+        EXPECT_EQ(r.exitCode, 2) << "--coalesce " << bad << ": "
+                                 << r.output;
+        EXPECT_NE(r.output.find("usage: campaign_server"),
+                  std::string::npos)
+            << "--coalesce " << bad;
+    }
+}
+
+TEST(CliContract, ServerCacheDirMissingValueRejected)
+{
+    const RunResult r = run(std::string(BPSIM_CAMPAIGN_SERVER_BIN) +
+                            " --cache-dir");
+    EXPECT_EQ(r.exitCode, 2) << r.output;
+    EXPECT_NE(r.output.find("usage: campaign_server"),
+              std::string::npos);
+}

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Single-flight coalescing tests: N identical concurrent what-ifs
+ * must execute exactly one campaign, with every follower parked on
+ * the leader's flight and answered with the same bytes. The
+ * testBeforeCampaign hook holds the leader until every follower has
+ * registered, so the assertions are deterministic rather than
+ * racy-best-effort; the whole file runs under the service TSan job.
+ */
+
+#include "service/service.hh"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hh"
+
+using namespace bpsim;
+using namespace bpsim::service;
+
+namespace
+{
+
+const char *const kBody =
+    "{\"config\":\"NoUPS\",\"servers\":4,\"trials\":8,\"seed\":7,"
+    "\"technique\":{\"kind\":\"throttle_sleep\",\"pstate\":5,"
+    "\"serve_for_min\":10.0,\"low_power\":true}}";
+
+HttpRequest
+post(const std::string &body)
+{
+    HttpRequest req;
+    req.method = "POST";
+    req.target = "/v1/whatif";
+    req.body = body;
+    return req;
+}
+
+const std::string *
+header(const HttpResponse &resp, const std::string &name)
+{
+    for (const auto &[k, v] : resp.headers)
+        if (k == name)
+            return &v;
+    return nullptr;
+}
+
+std::uint64_t
+counterDelta(const std::map<std::string, std::uint64_t> &before,
+             const std::map<std::string, std::uint64_t> &after,
+             const std::string &name)
+{
+    const auto b = before.find(name);
+    const auto a = after.find(name);
+    return (a == after.end() ? 0 : a->second) -
+           (b == before.end() ? 0 : b->second);
+}
+
+} // namespace
+
+TEST(CoalesceTest, IdenticalConcurrentRequestsShareOneExecution)
+{
+    constexpr int kThreads = 4;
+
+    ServiceOptions opts;
+    opts.evaluateAlerts = false;
+    // Park the leader until every follower has joined the flight, so
+    // "all followers coalesced" is a guarantee, not a race we usually
+    // win. Armed once: only the first (and only) flight blocks.
+    CampaignService *svc = nullptr;
+    std::atomic<bool> armed{true};
+    opts.testBeforeCampaign = [&svc, &armed] {
+        if (!armed.exchange(false))
+            return;
+        while (svc->coalesceWaiters() < kThreads - 1)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    };
+    CampaignService service(opts);
+    svc = &service;
+
+    const auto before = obs::Registry::global().counterSnapshot();
+    std::vector<HttpResponse> responses(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i)
+        threads.emplace_back([&service, &responses, i] {
+            responses[static_cast<std::size_t>(i)] =
+                service.handle(post(kBody));
+        });
+    for (auto &t : threads)
+        t.join();
+    const auto after = obs::Registry::global().counterSnapshot();
+
+    // Exactly one campaign ran; every other request was coalesced.
+    EXPECT_EQ(counterDelta(before, after, "service.whatif.campaigns"),
+              1u);
+    EXPECT_EQ(counterDelta(before, after, "service.coalesced"),
+              static_cast<std::uint64_t>(kThreads - 1));
+    EXPECT_EQ(service.cache().stats().misses, 1u);
+    EXPECT_EQ(service.cache().stats().insertions, 1u);
+    EXPECT_EQ(service.coalesceWaiters(), 0u);
+
+    int misses = 0, coalesced = 0;
+    for (const auto &resp : responses) {
+        ASSERT_EQ(resp.status, 200) << resp.body;
+        EXPECT_EQ(resp.body, responses[0].body);
+        const std::string *tier = header(resp, "X-Bpsim-Cache");
+        ASSERT_NE(tier, nullptr);
+        if (*tier == "miss")
+            ++misses;
+        else if (*tier == "coalesced")
+            ++coalesced;
+    }
+    EXPECT_EQ(misses, 1);
+    EXPECT_EQ(coalesced, kThreads - 1);
+
+    // And the flight is gone: a repeat is an ordinary cache hit.
+    const HttpResponse repeat = service.handle(post(kBody));
+    ASSERT_NE(header(repeat, "X-Bpsim-Cache"), nullptr);
+    EXPECT_EQ(*header(repeat, "X-Bpsim-Cache"), "hit");
+    EXPECT_EQ(repeat.body, responses[0].body);
+}
+
+TEST(CoalesceTest, DistinctRequestsNeverCoalesce)
+{
+    ServiceOptions opts;
+    opts.evaluateAlerts = false;
+    CampaignService service(opts);
+
+    const char *const other =
+        "{\"config\":\"NoUPS\",\"servers\":4,\"trials\":8,\"seed\":8,"
+        "\"technique\":{\"kind\":\"throttle_sleep\",\"pstate\":5,"
+        "\"serve_for_min\":10.0,\"low_power\":true}}";
+
+    const auto before = obs::Registry::global().counterSnapshot();
+    HttpResponse a, b;
+    std::thread ta([&] { a = service.handle(post(kBody)); });
+    std::thread tb([&] { b = service.handle(post(other)); });
+    ta.join();
+    tb.join();
+    const auto after = obs::Registry::global().counterSnapshot();
+
+    // Different canonical keys are different flights: both executed.
+    EXPECT_EQ(counterDelta(before, after, "service.whatif.campaigns"),
+              2u);
+    EXPECT_EQ(counterDelta(before, after, "service.coalesced"), 0u);
+    ASSERT_EQ(a.status, 200);
+    ASSERT_EQ(b.status, 200);
+    EXPECT_NE(a.body, b.body);
+    EXPECT_NE(*header(a, "X-Bpsim-Key"), *header(b, "X-Bpsim-Key"));
+}
+
+TEST(CoalesceTest, CoalesceOffStillServesConcurrentRequestsFromCache)
+{
+    constexpr int kThreads = 4;
+    ServiceOptions opts;
+    opts.evaluateAlerts = false;
+    opts.coalesce = false;
+    CampaignService service(opts);
+
+    const auto before = obs::Registry::global().counterSnapshot();
+    std::vector<HttpResponse> responses(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i)
+        threads.emplace_back([&service, &responses, i] {
+            responses[static_cast<std::size_t>(i)] =
+                service.handle(post(kBody));
+        });
+    for (auto &t : threads)
+        t.join();
+    const auto after = obs::Registry::global().counterSnapshot();
+
+    // Without coalescing the campaign mutex still serializes the
+    // requests, so exactly one simulates and the rest hit the cache —
+    // but nothing was coalesced.
+    EXPECT_EQ(counterDelta(before, after, "service.whatif.campaigns"),
+              1u);
+    EXPECT_EQ(counterDelta(before, after, "service.coalesced"), 0u);
+    EXPECT_EQ(service.cache().stats().misses, 1u);
+    EXPECT_EQ(service.cache().stats().hits,
+              static_cast<std::uint64_t>(kThreads - 1));
+    for (const auto &resp : responses) {
+        ASSERT_EQ(resp.status, 200) << resp.body;
+        EXPECT_EQ(resp.body, responses[0].body);
+    }
+}
