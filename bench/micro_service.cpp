@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the resident service's
+ * per-request cost on the hot (memory-cache-hit) path, with the
+ * request-observability layer enabled vs disabled. The layer promises
+ * out-of-band timing only; these lanes put a number on its overhead
+ * and the committed baseline (bench/baselines/BENCH_micro_service.json)
+ * gates it in CI. items_per_second is requests/sec through
+ * CampaignService::handle() with the answer already cached, i.e. the
+ * ceiling a single connection can see.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <string>
+
+#include "service/service.hh"
+
+using namespace bpsim;
+using namespace bpsim::service;
+
+namespace
+{
+
+/** A tiny scenario so warming the cache costs milliseconds. */
+const char *const kBody =
+    "{\"config\":\"NoUPS\",\"trials\":2,\"seed\":11,"
+    "\"technique\":{\"kind\":\"throttle_sleep\",\"pstate\":5,"
+    "\"serve_for_min\":10.0,\"low_power\":true}}";
+
+HttpRequest
+whatIfRequest()
+{
+    HttpRequest req;
+    req.method = "POST";
+    req.target = "/v1/whatif";
+    req.body = kBody;
+    return req;
+}
+
+/**
+ * Serve the same what-if from the memory cache over and over.
+ * @p obsEnabled arms span timing + histograms; @p logging addition-
+ * ally writes every request's access-log line (slowMs 0 exercises
+ * the slow-span writer, the most expensive log shape).
+ */
+void
+hotCacheLoop(benchmark::State &state, bool obsEnabled, bool logging)
+{
+    ServiceOptions opts;
+    opts.evaluateAlerts = false;
+    opts.reqobs.enabled = obsEnabled;
+    std::ostringstream log;
+    if (logging) {
+        opts.reqobs.accessLogStream = &log;
+        opts.reqobs.slowMs = 0;
+    }
+    CampaignService service(opts);
+    const HttpRequest req = whatIfRequest();
+    if (service.handle(req).status != 200) { // warm the cache
+        state.SkipWithError("warm-up what-if failed");
+        return;
+    }
+    for (auto _ : state) {
+        const HttpResponse resp = service.handle(req);
+        benchmark::DoNotOptimize(resp.body.data());
+        if (logging)
+            log.str(std::string()); // keep the stream bounded
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_ServiceHotCacheHit(benchmark::State &state)
+{
+    hotCacheLoop(state, /*obsEnabled=*/true, /*logging=*/false);
+}
+BENCHMARK(BM_ServiceHotCacheHit);
+
+void
+BM_ServiceHotCacheHitObsOff(benchmark::State &state)
+{
+    hotCacheLoop(state, /*obsEnabled=*/false, /*logging=*/false);
+}
+BENCHMARK(BM_ServiceHotCacheHitObsOff);
+
+void
+BM_ServiceHotCacheHitLogged(benchmark::State &state)
+{
+    hotCacheLoop(state, /*obsEnabled=*/true, /*logging=*/true);
+}
+BENCHMARK(BM_ServiceHotCacheHitLogged);
+
+/** The /v1/status render cost (empty in-flight table, warm cache). */
+void
+BM_ServiceStatus(benchmark::State &state)
+{
+    ServiceOptions opts;
+    opts.evaluateAlerts = false;
+    CampaignService service(opts);
+    service.handle(whatIfRequest());
+    HttpRequest req;
+    req.method = "GET";
+    req.target = "/v1/status";
+    for (auto _ : state) {
+        const HttpResponse resp = service.handle(req);
+        benchmark::DoNotOptimize(resp.body.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceStatus);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -53,6 +53,9 @@ usage(std::FILE *to)
         "                       [--cache-dir DIR] [--coalesce on|off]\n"
         "                       [--ckpt-max-bytes N]\n"
         "                       [--max-trials N] [--sample-seconds S]\n"
+        "                       [--access-log FILE] [--slow-ms N]\n"
+        "                       [--request-trace FILE]\n"
+        "                       [--request-obs on|off]\n"
         "                       [--no-alerts] [--help]\n"
         "\n"
         "Resident what-if query server (see docs/SERVICE.md):\n"
@@ -60,6 +63,7 @@ usage(std::FILE *to)
         "  GET  /v1/alerts    alert-rule states\n"
         "  GET  /metrics      OpenMetrics exposition\n"
         "  GET  /healthz      liveness probe\n"
+        "  GET  /v1/status    uptime, in-flight requests, cache sizes\n"
         "  POST /v1/shutdown  graceful stop\n"
         "\n"
         "  --port N           listen port (default 0 = ephemeral)\n"
@@ -78,6 +82,17 @@ usage(std::FILE *to)
         "100000)\n"
         "  --sample-seconds S alert-signal sample cadence (default "
         "3600)\n"
+        "  --access-log FILE  append one JSON line per request to "
+        "FILE\n"
+        "  --slow-ms N        requests taking >= N ms also log their\n"
+        "                     full phase spans (default 1000; 0 marks\n"
+        "                     every request slow)\n"
+        "  --request-trace FILE\n"
+        "                     write recent request timelines as a\n"
+        "                     Chrome trace on shutdown\n"
+        "  --request-obs on|off\n"
+        "                     request span timing, latency histograms\n"
+        "                     and the access log (default on)\n"
         "  --no-alerts        disable the alert-rule engine\n");
     return to == stdout ? 0 : 2;
 }
@@ -91,6 +106,7 @@ main(int argc, char **argv)
 
     service::ServiceOptions opts;
     std::string port_file;
+    std::string request_trace;
     double sample_seconds = 0.0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -138,6 +154,39 @@ main(int argc, char **argv)
         } else if (arg == "--sample-seconds" && val) {
             sample_seconds = std::atof(val);
             ++i;
+        } else if (arg == "--access-log" && val) {
+            opts.reqobs.accessLogPath = val;
+            ++i;
+        } else if (arg == "--slow-ms" && val) {
+            char *end = nullptr;
+            const unsigned long long v = std::strtoull(val, &end, 10);
+            if (*val == '\0' || *val == '-' || end == val ||
+                *end != '\0') {
+                std::fprintf(stderr,
+                             "campaign_server: --slow-ms needs a "
+                             "non-negative integer, got \"%s\"\n",
+                             val);
+                return usage(stderr);
+            }
+            opts.reqobs.slowMs = v;
+            ++i;
+        } else if (arg == "--request-trace" && val) {
+            request_trace = val;
+            ++i;
+        } else if (arg == "--request-obs" && val) {
+            const std::string v = val;
+            if (v == "on") {
+                opts.reqobs.enabled = true;
+            } else if (v == "off") {
+                opts.reqobs.enabled = false;
+            } else {
+                std::fprintf(stderr, "campaign_server: --request-obs "
+                                     "takes \"on\" or \"off\", got "
+                                     "\"%s\"\n",
+                             v.c_str());
+                return usage(stderr);
+            }
+            ++i;
         } else if (arg == "--no-alerts") {
             opts.evaluateAlerts = false;
         } else {
@@ -149,6 +198,20 @@ main(int argc, char **argv)
     }
     if (sample_seconds > 0.0)
         obs::setSampleCadence(fromSeconds(sample_seconds));
+
+    // Fail fast on an unwritable access-log path: a long-lived server
+    // silently dropping its audit trail is worse than not starting.
+    if (!opts.reqobs.accessLogPath.empty()) {
+        std::ofstream probe(opts.reqobs.accessLogPath,
+                            std::ios::out | std::ios::app);
+        if (!probe.good()) {
+            std::fprintf(stderr,
+                         "campaign_server: cannot open access log "
+                         "\"%s\" for append\n",
+                         opts.reqobs.accessLogPath.c_str());
+            return 1;
+        }
+    }
 
     service::CampaignService server(opts);
     std::string err;
@@ -174,6 +237,16 @@ main(int argc, char **argv)
     while (server.running() && g_signalled == 0)
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
     server.stop();
+    if (!request_trace.empty()) {
+        std::ofstream os(request_trace, std::ios::out | std::ios::trunc);
+        if (os.good())
+            server.requestObserver().writeTrace(os);
+        else
+            std::fprintf(stderr,
+                         "campaign_server: cannot write request trace "
+                         "\"%s\"\n",
+                         request_trace.c_str());
+    }
     std::printf("campaign_server: stopped\n");
     return 0;
 }

@@ -2,15 +2,19 @@
 # End-to-end smoke test of the resident what-if server (campaign_server):
 # start on an ephemeral loopback port, probe /healthz, ask the same
 # what-if twice (the second answer must be a byte-identical cache hit),
-# check the cache counters and alert gauges on /metrics, then shut
-# down gracefully and require a clean exit. A second phase starts the
-# server with --cache-dir, kills it with SIGKILL, restarts it on the
-# same directory, and requires the warm answer from disk plus an
-# incremental resume from the spilled checkpoint.
+# check the cache counters and alert gauges on /metrics, exercise the
+# request-observability surface (echoed request ids, /v1/status
+# fields, a well-formed JSON-lines access log with slow-request phase
+# spans), then shut down gracefully and require a clean exit. A second
+# phase starts the server with --cache-dir, kills it with SIGKILL,
+# restarts it on the same directory, and requires the warm answer from
+# disk plus an incremental resume from the spilled checkpoint.
 #
 # Usage: scripts/service_smoke.sh [path/to/campaign_server]
 # (defaults to build/examples/campaign_server). CI runs this against
-# both the regular and the TSan build.
+# both the regular and the TSan build, and uploads the access log
+# (copied to $ACCESS_LOG_ARTIFACT, default service-access.log) as a
+# build artifact.
 set -euo pipefail
 
 SERVER=${1:-build/examples/campaign_server}
@@ -34,7 +38,10 @@ wait_for_port() {
     BASE="http://127.0.0.1:$PORT"
 }
 
-"$SERVER" --port 0 --port-file "$WORK/port" --cache-entries 32 &
+# --slow-ms 0 marks every request slow, so each access-log line also
+# carries its full phase spans (the most detailed log shape).
+"$SERVER" --port 0 --port-file "$WORK/port" --cache-entries 32 \
+    --access-log "$WORK/access.log" --slow-ms 0 &
 SERVER_PID=$!
 wait_for_port
 echo "service_smoke: server up on port $PORT (pid $SERVER_PID)"
@@ -70,6 +77,64 @@ grep -q '^bpsim_alert_ups_charge_low_state' "$WORK/metrics" \
     || fail "metrics missing alert gauges"
 grep -q '^# EOF' "$WORK/metrics" || fail "metrics not OpenMetrics-terminated"
 echo "service_smoke: metrics expose cache counters and alert gauges"
+
+# Request observability: every response carries a request id, and a
+# client-supplied id is echoed back verbatim.
+grep -qi '^x-bpsim-request-id:' "$WORK/h1" \
+    || fail "what-if response missing X-Bpsim-Request-Id"
+ECHOED=$(curl -sSf -D - -o /dev/null -H 'X-Bpsim-Request-Id: smoke-42' \
+         "$BASE/healthz" | tr -d '\r' \
+         | awk 'tolower($1) == "x-bpsim-request-id:" {print $2}')
+[ "$ECHOED" = smoke-42 ] \
+    || fail "client request id not echoed (got \"$ECHOED\")"
+
+# The request latency histograms ride /metrics with label sets.
+grep -q '^bpsim_service_request_seconds_bucket{endpoint="whatif"' \
+    "$WORK/metrics" || fail "metrics missing request latency histogram"
+
+# /v1/status: liveness plus build, uptime, flight table and caches.
+curl -sSf "$BASE/v1/status" > "$WORK/status"
+grep -q '"status":"ok"' "$WORK/status" || fail "status not ok"
+grep -q '"buildId":"' "$WORK/status" || fail "status missing buildId"
+grep -q '"uptime_seconds":' "$WORK/status" \
+    || fail "status missing uptime"
+grep -q '"flight_depth":0' "$WORK/status" \
+    || fail "status shows stuck in-flight work"
+grep -q '"results":{"entries":1' "$WORK/status" \
+    || fail "status missing the cached result"
+grep -q '"observed":' "$WORK/status" \
+    || fail "status missing request totals"
+echo "service_smoke: /v1/status reports build, caches and flight table"
+
+# The access log: one JSON object per line, every line well-formed,
+# what-if hit + miss both present, and the slow shape carries spans.
+[ -s "$WORK/access.log" ] || fail "access log empty or missing"
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$WORK/access.log" <<'PYEOF' || fail "access log malformed"
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "empty access log"
+for l in lines:
+    rec = json.loads(l)
+    for k in ("ts_us", "id", "endpoint", "status", "total_us",
+              "phases"):
+        assert k in rec, "missing %s in: %s" % (k, l)
+print("service_smoke: %d access-log records well-formed" % len(lines))
+PYEOF
+fi
+grep -q '"endpoint":"whatif"' "$WORK/access.log" \
+    || fail "access log missing the what-if requests"
+grep -q '"cache":"hit"' "$WORK/access.log" \
+    || fail "access log missing the cache hit"
+grep -q '"cache":"miss"' "$WORK/access.log" \
+    || fail "access log missing the cache miss"
+grep -q '"slow":true' "$WORK/access.log" \
+    || fail "access log has no slow record despite --slow-ms 0"
+grep -q '"spans":\[{"phase":' "$WORK/access.log" \
+    || fail "slow access-log record carries no phase spans"
+cp "$WORK/access.log" "${ACCESS_LOG_ARTIFACT:-service-access.log}"
+echo "service_smoke: access log validated" \
+     "(kept as ${ACCESS_LOG_ARTIFACT:-service-access.log})"
 
 # Graceful shutdown: POST, then the process must exit 0 on its own.
 curl -sSf -XPOST "$BASE/v1/shutdown" | grep -q 'shutting down' \

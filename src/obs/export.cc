@@ -209,6 +209,48 @@ labelSet(const std::vector<std::pair<std::string, std::string>> &labels,
     return out.empty() ? out : out + "}";
 }
 
+/** A registry name split at the '|' label marker: the base family
+ *  name plus any `k=v` pairs encoded after it. */
+struct SplitName
+{
+    std::string base;
+    std::vector<std::pair<std::string, std::string>> labels;
+};
+
+SplitName
+splitMetricName(const std::string &name)
+{
+    SplitName out;
+    const std::size_t bar = name.find('|');
+    out.base = name.substr(0, bar);
+    if (bar == std::string::npos)
+        return out;
+    std::size_t pos = bar + 1;
+    while (pos < name.size()) {
+        std::size_t comma = name.find(',', pos);
+        if (comma == std::string::npos)
+            comma = name.size();
+        const std::string kv = name.substr(pos, comma - pos);
+        const std::size_t eq = kv.find('=');
+        if (eq != std::string::npos)
+            out.labels.emplace_back(kv.substr(0, eq),
+                                    kv.substr(eq + 1));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/** Per-metric encoded labels followed by the global labels. */
+std::vector<std::pair<std::string, std::string>>
+mergedLabels(
+    const SplitName &sn,
+    const std::vector<std::pair<std::string, std::string>> &global)
+{
+    std::vector<std::pair<std::string, std::string>> all = sn.labels;
+    all.insert(all.end(), global.begin(), global.end());
+    return all;
+}
+
 } // namespace
 
 void
@@ -328,21 +370,38 @@ writeOpenMetrics(
     std::ostream &os, const Registry &registry,
     const std::vector<std::pair<std::string, std::string>> &labels)
 {
-    const std::string ls = labelSet(labels);
-
+    std::string family;
     for (const auto &[name, v] : registry.counterSnapshot()) {
-        const std::string m = openMetricsName(name);
-        os << "# TYPE " << m << " counter\n";
-        os << m << "_total" << ls << ' ' << v << '\n';
+        const SplitName sn = splitMetricName(name);
+        const std::string m = openMetricsName(sn.base);
+        if (m != family) {
+            os << "# TYPE " << m << " counter\n";
+            family = m;
+        }
+        os << m << "_total" << labelSet(mergedLabels(sn, labels)) << ' '
+           << v << '\n';
     }
+    family.clear();
     for (const auto &[name, v] : registry.gaugeSnapshot()) {
-        const std::string m = openMetricsName(name);
-        os << "# TYPE " << m << " gauge\n";
-        os << m << ls << ' ' << jsonNumber(v) << '\n';
+        const SplitName sn = splitMetricName(name);
+        const std::string m = openMetricsName(sn.base);
+        if (m != family) {
+            os << "# TYPE " << m << " gauge\n";
+            family = m;
+        }
+        os << m << labelSet(mergedLabels(sn, labels)) << ' '
+           << jsonNumber(v) << '\n';
     }
+    family.clear();
     for (const auto &[name, h] : registry.histogramSnapshot()) {
-        const std::string m = openMetricsName(name);
-        os << "# TYPE " << m << " histogram\n";
+        const SplitName sn = splitMetricName(name);
+        const std::string m = openMetricsName(sn.base);
+        if (m != family) {
+            os << "# TYPE " << m << " histogram\n";
+            family = m;
+        }
+        const auto all = mergedLabels(sn, labels);
+        const std::string ls = labelSet(all);
         std::uint64_t cum = 0;
         for (const auto &[i, c] : h.buckets) {
             if (i >= Histogram::kBuckets - 1)
@@ -350,22 +409,57 @@ writeOpenMetrics(
             cum += c;
             const std::string le =
                 jsonNumber(Histogram::bucketUpperBound(i));
-            os << m << "_bucket"
-               << labelSet(labels, "le=\"" + le + "\"") << ' ' << cum
-               << '\n';
+            os << m << "_bucket" << labelSet(all, "le=\"" + le + "\"")
+               << ' ' << cum << '\n';
         }
-        os << m << "_bucket" << labelSet(labels, "le=\"+Inf\"") << ' '
+        os << m << "_bucket" << labelSet(all, "le=\"+Inf\"") << ' '
            << h.count() << '\n';
         os << m << "_sum" << ls << ' ' << jsonNumber(h.sum()) << '\n';
         os << m << "_count" << ls << ' ' << h.count() << '\n';
     }
+    family.clear();
     for (const auto &[name, t] : registry.timerSnapshot()) {
-        const std::string m = openMetricsName(name) + "_seconds";
-        os << "# TYPE " << m << " summary\n";
+        const SplitName sn = splitMetricName(name);
+        const std::string m = openMetricsName(sn.base) + "_seconds";
+        if (m != family) {
+            os << "# TYPE " << m << " summary\n";
+            family = m;
+        }
+        const std::string ls = labelSet(mergedLabels(sn, labels));
         os << m << "_count" << ls << ' ' << t.count << '\n';
         os << m << "_sum" << ls << ' ' << jsonNumber(t.seconds) << '\n';
     }
     os << "# EOF\n";
+}
+
+void
+writeSpanTrace(std::ostream &os, const std::vector<SpanEvent> &spans,
+               const TraceExportOptions &opts)
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const SpanEvent &s : spans) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"name\":\"" << jsonEscape(s.name) << "\",\"cat\":\""
+           << jsonEscape(s.category) << "\",\"ph\":\"X\",\"ts\":"
+           << s.startUs << ",\"dur\":" << s.durUs
+           << ",\"pid\":1,\"tid\":" << s.track;
+        if (!s.args.empty()) {
+            os << ",\"args\":{";
+            bool afirst = true;
+            for (const auto &[k, v] : s.args) {
+                if (!afirst)
+                    os << ',';
+                afirst = false;
+                os << '"' << jsonEscape(k) << "\":" << v;
+            }
+            os << '}';
+        }
+        os << '}';
+    }
+    writeChromeTraceTail(os, opts);
 }
 
 } // namespace obs

@@ -85,6 +85,36 @@ void writeTraceCsv(std::ostream &os,
                    const std::vector<TraceEvent> &events,
                    const TraceExportOptions &opts = {});
 
+/**
+ * One generic wall-clock span for writeSpanTrace(): a complete-event
+ * ("ph":"X") rectangle on track @p track, @p durUs microseconds long.
+ * Unlike TraceEvent, spans are not tied to simulated time or trials —
+ * the service uses them for server-side request timelines.
+ */
+struct SpanEvent
+{
+    std::string name;
+    std::string category = "span";
+    /** Track (trace_event tid) the span renders on. */
+    std::uint64_t track = 0;
+    std::int64_t startUs = 0;
+    std::int64_t durUs = 0;
+    /**
+     * Extra "args" members as (key, value) pairs where the value is a
+     * pre-serialized JSON fragment spliced verbatim (quote strings
+     * yourself).
+     */
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/**
+ * Write @p spans as a Chrome trace_event JSON document of complete
+ * events, in the order given. Deterministic for a deterministic span
+ * list; opts.metadata is emitted as for writeChromeTrace().
+ */
+void writeSpanTrace(std::ostream &os, const std::vector<SpanEvent> &spans,
+                    const TraceExportOptions &opts = {});
+
 /** Write @p series as CSV: trial,signal,sim_us,value. */
 void writeTimeSeriesCsv(std::ostream &os, const TimeSeriesStore &series);
 
@@ -107,6 +137,13 @@ void writeMetricsJson(
  * are rendered on every sample line (e.g. {{"build", buildId()}}).
  * Output is deterministic (sorted names, %.17g numbers), so it can
  * be pinned byte-for-byte by golden-fixture tests.
+ *
+ * Registry names may carry an encoded label set after a '|':
+ * `base|k1=v1,k2=v2` renders as `bpsim_base{k1="v1",k2="v2",...}`
+ * with the per-metric labels first and the global @p labels after.
+ * Metrics sharing a base name form one exposition family (a single
+ * `# TYPE` line) because '|' sorts after every name character, so the
+ * registry's sorted snapshot keeps a family's series adjacent.
  */
 void writeOpenMetrics(
     std::ostream &os, const Registry &registry,

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -85,6 +86,27 @@ std::string
 DiskStore::pathFor(const std::string &key) const
 {
     return dir_ + "/" + hex16(fnv1a64(key)) + ".bpsim";
+}
+
+std::size_t
+DiskStore::fileCount() const
+{
+    if (!enabled())
+        return 0;
+    DIR *d = ::opendir(dir_.c_str());
+    if (d == nullptr)
+        return 0;
+    std::size_t n = 0;
+    constexpr const char *kExt = ".bpsim";
+    constexpr std::size_t kExtLen = 6;
+    while (const dirent *e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        if (name.size() > kExtLen &&
+            name.compare(name.size() - kExtLen, kExtLen, kExt) == 0)
+            ++n;
+    }
+    ::closedir(d);
+    return n;
 }
 
 std::optional<std::string>

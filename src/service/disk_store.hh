@@ -68,6 +68,10 @@ class DiskStore
     /** The file a key lives in (for tests and forensics). */
     std::string pathFor(const std::string &key) const;
 
+    /** Number of `*.bpsim` entries on disk right now (0 when
+     *  disabled). A directory scan — /v1/status cost, not hot-path. */
+    std::size_t fileCount() const;
+
   private:
     std::string dir_;
     obs::Registry *const registry_;

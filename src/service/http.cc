@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
@@ -186,6 +187,15 @@ renderHttpResponse(const HttpResponse &r)
 }
 
 HttpServer::HttpServer(Handler handler, HttpServerOptions opts)
+    : handler_([h = std::move(handler)](const HttpRequest &req,
+                                        HttpConnectionIo &) {
+          return h(req);
+      }),
+      opts_(std::move(opts))
+{
+}
+
+HttpServer::HttpServer(TimedHandler handler, HttpServerOptions opts)
     : handler_(std::move(handler)), opts_(std::move(opts))
 {
 }
@@ -313,6 +323,7 @@ HttpServer::connectionDone()
 void
 HttpServer::serveConnection(int fd)
 {
+    const auto read_begin = std::chrono::steady_clock::now();
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
@@ -380,17 +391,34 @@ HttpServer::serveConnection(int fd)
         }
         req.body.append(buf, static_cast<std::size_t>(n));
     }
+    const std::uint64_t body_extra = req.body.size() - content_length;
     req.body.resize(content_length);
+
+    HttpConnectionIo io;
+    io.readNs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - read_begin)
+            .count());
+    io.bytesIn = head_end + 4 + content_length + body_extra;
 
     HttpResponse resp;
     try {
-        resp = handler_(req);
+        resp = handler_(req, io);
     } catch (const std::exception &e) {
         resp = httpError(500, e.what());
     } catch (...) {
         resp = httpError(500, "unhandled exception");
     }
-    writeAll(fd, renderHttpResponse(resp));
+    const std::string rendered = renderHttpResponse(resp);
+    const auto write_begin = std::chrono::steady_clock::now();
+    writeAll(fd, rendered);
+    if (io.onWritten) {
+        const std::uint64_t write_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - write_begin)
+                .count());
+        io.onWritten(write_ns, rendered.size());
+    }
     ::shutdown(fd, SHUT_WR);
     // Drain until the peer closes so its final ACKed read never races
     // our RST; bounded by the peer's Connection: close behavior.

@@ -63,6 +63,25 @@ struct HttpResponse
     std::string body;
 };
 
+/**
+ * Per-connection I/O measurements for a TimedHandler. The socket
+ * layer fills readNs/bytesIn before invoking the handler; a handler
+ * that wants to observe the response write (duration + bytes) sets
+ * onWritten, which fires exactly once after the response bytes have
+ * been sent (or the send failed — the duration still covers the
+ * attempt). All values are wall-clock and never influence response
+ * bytes, preserving the determinism contract.
+ */
+struct HttpConnectionIo
+{
+    /** Wall nanoseconds spent reading the request (head + body). */
+    std::uint64_t readNs = 0;
+    /** Bytes received for this request (head + body). */
+    std::uint64_t bytesIn = 0;
+    /** Completion hook: (writeNs, bytesOut) after the response write. */
+    std::function<void(std::uint64_t, std::uint64_t)> onWritten;
+};
+
 /** The standard reason phrase for @p status ("OK", "Not Found"...). */
 const char *httpStatusText(int status);
 
@@ -105,8 +124,14 @@ class HttpServer
 {
   public:
     using Handler = std::function<HttpResponse(const HttpRequest &)>;
+    /** Handler variant that also receives the connection's I/O
+     *  timings (and may register a post-write completion hook). */
+    using TimedHandler =
+        std::function<HttpResponse(const HttpRequest &,
+                                   HttpConnectionIo &)>;
 
     explicit HttpServer(Handler handler, HttpServerOptions opts = {});
+    explicit HttpServer(TimedHandler handler, HttpServerOptions opts = {});
     ~HttpServer();
 
     HttpServer(const HttpServer &) = delete;
@@ -141,7 +166,7 @@ class HttpServer
     void serveConnection(int fd);
     void connectionDone();
 
-    Handler handler_;
+    TimedHandler handler_;
     HttpServerOptions opts_;
     int listenFd_ = -1;
     std::uint16_t port_ = 0;

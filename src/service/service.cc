@@ -17,7 +17,12 @@ CampaignService::CampaignService(ServiceOptions opts)
       ckptCache_(opts.cacheEntries, nullptr, "service.ckpt.cache"),
       disk_(opts.cacheDir),
       alerts_(defaultAlertRules()),
-      http_([this](const HttpRequest &req) { return handle(req); },
+      reqobs_(opts.reqobs),
+      bootNs_(reqobs_.nowNs()),
+      http_(HttpServer::TimedHandler(
+                [this](const HttpRequest &req, HttpConnectionIo &io) {
+                    return handle(req, &io);
+                }),
             opts.http)
 {
     if (opts_.evaluateAlerts) {
@@ -51,28 +56,65 @@ CampaignService::waitUntilStopped()
 HttpResponse
 CampaignService::handle(const HttpRequest &req)
 {
+    return handle(req, nullptr);
+}
+
+HttpResponse
+CampaignService::handle(const HttpRequest &req, HttpConnectionIo *io)
+{
     requestsServed_.fetch_add(1, std::memory_order_relaxed);
     obs::Registry::global().counter("service.requests").add(1);
 
+    const std::string *cid = req.header("x-bpsim-request-id");
+    RequestTrack track(&reqobs_, endpointOf(req.target), req.method,
+                       cid != nullptr ? *cid : std::string(),
+                       io != nullptr ? io->bytesIn : req.body.size(),
+                       io != nullptr ? io->readNs : 0);
+
+    HttpResponse resp = route(req, track);
+    resp.headers.emplace_back("X-Bpsim-Request-Id", track.publicId());
+    track.setStatus(resp.status);
+    if (io != nullptr) {
+        // The socket layer completes the record after the response
+        // write, so the log line carries the write span + bytes out.
+        io->onWritten = track.deferFinish();
+    } else {
+        track.setBytesOut(resp.body.size());
+    }
+    return resp;
+}
+
+HttpResponse
+CampaignService::route(const HttpRequest &req, RequestTrack &track)
+{
     if (req.target == "/v1/whatif") {
         if (req.method != "POST")
             return httpError(405, "use POST for /v1/whatif");
-        return handleWhatIf(req);
+        return handleWhatIf(req, track);
     }
     if (req.target == "/v1/alerts") {
         if (req.method != "GET")
             return httpError(405, "use GET for /v1/alerts");
+        const auto s = track.span(RequestPhase::Serialize);
         return handleAlerts();
     }
     if (req.target == "/metrics") {
         if (req.method != "GET")
             return httpError(405, "use GET for /metrics");
+        const auto s = track.span(RequestPhase::Serialize);
         return handleMetrics();
     }
     if (req.target == "/healthz") {
         if (req.method != "GET")
             return httpError(405, "use GET for /healthz");
+        const auto s = track.span(RequestPhase::Serialize);
         return handleHealthz();
+    }
+    if (req.target == "/v1/status") {
+        if (req.method != "GET")
+            return httpError(405, "use GET for /v1/status");
+        const auto s = track.span(RequestPhase::Serialize);
+        return handleStatus();
     }
     if (req.target == "/v1/shutdown") {
         if (req.method != "POST")
@@ -84,27 +126,32 @@ CampaignService::handle(const HttpRequest &req)
 }
 
 HttpResponse
-CampaignService::handleWhatIf(const HttpRequest &req)
+CampaignService::handleWhatIf(const HttpRequest &req,
+                              RequestTrack &track)
 {
-    std::string err;
-    const auto body = parseJson(req.body, &err);
-    if (!body) {
-        obs::Registry::global().counter("service.errors").add(1);
-        return httpError(400, "malformed JSON: " + err);
-    }
-    const auto request = parseWhatIfRequest(*body, &err, opts_.limits);
-    if (!request) {
-        obs::Registry::global().counter("service.errors").add(1);
-        return httpError(400, err);
-    }
-
-    const std::string key = canonicalCacheKey(*request);
+    std::optional<WhatIfRequest> request;
+    std::string key;
     char keyhex[24];
-    std::snprintf(keyhex, sizeof keyhex, "%016llx",
-                  static_cast<unsigned long long>(fnv1a64(key)));
+    {
+        const auto s = track.span(RequestPhase::Parse);
+        std::string err;
+        const auto body = parseJson(req.body, &err);
+        if (!body) {
+            obs::Registry::global().counter("service.errors").add(1);
+            return httpError(400, "malformed JSON: " + err);
+        }
+        request = parseWhatIfRequest(*body, &err, opts_.limits);
+        if (!request) {
+            obs::Registry::global().counter("service.errors").add(1);
+            return httpError(400, err);
+        }
+        key = canonicalCacheKey(*request);
+        std::snprintf(keyhex, sizeof keyhex, "%016llx",
+                      static_cast<unsigned long long>(fnv1a64(key)));
+    }
 
     if (!opts_.coalesce)
-        return computeWhatIf(*request, key, keyhex);
+        return computeWhatIf(*request, key, keyhex, track);
 
     // Single-flight: the first request for a key leads and executes;
     // identical concurrent requests park on the flight and copy its
@@ -117,6 +164,7 @@ CampaignService::handleWhatIf(const HttpRequest &req)
         auto it = inflight_.find(key);
         if (it == inflight_.end()) {
             flight = std::make_shared<Flight>();
+            flight->leaderId = track.id();
             inflight_.emplace(key, flight);
             leader = true;
         } else {
@@ -126,10 +174,15 @@ CampaignService::handleWhatIf(const HttpRequest &req)
 
     if (!leader) {
         obs::Registry::global().counter("service.coalesced").add(1);
+        track.setCache("coalesced");
+        track.setCoalescedInto(flight->leaderId);
         std::unique_lock<std::mutex> lk(inflight_m_);
-        coalesceWaiters_.fetch_add(1, std::memory_order_acq_rel);
-        inflight_cv_.wait(lk, [&flight] { return flight->done; });
-        coalesceWaiters_.fetch_sub(1, std::memory_order_acq_rel);
+        {
+            const auto s = track.span(RequestPhase::Wait);
+            coalesceWaiters_.fetch_add(1, std::memory_order_acq_rel);
+            inflight_cv_.wait(lk, [&flight] { return flight->done; });
+            coalesceWaiters_.fetch_sub(1, std::memory_order_acq_rel);
+        }
         HttpResponse resp;
         resp.status = flight->status;
         if (!flight->contentType.empty())
@@ -142,7 +195,7 @@ CampaignService::handleWhatIf(const HttpRequest &req)
 
     if (opts_.testBeforeCampaign)
         opts_.testBeforeCampaign();
-    const HttpResponse resp = computeWhatIf(*request, key, keyhex);
+    const HttpResponse resp = computeWhatIf(*request, key, keyhex, track);
     {
         std::lock_guard<std::mutex> lk(inflight_m_);
         flight->status = resp.status;
@@ -158,38 +211,53 @@ CampaignService::handleWhatIf(const HttpRequest &req)
 HttpResponse
 CampaignService::computeWhatIf(const WhatIfRequest &request,
                                const std::string &key,
-                               const char *keyhex)
+                               const char *keyhex,
+                               RequestTrack &track)
 {
     HttpResponse resp;
     resp.headers.emplace_back("X-Bpsim-Key", keyhex);
 
     std::lock_guard<std::mutex> lk(campaign_m_);
-    if (auto hit = cache_.get(key)) {
-        resp.headers.emplace_back("X-Bpsim-Cache", "hit");
-        resp.headers.emplace_back("X-Bpsim-Cache-Tier", "memory");
-        resp.body = std::move(*hit);
-        return resp;
+    {
+        const auto s = track.span(RequestPhase::CacheMem);
+        if (auto hit = cache_.get(key)) {
+            track.setCache("hit");
+            track.setTier("memory");
+            resp.headers.emplace_back("X-Bpsim-Cache", "hit");
+            resp.headers.emplace_back("X-Bpsim-Cache-Tier", "memory");
+            resp.body = std::move(*hit);
+            return resp;
+        }
     }
-    if (auto spilled = disk_.load(key)) {
-        // Warm restart: promote the spilled result so the next hit is
-        // a map lookup again.
-        cache_.put(key, *spilled);
-        resp.headers.emplace_back("X-Bpsim-Cache", "hit");
-        resp.headers.emplace_back("X-Bpsim-Cache-Tier", "disk");
-        resp.body = std::move(*spilled);
-        return resp;
+    {
+        const auto s = track.span(RequestPhase::CacheDisk);
+        if (auto spilled = disk_.load(key)) {
+            // Warm restart: promote the spilled result so the next
+            // hit is a map lookup again.
+            cache_.put(key, *spilled);
+            track.setCache("hit");
+            track.setTier("disk");
+            resp.headers.emplace_back("X-Bpsim-Cache", "hit");
+            resp.headers.emplace_back("X-Bpsim-Cache-Tier", "disk");
+            resp.body = std::move(*spilled);
+            return resp;
+        }
     }
+    track.setCache("miss");
 
     // A full miss still need not simulate from trial 0: a checkpoint
     // stored under the budget-wildcarded base key covers any earlier
     // budget for this exact scenario.
     const std::string ckpt_key = "ckpt|" + canonicalBaseKey(request);
     std::optional<CampaignCheckpoint> from;
-    if (auto text = ckptCache_.get(ckpt_key)) {
-        from = readCheckpointJson(*text);
-    } else if (auto spilled = disk_.load(ckpt_key)) {
-        if ((from = readCheckpointJson(*spilled)))
-            ckptCache_.put(ckpt_key, *spilled);
+    {
+        const auto s = track.span(RequestPhase::Checkpoint);
+        if (auto text = ckptCache_.get(ckpt_key)) {
+            from = readCheckpointJson(*text);
+        } else if (auto spilled = disk_.load(ckpt_key)) {
+            if ((from = readCheckpointJson(*spilled)))
+                ckptCache_.put(ckpt_key, *spilled);
+        }
     }
 
     const bool with_alerts = opts_.evaluateAlerts && BPSIM_OBS_ON();
@@ -203,37 +271,48 @@ CampaignService::computeWhatIf(const WhatIfRequest &request,
         counters_before = obs::Registry::global().counterSnapshot();
     }
 
-    const WhatIfExecution ex =
-        executeWhatIf(request, from ? &*from : nullptr);
+    std::optional<WhatIfExecution> run;
+    {
+        const auto s = track.span(RequestPhase::Campaign);
+        run = executeWhatIf(request, from ? &*from : nullptr);
+    }
+    const WhatIfExecution &ex = *run;
     obs::Registry::global().counter("service.whatif.campaigns").add(1);
-    cache_.put(key, ex.body);
-    disk_.store(key, ex.body);
     resp.headers.emplace_back("X-Bpsim-Cache", "miss");
     if (ex.resumed) {
         obs::Registry::global().counter("service.whatif.resumed").add(1);
+        track.setResumedFrom(ex.startTrial);
         resp.headers.emplace_back("X-Bpsim-Resumed-From",
                                   std::to_string(ex.startTrial));
     }
-    resp.body = ex.body;
 
-    // Persist the checkpoint only when it extends what is already
-    // stored — a smaller-budget request must never clobber a deeper
-    // trajectory another request paid for.
-    if (!from || ex.checkpoint.summary.trials > from->summary.trials) {
-        std::ostringstream ck;
-        writeCheckpointJson(ck, ex.checkpoint);
-        std::string text = ck.str();
-        if (text.size() <= opts_.checkpointMaxBytes) {
-            disk_.store(ckpt_key, text);
-            ckptCache_.put(ckpt_key, std::move(text));
-        } else {
-            obs::Registry::global()
-                .counter("service.ckpt.oversize")
-                .add(1);
+    {
+        const auto s = track.span(RequestPhase::Serialize);
+        cache_.put(key, ex.body);
+        disk_.store(key, ex.body);
+        resp.body = ex.body;
+
+        // Persist the checkpoint only when it extends what is already
+        // stored — a smaller-budget request must never clobber a
+        // deeper trajectory another request paid for.
+        if (!from ||
+            ex.checkpoint.summary.trials > from->summary.trials) {
+            std::ostringstream ck;
+            writeCheckpointJson(ck, ex.checkpoint);
+            std::string text = ck.str();
+            if (text.size() <= opts_.checkpointMaxBytes) {
+                disk_.store(ckpt_key, text);
+                ckptCache_.put(ckpt_key, std::move(text));
+            } else {
+                obs::Registry::global()
+                    .counter("service.ckpt.oversize")
+                    .add(1);
+            }
         }
     }
 
     if (with_alerts) {
+        const auto sp = track.span(RequestPhase::Alerts);
         const auto events = obs::TraceSink::instance().drain();
         auto samples = obs::TimeSeriesSink::instance().drain();
         // The warm-up sample window is relative to the trials this
@@ -289,17 +368,112 @@ CampaignService::handleMetrics() const
 }
 
 HttpResponse
-CampaignService::handleHealthz() const
+CampaignService::handleHealthz()
 {
+    const std::uint64_t now = reqobs_.nowNs();
     std::ostringstream os;
     JsonWriter w(os);
     w.beginObject();
     w.field("status", "ok");
     w.field("build", buildId());
+    w.field("buildId", buildId());
+    w.field("uptime_seconds",
+            static_cast<double>(now - bootNs_) * 1e-9);
     w.field("requests",
             requestsServed_.load(std::memory_order_relaxed));
     w.field("cache_entries",
             static_cast<std::uint64_t>(cache_.stats().entries));
+    w.endObject();
+    os << '\n';
+    HttpResponse resp;
+    resp.body = os.str();
+    return resp;
+}
+
+HttpResponse
+CampaignService::handleStatus()
+{
+    const std::uint64_t now = reqobs_.nowNs();
+    std::size_t flight_depth = 0;
+    {
+        std::lock_guard<std::mutex> lk(inflight_m_);
+        flight_depth = inflight_.size();
+    }
+    const CacheStats results = cache_.stats();
+    const CacheStats ckpts = ckptCache_.stats();
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("status", "ok");
+    w.field("buildId", buildId());
+    w.field("uptime_seconds",
+            static_cast<double>(now - bootNs_) * 1e-9);
+    w.field("requests_total",
+            requestsServed_.load(std::memory_order_relaxed));
+    w.field("flight_depth",
+            static_cast<std::uint64_t>(flight_depth));
+    w.field("coalesce_waiters", coalesceWaiters());
+
+    w.key("requests");
+    w.beginObject();
+    w.field("observed", reqobs_.completedRequests());
+    w.field("slow", reqobs_.slowRequests());
+    w.field("access_log_lines", reqobs_.accessLogLines());
+    w.field("access_log_open", reqobs_.logOpen());
+    w.field("observability_active", reqobs_.active());
+    w.endObject();
+
+    // The in-flight table includes this /v1/status request itself.
+    w.key("inflight");
+    w.beginArray();
+    for (const InflightRequest &r : reqobs_.inflight()) {
+        w.beginObject();
+        w.field("id", r.id);
+        if (!r.clientId.empty())
+            w.field("client_id", r.clientId);
+        w.field("endpoint", endpointName(r.endpoint));
+        w.field("phase", requestPhaseName(r.phase));
+        w.field("age_seconds",
+                static_cast<double>(now >= r.startNs
+                                        ? now - r.startNs
+                                        : 0) *
+                    1e-9);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("cache");
+    w.beginObject();
+    w.key("results");
+    w.beginObject();
+    w.field("entries", static_cast<std::uint64_t>(results.entries));
+    w.field("value_bytes",
+            static_cast<std::uint64_t>(results.valueBytes));
+    w.field("hits", results.hits);
+    w.field("misses", results.misses);
+    w.field("evictions", results.evictions);
+    w.endObject();
+    w.key("checkpoints");
+    w.beginObject();
+    w.field("entries", static_cast<std::uint64_t>(ckpts.entries));
+    w.field("value_bytes",
+            static_cast<std::uint64_t>(ckpts.valueBytes));
+    w.field("hits", ckpts.hits);
+    w.field("misses", ckpts.misses);
+    w.field("evictions", ckpts.evictions);
+    w.endObject();
+    w.key("disk");
+    w.beginObject();
+    w.field("enabled", disk_.enabled());
+    if (disk_.enabled()) {
+        w.field("dir", disk_.dir());
+        w.field("files",
+                static_cast<std::uint64_t>(disk_.fileCount()));
+    }
+    w.endObject();
+    w.endObject();
+
     w.endObject();
     os << '\n';
     HttpResponse resp;

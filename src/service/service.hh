@@ -58,6 +58,7 @@
 #include "service/cache.hh"
 #include "service/disk_store.hh"
 #include "service/http.hh"
+#include "service/reqobs.hh"
 #include "service/whatif.hh"
 
 namespace bpsim
@@ -97,6 +98,8 @@ struct ServiceOptions
      * production.
      */
     std::function<void()> testBeforeCampaign;
+    /** Request-level observability (ids, spans, access log, status). */
+    RequestObsOptions reqobs;
 };
 
 /** The resident server (construct, start(), waitUntilStopped()). */
@@ -119,14 +122,19 @@ class CampaignService
 
     /**
      * Route one request (the HTTP handler; public so tests can
-     * exercise the full service without a socket).
+     * exercise the full service without a socket). The @p io overload
+     * is what the socket layer calls: it carries read timing/bytes in
+     * and receives the post-write completion hook, so the access-log
+     * line includes the read and write phases.
      */
     HttpResponse handle(const HttpRequest &req);
+    HttpResponse handle(const HttpRequest &req, HttpConnectionIo *io);
 
     ResultCache &cache() { return cache_; }
     ResultCache &checkpointCache() { return ckptCache_; }
     const DiskStore &disk() const { return disk_; }
     AlertEngine &alerts() { return alerts_; }
+    RequestObserver &requestObserver() { return reqobs_; }
 
     /** Followers currently parked on in-flight executions (the
      *  coalescing test uses this to sequence leader vs. followers). */
@@ -143,17 +151,25 @@ class CampaignService
         int status = 200;
         std::string contentType;
         std::string body;
+        /** The leading request's id (followers log it). */
+        std::uint64_t leaderId = 0;
     };
 
-    HttpResponse handleWhatIf(const HttpRequest &req);
+    /** Dispatch to the endpoint handlers (handle() minus the
+     *  per-request bookkeeping that wraps every response). */
+    HttpResponse route(const HttpRequest &req, RequestTrack &track);
+    HttpResponse handleWhatIf(const HttpRequest &req,
+                              RequestTrack &track);
     /** Cache lookup + (possibly resumed) campaign for a valid,
      *  already-parsed request; the coalescing leader's work. */
     HttpResponse computeWhatIf(const WhatIfRequest &request,
                                const std::string &key,
-                               const char *keyhex);
+                               const char *keyhex,
+                               RequestTrack &track);
     HttpResponse handleAlerts() const;
     HttpResponse handleMetrics() const;
-    HttpResponse handleHealthz() const;
+    HttpResponse handleHealthz();
+    HttpResponse handleStatus();
     HttpResponse handleShutdown();
 
     ServiceOptions opts_;
@@ -170,6 +186,9 @@ class CampaignService
     std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_;
     std::atomic<std::uint64_t> coalesceWaiters_{0};
     std::atomic<std::uint64_t> requestsServed_{0};
+    RequestObserver reqobs_;
+    /** Clock value at construction (uptime = now - boot). */
+    std::uint64_t bootNs_ = 0;
     HttpServer http_;
 };
 

@@ -203,3 +203,93 @@ TEST(CliContract, ServerCacheDirMissingValueRejected)
     EXPECT_NE(r.output.find("usage: campaign_server"),
               std::string::npos);
 }
+
+TEST(CliContract, ServerHelpDocumentsObservabilityFlags)
+{
+    const RunResult r = run(std::string(BPSIM_CAMPAIGN_SERVER_BIN) +
+                            " --help");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("--access-log FILE"), std::string::npos);
+    EXPECT_NE(r.output.find("--slow-ms N"), std::string::npos);
+    EXPECT_NE(r.output.find("--request-trace FILE"), std::string::npos);
+    EXPECT_NE(r.output.find("--request-obs on|off"), std::string::npos);
+    EXPECT_NE(r.output.find("/v1/status"), std::string::npos);
+}
+
+TEST(CliContract, ServerObservabilityFlagsParseBeforeHelp)
+{
+    for (const char *flags :
+         {" --access-log /tmp/bpsim-cli-test-unused.log",
+          " --slow-ms 0", " --slow-ms 250", " --request-obs on",
+          " --request-obs off",
+          " --request-trace /tmp/bpsim-cli-test-unused.json"}) {
+        const RunResult r = run(std::string(BPSIM_CAMPAIGN_SERVER_BIN) +
+                                flags + " --help");
+        EXPECT_EQ(r.exitCode, 0) << flags << ": " << r.output;
+        EXPECT_NE(r.output.find("usage: campaign_server"),
+                  std::string::npos)
+            << flags;
+    }
+}
+
+TEST(CliContract, ServerSlowMsRejectsBadValues)
+{
+    for (const char *bad : {"banana", "-5", "2x", ""}) {
+        const RunResult r = run(std::string(BPSIM_CAMPAIGN_SERVER_BIN) +
+                                " --slow-ms \"" + bad + "\"");
+        EXPECT_EQ(r.exitCode, 2)
+            << "--slow-ms " << bad << ": " << r.output;
+        EXPECT_NE(r.output.find("--slow-ms needs a non-negative "
+                                "integer"),
+                  std::string::npos)
+            << "--slow-ms " << bad;
+        EXPECT_NE(r.output.find("usage: campaign_server"),
+                  std::string::npos)
+            << "--slow-ms " << bad;
+    }
+}
+
+TEST(CliContract, ServerSlowMsMissingValueRejected)
+{
+    const RunResult r = run(std::string(BPSIM_CAMPAIGN_SERVER_BIN) +
+                            " --slow-ms");
+    EXPECT_EQ(r.exitCode, 2) << r.output;
+    EXPECT_NE(r.output.find("usage: campaign_server"),
+              std::string::npos);
+}
+
+TEST(CliContract, ServerAccessLogMissingValueRejected)
+{
+    const RunResult r = run(std::string(BPSIM_CAMPAIGN_SERVER_BIN) +
+                            " --access-log");
+    EXPECT_EQ(r.exitCode, 2) << r.output;
+    EXPECT_NE(r.output.find("usage: campaign_server"),
+              std::string::npos);
+}
+
+TEST(CliContract, ServerRequestObsRejectsAnythingButOnOrOff)
+{
+    for (const char *bad : {"maybe", "ON", "1", ""}) {
+        const RunResult r = run(std::string(BPSIM_CAMPAIGN_SERVER_BIN) +
+                                " --request-obs \"" + bad + "\"");
+        EXPECT_EQ(r.exitCode, 2)
+            << "--request-obs " << bad << ": " << r.output;
+        EXPECT_NE(r.output.find("usage: campaign_server"),
+                  std::string::npos)
+            << "--request-obs " << bad;
+    }
+}
+
+TEST(CliContract, ServerUnwritableAccessLogFailsFast)
+{
+    const RunResult r =
+        run(std::string(BPSIM_CAMPAIGN_SERVER_BIN) +
+            " --access-log /nonexistent-dir/access.log --port 0");
+    EXPECT_EQ(r.exitCode, 1) << r.output;
+    EXPECT_NE(r.output.find("cannot open access log"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("/nonexistent-dir/access.log"),
+              std::string::npos)
+        << r.output;
+}

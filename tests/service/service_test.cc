@@ -149,6 +149,19 @@ TEST(CampaignServiceTest, HealthAlertsAndMetricsEndpoints)
     const HttpResponse health = service.handle(get("/healthz"));
     EXPECT_EQ(health.status, 200);
     EXPECT_NE(health.body.find("\"status\":\"ok\""), std::string::npos);
+    {
+        // The liveness body parses and carries build + uptime so a
+        // load balancer can detect stale builds.
+        std::string herr;
+        const auto hdoc = parseJson(health.body, &herr);
+        ASSERT_TRUE(hdoc.has_value()) << herr;
+        const JsonValue *bid = hdoc->find("buildId");
+        ASSERT_NE(bid, nullptr);
+        EXPECT_EQ(bid->asString(), buildId());
+        const JsonValue *up = hdoc->find("uptime_seconds");
+        ASSERT_NE(up, nullptr);
+        EXPECT_GE(up->asDouble(), 0.0);
+    }
 
     const HttpResponse alerts = service.handle(get("/v1/alerts"));
     EXPECT_EQ(alerts.status, 200);
