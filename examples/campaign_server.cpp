@@ -56,6 +56,9 @@ usage(std::FILE *to)
         "                       [--access-log FILE] [--slow-ms N]\n"
         "                       [--request-trace FILE]\n"
         "                       [--request-obs on|off]\n"
+        "                       [--history on|off]\n"
+        "                       [--history-cadence S]\n"
+        "                       [--history-retention S]\n"
         "                       [--no-alerts] [--help]\n"
         "\n"
         "Resident what-if query server (see docs/SERVICE.md):\n"
@@ -64,6 +67,10 @@ usage(std::FILE *to)
         "  GET  /metrics      OpenMetrics exposition\n"
         "  GET  /healthz      liveness probe\n"
         "  GET  /v1/status    uptime, in-flight requests, cache sizes\n"
+        "  GET  /v1/series    tiered metrics history\n"
+        "  GET  /v1/alerts/history\n"
+        "                     retained alert transitions\n"
+        "  GET  /dashboard    self-contained live dashboard\n"
         "  POST /v1/shutdown  graceful stop\n"
         "\n"
         "  --port N           listen port (default 0 = ephemeral)\n"
@@ -93,6 +100,15 @@ usage(std::FILE *to)
         "  --request-obs on|off\n"
         "                     request span timing, latency histograms\n"
         "                     and the access log (default on)\n"
+        "  --history on|off   background metrics sampler, /v1/series\n"
+        "                     and /v1/alerts/history (default on)\n"
+        "  --history-cadence S\n"
+        "                     sampler tick period in seconds, > 0\n"
+        "                     (default 1)\n"
+        "  --history-retention S\n"
+        "                     raw-tier history span in seconds, > 0;\n"
+        "                     rollup tiers keep 10x/60x this\n"
+        "                     (default 600)\n"
         "  --no-alerts        disable the alert-rule engine\n");
     return to == stdout ? 0 : 2;
 }
@@ -186,6 +202,50 @@ main(int argc, char **argv)
                              v.c_str());
                 return usage(stderr);
             }
+            ++i;
+        } else if (arg == "--history" && val) {
+            const std::string v = val;
+            if (v == "on") {
+                opts.history.enabled = true;
+            } else if (v == "off") {
+                opts.history.enabled = false;
+            } else {
+                std::fprintf(stderr, "campaign_server: --history "
+                                     "takes \"on\" or \"off\", got "
+                                     "\"%s\"\n",
+                             v.c_str());
+                return usage(stderr);
+            }
+            ++i;
+        } else if (arg == "--history-cadence" && val) {
+            char *end = nullptr;
+            const double v = std::strtod(val, &end);
+            if (*val == '\0' || end == val || *end != '\0' ||
+                !(v > 0.0)) {
+                std::fprintf(stderr,
+                             "campaign_server: --history-cadence "
+                             "needs a positive number of seconds, "
+                             "got \"%s\"\n",
+                             val);
+                return usage(stderr);
+            }
+            opts.history.cadenceNs =
+                static_cast<std::uint64_t>(v * 1e9);
+            ++i;
+        } else if (arg == "--history-retention" && val) {
+            char *end = nullptr;
+            const double v = std::strtod(val, &end);
+            if (*val == '\0' || end == val || *end != '\0' ||
+                !(v > 0.0)) {
+                std::fprintf(stderr,
+                             "campaign_server: --history-retention "
+                             "needs a positive number of seconds, "
+                             "got \"%s\"\n",
+                             val);
+                return usage(stderr);
+            }
+            opts.history.retentionNs =
+                static_cast<std::uint64_t>(v * 1e9);
             ++i;
         } else if (arg == "--no-alerts") {
             opts.evaluateAlerts = false;

@@ -105,6 +105,47 @@ grep -q '"results":{"entries":1' "$WORK/status" \
 grep -q '"observed":' "$WORK/status" \
     || fail "status missing request totals"
 echo "service_smoke: /v1/status reports build, caches and flight table"
+grep -q '"history":{"enabled":true' "$WORK/status" \
+    || fail "status missing the history block"
+
+# Metrics history: the sampler ticks every second by default, so by
+# now /v1/series must know the core series and answer a named query
+# with the tier list and a points array.
+sleep 1.2
+curl -sSf "$BASE/v1/series" > "$WORK/series"
+grep -q '"enabled":true' "$WORK/series" || fail "series not enabled"
+grep -q '"tiers":\[{"tier":0' "$WORK/series" \
+    || fail "series missing tier metadata"
+grep -q '"service.cache.results.entries"' "$WORK/series" \
+    || fail "series names missing cache depth gauge"
+curl -sSf "$BASE/v1/series?name=service.cache.results.entries&tier=0" \
+    > "$WORK/series1"
+grep -q '"found":true' "$WORK/series1" \
+    || fail "named series query found nothing"
+grep -q '"points":\[\[' "$WORK/series1" \
+    || fail "named series query returned no points"
+curl -sSf "$BASE/v1/alerts/history" | grep -q '"events":\[' \
+    || fail "alert history endpoint malformed"
+echo "service_smoke: /v1/series serves sampled history"
+
+# The dashboard must be non-empty, self-contained HTML: no external
+# links, scripts, styles or images — it has to render air-gapped.
+curl -sSf -D "$WORK/hdash" "$BASE/dashboard" > "$WORK/dashboard.html"
+[ -s "$WORK/dashboard.html" ] || fail "dashboard empty"
+grep -q '<!DOCTYPE html>' "$WORK/dashboard.html" \
+    || fail "dashboard is not HTML"
+grep -qi '^content-type: text/html; charset=utf-8' "$WORK/hdash" \
+    || fail "dashboard content type wrong"
+if grep -qE 'https?://|src=|href=|@import' "$WORK/dashboard.html"; then
+    fail "dashboard references external resources"
+fi
+grep -qi '^cache-control: no-store' "$WORK/hdash" \
+    || fail "dashboard response missing Cache-Control: no-store"
+grep -qi '^cache-control: no-store' "$WORK/h1" \
+    || fail "what-if response missing Cache-Control: no-store"
+cp "$WORK/dashboard.html" "${DASHBOARD_ARTIFACT:-service-dashboard.html}"
+echo "service_smoke: dashboard self-contained" \
+     "(kept as ${DASHBOARD_ARTIFACT:-service-dashboard.html})"
 
 # The access log: one JSON object per line, every line well-formed,
 # what-if hit + miss both present, and the slow shape carries spans.
@@ -184,6 +225,14 @@ grep -qi '^x-bpsim-cache: miss' "$WORK/h5" \
 grep -qi '^x-bpsim-resumed-from: 40' "$WORK/h5" \
     || fail "bigger budget did not resume from the spilled checkpoint"
 echo "service_smoke: larger budget resumed from trial 40 after restart"
+
+# The dashboard also serves from the restarted process (second
+# artifact: proves the page carries no first-boot-only state).
+curl -sSf "$BASE/dashboard" > "$WORK/dashboard2.html"
+grep -q '<!DOCTYPE html>' "$WORK/dashboard2.html" \
+    || fail "restarted dashboard is not HTML"
+cp "$WORK/dashboard2.html" \
+    "${DASHBOARD_RESTART_ARTIFACT:-service-dashboard-restart.html}"
 
 curl -sSf -XPOST "$BASE/v1/shutdown" > /dev/null \
     || fail "second shutdown endpoint"

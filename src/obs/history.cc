@@ -1,0 +1,243 @@
+#include "obs/history.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "obs/timeseries.hh"
+
+namespace bpsim
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Per-series, per-tier upper bound so a pathological CLI cadence
+ *  cannot allocate unbounded rings. */
+constexpr std::size_t kMaxRingCapacity = 1u << 20;
+
+} // namespace
+
+HistoryStore::HistoryStore(HistoryConfig cfg) : cfg_(std::move(cfg))
+{
+    if (cfg_.cadenceNs == 0)
+        cfg_.cadenceNs = 1000000000ull;
+    if (cfg_.retentionNs < cfg_.cadenceNs)
+        cfg_.retentionNs = cfg_.cadenceNs;
+    if (cfg_.multipliers.empty())
+        cfg_.multipliers = {1, 10, 60};
+    std::sort(cfg_.multipliers.begin(), cfg_.multipliers.end());
+    cfg_.multipliers.erase(std::unique(cfg_.multipliers.begin(),
+                                       cfg_.multipliers.end()),
+                           cfg_.multipliers.end());
+    for (std::uint32_t &m : cfg_.multipliers)
+        if (m == 0)
+            m = 1;
+    if (cfg_.maxSeries == 0)
+        cfg_.maxSeries = 1;
+}
+
+std::size_t
+HistoryStore::tierCapacity(std::size_t) const
+{
+    // Every tier keeps the same bucket count; a tier's *span* grows
+    // with its width (retention × multiplier), the netdata shape.
+    const std::size_t n =
+        static_cast<std::size_t>(cfg_.retentionNs / cfg_.cadenceNs);
+    return std::min(kMaxRingCapacity, std::max<std::size_t>(2, n));
+}
+
+std::uint64_t
+HistoryStore::tierWidthNs(std::size_t tier) const
+{
+    return cfg_.cadenceNs * cfg_.multipliers[tier];
+}
+
+const HistoryBucket &
+HistoryStore::newest(const Ring &r) const
+{
+    const std::size_t n = r.buckets.size();
+    return r.buckets[(r.head + n - 1) % n];
+}
+
+std::size_t
+HistoryStore::ringSize(const Ring &r) const
+{
+    return r.buckets.size();
+}
+
+void
+HistoryStore::record(const std::string &name, std::uint64_t tNs,
+                     double value)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    auto it = series_.find(name);
+    if (it == series_.end()) {
+        if (series_.size() >= cfg_.maxSeries) {
+            ++droppedSeries_;
+            return;
+        }
+        SeriesData data;
+        data.tiers.resize(cfg_.multipliers.size());
+        it = series_.emplace(name, std::move(data)).first;
+    }
+    ++samples_;
+
+    for (std::size_t k = 0; k < cfg_.multipliers.size(); ++k) {
+        const std::uint64_t width = tierWidthNs(k);
+        const std::uint64_t start = tNs - tNs % width;
+        Ring &ring = it->second.tiers[k];
+        if (!ring.buckets.empty() && start < newest(ring).startNs) {
+            // Older than the ring head: never merge backwards — a
+            // monotonic sampler cannot get here.
+            ++droppedStale_;
+            continue;
+        }
+        if (!ring.buckets.empty() && start == newest(ring).startNs) {
+            HistoryBucket &b =
+                ring.buckets[(ring.head + ring.buckets.size() - 1) %
+                             ring.buckets.size()];
+            b.min = std::min(b.min, value);
+            b.max = std::max(b.max, value);
+            b.sum += value;
+            ++b.count;
+            continue;
+        }
+        HistoryBucket fresh;
+        fresh.startNs = start;
+        fresh.min = fresh.max = fresh.sum = value;
+        fresh.count = 1;
+        const std::size_t cap = tierCapacity(k);
+        if (ring.buckets.size() < cap) {
+            ring.buckets.push_back(fresh);
+        } else {
+            // Round-robin: the oldest bucket is overwritten.
+            ring.buckets[ring.head] = fresh;
+            ring.head = (ring.head + 1) % ring.buckets.size();
+            ring.wrapped = true;
+            ++evictedBuckets_;
+        }
+    }
+}
+
+std::vector<std::string>
+HistoryStore::names() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    std::vector<std::string> out;
+    out.reserve(series_.size());
+    for (const auto &[name, data] : series_)
+        out.push_back(name);
+    return out; // std::map iteration is already sorted
+}
+
+HistoryStore::Series
+HistoryStore::query(const std::string &name, const Query &q) const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    Series out;
+    const auto it = series_.find(name);
+    if (it == series_.end())
+        return out;
+    const SeriesData &data = it->second;
+
+    // Tier selection: an explicit tier wins; otherwise the finest
+    // tier whose oldest retained bucket still covers afterNs, so a
+    // recent window gets raw resolution and an old one degrades to
+    // the rollup that still remembers it. afterNs == 0 asks for the
+    // whole span, which only the coarsest tier provides.
+    std::size_t tier = data.tiers.size() - 1;
+    if (q.tier >= 0) {
+        tier = std::min(static_cast<std::size_t>(q.tier),
+                        data.tiers.size() - 1);
+    } else if (q.afterNs > 0) {
+        for (std::size_t k = 0; k < data.tiers.size(); ++k) {
+            const Ring &ring = data.tiers[k];
+            if (ring.buckets.empty())
+                continue;
+            const HistoryBucket &oldest = ring.buckets[ring.head];
+            if (oldest.startNs <= q.afterNs) {
+                tier = k;
+                break;
+            }
+        }
+    }
+
+    out.tier = static_cast<int>(tier);
+    out.widthNs = tierWidthNs(tier);
+    out.capacity = tierCapacity(tier);
+
+    const Ring &ring = data.tiers[tier];
+    const std::size_t n = ring.buckets.size();
+    out.points.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const HistoryBucket &b = ring.buckets[(ring.head + i) % n];
+        // Overlap semantics: a bucket belongs to the window when any
+        // part of [start, start + width) lies past afterNs.
+        if (b.startNs + out.widthNs <= q.afterNs ||
+            b.startNs > q.beforeNs)
+            continue;
+        out.points.push_back(b);
+    }
+
+    if (q.maxPoints > 0 && out.points.size() > q.maxPoints) {
+        // Reuse the deterministic LTTB downsampler over bucket means,
+        // then keep the *chosen* buckets whole (min/max/sum/count
+        // survive downsampling; only in-between buckets are dropped).
+        std::vector<SeriesPoint> pts;
+        pts.reserve(out.points.size());
+        std::unordered_map<std::uint64_t, const HistoryBucket *> at;
+        for (const HistoryBucket &b : out.points) {
+            pts.push_back({static_cast<Time>(b.startNs),
+                           b.count > 0
+                               ? b.sum / static_cast<double>(b.count)
+                               : 0.0});
+            at.emplace(b.startNs, &b);
+        }
+        const auto kept = lttb(pts, q.maxPoints);
+        std::vector<HistoryBucket> down;
+        down.reserve(kept.size());
+        for (const SeriesPoint &p : kept)
+            down.push_back(*at.at(static_cast<std::uint64_t>(p.t)));
+        out.points = std::move(down);
+        out.downsampled = true;
+    }
+    return out;
+}
+
+HistoryStats
+HistoryStore::stats() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    HistoryStats s;
+    s.samples = samples_;
+    s.droppedSeries = droppedSeries_;
+    s.droppedStale = droppedStale_;
+    s.evictedBuckets = evictedBuckets_;
+    s.series = series_.size();
+    s.tiers.resize(cfg_.multipliers.size());
+    for (std::size_t k = 0; k < cfg_.multipliers.size(); ++k) {
+        s.tiers[k].widthNs = tierWidthNs(k);
+        s.tiers[k].capacity = tierCapacity(k);
+    }
+    for (const auto &[name, data] : series_) {
+        s.bytes += name.size() + sizeof(SeriesData);
+        for (std::size_t k = 0; k < data.tiers.size(); ++k) {
+            s.tiers[k].buckets += data.tiers[k].buckets.size();
+            s.bytes += data.tiers[k].buckets.capacity() *
+                       sizeof(HistoryBucket);
+        }
+    }
+    return s;
+}
+
+void
+HistoryStore::clear()
+{
+    std::lock_guard<std::mutex> lk(m_);
+    series_.clear();
+}
+
+} // namespace obs
+} // namespace bpsim

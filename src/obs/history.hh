@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tiered round-robin metrics history: a bounded, in-process
+ * time-series store in the netdata lineage — one ring of fixed-width
+ * buckets per tier, finer tiers covering a short recent window and
+ * coarser tiers covering proportionally longer ones (default
+ * 1×/10×/60× the sampling cadence). Every recorded sample feeds every
+ * tier directly, and each bucket keeps min/max/sum/count, so a coarse
+ * bucket is the *exact* aggregate of the samples its window saw —
+ * rollups are never re-derived from already-rolled data and therefore
+ * never drift from the raw ring (the tier-reconciliation tests pin
+ * this bucket for bucket).
+ *
+ * The store itself is clock-agnostic: callers stamp samples with any
+ * monotonic nanosecond timestamp (the what-if service feeds it from
+ * the same injectable clock as the request-observability layer, so
+ * tests pin /v1/series response *bytes* with a stepping fake clock).
+ *
+ * Memory is strictly bounded: each tier ring holds at most
+ * `retention / cadence` buckets per series, the series count is
+ * capped (samples for new names beyond the cap are counted as
+ * dropped, never stored), and stats() reports resident bytes so
+ * GET /v1/status can surface the footprint.
+ *
+ * Concurrency: one mutex guards the whole store. The intended write
+ * load is one sampler tick per cadence (a few hundred record() calls
+ * per second at most) with concurrent readers on the query path, so
+ * contention is negligible and the simple lock keeps the
+ * sampler-vs-request hammer test TSan-clean by construction.
+ */
+
+#ifndef BPSIM_OBS_HISTORY_HH
+#define BPSIM_OBS_HISTORY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bpsim
+{
+namespace obs
+{
+
+/** One fixed-width rollup bucket (the tier ring element). */
+struct HistoryBucket
+{
+    /** Bucket window start (ns; window is [start, start + width)). */
+    std::uint64_t startNs = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+    std::uint64_t count = 0;
+};
+
+/** Store shape: cadence, tier widths and bounds. */
+struct HistoryConfig
+{
+    /** Raw-tier bucket width — the sampling cadence (ns). */
+    std::uint64_t cadenceNs = 1000000000ull;
+    /** Time span the *raw* tier retains (ns); every tier keeps
+     *  retention/cadence buckets, so tier k spans multiplier[k]
+     *  times this. */
+    std::uint64_t retentionNs = 600ull * 1000000000ull;
+    /** Bucket-width multipliers, one per tier, ascending; the first
+     *  should be 1 (the raw ring). */
+    std::vector<std::uint32_t> multipliers = {1, 10, 60};
+    /** Hard cap on distinct series; records for new names beyond it
+     *  are dropped (and counted). */
+    std::size_t maxSeries = 256;
+};
+
+/** Point-in-time store statistics (the /v1/status history block). */
+struct HistoryStats
+{
+    /** record() calls accepted into rings. */
+    std::uint64_t samples = 0;
+    /** Samples dropped because the series cap was hit. */
+    std::uint64_t droppedSeries = 0;
+    /** Per-tier drops of samples older than the ring head (cannot
+     *  happen with a monotonic feed; counted, never merged). */
+    std::uint64_t droppedStale = 0;
+    /** Buckets overwritten by ring wrap (retention eviction). */
+    std::uint64_t evictedBuckets = 0;
+    std::size_t series = 0;
+    /** Approximate resident bytes (rings + names). */
+    std::size_t bytes = 0;
+
+    struct Tier
+    {
+        std::uint64_t widthNs = 0;
+        /** Ring bound (buckets per series). */
+        std::size_t capacity = 0;
+        /** Live buckets across every series. */
+        std::size_t buckets = 0;
+    };
+    std::vector<Tier> tiers;
+};
+
+/** Bounded tiered time-series store (see file comment). */
+class HistoryStore
+{
+  public:
+    explicit HistoryStore(HistoryConfig cfg = {});
+
+    const HistoryConfig &config() const { return cfg_; }
+
+    /** Ring bound for tier @p tier (retention / cadence, >= 2). */
+    std::size_t tierCapacity(std::size_t tier) const;
+    /** Bucket width of tier @p tier (cadence * multiplier). */
+    std::uint64_t tierWidthNs(std::size_t tier) const;
+    std::size_t tierCount() const { return cfg_.multipliers.size(); }
+
+    /**
+     * Record one sample into every tier of @p name's series (creating
+     * it unless the series cap is hit). @p tNs is a monotonic
+     * nanosecond timestamp; samples older than a ring's newest bucket
+     * are dropped for that tier, never merged backwards.
+     */
+    void record(const std::string &name, std::uint64_t tNs,
+                double value);
+
+    /** Every stored series name, sorted. */
+    std::vector<std::string> names() const;
+
+    /** Query window + downsampling bound. */
+    struct Query
+    {
+        /** Keep buckets whose window *overlaps* (afterNs, ...]. */
+        std::uint64_t afterNs = 0;
+        /** Keep buckets starting at or before this (default: all). */
+        std::uint64_t beforeNs = ~0ull;
+        /** LTTB-downsample to at most this many buckets (0 = all). */
+        std::size_t maxPoints = 0;
+        /** Force a tier (-1 = auto: the finest tier whose retained
+         *  span still covers afterNs; with afterNs == 0, the
+         *  coarsest, longest-spanning tier). */
+        int tier = -1;
+    };
+
+    /** One query answer (tier metadata + the selected buckets). */
+    struct Series
+    {
+        /** Tier the points came from (-1: unknown series name). */
+        int tier = -1;
+        std::uint64_t widthNs = 0;
+        std::size_t capacity = 0;
+        /** True when maxPoints forced LTTB downsampling. */
+        bool downsampled = false;
+        std::vector<HistoryBucket> points;
+    };
+
+    /**
+     * Buckets of @p name inside the query window, oldest first.
+     * Deterministic: a pure function of the recorded samples and the
+     * query. Unknown names return an empty Series with tier == -1.
+     */
+    Series query(const std::string &name, const Query &q) const;
+
+    HistoryStats stats() const;
+
+    /** Drop every series (counters are not reset). */
+    void clear();
+
+  private:
+    /** Fixed-capacity ring of buckets, oldest at `head`. */
+    struct Ring
+    {
+        std::vector<HistoryBucket> buckets;
+        /** Index of the oldest bucket once the ring has wrapped. */
+        std::size_t head = 0;
+        bool wrapped = false;
+    };
+
+    struct SeriesData
+    {
+        std::vector<Ring> tiers;
+    };
+
+    const HistoryBucket &newest(const Ring &r) const;
+    std::size_t ringSize(const Ring &r) const;
+
+    HistoryConfig cfg_;
+    mutable std::mutex m_;
+    std::map<std::string, SeriesData> series_;
+    std::uint64_t samples_ = 0;
+    std::uint64_t droppedSeries_ = 0;
+    std::uint64_t droppedStale_ = 0;
+    std::uint64_t evictedBuckets_ = 0;
+};
+
+} // namespace obs
+} // namespace bpsim
+
+#endif // BPSIM_OBS_HISTORY_HH

@@ -1,0 +1,147 @@
+#include "service/dashboard.hh"
+
+namespace bpsim
+{
+namespace service
+{
+
+std::string
+renderDashboardHtml()
+{
+    // R"html(...)" segments keep the page readable as what it is:
+    // one static document. The palette and sparkline geometry mirror
+    // obs/report.cc so the live view and the post-mortem report read
+    // as one family.
+    return R"html(<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width,initial-scale=1">
+<title>bpsim what-if server &mdash; live</title>
+<style>
+body{font:14px/1.45 -apple-system,'Segoe UI',Roboto,sans-serif;color:#24292f;margin:2rem auto;max-width:70rem;padding:0 1rem;background:#fff}
+h1{font-size:1.5rem;border-bottom:2px solid #d0d7de;padding-bottom:.4rem}
+h2{font-size:1.05rem;margin:0 0 .3rem 0;color:#57606a;font-weight:600}
+.prov{color:#57606a;font-size:.85rem}
+.prov span{margin-right:1.2rem}
+.grid{display:flex;flex-wrap:wrap;gap:1rem;margin-top:1rem}
+.panel{border:1px solid #d0d7de;border-radius:6px;padding:.7rem .9rem;background:#f6f8fa;min-width:21rem;flex:1}
+.panel svg{display:block;background:#fff;border:1px solid #d0d7de}
+.val{font-size:1.25rem;font-weight:600;font-variant-numeric:tabular-nums}
+.legend{color:#57606a;font-size:.8rem;margin-top:.25rem}
+.legend b{font-weight:600}
+.s0{color:#3d6f9e}.s1{color:#b5493b}
+.alerts{display:flex;flex-wrap:wrap;gap:.5rem}
+.alert{border:1px solid #d0d7de;border-radius:4px;padding:.25rem .6rem;font-size:.85rem;background:#fff}
+.alert.clear{border-color:#2b7a3d;color:#2b7a3d}
+.alert.warning{border-color:#d08a2e;color:#d08a2e;font-weight:600}
+.alert.critical{border-color:#b5493b;color:#b5493b;font-weight:600}
+#err{color:#b5493b;font-weight:600;margin-top:.8rem;display:none}
+.foot{margin-top:2rem;color:#57606a;font-size:.85rem;border-top:1px solid #d0d7de;padding-top:.5rem}
+</style>
+</head>
+<body>
+<h1>bpsim what-if server</h1>
+<p class="prov"><span id="meta">connecting&hellip;</span><span>poll: 2s</span></p>
+<div class="grid">
+<div class="panel"><h2>Request rate</h2><div class="val" id="v-rate">&ndash;</div>
+<svg id="c-rate" width="300" height="60" viewBox="0 0 300 60" role="img"></svg>
+<div class="legend"><b class="s0">&#9644;</b> service.requests:rate (req/s)</div></div>
+<div class="panel"><h2>Request latency</h2><div class="val" id="v-lat">&ndash;</div>
+<svg id="c-lat" width="300" height="60" viewBox="0 0 300 60" role="img"></svg>
+<div class="legend"><b class="s0">&#9644;</b> p50 &nbsp;<b class="s1">&#9644;</b> p99 (service.request.seconds, ms)</div></div>
+<div class="panel"><h2>Result cache</h2><div class="val" id="v-cache">&ndash;</div>
+<svg id="c-cache" width="300" height="60" viewBox="0 0 300 60" role="img"></svg>
+<div class="legend"><b class="s0">&#9644;</b> entries &nbsp;<b class="s1">&#9644;</b> hits/s</div></div>
+<div class="panel"><h2>Alerts</h2><div class="alerts" id="alerts"></div>
+<svg id="c-alerts" width="300" height="60" viewBox="0 0 300 60" role="img"></svg>
+<div class="legend">worst alert.&lt;rule&gt;.state over time (0 clear / 1 warning / 2 critical)</div></div>
+</div>
+<p id="err"></p>
+<p class="foot">Self-contained page; polls <code>/v1/series</code> (tier 0, LTTB-capped). See docs/SERVICE.md.</p>
+<script>
+"use strict";
+var RULES=["ups_charge_low","dg_start_failures","backup_depleted","unattributed_downtime"];
+var NAMES=["service.requests:rate",
+           "service.request.seconds:p50","service.request.seconds:p99",
+           "service.cache.results.entries","service.cache.results.hits:rate"]
+          .concat(RULES.map(function(r){return "alert."+r+".state";}));
+function pts(s){ // [[t,count,min,max,sum],...] -> [{t,v}] using bucket means
+  if(!s||!s.found)return[];
+  return s.points.map(function(p){return {t:p[0],v:p[1]>0?p[4]/p[1]:0};});
+}
+function line(svg,series,colors){
+  var w=300,h=60,pad=3,html='<rect x="0" y="0" width="'+w+'" height="'+h+'" fill="#fff"/>';
+  var lo=Infinity,hi=-Infinity,t0=Infinity,t1=-Infinity;
+  series.forEach(function(ps){ps.forEach(function(p){
+    if(p.v<lo)lo=p.v; if(p.v>hi)hi=p.v; if(p.t<t0)t0=p.t; if(p.t>t1)t1=p.t;});});
+  if(!isFinite(lo)){svg.innerHTML=html;return;}
+  if(hi-lo<1e-12){hi=lo+1;}
+  if(t1-t0<1)t1=t0+1;
+  series.forEach(function(ps,i){
+    if(!ps.length)return;
+    var d=ps.map(function(p){
+      var x=pad+(w-2*pad)*(p.t-t0)/(t1-t0);
+      var y=h-pad-(h-2*pad)*(p.v-lo)/(hi-lo);
+      return x.toFixed(1)+","+y.toFixed(1);}).join(" ");
+    html+='<polyline fill="none" stroke="'+colors[i]+'" stroke-width="1.2" points="'+d+'"/>';
+  });
+  svg.innerHTML=html;
+}
+function fmt(v,digits){return v>=100?v.toFixed(0):v.toFixed(digits===undefined?2:digits);}
+function byName(doc){
+  var m={};
+  (doc.series||[]).forEach(function(s){m[s.name]=s;});
+  return m;
+}
+function refresh(){
+  var q="/v1/series?tier=0&max=240&name="+encodeURIComponent(NAMES.join(","));
+  fetch(q,{cache:"no-store"}).then(function(r){
+    if(!r.ok)throw new Error("/v1/series -> HTTP "+r.status+(r.status===404?" (history disabled? start with --history on)":""));
+    return r.json();
+  }).then(function(doc){
+    document.getElementById("err").style.display="none";
+    var m=byName(doc);
+    document.getElementById("meta").textContent=
+      "cadence "+(doc.cadence_ns/1e9)+"s, retention "+(doc.retention_ns/1e9)+"s";
+    var rate=pts(m["service.requests:rate"]);
+    line(document.getElementById("c-rate"),[rate],["#3d6f9e"]);
+    document.getElementById("v-rate").textContent=
+      rate.length?fmt(rate[rate.length-1].v)+" req/s":"–";
+    var p50=pts(m["service.request.seconds:p50"]).map(function(p){return{t:p.t,v:p.v*1e3};});
+    var p99=pts(m["service.request.seconds:p99"]).map(function(p){return{t:p.t,v:p.v*1e3};});
+    line(document.getElementById("c-lat"),[p50,p99],["#3d6f9e","#b5493b"]);
+    document.getElementById("v-lat").textContent=
+      p99.length?fmt(p50.length?p50[p50.length-1].v:0)+" / "+fmt(p99[p99.length-1].v)+" ms":"–";
+    var ent=pts(m["service.cache.results.entries"]);
+    var hits=pts(m["service.cache.results.hits:rate"]);
+    line(document.getElementById("c-cache"),[ent,hits],["#3d6f9e","#b5493b"]);
+    document.getElementById("v-cache").textContent=
+      ent.length?fmt(ent[ent.length-1].v,0)+" entries":"–";
+    var names=["clear","warning","critical"];
+    var worst=[];
+    var badges=RULES.map(function(r){
+      var ps=pts(m["alert."+r+".state"]);
+      ps.forEach(function(p,i){
+        if(!worst[i]||p.v>worst[i].v)worst[i]={t:p.t,v:p.v};});
+      var st=ps.length?Math.min(2,Math.max(0,Math.round(ps[ps.length-1].v))):0;
+      return '<span class="alert '+names[st]+'">'+r+": "+names[st]+"</span>";
+    });
+    document.getElementById("alerts").innerHTML=badges.join("");
+    line(document.getElementById("c-alerts"),[worst.filter(Boolean)],["#d08a2e"]);
+  }).catch(function(e){
+    var el=document.getElementById("err");
+    el.textContent=String(e.message||e);
+    el.style.display="block";
+  });
+}
+refresh();
+setInterval(refresh,2000);
+</script>
+</body>
+</html>
+)html";
+}
+
+} // namespace service
+} // namespace bpsim

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The live dashboard page behind GET /dashboard: one self-contained
+ * HTML document (inline CSS/JS/SVG, zero external references — it
+ * must render on an air-gapped operator box and the smoke test greps
+ * for accidental http(s) links). The page polls GET /v1/series for
+ * the sampler-fed metrics history and draws request-rate, latency,
+ * cache and alert-state panels as inline SVG sparklines in the
+ * report.cc visual style.
+ *
+ * The renderer is a pure function of nothing — the page carries no
+ * server state; everything live arrives through the JSON endpoints it
+ * polls, so serving it never touches a lock or the clock and the
+ * response bytes are trivially deterministic.
+ */
+
+#ifndef BPSIM_SERVICE_DASHBOARD_HH
+#define BPSIM_SERVICE_DASHBOARD_HH
+
+#include <string>
+
+namespace bpsim
+{
+namespace service
+{
+
+/** The complete /dashboard HTML document. */
+std::string renderDashboardHtml();
+
+} // namespace service
+} // namespace bpsim
+
+#endif // BPSIM_SERVICE_DASHBOARD_HH

@@ -71,6 +71,78 @@ writeAll(int fd, std::string_view data)
 
 } // namespace
 
+std::string
+targetPath(const std::string &target)
+{
+    const std::size_t qm = target.find('?');
+    return qm == std::string::npos ? target : target.substr(0, qm);
+}
+
+namespace
+{
+
+/** %XX / '+' decoding of one query-string token. */
+std::string
+urlDecode(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (c == '+') {
+            out += ' ';
+        } else if (c == '%' && i + 2 < s.size() &&
+                   std::isxdigit(static_cast<unsigned char>(s[i + 1])) &&
+                   std::isxdigit(static_cast<unsigned char>(s[i + 2]))) {
+            const auto hex = [](char h) {
+                if (h >= '0' && h <= '9')
+                    return h - '0';
+                if (h >= 'a' && h <= 'f')
+                    return h - 'a' + 10;
+                return h - 'A' + 10;
+            };
+            out += static_cast<char>(hex(s[i + 1]) * 16 + hex(s[i + 2]));
+            i += 2;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+queryParam(const std::string &target, std::string_view name,
+           std::string *value)
+{
+    const std::size_t qm = target.find('?');
+    if (qm == std::string::npos)
+        return false;
+    std::string_view query(target);
+    query.remove_prefix(qm + 1);
+    while (!query.empty()) {
+        std::size_t amp = query.find('&');
+        const std::string_view pair =
+            query.substr(0, amp == std::string_view::npos ? query.size()
+                                                          : amp);
+        query.remove_prefix(amp == std::string_view::npos ? query.size()
+                                                          : amp + 1);
+        const std::size_t eq = pair.find('=');
+        const std::string_view key =
+            pair.substr(0, eq == std::string_view::npos ? pair.size()
+                                                        : eq);
+        if (key != name)
+            continue;
+        if (value != nullptr)
+            *value = eq == std::string_view::npos
+                         ? std::string()
+                         : urlDecode(pair.substr(eq + 1));
+        return true;
+    }
+    return false;
+}
+
 const std::string *
 HttpRequest::header(std::string_view name) const
 {

@@ -57,7 +57,9 @@ struct HttpRequest
 struct HttpResponse
 {
     int status = 200;
-    std::string contentType = "application/json";
+    /** The charset is explicit so scrapers and the dashboard poller
+     *  never have to sniff (the header-contract test pins it). */
+    std::string contentType = "application/json; charset=utf-8";
     /** Extra headers (e.g. X-Bpsim-Cache) rendered verbatim. */
     std::vector<std::pair<std::string, std::string>> headers;
     std::string body;
@@ -84,6 +86,17 @@ struct HttpConnectionIo
 
 /** The standard reason phrase for @p status ("OK", "Not Found"...). */
 const char *httpStatusText(int status);
+
+/** The path component of @p target (everything before '?'). */
+std::string targetPath(const std::string &target);
+
+/**
+ * Look up query parameter @p name in @p target's query string.
+ * Returns false when absent; otherwise stores the value (with %XX
+ * and '+' decoded) in @p value. A bare `?name` yields "".
+ */
+bool queryParam(const std::string &target, std::string_view name,
+                std::string *value);
 
 /** Convenience: a JSON error document {"error": reason}. */
 HttpResponse httpError(int status, const std::string &reason);

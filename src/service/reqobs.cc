@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <sstream>
+#include <string_view>
 
 #include "campaign/json.hh"
 
@@ -87,6 +88,12 @@ endpointName(Endpoint ep)
         return "status";
     case Endpoint::Shutdown:
         return "shutdown";
+    case Endpoint::Series:
+        return "series";
+    case Endpoint::AlertHistory:
+        return "alert_history";
+    case Endpoint::Dashboard:
+        return "dashboard";
     case Endpoint::Other:
         return "other";
     }
@@ -96,18 +103,29 @@ endpointName(Endpoint ep)
 Endpoint
 endpointOf(const std::string &target)
 {
-    if (target == "/v1/whatif")
+    // Series queries carry parameters ("/v1/series?name=..."); the
+    // endpoint identity is the path alone.
+    const std::size_t qm = target.find('?');
+    const std::string_view path(
+        target.data(), qm == std::string::npos ? target.size() : qm);
+    if (path == "/v1/whatif")
         return Endpoint::WhatIf;
-    if (target == "/v1/alerts")
+    if (path == "/v1/alerts")
         return Endpoint::Alerts;
-    if (target == "/metrics")
+    if (path == "/metrics")
         return Endpoint::Metrics;
-    if (target == "/healthz")
+    if (path == "/healthz")
         return Endpoint::Healthz;
-    if (target == "/v1/status")
+    if (path == "/v1/status")
         return Endpoint::Status;
-    if (target == "/v1/shutdown")
+    if (path == "/v1/shutdown")
         return Endpoint::Shutdown;
+    if (path == "/v1/series")
+        return Endpoint::Series;
+    if (path == "/v1/alerts/history")
+        return Endpoint::AlertHistory;
+    if (path == "/dashboard")
+        return Endpoint::Dashboard;
     return Endpoint::Other;
 }
 
@@ -286,6 +304,8 @@ RequestObserver::writeLogLine(const RequestRecord &rec)
                 static_cast<std::uint64_t>(rec.resumedFrom));
     w.field("bytes_in", rec.bytesIn);
     w.field("bytes_out", rec.bytesOut);
+    if (rec.historyLagMs != 0)
+        w.field("history_lag_ms", rec.historyLagMs);
     w.field("total_us", total / 1000);
     w.key("phases");
     w.beginObject();

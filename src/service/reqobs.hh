@@ -100,6 +100,12 @@ enum class Endpoint : std::uint8_t
     Healthz,
     Status,
     Shutdown,
+    /** GET /v1/series (metrics-history query). */
+    Series,
+    /** GET /v1/alerts/history (alert transition log). */
+    AlertHistory,
+    /** GET /dashboard (the self-contained live page). */
+    Dashboard,
     /** Unrouted targets (404s). */
     Other,
 };
@@ -111,7 +117,8 @@ constexpr std::size_t kEndpointCount =
 /** Stable lowercase identifier of @p ep ("whatif", "status", ...). */
 const char *endpointName(Endpoint ep);
 
-/** Map a request target to its endpoint (Other for 404 targets). */
+/** Map a request target to its endpoint (Other for 404 targets).
+ *  The query string, if any, is ignored. */
 Endpoint endpointOf(const std::string &target);
 
 /**
@@ -173,6 +180,10 @@ struct RequestRecord
     std::int64_t resumedFrom = -1;
     std::uint64_t bytesIn = 0;
     std::uint64_t bytesOut = 0;
+    /** Milliseconds the history sampler was behind its cadence when
+     *  this request was served (0 = on schedule; omitted from the
+     *  log line when 0). */
+    std::uint64_t historyLagMs = 0;
     /** Clock values (ns) bracketing the whole request. */
     std::uint64_t startNs = 0;
     std::uint64_t endNs = 0;
@@ -348,7 +359,13 @@ class RequestTrack
         rec_.resumedFrom = static_cast<std::int64_t>(trial);
     }
     void setBytesOut(std::uint64_t n) { rec_.bytesOut = n; }
+    void setHistoryLagMs(std::uint64_t ms) { rec_.historyLagMs = ms; }
     ///@}
+
+    /** Clock value (ns) when the request was admitted (already read
+     *  at admission — using it costs no extra clock call, which is
+     *  what lets alert-history timestamps stay byte-deterministic). */
+    std::uint64_t startNs() const { return rec_.startNs; }
 
     /**
      * Hand completion to the HTTP layer: returns a closure to invoke

@@ -1,15 +1,34 @@
 #include "service/service.hh"
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "obs/obs.hh"
+#include "service/dashboard.hh"
 
 namespace bpsim
 {
 namespace service
 {
+
+namespace
+{
+
+obs::HistoryConfig
+historyConfig(const HistoryOptions &h)
+{
+    obs::HistoryConfig cfg;
+    cfg.cadenceNs = h.cadenceNs;
+    cfg.retentionNs = h.retentionNs;
+    cfg.maxSeries = h.maxSeries;
+    return cfg;
+}
+
+} // namespace
 
 CampaignService::CampaignService(ServiceOptions opts)
     : opts_(opts),
@@ -19,6 +38,7 @@ CampaignService::CampaignService(ServiceOptions opts)
       alerts_(defaultAlertRules()),
       reqobs_(opts.reqobs),
       bootNs_(reqobs_.nowNs()),
+      history_(historyConfig(opts.history)),
       http_(HttpServer::TimedHandler(
                 [this](const HttpRequest &req, HttpConnectionIo &io) {
                     return handle(req, &io);
@@ -35,15 +55,24 @@ CampaignService::CampaignService(ServiceOptions opts)
     }
 }
 
+CampaignService::~CampaignService()
+{
+    stopSampler();
+}
+
 bool
 CampaignService::start(std::string *error)
 {
-    return http_.start(error);
+    if (!http_.start(error))
+        return false;
+    startSampler();
+    return true;
 }
 
 void
 CampaignService::stop()
 {
+    stopSampler();
     http_.stop();
 }
 
@@ -73,7 +102,13 @@ CampaignService::handle(const HttpRequest &req, HttpConnectionIo *io)
 
     HttpResponse resp = route(req, track);
     resp.headers.emplace_back("X-Bpsim-Request-Id", track.publicId());
+    // Snapshots must never be cached stale by a scraper or the
+    // dashboard poller; one header on every response keeps the
+    // contract uniform (pinned by the header-contract test).
+    resp.headers.emplace_back("Cache-Control", "no-store");
     track.setStatus(resp.status);
+    track.setHistoryLagMs(
+        historyLagMs_.load(std::memory_order_relaxed));
     if (io != nullptr) {
         // The socket layer completes the record after the response
         // write, so the log line carries the write span + bytes out.
@@ -87,36 +122,57 @@ CampaignService::handle(const HttpRequest &req, HttpConnectionIo *io)
 HttpResponse
 CampaignService::route(const HttpRequest &req, RequestTrack &track)
 {
-    if (req.target == "/v1/whatif") {
+    // Dispatch on the path alone: /v1/series carries its query in the
+    // target ("/v1/series?name=...").
+    const std::string path = targetPath(req.target);
+    if (path == "/v1/whatif") {
         if (req.method != "POST")
             return httpError(405, "use POST for /v1/whatif");
         return handleWhatIf(req, track);
     }
-    if (req.target == "/v1/alerts") {
+    if (path == "/v1/alerts") {
         if (req.method != "GET")
             return httpError(405, "use GET for /v1/alerts");
         const auto s = track.span(RequestPhase::Serialize);
         return handleAlerts();
     }
-    if (req.target == "/metrics") {
+    if (path == "/metrics") {
         if (req.method != "GET")
             return httpError(405, "use GET for /metrics");
         const auto s = track.span(RequestPhase::Serialize);
         return handleMetrics();
     }
-    if (req.target == "/healthz") {
+    if (path == "/healthz") {
         if (req.method != "GET")
             return httpError(405, "use GET for /healthz");
         const auto s = track.span(RequestPhase::Serialize);
         return handleHealthz();
     }
-    if (req.target == "/v1/status") {
+    if (path == "/v1/status") {
         if (req.method != "GET")
             return httpError(405, "use GET for /v1/status");
         const auto s = track.span(RequestPhase::Serialize);
         return handleStatus();
     }
-    if (req.target == "/v1/shutdown") {
+    if (path == "/v1/series") {
+        if (req.method != "GET")
+            return httpError(405, "use GET for /v1/series");
+        const auto s = track.span(RequestPhase::Serialize);
+        return handleSeries(req);
+    }
+    if (path == "/v1/alerts/history") {
+        if (req.method != "GET")
+            return httpError(405, "use GET for /v1/alerts/history");
+        const auto s = track.span(RequestPhase::Serialize);
+        return handleAlertHistory();
+    }
+    if (path == "/dashboard") {
+        if (req.method != "GET")
+            return httpError(405, "use GET for /dashboard");
+        const auto s = track.span(RequestPhase::Serialize);
+        return handleDashboard();
+    }
+    if (path == "/v1/shutdown") {
         if (req.method != "POST")
             return httpError(405, "use POST for /v1/shutdown");
         return handleShutdown();
@@ -335,12 +391,32 @@ CampaignService::computeWhatIf(const WhatIfRequest &request,
         const auto fired =
             alerts_.evaluate(&store, &counters_delta, &incidents);
         alerts_.exportTo(obs::Registry::global());
-        if (!fired.empty())
+        if (!fired.empty()) {
             obs::Registry::global()
                 .counter("service.alerts.transitions")
                 .add(fired.size());
+            // Timestamp with the leading request's admission time —
+            // already read at admission, so retaining history costs
+            // no clock call and stays byte-deterministic under the
+            // stepping fake clock.
+            if (historyActive())
+                appendAlertHistory(track.startNs(), fired);
+        }
     }
     return resp;
+}
+
+void
+CampaignService::appendAlertHistory(
+    std::uint64_t tsNs, const std::vector<AlertEvent> &fired)
+{
+    std::lock_guard<std::mutex> lk(alert_log_m_);
+    for (const AlertEvent &e : fired)
+        alertLog_.push_back({tsNs, e});
+    while (alertLog_.size() > opts_.history.alertEventCapacity) {
+        alertLog_.pop_front();
+        ++alertLogDropped_;
+    }
 }
 
 HttpResponse
@@ -474,6 +550,48 @@ CampaignService::handleStatus()
     w.endObject();
     w.endObject();
 
+    // The history block only exists while the layer is armed, so a
+    // --history off (or BPSIM_OBS=OFF) status body is byte-identical
+    // to the pre-history contract.
+    if (historyActive()) {
+        const obs::HistoryStats hs = history_.stats();
+        std::size_t alert_events = 0;
+        std::uint64_t alert_dropped = 0;
+        {
+            std::lock_guard<std::mutex> lk(alert_log_m_);
+            alert_events = alertLog_.size();
+            alert_dropped = alertLogDropped_;
+        }
+        w.key("history");
+        w.beginObject();
+        w.field("enabled", true);
+        w.field("cadence_ns", opts_.history.cadenceNs);
+        w.field("retention_ns", opts_.history.retentionNs);
+        w.field("series", static_cast<std::uint64_t>(hs.series));
+        w.field("samples", hs.samples);
+        w.field("dropped_series", hs.droppedSeries);
+        w.field("dropped_stale", hs.droppedStale);
+        w.field("evicted_buckets", hs.evictedBuckets);
+        w.field("bytes", static_cast<std::uint64_t>(hs.bytes));
+        w.field("lag_ms", historyLagMs());
+        w.key("tiers");
+        w.beginArray();
+        for (const obs::HistoryStats::Tier &t : hs.tiers) {
+            w.beginObject();
+            w.field("width_ns", t.widthNs);
+            w.field("capacity",
+                    static_cast<std::uint64_t>(t.capacity));
+            w.field("buckets",
+                    static_cast<std::uint64_t>(t.buckets));
+            w.endObject();
+        }
+        w.endArray();
+        w.field("alert_events",
+                static_cast<std::uint64_t>(alert_events));
+        w.field("alert_events_dropped", alert_dropped);
+        w.endObject();
+    }
+
     w.endObject();
     os << '\n';
     HttpResponse resp;
@@ -488,6 +606,319 @@ CampaignService::handleShutdown()
     HttpResponse resp;
     resp.body = "{\"status\":\"shutting down\"}\n";
     return resp;
+}
+
+namespace
+{
+
+/** Strict non-negative integer parse for query parameters. */
+bool
+parseU64(const std::string &s, std::uint64_t *out)
+{
+    if (s.empty() || s[0] == '-')
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    *out = v;
+    return true;
+}
+
+} // namespace
+
+HttpResponse
+CampaignService::handleSeries(const HttpRequest &req)
+{
+    if (!historyActive())
+        return httpError(
+            404, "metrics history disabled (start with --history on)");
+
+    obs::HistoryStore::Query q;
+    std::string v;
+    std::uint64_t n = 0;
+    if (queryParam(req.target, "after", &v)) {
+        if (!parseU64(v, &q.afterNs))
+            return httpError(400, "bad after: " + v);
+    }
+    if (queryParam(req.target, "before", &v)) {
+        if (!parseU64(v, &q.beforeNs))
+            return httpError(400, "bad before: " + v);
+    }
+    if (queryParam(req.target, "max", &v)) {
+        if (!parseU64(v, &n))
+            return httpError(400, "bad max: " + v);
+        q.maxPoints = static_cast<std::size_t>(n);
+    }
+    if (queryParam(req.target, "tier", &v)) {
+        if (!parseU64(v, &n) || n >= history_.tierCount())
+            return httpError(400, "bad tier: " + v);
+        q.tier = static_cast<int>(n);
+    }
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("enabled", true);
+    w.field("cadence_ns", opts_.history.cadenceNs);
+    w.field("retention_ns", opts_.history.retentionNs);
+    w.key("tiers");
+    w.beginArray();
+    for (std::size_t k = 0; k < history_.tierCount(); ++k) {
+        w.beginObject();
+        w.field("tier", static_cast<std::uint64_t>(k));
+        w.field("width_ns", history_.tierWidthNs(k));
+        w.field("capacity",
+                static_cast<std::uint64_t>(history_.tierCapacity(k)));
+        w.endObject();
+    }
+    w.endArray();
+
+    std::string names;
+    if (!queryParam(req.target, "name", &names) || names.empty()) {
+        // No name asked: list what the store has (the dashboard and
+        // the smoke test discover series this way).
+        w.key("names");
+        w.beginArray();
+        for (const std::string &name : history_.names())
+            w.value(name);
+        w.endArray();
+    } else {
+        w.key("series");
+        w.beginArray();
+        std::size_t pos = 0;
+        while (pos <= names.size()) {
+            std::size_t comma = names.find(',', pos);
+            if (comma == std::string::npos)
+                comma = names.size();
+            const std::string name = names.substr(pos, comma - pos);
+            pos = comma + 1;
+            if (name.empty())
+                continue;
+            const obs::HistoryStore::Series s =
+                history_.query(name, q);
+            w.beginObject();
+            w.field("name", name);
+            w.field("found", s.tier >= 0);
+            if (s.tier >= 0) {
+                w.field("tier", s.tier);
+                w.field("width_ns", s.widthNs);
+                w.field("capacity",
+                        static_cast<std::uint64_t>(s.capacity));
+                w.field("downsampled", s.downsampled);
+                // Compact point form: [start_ns, count, min, max, sum]
+                // (mean = sum/count; rates already divide by count 1).
+                w.key("points");
+                w.beginArray();
+                for (const obs::HistoryBucket &b : s.points) {
+                    w.beginArray();
+                    w.value(b.startNs);
+                    w.value(b.count);
+                    w.value(b.min);
+                    w.value(b.max);
+                    w.value(b.sum);
+                    w.endArray();
+                }
+                w.endArray();
+            }
+            w.endObject();
+        }
+        w.endArray();
+    }
+    w.endObject();
+    os << '\n';
+    HttpResponse resp;
+    resp.body = os.str();
+    return resp;
+}
+
+HttpResponse
+CampaignService::handleAlertHistory()
+{
+    if (!historyActive())
+        return httpError(
+            404, "metrics history disabled (start with --history on)");
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("events");
+    w.beginArray();
+    {
+        std::lock_guard<std::mutex> lk(alert_log_m_);
+        for (const AlertHistoryEntry &e : alertLog_) {
+            w.beginObject();
+            w.field("ts_ns", e.tsNs);
+            w.field("rule", e.event.rule);
+            w.field("trial", e.event.trial);
+            w.field("t_us",
+                    static_cast<std::uint64_t>(
+                        e.event.t >= 0 ? e.event.t : 0));
+            w.field("from", alertStateName(e.event.from));
+            w.field("to", alertStateName(e.event.to));
+            w.field("value", e.event.value);
+            w.endObject();
+        }
+        w.endArray();
+        w.field("dropped", alertLogDropped_);
+    }
+    w.endObject();
+    os << '\n';
+    HttpResponse resp;
+    resp.body = os.str();
+    return resp;
+}
+
+HttpResponse
+CampaignService::handleDashboard() const
+{
+    // Served even with history off: the page itself explains the 404
+    // its /v1/series poll gets, which beats a bare server-side 404.
+    HttpResponse resp;
+    resp.contentType = "text/html; charset=utf-8";
+    resp.body = renderDashboardHtml();
+    return resp;
+}
+
+obs::Registry &
+CampaignService::historyRegistry() const
+{
+    return opts_.history.registry != nullptr
+               ? *opts_.history.registry
+               : obs::Registry::global();
+}
+
+void
+CampaignService::sampleHistoryOnce()
+{
+    if (!historyActive())
+        return;
+    // One clock read per tick; every record of this tick shares it,
+    // so a whole sample lands in one raw bucket.
+    const std::uint64_t now = reqobs_.nowNs();
+
+    std::lock_guard<std::mutex> lk(sample_m_);
+    const bool first = lastSampleNs_ == 0;
+    const double dt_sec =
+        first ? 0.0
+              : static_cast<double>(now - lastSampleNs_) * 1e-9;
+    if (!first) {
+        const std::uint64_t due =
+            lastSampleNs_ + opts_.history.cadenceNs;
+        historyLagMs_.store(now > due ? (now - due) / 1000000ull : 0,
+                            std::memory_order_relaxed);
+    }
+    lastSampleNs_ = now;
+
+    // Counter-like values become rates against the previous tick
+    // (nothing is recorded on the first tick — there is no interval
+    // to rate over yet).
+    const auto rate = [&](const std::string &base, double value) {
+        const auto it = prevSamples_.find(base);
+        const bool have_prev = it != prevSamples_.end();
+        const double prev = have_prev ? it->second : 0.0;
+        prevSamples_[base] = value;
+        if (!have_prev || dt_sec <= 0.0)
+            return;
+        const double r = value >= prev ? (value - prev) / dt_sec : 0.0;
+        history_.record(base + ":rate", now, r);
+    };
+
+    obs::Registry &reg = historyRegistry();
+    // Refresh the ALERTS-style gauges first so the alert panel tracks
+    // rule state at sample resolution, not scrape resolution.
+    alerts_.exportTo(reg);
+
+    for (const auto &[name, value] : reg.counterSnapshot())
+        rate(name, static_cast<double>(value));
+    for (const auto &[name, value] : reg.gaugeSnapshot())
+        history_.record(name, now, value);
+
+    // Request histograms are label-encoded per endpoint/phase/status;
+    // the history tracks the merged family (bucket-wise addition is
+    // exact) as quantiles plus a completion rate.
+    std::map<std::string, obs::HistogramSnapshot> families;
+    for (const auto &[name, snap] : reg.histogramSnapshot()) {
+        const std::size_t bar = name.find('|');
+        std::map<std::string, obs::HistogramSnapshot> one;
+        one.emplace(bar == std::string::npos ? name
+                                             : name.substr(0, bar),
+                    snap);
+        obs::mergeHistograms(families, one);
+    }
+    for (const auto &[family, snap] : families) {
+        history_.record(family + ":p50", now, snap.quantile(0.5));
+        history_.record(family + ":p99", now, snap.quantile(0.99));
+        rate(family + ":count", static_cast<double>(snap.count()));
+    }
+
+    // Service depths (cache/flight/in-flight tables): gauges the
+    // registry does not carry.
+    const CacheStats results = cache_.stats();
+    const CacheStats ckpts = ckptCache_.stats();
+    history_.record("service.cache.results.entries", now,
+                    static_cast<double>(results.entries));
+    history_.record("service.cache.results.value_bytes", now,
+                    static_cast<double>(results.valueBytes));
+    rate("service.cache.results.hits",
+         static_cast<double>(results.hits));
+    rate("service.cache.results.misses",
+         static_cast<double>(results.misses));
+    history_.record("service.cache.ckpt.entries", now,
+                    static_cast<double>(ckpts.entries));
+    history_.record("service.cache.ckpt.value_bytes", now,
+                    static_cast<double>(ckpts.valueBytes));
+    std::size_t flight_depth = 0;
+    {
+        std::lock_guard<std::mutex> flk(inflight_m_);
+        flight_depth = inflight_.size();
+    }
+    history_.record("service.flight.depth", now,
+                    static_cast<double>(flight_depth));
+    history_.record("service.coalesce.waiters", now,
+                    static_cast<double>(coalesceWaiters()));
+    history_.record("service.inflight.requests", now,
+                    static_cast<double>(reqobs_.inflight().size()));
+}
+
+void
+CampaignService::startSampler()
+{
+    if (!historyActive() || !opts_.history.samplerThread ||
+        sampler_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lk(sampler_m_);
+        samplerStop_ = false;
+    }
+    sampler_ = std::thread([this] { samplerLoop(); });
+}
+
+void
+CampaignService::stopSampler()
+{
+    {
+        std::lock_guard<std::mutex> lk(sampler_m_);
+        samplerStop_ = true;
+    }
+    sampler_cv_.notify_all();
+    if (sampler_.joinable())
+        sampler_.join();
+}
+
+void
+CampaignService::samplerLoop()
+{
+    std::unique_lock<std::mutex> lk(sampler_m_);
+    while (!samplerStop_) {
+        lk.unlock();
+        sampleHistoryOnce();
+        lk.lock();
+        sampler_cv_.wait_for(
+            lk, std::chrono::nanoseconds(opts_.history.cadenceNs),
+            [this] { return samplerStop_; });
+    }
 }
 
 } // namespace service

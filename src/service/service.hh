@@ -16,6 +16,11 @@
  *                      registry, including the ALERTS-style
  *                      alert.<rule>.state gauges.
  *   GET  /healthz      liveness probe.
+ *   GET  /v1/series    tiered metrics history (sampler-fed; window,
+ *                      max-points and tier query parameters).
+ *   GET  /v1/alerts/history
+ *                      retained alert transition log.
+ *   GET  /dashboard    self-contained live HTML dashboard.
  *   POST /v1/shutdown  graceful stop (used by the CI smoke test).
  *
  * Campaign execution is serialized: one what-if runs at a time (the
@@ -48,12 +53,16 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
+#include "obs/history.hh"
 #include "service/alerts.hh"
 #include "service/cache.hh"
 #include "service/disk_store.hh"
@@ -65,6 +74,46 @@ namespace bpsim
 {
 namespace service
 {
+
+/**
+ * Metrics-history configuration: the tiered store behind
+ * GET /v1/series plus the background sampler that feeds it. Like
+ * reqobs, the whole layer is strictly out of band — every existing
+ * endpoint's response body is byte-identical with it on, off or
+ * compiled out (BPSIM_OBS=OFF), which the history tests pin.
+ */
+struct HistoryOptions
+{
+    /** Master switch (--history on|off). */
+    bool enabled = true;
+    /** Sampler tick period = raw-tier bucket width. */
+    std::uint64_t cadenceNs = 1000000000ull;
+    /** Raw-tier span; rollup tiers span 10x / 60x this. */
+    std::uint64_t retentionNs = 600ull * 1000000000ull;
+    /** Hard cap on distinct stored series. */
+    std::size_t maxSeries = 256;
+    /**
+     * Spawn the background sampler thread on start(). Tests set this
+     * false and drive sampleHistoryOnce() by hand so every sample
+     * lands at a stepping-fake-clock timestamp and /v1/series bytes
+     * are pinned exactly.
+     */
+    bool samplerThread = true;
+    /** Alert transitions retained for GET /v1/alerts/history; older
+     *  entries are dropped (and counted). */
+    std::size_t alertEventCapacity = 1024;
+    /** Metric source to sample; null = obs::Registry::global(). */
+    obs::Registry *registry = nullptr;
+};
+
+/** One retained alert transition (GET /v1/alerts/history). */
+struct AlertHistoryEntry
+{
+    /** Service clock value (ns) of the request whose campaign fired
+     *  the transition. */
+    std::uint64_t tsNs = 0;
+    AlertEvent event;
+};
 
 /** Service configuration. */
 struct ServiceOptions
@@ -100,6 +149,8 @@ struct ServiceOptions
     std::function<void()> testBeforeCampaign;
     /** Request-level observability (ids, spans, access log, status). */
     RequestObsOptions reqobs;
+    /** Metrics history (tiered store + sampler + /v1/series). */
+    HistoryOptions history;
 };
 
 /** The resident server (construct, start(), waitUntilStopped()). */
@@ -107,8 +158,10 @@ class CampaignService
 {
   public:
     explicit CampaignService(ServiceOptions opts = {});
+    ~CampaignService();
 
-    /** Start listening; false (with @p error) on socket failure. */
+    /** Start listening (and the history sampler thread when armed);
+     *  false (with @p error) on socket failure. */
     bool start(std::string *error = nullptr);
 
     /** Graceful stop: finish in-flight requests, then return. */
@@ -135,6 +188,30 @@ class CampaignService
     const DiskStore &disk() const { return disk_; }
     AlertEngine &alerts() { return alerts_; }
     RequestObserver &requestObserver() { return reqobs_; }
+    obs::HistoryStore &history() { return history_; }
+
+    /** True when the history layer serves /v1/series (enabled and the
+     *  obs layer compiled in — the reqobs kCompiledIn contract). */
+    bool historyActive() const
+    {
+        return RequestObserver::kCompiledIn && opts_.history.enabled;
+    }
+
+    /**
+     * Take one history sample: read the shared clock once, then fold
+     * the registry (counters as rates, gauges raw, request-histogram
+     * family quantiles), cache/flight depths and alert states into the
+     * tiered store. The sampler thread calls this every cadence; tests
+     * with samplerThread = false call it directly so sample
+     * timestamps follow the injected stepping clock.
+     */
+    void sampleHistoryOnce();
+
+    /** Milliseconds the last sampler tick ran behind its cadence. */
+    std::uint64_t historyLagMs() const
+    {
+        return historyLagMs_.load(std::memory_order_relaxed);
+    }
 
     /** Followers currently parked on in-flight executions (the
      *  coalescing test uses this to sequence leader vs. followers). */
@@ -171,6 +248,19 @@ class CampaignService
     HttpResponse handleHealthz();
     HttpResponse handleStatus();
     HttpResponse handleShutdown();
+    HttpResponse handleSeries(const HttpRequest &req);
+    HttpResponse handleAlertHistory();
+    HttpResponse handleDashboard() const;
+
+    /** The sampler's metric source (override or the global). */
+    obs::Registry &historyRegistry() const;
+    /** Retain this round's alert transitions for /v1/alerts/history
+     *  (bounded; @p tsNs is the leading request's admission time). */
+    void appendAlertHistory(std::uint64_t tsNs,
+                            const std::vector<AlertEvent> &fired);
+    void startSampler();
+    void stopSampler();
+    void samplerLoop();
 
     ServiceOptions opts_;
     ResultCache cache_;
@@ -189,6 +279,32 @@ class CampaignService
     RequestObserver reqobs_;
     /** Clock value at construction (uptime = now - boot). */
     std::uint64_t bootNs_ = 0;
+
+    /** The tiered metrics history (bounded; see obs/history.hh). */
+    obs::HistoryStore history_;
+    /** Serializes sampler ticks (thread vs. test-driven calls). */
+    std::mutex sample_m_;
+    /** Clock value of the previous tick (0 = none yet); rates and
+     *  lag are computed against it. Guarded by sample_m_. */
+    std::uint64_t lastSampleNs_ = 0;
+    /** Counter-like values at the previous tick (registry counters,
+     *  cache hit/miss totals, histogram counts). Guarded by
+     *  sample_m_. */
+    std::map<std::string, double> prevSamples_;
+    std::atomic<std::uint64_t> historyLagMs_{0};
+
+    /** Guards alertLog_/alertLogDropped_. */
+    mutable std::mutex alert_log_m_;
+    std::deque<AlertHistoryEntry> alertLog_;
+    std::uint64_t alertLogDropped_ = 0;
+
+    /** The background sampler (started by start(), joined by stop()
+     *  and the destructor). */
+    std::thread sampler_;
+    std::mutex sampler_m_;
+    std::condition_variable sampler_cv_;
+    bool samplerStop_ = false;
+
     HttpServer http_;
 };
 

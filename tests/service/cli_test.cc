@@ -280,6 +280,73 @@ TEST(CliContract, ServerRequestObsRejectsAnythingButOnOrOff)
     }
 }
 
+TEST(CliContract, ServerHelpDocumentsHistoryFlags)
+{
+    const RunResult r = run(std::string(BPSIM_CAMPAIGN_SERVER_BIN) +
+                            " --help");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("--history on|off"), std::string::npos);
+    EXPECT_NE(r.output.find("--history-cadence S"), std::string::npos);
+    EXPECT_NE(r.output.find("--history-retention S"),
+              std::string::npos);
+    EXPECT_NE(r.output.find("/v1/series"), std::string::npos);
+    EXPECT_NE(r.output.find("/v1/alerts/history"), std::string::npos);
+    EXPECT_NE(r.output.find("/dashboard"), std::string::npos);
+}
+
+TEST(CliContract, ServerHistoryFlagsParseBeforeHelp)
+{
+    for (const char *flags :
+         {" --history on", " --history off", " --history-cadence 0.5",
+          " --history-retention 120",
+          " --history off --history-cadence 2 --history-retention "
+          "60"}) {
+        const RunResult r = run(std::string(BPSIM_CAMPAIGN_SERVER_BIN) +
+                                flags + " --help");
+        EXPECT_EQ(r.exitCode, 0) << flags << ": " << r.output;
+        EXPECT_NE(r.output.find("usage: campaign_server"),
+                  std::string::npos)
+            << flags;
+    }
+}
+
+TEST(CliContract, ServerHistoryRejectsAnythingButOnOrOff)
+{
+    for (const char *bad : {"yes", "ON", "1", ""}) {
+        const RunResult r = run(std::string(BPSIM_CAMPAIGN_SERVER_BIN) +
+                                " --history \"" + bad + "\"");
+        EXPECT_EQ(r.exitCode, 2)
+            << "--history " << bad << ": " << r.output;
+        EXPECT_NE(r.output.find("usage: campaign_server"),
+                  std::string::npos)
+            << "--history " << bad;
+    }
+}
+
+TEST(CliContract, ServerHistoryCadenceAndRetentionRejectBadValues)
+{
+    for (const char *flag : {"--history-cadence",
+                             "--history-retention"}) {
+        for (const char *bad : {"0", "-1", "nan-ish", "2x", ""}) {
+            const RunResult r =
+                run(std::string(BPSIM_CAMPAIGN_SERVER_BIN) + " " +
+                    flag + " \"" + bad + "\"");
+            EXPECT_EQ(r.exitCode, 2)
+                << flag << " " << bad << ": " << r.output;
+            EXPECT_NE(r.output.find("positive number of seconds"),
+                      std::string::npos)
+                << flag << " " << bad;
+            EXPECT_NE(r.output.find("usage: campaign_server"),
+                      std::string::npos)
+                << flag << " " << bad;
+        }
+        // Missing value entirely.
+        const RunResult r =
+            run(std::string(BPSIM_CAMPAIGN_SERVER_BIN) + " " + flag);
+        EXPECT_EQ(r.exitCode, 2) << flag << ": " << r.output;
+    }
+}
+
 TEST(CliContract, ServerUnwritableAccessLogFailsFast)
 {
     const RunResult r =

@@ -112,7 +112,7 @@ TEST(HttpRender, ResponseIsByteStable)
     r.headers.emplace_back("X-Bpsim-Cache", "hit");
     EXPECT_EQ(renderHttpResponse(r),
               "HTTP/1.1 200 OK\r\n"
-              "Content-Type: application/json\r\n"
+              "Content-Type: application/json; charset=utf-8\r\n"
               "Content-Length: 2\r\n"
               "X-Bpsim-Cache: hit\r\n"
               "Connection: close\r\n"
